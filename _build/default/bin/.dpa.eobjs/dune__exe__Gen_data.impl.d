@@ -1,0 +1,1 @@
+bin/gen_data.ml: Array Bench_format Bench_suite Filename List Printf Sys

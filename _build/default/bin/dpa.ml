@@ -1,0 +1,311 @@
+(* dpa — Difference Propagation Analyzer command-line tool.
+
+     dpa circuits                          list the benchmark suite
+     dpa stats c432                        netlist statistics
+     dpa faults c95                        fault-universe summary
+     dpa analyze c17 --fault G3:0          one stuck-at fault in detail
+     dpa analyze c17 --bridge G10,G19:and  one bridging fault in detail
+     dpa profile c95                       detectability profile
+     dpa atpg alu74181                     PODEM test generation
+     dpa analyze file.bench --fault n1:1   analyse a user netlist *)
+
+open Cmdliner
+
+let load_circuit spec =
+  if Sys.file_exists spec then Bench_format.parse_file spec
+  else
+    try Bench_suite.find spec
+    with Not_found ->
+      Printf.eprintf
+        "unknown circuit %S (not a benchmark name or a readable file)\n" spec;
+      exit 2
+
+let circuit_arg =
+  let doc = "Benchmark name (see $(b,dpa circuits)) or .bench file path." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+(* ------------------------------------------------------------------ *)
+
+let circuits_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        let c = Bench_suite.find name in
+        Format.printf "%a@." Circuit.pp_summary c)
+      Bench_suite.names
+  in
+  Cmd.v (Cmd.info "circuits" ~doc:"List the built-in benchmark suite")
+    Term.(const run $ const ())
+
+let stats_cmd =
+  let run spec =
+    let c = load_circuit spec in
+    Format.printf "%a@." Stats.pp (Stats.compute c);
+    let levels = Circuit.levels c in
+    let hist = Hashtbl.create 16 in
+    Array.iter
+      (fun l ->
+        Hashtbl.replace hist l
+          (1 + Option.value (Hashtbl.find_opt hist l) ~default:0))
+      levels;
+    Format.printf "nets per level:@.";
+    Hashtbl.fold (fun l n acc -> (l, n) :: acc) hist []
+    |> List.sort Stdlib.compare
+    |> List.iter (fun (l, n) -> Format.printf "  level %2d: %d@." l n)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Netlist statistics")
+    Term.(const run $ circuit_arg)
+
+let faults_cmd =
+  let run spec =
+    let c = load_circuit spec in
+    let checkpoints = Sa_fault.checkpoints c in
+    let uncollapsed = Sa_fault.checkpoint_faults c in
+    let collapsed = Sa_fault.collapsed_faults c in
+    Format.printf "checkpoints: %d (%d PIs + %d fanout branches)@."
+      (List.length checkpoints) (Circuit.num_inputs c)
+      (List.length checkpoints - Circuit.num_inputs c);
+    Format.printf "checkpoint faults: %d, collapsed classes: %d@."
+      (List.length uncollapsed) (List.length collapsed);
+    if Circuit.num_gates c <= 200 then
+      Format.printf "potentially detectable NFBFs: %d@." (Bridge.count c)
+    else begin
+      let faults, stats = Bridge.sample ~seed:42 ~size:100 c in
+      Format.printf
+        "NFBF sample: %d faults from %d proposals (max wire distance %.1f)@."
+        (List.length faults) stats.Bridge.proposals stats.Bridge.max_distance
+    end
+  in
+  Cmd.v (Cmd.info "faults" ~doc:"Fault-universe summary")
+    Term.(const run $ circuit_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let net_of_name c name =
+  match Circuit.index_of_name c name with
+  | Some g -> g
+  | None ->
+    Printf.eprintf "no net named %S\n" name;
+    exit 2
+
+let parse_stuck c spec =
+  match String.split_on_char ':' spec with
+  | [ name; ("0" | "1") as v ] ->
+    Fault.Stuck
+      { Sa_fault.line = Sa_fault.Stem (net_of_name c name); value = v = "1" }
+  | _ ->
+    Printf.eprintf "expected NET:VALUE with VALUE 0|1, got %S\n" spec;
+    exit 2
+
+let parse_bridge c spec =
+  match String.split_on_char ':' spec with
+  | [ pair; kind ] ->
+    (match
+       (String.split_on_char ',' pair, String.lowercase_ascii kind)
+     with
+    | [ na; nb ], "and" ->
+      Fault.Bridged
+        (Bridge.make (net_of_name c na) (net_of_name c nb) Bridge.Wired_and)
+    | [ na; nb ], "or" ->
+      Fault.Bridged
+        (Bridge.make (net_of_name c na) (net_of_name c nb) Bridge.Wired_or)
+    | _ ->
+      Printf.eprintf "expected NETA,NETB:KIND with KIND and|or, got %S\n" spec;
+      exit 2)
+  | _ ->
+    Printf.eprintf "expected NETA,NETB:KIND, got %S\n" spec;
+    exit 2
+
+let analyze_cmd =
+  let stuck =
+    let doc = "Stuck-at fault as NET:VALUE (e.g. G10:0)." in
+    Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC" ~doc)
+  in
+  let bridge =
+    let doc = "Bridging fault as NETA,NETB:KIND with KIND and|or." in
+    Arg.(value & opt (some string) None & info [ "bridge" ] ~docv:"SPEC" ~doc)
+  in
+  let cubes =
+    let doc = "Print up to $(docv) test cubes." in
+    Arg.(value & opt int 8 & info [ "cubes" ] ~docv:"N" ~doc)
+  in
+  let run spec stuck bridge cubes =
+    let c = load_circuit spec in
+    let fault =
+      match (stuck, bridge) with
+      | Some s, None -> parse_stuck c s
+      | None, Some b -> parse_bridge c b
+      | Some _, Some _ | None, None ->
+        Printf.eprintf "give exactly one of --fault or --bridge\n";
+        exit 2
+    in
+    let engine = Engine.create c in
+    let r = Engine.analyze engine fault in
+    Format.printf "fault: %s@." (Fault.to_string c fault);
+    Format.printf "detectability: %.6f (%g test vectors of 2^%d)@."
+      r.Engine.detectability r.Engine.test_count (Circuit.num_inputs c);
+    Format.printf "upper bound: %.6f  adherence: %s@." r.Engine.upper_bound
+      (match r.Engine.adherence with
+      | Some a -> Printf.sprintf "%.6f" a
+      | None -> "n/a");
+    Format.printf "POs fed: %d  POs observing: %d@." r.Engine.pos_fed
+      r.Engine.pos_observed;
+    (match r.Engine.wired_support with
+    | Some n ->
+      Format.printf "wired-function support: %d variable(s)%s@." n
+        (if n = 0 then " — degenerates to stuck-at behaviour" else "")
+    | None -> ());
+    if r.Engine.detectable then begin
+      Format.printf "test cubes (input=value, unlisted are don't-care):@.";
+      List.iter
+        (fun cube ->
+          let literal (pos, value) =
+            Printf.sprintf "%s=%d"
+              (Circuit.gate c c.Circuit.inputs.(pos)).Circuit.name
+              (Bool.to_int value)
+          in
+          Format.printf "  %s@." (String.concat " " (List.map literal cube)))
+        (Engine.test_cubes ~limit:cubes engine fault)
+    end
+    else Format.printf "fault is undetectable (redundant)@."
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Exact analysis of a single fault")
+    Term.(const run $ circuit_arg $ stuck $ bridge $ cubes)
+
+let profile_cmd =
+  let bins =
+    let doc = "Histogram bins." in
+    Arg.(value & opt int 10 & info [ "bins" ] ~docv:"N" ~doc)
+  in
+  let run spec bins =
+    let c = load_circuit spec in
+    let engine = Engine.create c in
+    let results =
+      Engine.analyze_all engine
+        (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
+    in
+    let detectable = List.filter (fun r -> r.Engine.detectable) results in
+    Format.printf "%d collapsed checkpoint faults, %d detectable@."
+      (List.length results) (List.length detectable);
+    let detectabilities =
+      List.map (fun r -> r.Engine.detectability) detectable
+    in
+    Histogram.pp Format.std_formatter (Histogram.make ~bins detectabilities);
+    Format.printf "mean detectability: %.4f@." (Histogram.mean detectabilities);
+    Po_stats.pp Format.std_formatter (Po_stats.summarize results)
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Stuck-at detectability profile of a circuit")
+    Term.(const run $ circuit_arg $ bins)
+
+let atpg_cmd =
+  let run spec =
+    let c = load_circuit spec in
+    let faults = Sa_fault.collapsed_faults c in
+    let r = Podem.run_all c faults in
+    Format.printf
+      "PODEM over %d faults: %d explicit tests, %d redundant, %d aborted, \
+       coverage %.4f@."
+      (List.length faults)
+      (List.length r.Podem.tests)
+      (List.length r.Podem.redundant)
+      (List.length r.Podem.aborted)
+      r.Podem.coverage
+  in
+  Cmd.v
+    (Cmd.info "atpg" ~doc:"PODEM test generation over the checkpoint faults")
+    Term.(const run $ circuit_arg)
+
+let equiv_cmd =
+  let other =
+    let doc = "Second circuit (benchmark name or .bench file)." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"CIRCUIT2" ~doc)
+  in
+  let run spec1 spec2 =
+    let c1 = load_circuit spec1 and c2 = load_circuit spec2 in
+    let verdict = Equiv.check c1 c2 in
+    Format.printf "%a@." (Equiv.pp_verdict c1) verdict;
+    match verdict with Equiv.Equivalent -> exit 0 | _ -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:"Formal equivalence check of two circuits (positional I/O match)")
+    Term.(const run $ circuit_arg $ other)
+
+let scoap_cmd =
+  let run spec =
+    let c = load_circuit spec in
+    let m = Scoap.compute c in
+    if Circuit.num_gates c <= 120 then Scoap.pp c Format.std_formatter m
+    else begin
+      (* Too big for a per-net table: summarise per level. *)
+      let levels = Circuit.levels c in
+      let table = Hashtbl.create 32 in
+      Array.iteri
+        (fun g _ ->
+          let co = Scoap.observability m g in
+          if co <> max_int then begin
+            let sum, n =
+              Option.value (Hashtbl.find_opt table levels.(g)) ~default:(0, 0)
+            in
+            Hashtbl.replace table levels.(g) (sum + co, n + 1)
+          end)
+        c.Circuit.gates;
+      Format.printf "  %-7s %10s@." "level" "mean CO";
+      Hashtbl.fold (fun l v acc -> (l, v) :: acc) table []
+      |> List.sort Stdlib.compare
+      |> List.iter (fun (l, (sum, n)) ->
+             Format.printf "  %-7d %10.1f@." l
+               (float_of_int sum /. float_of_int n))
+    end
+  in
+  Cmd.v
+    (Cmd.info "scoap" ~doc:"SCOAP controllability/observability measures")
+    Term.(const run $ circuit_arg)
+
+let dot_cmd =
+  let net =
+    let doc = "Render the OBDD of net $(docv)'s good function instead of \
+               the netlist." in
+    Arg.(value & opt (some string) None & info [ "net" ] ~docv:"NET" ~doc)
+  in
+  let fault =
+    let doc = "Highlight the sites of a stuck-at fault (NET:VALUE)." in
+    Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC" ~doc)
+  in
+  let run spec net fault =
+    let c = load_circuit spec in
+    match net with
+    | Some name ->
+      let sym = Symbolic.build c in
+      print_string (Dot.node_function sym (net_of_name c name))
+    | None ->
+      let highlight =
+        match fault with
+        | Some s -> Fault.sites (parse_stuck c s)
+        | None -> []
+      in
+      print_string (Dot.circuit ~highlight c)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Graphviz rendering of a netlist or a net's OBDD")
+    Term.(const run $ circuit_arg $ net $ fault)
+
+let main =
+  let doc = "exact fault analysis by Difference Propagation (DAC 1990)" in
+  let info = Cmd.info "dpa" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      circuits_cmd;
+      stats_cmd;
+      faults_cmd;
+      analyze_cmd;
+      profile_cmd;
+      atpg_cmd;
+      equiv_cmd;
+      scoap_cmd;
+      dot_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

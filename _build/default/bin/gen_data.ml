@@ -1,0 +1,13 @@
+(* Writes the benchmark suite as .bench files under data/ so the CLI and
+   parser can be exercised on real files. *)
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "data" in
+  List.iter
+    (fun name ->
+      let c = Bench_suite.find name in
+      let path = Filename.concat dir (name ^ ".bench") in
+      let oc = open_out path in
+      output_string oc (Bench_format.print c);
+      close_out oc;
+      Printf.printf "wrote %s\n" path)
+    Bench_suite.names

@@ -1,0 +1,1 @@
+examples/atpg_vs_dp.ml: Array Bench_suite Circuit Engine Fault Fault_sim Float Format List Podem Sa_fault Sys Unix

@@ -1,0 +1,1 @@
+examples/bridging_analysis.ml: Array Bench_suite Bridge Bridge_class Circuit Engine Fault Format Histogram List Printf Sa_fault Sys

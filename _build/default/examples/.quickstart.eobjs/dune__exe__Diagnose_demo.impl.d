@@ -1,0 +1,1 @@
+examples/diagnose_demo.ml: Array Bench_suite Circuit Diagnosis Engine Fault Format List Sa_fault String Sys

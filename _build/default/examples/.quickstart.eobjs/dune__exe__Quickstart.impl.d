@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bench_format Bool Bridge Circuit Engine Fault Fault_sim Format List Option Printf Sa_fault String

@@ -1,0 +1,1 @@
+examples/random_testing.ml: Array Bench_suite Circuit Engine Fault Fault_sim Float Format List Sa_fault Sys

@@ -1,0 +1,1 @@
+examples/sequential_frames.ml: Array Circuit Engine Fault Fault_sim Float Format List Option Printf Seq_circuit String

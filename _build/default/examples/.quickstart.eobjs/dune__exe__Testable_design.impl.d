@@ -1,0 +1,1 @@
+examples/testable_design.ml: Array Bathtub Bench_suite Circuit Engine Fault Format List Sa_fault Transform

@@ -1,0 +1,1 @@
+examples/testable_design.mli:

@@ -1,0 +1,94 @@
+(* Bridging-fault study on one circuit, reproducing the paper's §4.2
+   workflow end to end: enumerate / sample non-feedback bridging faults
+   with the layout-distance law, compute exact detectabilities for the
+   wired-AND and wired-OR models, classify the bridges that degenerate
+   to stuck-at behaviour, and compare against the stuck-at profile.
+
+     dune exec examples/bridging_analysis.exe [circuit] [sample-size] *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "c95" in
+  let sample =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 150
+  in
+  let circuit = Bench_suite.find name in
+  Format.printf "circuit: %a@.@." Circuit.pp_summary circuit;
+
+  (* Fault universe: full enumeration when feasible, distance-weighted
+     sampling otherwise (paper §2.2). *)
+  let bridges, provenance =
+    if Circuit.num_gates circuit <= 100 then
+      (Bridge.enumerate circuit, "full enumeration")
+    else begin
+      let faults, stats = Bridge.sample ~seed:42 ~size:sample circuit in
+      ( faults,
+        Printf.sprintf
+          "distance-weighted sample (%d pairs from %d proposals, max wire \
+           distance %.1f)"
+          stats.Bridge.accepted stats.Bridge.proposals
+          stats.Bridge.max_distance )
+    end
+  in
+  Format.printf "NFBF set: %d faults (%s)@.@." (List.length bridges) provenance;
+
+  let engine = Engine.create circuit in
+  let results =
+    Engine.analyze_all engine (List.map (fun b -> Fault.Bridged b) bridges)
+  in
+
+  (* Detectability histograms per wired model (Figure 6's content). *)
+  let split kind =
+    List.filter
+      (fun r ->
+        match r.Engine.fault with
+        | Fault.Bridged b -> b.Bridge.kind = kind
+        | Fault.Stuck _ | Fault.Multi_stuck _ -> false)
+      results
+  in
+  let detectabilities rs =
+    rs
+    |> List.filter (fun r -> r.Engine.detectable)
+    |> List.map (fun r -> r.Engine.detectability)
+  in
+  let h kind = Histogram.make ~bins:10 (detectabilities (split kind)) in
+  Format.printf "detection probability profiles:@.";
+  Histogram.pp_pair ~labels:("AND-BF", "OR-BF") Format.std_formatter
+    (h Bridge.Wired_and, h Bridge.Wired_or);
+
+  (* Stuck-at-degenerate bridges (Figure 5's content). *)
+  Format.printf "@.bridges with stuck-at behaviour (constant wired function):@.";
+  List.iter
+    (fun s ->
+      Format.printf "  %s: %d / %d (%.3f)@."
+        (match s.Bridge_class.kind with
+        | Bridge.Wired_and -> "wired-AND"
+        | Bridge.Wired_or -> "wired-OR")
+        s.Bridge_class.stuck_like s.Bridge_class.total
+        s.Bridge_class.proportion)
+    (Bridge_class.classify engine bridges);
+
+  (* Comparison with the stuck-at fault model on the same circuit. *)
+  let sa_results =
+    Engine.analyze_all engine
+      (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults circuit))
+  in
+  let mean rs =
+    let ds = detectabilities rs in
+    if ds = [] then 0.0
+    else List.fold_left ( +. ) 0.0 ds /. float_of_int (List.length ds)
+  in
+  Format.printf "@.mean detectability: bridging %.4f vs stuck-at %.4f@."
+    (mean results) (mean sa_results);
+  Format.printf
+    "undetectable: bridging %d / %d, stuck-at %d / %d@."
+    (List.length (List.filter (fun r -> not r.Engine.detectable) results))
+    (List.length results)
+    (List.length (List.filter (fun r -> not r.Engine.detectable) sa_results))
+    (List.length sa_results);
+
+  (* The paper's takeaway: logic dominance barely matters. *)
+  Format.printf
+    "@.AND vs OR means: %.4f vs %.4f — the wired dominance value has \
+     little effect (paper §4.2).@."
+    (mean (split Bridge.Wired_and))
+    (mean (split Bridge.Wired_or))

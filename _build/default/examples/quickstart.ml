@@ -1,0 +1,76 @@
+(* Quickstart: parse a netlist, pick a fault, and get its complete test
+   set with exact statistics via Difference Propagation.
+
+     dune exec examples/quickstart.exe *)
+
+let netlist =
+  "INPUT(a)\n\
+   INPUT(b)\n\
+   INPUT(c)\n\
+   INPUT(d)\n\
+   OUTPUT(y)\n\
+   OUTPUT(z)\n\
+   t1 = NAND(a, b)\n\
+   t2 = NOR(c, d)\n\
+   y = XOR(t1, t2)\n\
+   z = AND(t1, c)\n"
+
+let () =
+  (* 1. Load a circuit (from text here; Bench_format.parse_file reads
+     .bench files, Bench_suite.find returns the paper's benchmarks). *)
+  let circuit = Bench_format.parse ~title:"demo" netlist in
+  Format.printf "circuit: %a@.@." Circuit.pp_summary circuit;
+
+  (* 2. Build the Difference Propagation engine (symbolic good
+     functions as OBDDs). *)
+  let engine = Engine.create circuit in
+
+  (* 3. Analyse one stuck-at fault on net t1. *)
+  let t1 = Option.get (Circuit.index_of_name circuit "t1") in
+  let fault = Fault.Stuck { Sa_fault.line = Sa_fault.Stem t1; value = false } in
+  let r = Engine.analyze engine fault in
+  Format.printf "fault %s:@." (Fault.to_string circuit fault);
+  Format.printf "  exact detectability  %.4f (%g of 16 input vectors)@."
+    r.Engine.detectability r.Engine.test_count;
+  Format.printf "  syndrome upper bound %.4f, adherence %s@."
+    r.Engine.upper_bound
+    (match r.Engine.adherence with
+    | Some a -> Printf.sprintf "%.4f" a
+    | None -> "n/a");
+  Format.printf "  observable at %d of the %d outputs it feeds@."
+    r.Engine.pos_observed r.Engine.pos_fed;
+
+  (* 4. The complete test set, as cubes and as one concrete vector. *)
+  Format.printf "  test cubes:@.";
+  List.iter
+    (fun cube ->
+      let literal (pos, value) =
+        let name = (Circuit.gate circuit circuit.Circuit.inputs.(pos)).Circuit.name in
+        Printf.sprintf "%s=%d" name (Bool.to_int value)
+      in
+      Format.printf "    %s@." (String.concat " " (List.map literal cube)))
+    (Engine.test_cubes engine fault);
+  (match Engine.test_vector engine fault with
+  | Some v ->
+    Format.printf "  one full test vector: %s@."
+      (String.concat ""
+         (Array.to_list (Array.map (fun b -> if b then "1" else "0") v)));
+    assert (Fault_sim.detects circuit fault v)
+  | None -> Format.printf "  fault is undetectable@.");
+
+  (* 5. A wired-AND bridging fault between two internal wires. *)
+  let t2 = Option.get (Circuit.index_of_name circuit "t2") in
+  let bridge = Fault.Bridged (Bridge.make t1 t2 Bridge.Wired_and) in
+  let rb = Engine.analyze engine bridge in
+  Format.printf "@.fault %s:@." (Fault.to_string circuit bridge);
+  Format.printf "  exact detectability  %.4f@." rb.Engine.detectability;
+  Format.printf "  wired function support: %d variable(s)%s@."
+    (Option.value rb.Engine.wired_support ~default:0)
+    (if rb.Engine.wired_support = Some 0 then
+       " (degenerates to stuck-at behaviour)"
+     else "");
+
+  (* 6. Cross-check against exhaustive simulation (4 inputs only!). *)
+  let sim = Fault_sim.exhaustive_detectability circuit fault in
+  Format.printf "@.exhaustive simulation agrees: %.4f = %.4f@." sim
+    r.Engine.detectability

@@ -1,0 +1,68 @@
+(* Sequential test generation by time-frame expansion + multiple-fault
+   Difference Propagation.
+
+   A physical defect in a sequential circuit is present in *every* clock
+   cycle, so after unrolling k time frames it becomes one multiple
+   stuck-at fault covering the k copies of the faulted net.  The
+   Table-1 rules are exact under simultaneous differences, so DP on the
+   unrolled circuit gives the exact probability that a random k-cycle
+   input sequence detects the defect — and a concrete detecting
+   sequence.  (The paper is combinational-only and defers sequential
+   circuits to symbolic fault simulation [16]; this example shows how
+   far the combinational machinery alone reaches.)
+
+     dune exec examples/sequential_frames.exe *)
+
+let counter_bench =
+  "INPUT(en)\n\
+   OUTPUT(carry)\n\
+   q0n = XOR(q0, en)\n\
+   t = AND(q0, en)\n\
+   q1n = XOR(q1, t)\n\
+   carry = AND(q1, t)\n\
+   q0 = DFF(q0n)\n\
+   q1 = DFF(q1n)\n"
+
+let () =
+  let seq = Seq_circuit.parse ~title:"counter2" counter_bench in
+  Format.printf
+    "sequential circuit: 2-bit enabled counter (%d PI, %d PO, %d flops)@.@."
+    seq.Seq_circuit.num_inputs seq.Seq_circuit.num_outputs
+    seq.Seq_circuit.num_flops;
+  Format.printf
+    "defect under study: net t (the q0 AND en carry term) stuck at 0@.@.";
+  Format.printf "  %-7s %-10s %-14s %s@." "frames" "inputs"
+    "detectability" "a detecting enable sequence";
+  List.iter
+    (fun frames ->
+      let unrolled = Seq_circuit.unroll seq ~frames ~init:Seq_circuit.Zero in
+      (* The same physical defect in every frame. *)
+      let sites =
+        List.init frames (fun i ->
+            let name = Printf.sprintf "t@%d" i in
+            (Option.get (Circuit.index_of_name unrolled name), false))
+      in
+      let fault = Fault.multi sites in
+      let engine = Engine.create unrolled in
+      let r = Engine.analyze engine fault in
+      let sequence =
+        match Engine.test_vector engine fault with
+        | None -> "none (undetectable within this horizon)"
+        | Some v ->
+          (* Inputs are en@0 .. en@k-1 in declaration order. *)
+          String.concat ""
+            (Array.to_list (Array.map (fun b -> if b then "1" else "0") v))
+      in
+      Format.printf "  %-7d %-10d %-14.4f %s@." frames
+        (Circuit.num_inputs unrolled) r.Engine.detectability sequence;
+      (* Cross-check by simulating the unrolled multiple fault. *)
+      assert (
+        Float.abs
+          (r.Engine.detectability
+          -. Fault_sim.exhaustive_detectability unrolled fault)
+        < 1e-12))
+    [ 1; 2; 3; 4; 5; 6 ];
+  Format.printf
+    "@.the defect needs the counter driven from 00 up to the carry wrap: \
+     undetectable until enough frames exist to reach and observe it — the \
+     classic sequential test-generation horizon, measured exactly.@."

@@ -1,0 +1,1 @@
+lib/analysis/bathtub.ml: Array Circuit Engine Fault Float Format Hashtbl List Option Stdlib

@@ -1,0 +1,1 @@
+lib/analysis/bathtub.mli: Circuit Engine Format

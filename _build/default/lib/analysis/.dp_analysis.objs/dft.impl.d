@@ -1,0 +1,1 @@
+lib/analysis/dft.ml: Array Circuit Engine Fault Fun Histogram List Sa_fault Stdlib Transform

@@ -1,0 +1,1 @@
+lib/analysis/dft.mli: Circuit

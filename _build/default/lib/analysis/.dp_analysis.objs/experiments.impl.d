@@ -1,0 +1,1 @@
+lib/analysis/experiments.ml: Array Bathtub Bdd Bench_suite Bridge Bridge_class Circuit Engine Fault Gate Hashtbl Histogram List Po_stats Prng Rules Sa_fault Trends

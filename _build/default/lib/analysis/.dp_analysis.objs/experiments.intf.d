@@ -1,0 +1,1 @@
+lib/analysis/experiments.mli: Bathtub Bridge Bridge_class Circuit Engine Histogram Po_stats Trends

@@ -1,0 +1,1 @@
+lib/analysis/histogram.ml: Array Float Format List String

@@ -1,0 +1,1 @@
+lib/analysis/order_search.ml: Array Bdd Circuit Gate Ordering Rules

@@ -1,0 +1,1 @@
+lib/analysis/order_search.mli: Circuit Ordering

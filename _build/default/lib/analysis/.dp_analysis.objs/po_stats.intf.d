@@ -1,0 +1,1 @@
+lib/analysis/po_stats.mli: Engine Format

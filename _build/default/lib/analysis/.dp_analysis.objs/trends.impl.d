@@ -1,0 +1,1 @@
+lib/analysis/trends.ml: Circuit Correlation Engine Format Histogram List Stdlib

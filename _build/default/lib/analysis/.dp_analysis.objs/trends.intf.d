@@ -1,0 +1,1 @@
+lib/analysis/trends.mli: Circuit Engine Format

@@ -1,0 +1,66 @@
+type point = { distance : int; mean : float; faults : int }
+
+let group results ~distance_of =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      match distance_of r with
+      | None -> ()
+      | Some d ->
+        let sum, n = Option.value (Hashtbl.find_opt table d) ~default:(0.0, 0) in
+        Hashtbl.replace table d (sum +. r.Engine.detectability, n + 1))
+    results;
+  Hashtbl.fold
+    (fun distance (sum, n) acc ->
+      { distance; mean = sum /. float_of_int n; faults = n } :: acc)
+    table []
+  |> List.sort (fun a b -> Stdlib.compare a.distance b.distance)
+
+(* A fault's observation distance: the largest "max levels to PO" over
+   its sites (a bridge has two). *)
+let site_distance dist r =
+  let ds =
+    Fault.sites r.Engine.fault
+    |> List.map (fun s -> dist.(s))
+    |> List.filter (fun d -> d >= 0)
+  in
+  match ds with [] -> None | ds -> Some (List.fold_left max 0 ds)
+
+let by_po_distance c results =
+  let dist = Circuit.max_levels_to_po c in
+  group results ~distance_of:(site_distance dist)
+
+let by_pi_level c results =
+  let levels = Circuit.levels c in
+  group results ~distance_of:(fun r ->
+      match Fault.sites r.Engine.fault with
+      | [] -> None
+      | sites -> Some (List.fold_left (fun m s -> max m levels.(s)) 0 sites))
+
+let pp fmt points =
+  Format.fprintf fmt "  %-9s %-10s %s@." "distance" "mean det" "faults";
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "  %-9d %-10.4f %d@." p.distance p.mean p.faults)
+    points
+
+let correlation points =
+  let w = List.fold_left (fun a p -> a +. float_of_int p.faults) 0.0 points in
+  if w <= 0.0 then 0.0
+  else begin
+    let mean_of f =
+      List.fold_left (fun a p -> a +. (float_of_int p.faults *. f p)) 0.0 points
+      /. w
+    in
+    let mx = mean_of (fun p -> float_of_int p.distance) in
+    let my = mean_of (fun p -> p.mean) in
+    let cov, vx, vy =
+      List.fold_left
+        (fun (cov, vx, vy) p ->
+          let wi = float_of_int p.faults in
+          let dx = float_of_int p.distance -. mx and dy = p.mean -. my in
+          (cov +. (wi *. dx *. dy), vx +. (wi *. dx *. dx), vy +. (wi *. dy *. dy)))
+        (0.0, 0.0, 0.0) points
+    in
+    if vx <= 0.0 || vy <= 0.0 then 0.0 else cov /. Float.sqrt (vx *. vy)
+  end

@@ -1,0 +1,24 @@
+(** Detectability versus topological distance (the paper's Figures 3 and
+    8, plus the PI-distance companion discussed in §4.1).
+
+    Faults are grouped by their site's maximum level distance to any
+    primary output (or by level distance from the primary inputs) and
+    each group's mean detectability is reported.  The PO curves are the
+    paper's "bathtub": high near both ends, low in the middle — and the
+    correlation with PO distance is stronger than with PI distance,
+    which is the paper's argument for observability-oriented DFT. *)
+
+type point = { distance : int; mean : float; faults : int }
+
+val by_po_distance : Circuit.t -> Engine.result list -> point list
+(** Group by maximum levels to a primary output (fault sites that reach
+    no output are dropped), ascending distance. *)
+
+val by_pi_level : Circuit.t -> Engine.result list -> point list
+(** Group by the site's level from the primary inputs. *)
+
+val pp : Format.formatter -> point list -> unit
+
+val correlation : point list -> float
+(** Pearson correlation between distance and mean detectability,
+    weighted by group size (0 when undefined). *)

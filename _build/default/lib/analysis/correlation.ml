@@ -1,0 +1,41 @@
+let pearson pairs =
+  let n = List.length pairs in
+  if n < 2 then 0.0
+  else begin
+    let nf = float_of_int n in
+    let sum f = List.fold_left (fun acc p -> acc +. f p) 0.0 pairs in
+    let mx = sum fst /. nf and my = sum snd /. nf in
+    let cov = sum (fun (x, y) -> (x -. mx) *. (y -. my)) in
+    let vx = sum (fun (x, _) -> (x -. mx) ** 2.0) in
+    let vy = sum (fun (_, y) -> (y -. my) ** 2.0) in
+    if vx <= 0.0 || vy <= 0.0 then 0.0 else cov /. Float.sqrt (vx *. vy)
+  end
+
+(* Fractional ranks with ties averaged. *)
+let ranks values =
+  let n = Array.length values in
+  let order = Array.init n Fun.id in
+  Array.sort (fun i j -> Float.compare values.(i) values.(j)) order;
+  let out = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while
+      !j + 1 < n && values.(order.(!j + 1)) = values.(order.(!i))
+    do
+      incr j
+    done;
+    let mean_rank = float_of_int (!i + !j) /. 2.0 in
+    for k = !i to !j do
+      out.(order.(k)) <- mean_rank
+    done;
+    i := !j + 1
+  done;
+  out
+
+let spearman pairs =
+  let xs = Array.of_list (List.map fst pairs) in
+  let ys = Array.of_list (List.map snd pairs) in
+  let rx = ranks xs and ry = ranks ys in
+  pearson
+    (List.init (Array.length xs) (fun i -> (rx.(i), ry.(i))))

@@ -1,0 +1,10 @@
+(** Rank and linear correlation over paired samples — used to quantify
+    the paper's topology claims (detectability vs observability /
+    controllability, size vs testability) without asserting strict
+    monotonicity. *)
+
+val pearson : (float * float) list -> float
+(** Linear correlation; 0 on degenerate input. *)
+
+val spearman : (float * float) list -> float
+(** Rank correlation (Pearson over fractional ranks, ties averaged). *)

@@ -1,0 +1,79 @@
+type step = {
+  net : int;
+  net_name : string;
+  kind : [ `Observe | `Control0 ];
+  mean_after : float;
+}
+
+type plan = { mean_before : float; steps : step list; circuit : Circuit.t }
+
+let objective c =
+  let engine = Engine.create c in
+  let results =
+    Engine.analyze_all engine
+      (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
+  in
+  (* Mean over every fault, counting undetectable as zero: DFT gets
+     credit both for raising detectabilities and for making redundant
+     faults testable. *)
+  Histogram.mean (List.map (fun r -> r.Engine.detectability) results)
+
+let candidates c ~limit =
+  let levels = Circuit.levels c in
+  let to_po = Circuit.max_levels_to_po c in
+  let score g = min levels.(g) to_po.(g) in
+  List.init (Circuit.num_gates c) Fun.id
+  |> List.filter (fun g ->
+         (not (Circuit.is_input c g))
+         && (not (Circuit.is_output c g))
+         && to_po.(g) >= 0)
+  |> List.sort (fun a b -> Stdlib.compare (score b) (score a))
+  |> List.filteri (fun i _ -> i < limit)
+
+let apply c net = function
+  | `Observe -> Transform.add_observation_points c [ net ]
+  | `Control0 -> Transform.add_control_point c ~net ~polarity:`Force0
+
+let greedy ?(budget = 3) ?(candidate_limit = 8) c =
+  let mean_before = objective c in
+  let rec rounds current best_mean steps remaining =
+    if remaining = 0 then (current, List.rev steps)
+    else begin
+      (* Candidate nets are recomputed on the current circuit and mapped
+         back by name for reporting. *)
+      let options =
+        candidates current ~limit:candidate_limit
+        |> List.concat_map (fun net ->
+               [ (net, `Observe); (net, `Control0) ])
+      in
+      let scored =
+        List.map
+          (fun (net, kind) ->
+            let modified = apply current net kind in
+            (net, kind, modified, objective modified))
+          options
+      in
+      let best =
+        List.fold_left
+          (fun acc ((_, _, _, mean) as cand) ->
+            match acc with
+            | Some (_, _, _, best_so_far) when best_so_far >= mean -> acc
+            | _ -> Some cand)
+          None scored
+      in
+      match best with
+      | Some (net, kind, modified, mean) when mean > best_mean +. 1e-12 ->
+        let step =
+          {
+            net;
+            net_name = (Circuit.gate current net).Circuit.name;
+            kind;
+            mean_after = mean;
+          }
+        in
+        rounds modified mean (step :: steps) (remaining - 1)
+      | Some _ | None -> (current, List.rev steps)
+    end
+  in
+  let circuit, steps = rounds c mean_before [] budget in
+  { mean_before; steps; circuit }

@@ -1,0 +1,35 @@
+(** Exact design-for-testability planning — the paper's "implications to
+    testable design" turned into an algorithm.  Candidate test points
+    are scored by the {e exact} change in mean fault detectability
+    (Difference Propagation over the whole collapsed fault set), so the
+    planner optimises the very quantity the paper's Figures 2/3 argue
+    about, rather than a SCOAP-style proxy. *)
+
+type step = {
+  net : int;  (** net index in the {e original} circuit *)
+  net_name : string;
+  kind : [ `Observe | `Control0 ];
+  mean_after : float;  (** objective after applying this step *)
+}
+
+type plan = {
+  mean_before : float;
+      (** mean detectability over all collapsed checkpoint faults
+          (undetectable faults count as 0, so removing redundancy pays) *)
+  steps : step list;  (** chosen points in greedy order *)
+  circuit : Circuit.t;  (** the instrumented circuit *)
+}
+
+val objective : Circuit.t -> float
+(** The planner's objective on any circuit. *)
+
+val candidates : Circuit.t -> limit:int -> int list
+(** Candidate nets: internal non-output nets ranked by depth-centrality
+    (large min(level, max-levels-to-PO) first). *)
+
+val greedy :
+  ?budget:int -> ?candidate_limit:int -> Circuit.t -> plan
+(** Insert up to [budget] (default 3) test points, each round picking —
+    by exact evaluation over [candidate_limit] (default 8) candidates —
+    the observation or control point with the largest objective gain.
+    Rounds that cannot improve the objective stop early. *)

@@ -1,0 +1,59 @@
+type t = {
+  bins : int;
+  counts : int array;
+  proportions : float array;
+  total : int;
+}
+
+let make ~bins values =
+  if bins < 1 then invalid_arg "Histogram.make: bins must be positive";
+  let counts = Array.make bins 0 in
+  let place v =
+    let clamped = Float.max 0.0 (Float.min 1.0 v) in
+    let bin = min (bins - 1) (int_of_float (clamped *. float_of_int bins)) in
+    counts.(bin) <- counts.(bin) + 1
+  in
+  List.iter place values;
+  let total = List.length values in
+  let proportions =
+    Array.map
+      (fun c ->
+        if total = 0 then 0.0 else float_of_int c /. float_of_int total)
+      counts
+  in
+  { bins; counts; proportions; total }
+
+let bin_lower t i = float_of_int i /. float_of_int t.bins
+let bin_center t i = (float_of_int i +. 0.5) /. float_of_int t.bins
+
+let mean = function
+  | [] -> 0.0
+  | values ->
+    List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)
+
+let bar width proportion =
+  let n = int_of_float (Float.round (proportion *. float_of_int width)) in
+  String.make (min width n) '#'
+
+let pp fmt t =
+  Format.fprintf fmt "  range          prop@.";
+  for i = 0 to t.bins - 1 do
+    Format.fprintf fmt "  [%.2f,%.2f%s  %.3f %s@." (bin_lower t i)
+      (bin_lower t (i + 1))
+      (if i = t.bins - 1 then "]" else ")")
+      t.proportions.(i)
+      (bar 40 t.proportions.(i))
+  done;
+  Format.fprintf fmt "  n = %d@." t.total
+
+let pp_pair ~labels fmt (a, b) =
+  if a.bins <> b.bins then invalid_arg "Histogram.pp_pair: bin mismatch";
+  let la, lb = labels in
+  Format.fprintf fmt "  range          %-10s %-10s@." la lb;
+  for i = 0 to a.bins - 1 do
+    Format.fprintf fmt "  [%.2f,%.2f%s  %-10.3f %-10.3f@." (bin_lower a i)
+      (bin_lower a (i + 1))
+      (if i = a.bins - 1 then "]" else ")")
+      a.proportions.(i) b.proportions.(i)
+  done;
+  Format.fprintf fmt "  n = %d / %d@." a.total b.total

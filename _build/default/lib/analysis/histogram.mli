@@ -1,0 +1,28 @@
+(** Normalised histograms over [0, 1] — the form of the paper's
+    detection-probability profiles (Figures 1 and 6) and adherence
+    profiles (Figure 4): fault counts are reported as proportions of the
+    fault-set size. *)
+
+type t = {
+  bins : int;
+  counts : int array;  (** length [bins] *)
+  proportions : float array;  (** counts / total *)
+  total : int;
+}
+
+val make : bins:int -> float list -> t
+(** Values outside [0, 1] are clamped into the boundary bins; the value
+    1.0 lands in the last bin. *)
+
+val bin_center : t -> int -> float
+val bin_lower : t -> int -> float
+
+val mean : float list -> float
+(** Arithmetic mean (0 on the empty list). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render as an aligned proportion table with a bar sparkline. *)
+
+val pp_pair : labels:string * string -> Format.formatter -> t * t -> unit
+(** Two histograms side by side (e.g. AND vs OR bridges, or two
+    circuits), bins aligned. *)

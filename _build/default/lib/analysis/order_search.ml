@@ -1,0 +1,54 @@
+type outcome = {
+  order : int array;
+  nodes : int;
+  start_nodes : int;
+  passes : int;
+}
+
+(* Evaluate the circuit under an explicit order; Symbolic only takes a
+   heuristic, so the order goes through a manager built here. *)
+let cost c order =
+  let manager = Bdd.create ~order (Circuit.num_inputs c) in
+  let node = Array.make (Circuit.num_gates c) (Bdd.zero manager) in
+  Array.iteri
+    (fun g (gate : Circuit.gate) ->
+      node.(g) <-
+        (match gate.Circuit.kind with
+        | Gate.Input ->
+          (match Circuit.input_position c g with
+          | Some pos -> Bdd.var manager pos
+          | None -> assert false)
+        | kind ->
+          Rules.gate_output manager kind
+            (Array.map (Array.get node) gate.Circuit.fanins)))
+    c.Circuit.gates;
+  Bdd.allocated_nodes manager
+
+let hill_climb ?(start = Ordering.Natural) ?(max_passes = 4) c =
+  let order = Array.copy (Ordering.order start c) in
+  let n = Array.length order in
+  let start_nodes = cost c order in
+  let best = ref start_nodes in
+  let passes = ref 0 in
+  let improved = ref true in
+  while !improved && !passes < max_passes do
+    improved := false;
+    incr passes;
+    for i = 0 to n - 2 do
+      let tmp = order.(i) in
+      order.(i) <- order.(i + 1);
+      order.(i + 1) <- tmp;
+      let candidate = cost c order in
+      if candidate < !best then begin
+        best := candidate;
+        improved := true
+      end
+      else begin
+        (* Revert the swap. *)
+        let tmp = order.(i) in
+        order.(i) <- order.(i + 1);
+        order.(i + 1) <- tmp
+      end
+    done
+  done;
+  { order; nodes = !best; start_nodes; passes = !passes }

@@ -1,0 +1,22 @@
+(** Variable-order optimisation by adjacent-swap hill climbing — a
+    sifting-style search implemented by whole-circuit rebuilds, feasible
+    because symbolic evaluation of the benchmarks is fast.  Used by the
+    ordering ablation to show how far the static heuristics sit from a
+    locally-optimal order. *)
+
+type outcome = {
+  order : int array;  (** level -> input position *)
+  nodes : int;  (** allocated BDD nodes under that order *)
+  start_nodes : int;  (** nodes under the starting order *)
+  passes : int;  (** improvement passes actually performed *)
+}
+
+val cost : Circuit.t -> int array -> int
+(** Allocated BDD nodes when the whole circuit is evaluated under the
+    given order. *)
+
+val hill_climb :
+  ?start:Ordering.heuristic -> ?max_passes:int -> Circuit.t -> outcome
+(** Repeatedly sweep adjacent transpositions, keeping every swap that
+    shrinks the node count, until a full pass finds no improvement or
+    [max_passes] (default 4) is reached.  Deterministic. *)

@@ -1,0 +1,38 @@
+type summary = {
+  faults : int;
+  all_fed_observed : int;
+  proportion : float;
+  mean_fed : float;
+  mean_observed : float;
+}
+
+let summarize results =
+  let detectable = List.filter (fun r -> r.Engine.detectable) results in
+  let faults = List.length detectable in
+  let all_fed_observed =
+    List.length
+      (List.filter
+         (fun r -> r.Engine.pos_observed = r.Engine.pos_fed)
+         detectable)
+  in
+  let mean f =
+    if faults = 0 then 0.0
+    else
+      List.fold_left (fun a r -> a +. float_of_int (f r)) 0.0 detectable
+      /. float_of_int faults
+  in
+  {
+    faults;
+    all_fed_observed;
+    proportion =
+      (if faults = 0 then 0.0
+       else float_of_int all_fed_observed /. float_of_int faults);
+    mean_fed = mean (fun r -> r.Engine.pos_fed);
+    mean_observed = mean (fun r -> r.Engine.pos_observed);
+  }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "  %d detectable faults; observable at every fed PO: %d (%.3f); mean POs \
+     fed %.2f vs observed %.2f@."
+    s.faults s.all_fed_observed s.proportion s.mean_fed s.mean_observed

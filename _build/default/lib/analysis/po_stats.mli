@@ -1,0 +1,19 @@
+(** The paper's §4.1 observation backing the "justify to the closest
+    primary output" heuristic: the outputs a fault site {e feeds} are
+    almost always exactly the outputs at which the fault is
+    {e observable}. *)
+
+type summary = {
+  faults : int;
+  all_fed_observed : int;
+      (** faults observable at every output they feed *)
+  proportion : float;
+  mean_fed : float;
+  mean_observed : float;
+}
+
+val summarize : Engine.result list -> summary
+(** Detectable faults only — an undetectable fault is observable
+    nowhere, which says nothing about the heuristic. *)
+
+val pp : Format.formatter -> summary -> unit

@@ -1,0 +1,48 @@
+type row = {
+  title : string;
+  nets : int;
+  outputs : int;
+  detectable : int;
+  total : int;
+  mean_detectability : float;
+  normalized : float;
+}
+
+let row_of_results c results =
+  let detectable = List.filter (fun r -> r.Engine.detectable) results in
+  let mean =
+    Histogram.mean (List.map (fun r -> r.Engine.detectability) detectable)
+  in
+  let outputs = Circuit.num_outputs c in
+  {
+    title = c.Circuit.title;
+    nets = Circuit.num_gates c;
+    outputs;
+    detectable = List.length detectable;
+    total = List.length results;
+    mean_detectability = mean;
+    normalized = mean /. float_of_int outputs;
+  }
+
+let pp fmt rows =
+  Format.fprintf fmt
+    "  %-12s %6s %4s %9s %10s %12s@." "circuit" "nets" "PO" "det/total"
+    "mean det" "det/PO";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %-12s %6d %4d %4d/%-4d %10.4f %12.6f@." r.title
+        r.nets r.outputs r.detectable r.total r.mean_detectability
+        r.normalized)
+    rows
+
+let spearman_size_normalized rows =
+  Correlation.spearman
+    (List.map (fun r -> (float_of_int r.nets, r.normalized)) rows)
+
+let decreasing_normalized rows =
+  let sorted = List.sort (fun a b -> Stdlib.compare a.nets b.nets) rows in
+  let rec check = function
+    | a :: (b :: _ as rest) -> a.normalized >= b.normalized && check rest
+    | [ _ ] | [] -> true
+  in
+  check sorted

@@ -1,0 +1,29 @@
+(** Detectability-vs-size trends (the paper's Figures 2 and 7): for each
+    circuit, the overall mean detectability of its {e detectable} faults
+    and the same mean normalised to the primary-output count.  The
+    paper's finding — reproduced here — is that the normalised mean
+    falls as circuits grow, including from c499 to its expanded twin
+    c1355, arguing for minimal designs. *)
+
+type row = {
+  title : string;
+  nets : int;
+  outputs : int;
+  detectable : int;
+  total : int;
+  mean_detectability : float;
+  normalized : float;  (** mean / outputs *)
+}
+
+val row_of_results : Circuit.t -> Engine.result list -> row
+
+val pp : Format.formatter -> row list -> unit
+
+val decreasing_normalized : row list -> bool
+(** Whether the PO-normalised means are monotonically non-increasing in
+    netlist size — the paper's headline trend, in its strictest form. *)
+
+val spearman_size_normalized : row list -> float
+(** Spearman rank correlation between netlist size and the PO-normalised
+    mean; strongly negative confirms the paper's trend without requiring
+    strict monotonicity of every adjacent pair. *)

@@ -1,0 +1,292 @@
+(* Dual-rail PODEM: three-valued (0/1/X) good and faulty machines are
+   re-implied from the primary-input assignment after every decision;
+   the faulty machine forces the faulted line.  Decisions are made only
+   at primary inputs (Goel's key idea), so backtracking is a simple
+   stack of input assignments. *)
+
+let x = 2
+
+let tri_of_bool b = if b then 1 else 0
+
+(* Three-valued gate evaluation. *)
+let eval3 kind (ins : int array) =
+  let with_controlling c out_c out_nc =
+    if Array.exists (fun v -> v = c) ins then out_c
+    else if Array.exists (fun v -> v = x) ins then x
+    else out_nc
+  in
+  match (kind : Gate.kind) with
+  | Gate.Input -> invalid_arg "Podem.eval3: Input"
+  | Gate.Const0 -> 0
+  | Gate.Const1 -> 1
+  | Gate.Buf -> ins.(0)
+  | Gate.Not -> if ins.(0) = x then x else 1 - ins.(0)
+  | Gate.And -> with_controlling 0 0 1
+  | Gate.Nand -> with_controlling 0 1 0
+  | Gate.Or -> with_controlling 1 1 0
+  | Gate.Nor -> with_controlling 1 0 1
+  | Gate.Xor ->
+    if Array.exists (fun v -> v = x) ins then x
+    else Array.fold_left (fun acc v -> acc lxor v) 0 ins
+  | Gate.Xnor ->
+    if Array.exists (fun v -> v = x) ins then x
+    else 1 - Array.fold_left (fun acc v -> acc lxor v) 0 ins
+
+type outcome = Test of bool array | Redundant | Aborted
+
+type state = {
+  c : Circuit.t;
+  fault : Sa_fault.t;
+  stem : int;  (** net whose good value excites the fault *)
+  stuck : int;  (** the stuck value as 0/1 *)
+  assignment : int array;  (** per input position: 0/1/X *)
+  good : int array;  (** per net *)
+  faulty : int array;
+}
+
+let simulate st =
+  let c = st.c in
+  Array.iteri
+    (fun pos g ->
+      st.good.(g) <- st.assignment.(pos);
+      st.faulty.(g) <- st.assignment.(pos))
+    c.Circuit.inputs;
+  let forced_pin =
+    match st.fault.Sa_fault.line with
+    | Sa_fault.Stem _ -> fun _ _ -> None
+    | Sa_fault.Branch br ->
+      fun g pin ->
+        if g = br.Circuit.sink && pin = br.Circuit.pin then Some st.stuck
+        else None
+  in
+  Array.iteri
+    (fun g (gate : Circuit.gate) ->
+      if gate.kind <> Gate.Input then begin
+        st.good.(g) <-
+          eval3 gate.kind (Array.map (fun f -> st.good.(f)) gate.fanins);
+        let faulty_ins =
+          Array.mapi
+            (fun pin f ->
+              match forced_pin g pin with
+              | Some v -> v
+              | None -> st.faulty.(f))
+            gate.fanins
+        in
+        st.faulty.(g) <- eval3 gate.kind faulty_ins
+      end;
+      match st.fault.Sa_fault.line with
+      | Sa_fault.Stem s when s = g -> st.faulty.(g) <- st.stuck
+      | Sa_fault.Stem _ | Sa_fault.Branch _ -> ())
+    c.Circuit.gates
+
+let difference st g =
+  st.good.(g) <> x && st.faulty.(g) <> x && st.good.(g) <> st.faulty.(g)
+
+let detected st =
+  Array.exists (fun o -> difference st o) st.c.Circuit.outputs
+
+(* A net through which a fault effect could still travel. *)
+let alive st g = difference st g || st.good.(g) = x || st.faulty.(g) = x
+
+let xpath_exists st =
+  let c = st.c in
+  let n = Circuit.num_gates c in
+  let reachable = Array.make n false in
+  let site =
+    match st.fault.Sa_fault.line with
+    | Sa_fault.Stem s -> s
+    | Sa_fault.Branch br -> br.Circuit.sink
+  in
+  let seeds = ref [] in
+  for g = 0 to n - 1 do
+    if difference st g then seeds := g :: !seeds
+  done;
+  if !seeds = [] then if alive st site then seeds := [ site ];
+  List.iter (fun g -> reachable.(g) <- true) !seeds;
+  (* Forward closure over alive nets, topological order suffices. *)
+  Array.iteri
+    (fun g (gate : Circuit.gate) ->
+      if (not reachable.(g)) && alive st g
+         && Array.exists (fun f -> reachable.(f)) gate.Circuit.fanins
+      then reachable.(g) <- true)
+    c.Circuit.gates;
+  Array.exists (fun o -> reachable.(o) && alive st o) c.Circuit.outputs
+
+(* For a branch fault the first difference materialises at the sink
+   gate, whose inputs carry no difference themselves; once the fault is
+   excited the sink needs its side inputs driven to non-controlling
+   values just like a D-frontier gate. *)
+let sink_objective st =
+  match st.fault.Sa_fault.line with
+  | Sa_fault.Stem _ -> None
+  | Sa_fault.Branch br ->
+    let sink = br.Circuit.sink in
+    if difference st sink || not (alive st sink) then None
+    else
+      let gate = Circuit.gate st.c sink in
+      (match
+         Array.find_opt (fun f -> st.good.(f) = x) gate.Circuit.fanins
+       with
+      | None -> None
+      | Some f ->
+        let value =
+          match Gate.controlling_value gate.Circuit.kind with
+          | Some cv -> tri_of_bool (not cv)
+          | None -> 1
+        in
+        Some (f, value))
+
+(* Objective: excite the fault, then extend the D-frontier. *)
+let objective st =
+  if st.good.(st.stem) = x then Some (st.stem, 1 - st.stuck)
+  else begin
+    let c = st.c in
+    let frontier_objective g (gate : Circuit.gate) =
+      if gate.kind = Gate.Input then None
+      else if not (alive st g) then None
+      else if not (Array.exists (fun f -> difference st f) gate.fanins) then
+        None
+      else
+        (* Pick an undetermined input and aim at the non-controlling
+           value so the difference can pass. *)
+        let pick = Array.find_opt (fun f -> st.good.(f) = x) gate.fanins in
+        match pick with
+        | None -> None
+        | Some f ->
+          let value =
+            match Gate.controlling_value gate.kind with
+            | Some cv -> tri_of_bool (not cv)
+            | None -> 1
+          in
+          Some (f, value)
+    in
+    let n = Circuit.num_gates c in
+    let rec scan g =
+      if g >= n then None
+      else
+        match frontier_objective g (Circuit.gate c g) with
+        | Some o -> Some o
+        | None -> scan (g + 1)
+    in
+    match sink_objective st with Some o -> Some o | None -> scan 0
+  end
+
+(* Walk an objective back to an unassigned primary input. *)
+let backtrace st (net, value) =
+  let rec go net value =
+    let gate = Circuit.gate st.c net in
+    match gate.Circuit.kind with
+    | Gate.Input ->
+      (match Circuit.input_position st.c net with
+      | Some pos -> Some (pos, value)
+      | None -> None)
+    | Gate.Const0 | Gate.Const1 -> None
+    | kind ->
+      let value = if Gate.inverted kind then 1 - value else value in
+      (match
+         Array.find_opt (fun f -> st.good.(f) = x) gate.Circuit.fanins
+       with
+      | Some f -> go f value
+      | None -> None)
+  in
+  go net value
+
+let generate ?(backtrack_limit = 100_000) c (fault : Sa_fault.t) =
+  let st =
+    {
+      c;
+      fault;
+      stem = Sa_fault.stem_of_line fault.Sa_fault.line;
+      stuck = tri_of_bool fault.Sa_fault.value;
+      assignment = Array.make (Circuit.num_inputs c) x;
+      good = Array.make (Circuit.num_gates c) x;
+      faulty = Array.make (Circuit.num_gates c) x;
+    }
+  in
+  let backtracks = ref 0 in
+  (* Decision stack: (input position, current value, both tried?). *)
+  let stack = ref [] in
+  let rec backtrack () =
+    match !stack with
+    | [] -> Redundant
+    | (pos, _, true) :: rest ->
+      st.assignment.(pos) <- x;
+      stack := rest;
+      backtrack ()
+    | (pos, v, false) :: rest ->
+      incr backtracks;
+      if !backtracks > backtrack_limit then Aborted
+      else begin
+        st.assignment.(pos) <- 1 - v;
+        stack := (pos, 1 - v, true) :: rest;
+        search ()
+      end
+  and search () =
+    simulate st;
+    if detected st then
+      Test (Array.map (fun v -> v = 1) st.assignment)
+    else if st.good.(st.stem) = st.stuck then backtrack ()
+    else if not (xpath_exists st) then backtrack ()
+    else
+      match objective st with
+      | None -> backtrack ()
+      | Some obj ->
+        (match backtrace st obj with
+        | None -> backtrack ()
+        | Some (pos, v) ->
+          st.assignment.(pos) <- v;
+          stack := (pos, v, false) :: !stack;
+          search ())
+  in
+  search ()
+
+type run = {
+  tests : (Sa_fault.t * bool array) list;
+  redundant : Sa_fault.t list;
+  aborted : Sa_fault.t list;
+  coverage : float;
+}
+
+let run_all ?(backtrack_limit = 100_000) ?(drop = true) c faults =
+  let tests = ref [] in
+  let redundant = ref [] in
+  let aborted = ref [] in
+  let detected = ref 0 in
+  let remaining = ref faults in
+  let total = List.length faults in
+  let rec loop () =
+    match !remaining with
+    | [] -> ()
+    | fault :: rest ->
+      remaining := rest;
+      (match generate ~backtrack_limit c fault with
+      | Test vector ->
+        incr detected;
+        tests := (fault, vector) :: !tests;
+        if drop then begin
+          let survivors =
+            List.filter
+              (fun f ->
+                if Fault_sim.detects c (Fault.Stuck f) vector then begin
+                  incr detected;
+                  false
+                end
+                else true)
+              !remaining
+          in
+          remaining := survivors
+        end
+      | Redundant -> redundant := fault :: !redundant
+      | Aborted -> aborted := fault :: !aborted);
+      loop ()
+  in
+  loop ();
+  let testable = total - List.length !redundant in
+  {
+    tests = List.rev !tests;
+    redundant = List.rev !redundant;
+    aborted = List.rev !aborted;
+    coverage =
+      (if testable = 0 then 1.0
+       else float_of_int !detected /. float_of_int testable);
+  }

@@ -1,0 +1,36 @@
+(** PODEM — the conventional structural ATPG the paper positions
+    Difference Propagation against.  Goel's algorithm with dual-rail
+    (good machine / faulty machine) three-valued implication, objective
+    selection on the D-frontier, backtrace to a primary-input decision,
+    and a conservative X-path check.
+
+    Complete: with an unbounded backtrack budget the answer is exact, so
+    [Redundant] is a proof of undetectability (cross-validated against
+    the Difference Propagation test sets in the test suite). *)
+
+type outcome =
+  | Test of bool array  (** a detecting input vector (don't-cares zeroed) *)
+  | Redundant  (** search space exhausted: no test exists *)
+  | Aborted  (** backtrack budget exhausted *)
+
+val generate :
+  ?backtrack_limit:int -> Circuit.t -> Sa_fault.t -> outcome
+(** Find a test for one stuck-at fault (default budget: 100_000
+    backtracks). *)
+
+type run = {
+  tests : (Sa_fault.t * bool array) list;
+  redundant : Sa_fault.t list;
+  aborted : Sa_fault.t list;
+  coverage : float;  (** detected / total, counting redundant as excluded *)
+}
+
+val run_all :
+  ?backtrack_limit:int ->
+  ?drop:bool ->
+  Circuit.t ->
+  Sa_fault.t list ->
+  run
+(** Generate tests for a fault list.  With [~drop:true] (default) each
+    new test is fault-simulated against the remaining faults so covered
+    faults are dropped without their own PODEM call. *)

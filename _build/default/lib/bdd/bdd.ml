@@ -1,0 +1,517 @@
+(* Reduced ordered BDDs with a hash-consing arena per manager.
+
+   Node 0 is the zero terminal, node 1 the one terminal.  Internal nodes
+   live in three parallel int arrays (level, low, high).  Reduction
+   invariants are enforced by [mk]: no node with low = high is created,
+   and the unique table guarantees sharing, so handle equality is
+   function equality.
+
+   Performance notes: the unique table is a custom open-addressing hash
+   table over packed (level, low, high) triples — exact, resized at 2/3
+   load.  The binary-operation and negation caches are direct-mapped and
+   lossy (collisions overwrite), which bounds memory and keeps lookups
+   branch-cheap; a lost entry only costs recomputation. *)
+
+type t = int
+
+type manager = {
+  n_vars : int;
+  level_var : int array; (* level -> variable *)
+  var_level : int array; (* variable -> level *)
+  mutable level : int array; (* node -> level (terminals: max_int) *)
+  mutable low : int array;
+  mutable high : int array;
+  mutable next : int; (* next free node index *)
+  (* unique table: open addressing, slot stores node index or -1 *)
+  mutable table : int array;
+  mutable table_mask : int;
+  mutable table_count : int;
+  (* direct-mapped operation caches *)
+  op_key1 : int array; (* packed (op, a) for unary / (op, a, b) spread *)
+  op_key2 : int array;
+  op_result : int array;
+  ite_key1 : int array;
+  ite_key2 : int array;
+  ite_key3 : int array;
+  ite_result : int array;
+}
+
+exception Variable_out_of_range of int
+
+let terminal_level = max_int
+let op_and = 2
+let op_or = 3
+let op_xor = 4
+let op_not = 5
+
+let op_cache_bits = 18
+let op_cache_size = 1 lsl op_cache_bits
+let ite_cache_bits = 14
+let ite_cache_size = 1 lsl ite_cache_bits
+
+let create ?order n_vars =
+  if n_vars < 0 then invalid_arg "Bdd.create: negative variable count";
+  let level_var =
+    match order with
+    | None -> Array.init n_vars (fun i -> i)
+    | Some o ->
+      if Array.length o <> n_vars then
+        invalid_arg "Bdd.create: order length mismatch";
+      let seen = Array.make n_vars false in
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n_vars || seen.(v) then
+            invalid_arg "Bdd.create: order is not a permutation";
+          seen.(v) <- true)
+        o;
+      Array.copy o
+  in
+  let var_level = Array.make (max n_vars 1) 0 in
+  Array.iteri (fun lvl v -> var_level.(v) <- lvl) level_var;
+  let cap = 1024 in
+  let level = Array.make cap 0 in
+  level.(0) <- terminal_level;
+  level.(1) <- terminal_level;
+  {
+    n_vars;
+    level_var;
+    var_level;
+    level;
+    low = Array.make cap 0;
+    high = Array.make cap 0;
+    next = 2;
+    table = Array.make 4096 (-1);
+    table_mask = 4095;
+    table_count = 0;
+    op_key1 = Array.make op_cache_size (-1);
+    op_key2 = Array.make op_cache_size (-1);
+    op_result = Array.make op_cache_size (-1);
+    ite_key1 = Array.make ite_cache_size (-1);
+    ite_key2 = Array.make ite_cache_size (-1);
+    ite_key3 = Array.make ite_cache_size (-1);
+    ite_result = Array.make ite_cache_size (-1);
+  }
+
+let num_vars m = m.n_vars
+
+let level_of_var m v =
+  if v < 0 || v >= m.n_vars then raise (Variable_out_of_range v);
+  m.var_level.(v)
+
+let var_at_level m lvl =
+  if lvl < 0 || lvl >= m.n_vars then raise (Variable_out_of_range lvl);
+  m.level_var.(lvl)
+
+let allocated_nodes m = m.next
+
+let clear_caches m =
+  Array.fill m.op_key1 0 op_cache_size (-1);
+  Array.fill m.ite_key1 0 ite_cache_size (-1)
+
+let zero _ = 0
+let one _ = 1
+let is_zero _ f = f = 0
+let is_one _ f = f = 1
+let is_const _ f = f < 2
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (a : t) = a
+
+(* Knuth-style multiplicative mixing of a packed triple. *)
+let triple_hash a b c =
+  let h = (a * 0x9E3779B1) lxor (b * 0x85EBCA77) lxor (c * 0xC2B2AE3D) in
+  let h = h lxor (h lsr 15) in
+  h land max_int
+
+let grow_nodes m =
+  let cap = Array.length m.level in
+  let copy a = Array.append a (Array.make cap 0) in
+  m.level <- copy m.level;
+  m.low <- copy m.low;
+  m.high <- copy m.high
+
+let rec rehash m =
+  let old = m.table in
+  let size = (m.table_mask + 1) * 2 in
+  m.table <- Array.make size (-1);
+  m.table_mask <- size - 1;
+  m.table_count <- 0;
+  Array.iter (fun n -> if n >= 0 then insert_node m n) old
+
+and insert_node m n =
+  let mask = m.table_mask in
+  let h = triple_hash m.level.(n) m.low.(n) m.high.(n) land mask in
+  let rec probe i =
+    if m.table.(i) < 0 then begin
+      m.table.(i) <- n;
+      m.table_count <- m.table_count + 1
+    end
+    else probe ((i + 1) land mask)
+  in
+  probe h;
+  if m.table_count * 3 > (mask + 1) * 2 then rehash m
+
+(* Hash-consing constructor; the single place nodes come to exist. *)
+let mk m lvl lo hi =
+  if lo = hi then lo
+  else begin
+    let mask = m.table_mask in
+    let rec probe i =
+      let n = m.table.(i) in
+      if n < 0 then begin
+        if m.next >= Array.length m.level then grow_nodes m;
+        let fresh = m.next in
+        m.next <- fresh + 1;
+        m.level.(fresh) <- lvl;
+        m.low.(fresh) <- lo;
+        m.high.(fresh) <- hi;
+        m.table.(i) <- fresh;
+        m.table_count <- m.table_count + 1;
+        if m.table_count * 3 > (mask + 1) * 2 then rehash m;
+        fresh
+      end
+      else if m.level.(n) = lvl && m.low.(n) = lo && m.high.(n) = hi then n
+      else probe ((i + 1) land mask)
+    in
+    probe (triple_hash lvl lo hi land mask)
+  end
+
+let var m v =
+  let lvl = level_of_var m v in
+  mk m lvl 0 1
+
+let nvar m v =
+  let lvl = level_of_var m v in
+  mk m lvl 1 0
+
+let op_slot op a b =
+  triple_hash op a b land (op_cache_size - 1)
+
+let rec bnot m f =
+  if f < 2 then 1 - f
+  else begin
+    let slot = op_slot op_not f 0 in
+    if m.op_key1.(slot) = (f lsl 3) lor op_not && m.op_key2.(slot) = 0 then
+      m.op_result.(slot)
+    else begin
+      let r = mk m m.level.(f) (bnot m m.low.(f)) (bnot m m.high.(f)) in
+      m.op_key1.(slot) <- (f lsl 3) lor op_not;
+      m.op_key2.(slot) <- 0;
+      m.op_result.(slot) <- r;
+      r
+    end
+  end
+
+(* Generic binary apply for AND / OR / XOR with commutative cache keys. *)
+let rec apply m op a b =
+  let shortcut =
+    match op with
+    | 2 ->
+      if a = 0 || b = 0 then 0
+      else if a = 1 then b
+      else if b = 1 then a
+      else if a = b then a
+      else -1
+    | 3 ->
+      if a = 1 || b = 1 then 1
+      else if a = 0 then b
+      else if b = 0 then a
+      else if a = b then a
+      else -1
+    | _ ->
+      if a = b then 0
+      else if a = 0 then b
+      else if b = 0 then a
+      else if a = 1 then bnot m b
+      else if b = 1 then bnot m a
+      else -1
+  in
+  if shortcut >= 0 then shortcut
+  else begin
+    let a, b = if a <= b then (a, b) else (b, a) in
+    let slot = op_slot op a b in
+    if m.op_key1.(slot) = (a lsl 3) lor op && m.op_key2.(slot) = b then
+      m.op_result.(slot)
+    else begin
+      let la = m.level.(a) and lb = m.level.(b) in
+      let lvl = if la < lb then la else lb in
+      let a0, a1 = if la = lvl then (m.low.(a), m.high.(a)) else (a, a) in
+      let b0, b1 = if lb = lvl then (m.low.(b), m.high.(b)) else (b, b) in
+      let r = mk m lvl (apply m op a0 b0) (apply m op a1 b1) in
+      m.op_key1.(slot) <- (a lsl 3) lor op;
+      m.op_key2.(slot) <- b;
+      m.op_result.(slot) <- r;
+      r
+    end
+  end
+
+let band m a b = apply m op_and a b
+let bor m a b = apply m op_or a b
+let bxor m a b = apply m op_xor a b
+let bxnor m a b = bnot m (bxor m a b)
+let bnand m a b = bnot m (band m a b)
+let bnor m a b = bnot m (bor m a b)
+let bimp m a b = bor m (bnot m a) b
+
+let rec ite m f g h =
+  if f = 1 then g
+  else if f = 0 then h
+  else if g = h then g
+  else if g = 1 && h = 0 then f
+  else if g = 0 && h = 1 then bnot m f
+  else begin
+    let slot = triple_hash f g h land (ite_cache_size - 1) in
+    if
+      m.ite_key1.(slot) = f && m.ite_key2.(slot) = g && m.ite_key3.(slot) = h
+    then m.ite_result.(slot)
+    else begin
+      let lf = m.level.(f) and lg = m.level.(g) and lh = m.level.(h) in
+      let lvl = min lf (min lg lh) in
+      let split x lx = if lx = lvl then (m.low.(x), m.high.(x)) else (x, x) in
+      let f0, f1 = split f lf in
+      let g0, g1 = split g lg in
+      let h0, h1 = split h lh in
+      let r = mk m lvl (ite m f0 g0 h0) (ite m f1 g1 h1) in
+      m.ite_key1.(slot) <- f;
+      m.ite_key2.(slot) <- g;
+      m.ite_key3.(slot) <- h;
+      m.ite_result.(slot) <- r;
+      r
+    end
+  end
+
+let band_list m = List.fold_left (band m) 1
+let bor_list m = List.fold_left (bor m) 0
+let bxor_list m = List.fold_left (bxor m) 0
+
+let top_var m f = if f < 2 then None else Some m.level_var.(m.level.(f))
+
+let restrict m f ~var ~value =
+  let lvl = level_of_var m var in
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    if f < 2 || m.level.(f) > lvl then f
+    else
+      match Hashtbl.find_opt memo f with
+      | Some r -> r
+      | None ->
+        let r =
+          if m.level.(f) = lvl then (if value then m.high.(f) else m.low.(f))
+          else mk m m.level.(f) (go m.low.(f)) (go m.high.(f))
+        in
+        Hashtbl.add memo f r;
+        r
+  in
+  go f
+
+let cofactors m f v =
+  (restrict m f ~var:v ~value:false, restrict m f ~var:v ~value:true)
+
+let compose m f ~var g =
+  let f0, f1 = cofactors m f var in
+  ite m g f1 f0
+
+let exists m vars f =
+  let quantify acc v =
+    let a0, a1 = cofactors m acc v in
+    bor m a0 a1
+  in
+  List.fold_left quantify f vars
+
+let forall m vars f =
+  let quantify acc v =
+    let a0, a1 = cofactors m acc v in
+    band m a0 a1
+  in
+  List.fold_left quantify f vars
+
+let support m f =
+  let seen = Hashtbl.create 64 in
+  let levels = Hashtbl.create 16 in
+  let rec go f =
+    if f >= 2 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      Hashtbl.replace levels m.level.(f) ();
+      go m.low.(f);
+      go m.high.(f)
+    end
+  in
+  go f;
+  Hashtbl.fold (fun lvl () acc -> m.level_var.(lvl) :: acc) levels []
+  |> List.sort Stdlib.compare
+
+let size m f =
+  let seen = Hashtbl.create 64 in
+  let rec go f =
+    if f >= 2 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      go m.low.(f);
+      go m.high.(f)
+    end
+  in
+  go f;
+  Hashtbl.length seen
+
+let sat_fraction m f =
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    if f = 0 then 0.0
+    else if f = 1 then 1.0
+    else
+      match Hashtbl.find_opt memo f with
+      | Some p -> p
+      | None ->
+        let p = 0.5 *. (go m.low.(f) +. go m.high.(f)) in
+        Hashtbl.add memo f p;
+        p
+  in
+  go f
+
+let sat_count m f = sat_fraction m f *. Float.pow 2.0 (float_of_int m.n_vars)
+
+let any_sat m f =
+  if f = 0 then None
+  else
+    let rec go f acc =
+      if f = 1 then acc
+      else
+        let v = m.level_var.(m.level.(f)) in
+        if m.high.(f) <> 0 then go m.high.(f) ((v, true) :: acc)
+        else go m.low.(f) ((v, false) :: acc)
+    in
+    Some (List.rev (go f []))
+
+let sat_cubes m ?limit f =
+  let out = ref [] in
+  let count = ref 0 in
+  let budget = match limit with None -> max_int | Some n -> n in
+  let exception Done in
+  let rec go f acc =
+    if !count >= budget then raise Done;
+    if f = 1 then begin
+      out := List.rev acc :: !out;
+      incr count
+    end
+    else if f <> 0 then begin
+      let v = m.level_var.(m.level.(f)) in
+      go m.low.(f) ((v, false) :: acc);
+      go m.high.(f) ((v, true) :: acc)
+    end
+  in
+  (try go f [] with Done -> ());
+  List.rev !out
+
+let eval m f assign =
+  let rec go f =
+    if f = 0 then false
+    else if f = 1 then true
+    else if assign m.level_var.(m.level.(f)) then go m.high.(f)
+    else go m.low.(f)
+  in
+  go f
+
+let of_fun m ~arity fn =
+  if arity < 0 || arity > m.n_vars then invalid_arg "Bdd.of_fun: bad arity";
+  let args = Array.make arity false in
+  (* Expand over variables in level order so intermediate BDDs stay small. *)
+  let vars_in_level_order =
+    Array.to_list m.level_var |> List.filter (fun v -> v < arity)
+  in
+  let rec go = function
+    | [] -> if fn args then 1 else 0
+    | v :: rest ->
+      args.(v) <- false;
+      let lo = go rest in
+      args.(v) <- true;
+      let hi = go rest in
+      args.(v) <- false;
+      mk m m.var_level.(v) lo hi
+  in
+  go vars_in_level_order
+
+let cube m literals =
+  List.fold_left
+    (fun acc (v, value) -> band m acc (if value then var m v else nvar m v))
+    1 literals
+
+let rebuild ~src ~dst f =
+  if num_vars src <> num_vars dst then
+    invalid_arg "Bdd.rebuild: variable universes differ";
+  let memo = Hashtbl.create 256 in
+  let rec go f =
+    if f < 2 then f
+    else
+      match Hashtbl.find_opt memo f with
+      | Some r -> r
+      | None ->
+        let v = src.level_var.(src.level.(f)) in
+        let lo = go src.low.(f) in
+        let hi = go src.high.(f) in
+        let r = ite dst (var dst v) hi lo in
+        Hashtbl.add memo f r;
+        r
+  in
+  go f
+
+let check_invariants m f =
+  let seen = Hashtbl.create 64 in
+  let ok = ref true in
+  let rec go f =
+    if f >= 2 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      let lo = m.low.(f) and hi = m.high.(f) in
+      if lo = hi then ok := false;
+      if lo >= 2 && m.level.(lo) <= m.level.(f) then ok := false;
+      if hi >= 2 && m.level.(hi) <= m.level.(f) then ok := false;
+      go lo;
+      go hi
+    end
+  in
+  go f;
+  !ok
+
+let pp m fmt f =
+  let rec go fmt f =
+    if f = 0 then Format.fprintf fmt "F"
+    else if f = 1 then Format.fprintf fmt "T"
+    else
+      Format.fprintf fmt "@[<hv 1>(x%d?%a:%a)@]"
+        m.level_var.(m.level.(f))
+        go m.high.(f) go m.low.(f)
+  in
+  go fmt f
+
+let to_dot m ?var_name ?(title = "bdd") root =
+  let name v =
+    match var_name with Some f -> f v | None -> Printf.sprintf "x%d" v
+  in
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "digraph %S {" title;
+  line "  rankdir=TB;";
+  line "  t0 [label=\"0\", shape=box];";
+  line "  t1 [label=\"1\", shape=box];";
+  let node_id f = if f < 2 then Printf.sprintf "t%d" f else Printf.sprintf "n%d" f in
+  let seen = Hashtbl.create 64 in
+  let by_level : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let rec visit f =
+    if f >= 2 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      let lvl = m.level.(f) in
+      Hashtbl.replace by_level lvl
+        (f :: Option.value (Hashtbl.find_opt by_level lvl) ~default:[]);
+      line "  n%d [label=%S, shape=circle];" f (name m.level_var.(lvl));
+      line "  n%d -> %s [style=dashed];" f (node_id m.low.(f));
+      line "  n%d -> %s;" f (node_id m.high.(f));
+      visit m.low.(f);
+      visit m.high.(f)
+    end
+  in
+  visit root;
+  Hashtbl.iter
+    (fun _ nodes ->
+      line "  { rank=same; %s }"
+        (String.concat "; " (List.map node_id nodes)))
+    by_level;
+  line "}";
+  Buffer.contents buf

@@ -1,0 +1,157 @@
+(** Reduced ordered binary decision diagrams (Bryant 1986).
+
+    This is the functional substrate for Difference Propagation: every
+    circuit node's good function, faulty function, and difference function
+    is an OBDD handled by a {!manager}.
+
+    Nodes are hash-consed inside a manager, so structural equality of the
+    represented functions coincides with handle equality ({!equal}).  All
+    handles are only meaningful with the manager that created them. *)
+
+type manager
+(** Mutable node arena: unique table, operation caches, variable order. *)
+
+type t
+(** Handle to a BDD node owned by some manager. *)
+
+exception Variable_out_of_range of int
+(** Raised when a variable index is not within [0 .. num_vars - 1]. *)
+
+(** {1 Managers} *)
+
+val create : ?order:int array -> int -> manager
+(** [create n] makes a manager for variables [0 .. n-1].  [?order] is a
+    permutation of [0 .. n-1] giving the variable at each level, topmost
+    first; it defaults to the identity.  @raise Invalid_argument if [order]
+    is not a permutation of the right size. *)
+
+val num_vars : manager -> int
+(** Number of variables the manager was created with. *)
+
+val level_of_var : manager -> int -> int
+(** Position of a variable in the order (0 = topmost). *)
+
+val var_at_level : manager -> int -> int
+(** Inverse of {!level_of_var}. *)
+
+val allocated_nodes : manager -> int
+(** Total nodes ever hash-consed (terminals included); a growth metric. *)
+
+val clear_caches : manager -> unit
+(** Drop all operation caches (unique table is kept, handles stay valid). *)
+
+(** {1 Constants, variables and tests} *)
+
+val zero : manager -> t
+val one : manager -> t
+
+val var : manager -> int -> t
+(** Projection function of a variable. @raise Variable_out_of_range. *)
+
+val nvar : manager -> int -> t
+(** Complemented projection. @raise Variable_out_of_range. *)
+
+val is_zero : manager -> t -> bool
+val is_one : manager -> t -> bool
+val is_const : manager -> t -> bool
+
+val equal : t -> t -> bool
+(** Function equality (valid for handles from the same manager). *)
+
+val compare : t -> t -> int
+val hash : t -> int
+
+(** {1 Boolean connectives} *)
+
+val bnot : manager -> t -> t
+val band : manager -> t -> t -> t
+val bor : manager -> t -> t -> t
+val bxor : manager -> t -> t -> t
+val bxnor : manager -> t -> t -> t
+val bnand : manager -> t -> t -> t
+val bnor : manager -> t -> t -> t
+val bimp : manager -> t -> t -> t
+val ite : manager -> t -> t -> t -> t
+
+val band_list : manager -> t list -> t
+val bor_list : manager -> t list -> t
+val bxor_list : manager -> t list -> t
+
+(** {1 Structure} *)
+
+val top_var : manager -> t -> int option
+(** Topmost variable of a non-constant BDD, [None] on constants. *)
+
+val cofactors : manager -> t -> int -> t * t
+(** [cofactors m f v] is [(f|v=0, f|v=1)] for any variable [v], whether or
+    not it occurs at the top of [f]. *)
+
+val restrict : manager -> t -> var:int -> value:bool -> t
+(** Cofactor with respect to one variable. *)
+
+val compose : manager -> t -> var:int -> t -> t
+(** [compose m f ~var g] substitutes [g] for [var] inside [f]. *)
+
+val exists : manager -> int list -> t -> t
+(** Existential quantification over a set of variables. *)
+
+val forall : manager -> int list -> t -> t
+(** Universal quantification over a set of variables. *)
+
+val support : manager -> t -> int list
+(** Variables the function actually depends on, sorted increasingly. *)
+
+val size : manager -> t -> int
+(** Number of internal (non-terminal) nodes reachable from the root. *)
+
+(** {1 Counting and satisfaction} *)
+
+val sat_fraction : manager -> t -> float
+(** Fraction of the 2^n input space mapped to true (the paper's
+    {e syndrome} when applied to a circuit line's good function). *)
+
+val sat_count : manager -> t -> float
+(** [sat_fraction] scaled by 2^[num_vars]; exact while n <= 61. *)
+
+val any_sat : manager -> t -> (int * bool) list option
+(** Some satisfying partial assignment (variables absent are don't-care),
+    or [None] for the zero function. *)
+
+val sat_cubes : manager -> ?limit:int -> t -> (int * bool) list list
+(** All satisfying cubes (paths to the one-terminal), up to [?limit]
+    (default: no limit).  Unmentioned variables in a cube are don't-care. *)
+
+val eval : manager -> t -> (int -> bool) -> bool
+(** Evaluate under a total assignment. *)
+
+(** {1 Construction helpers} *)
+
+val of_fun : manager -> arity:int -> (bool array -> bool) -> t
+(** Build the BDD of an arbitrary function of variables [0 .. arity-1] by
+    Shannon expansion.  Exponential in [arity]; meant for tests and small
+    specifications. *)
+
+val cube : manager -> (int * bool) list -> t
+(** Conjunction of literals. *)
+
+(** {1 Cross-manager transfer} *)
+
+val rebuild : src:manager -> dst:manager -> t -> t
+(** Transfer a BDD into another manager (possibly with a different variable
+    order), preserving the function.  Both managers must have the same
+    variable universe. *)
+
+(** {1 Diagnostics} *)
+
+val check_invariants : manager -> t -> bool
+(** True when every path is strictly level-increasing and no node has
+    identical children (i.e. the diagram is reduced and ordered). *)
+
+val pp : manager -> Format.formatter -> t -> unit
+(** Debug rendering as nested if-then-else on variable indices. *)
+
+val to_dot :
+  manager -> ?var_name:(int -> string) -> ?title:string -> t -> string
+(** Graphviz rendering: one rank per level, dashed low edges, solid high
+    edges, box terminals.  [var_name] labels decision nodes (defaults to
+    [x<i>]). *)

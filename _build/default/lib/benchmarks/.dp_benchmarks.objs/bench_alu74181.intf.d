@@ -1,0 +1,1 @@
+lib/benchmarks/bench_alu74181.mli: Circuit

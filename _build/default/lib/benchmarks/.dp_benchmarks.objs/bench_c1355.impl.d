@@ -1,0 +1,1 @@
+lib/benchmarks/bench_c1355.ml: Bench_c499 Circuit Transform

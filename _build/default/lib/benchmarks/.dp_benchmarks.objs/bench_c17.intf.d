@@ -1,0 +1,1 @@
+lib/benchmarks/bench_c17.mli: Circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/bench_c1908.ml: Array Builder Circuit List Printf Transform

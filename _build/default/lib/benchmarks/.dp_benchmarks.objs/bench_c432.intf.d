@@ -1,0 +1,1 @@
+lib/benchmarks/bench_c432.mli: Circuit

@@ -1,0 +1,1 @@
+lib/benchmarks/bench_c499.ml: Array Builder Circuit List Printf Transform

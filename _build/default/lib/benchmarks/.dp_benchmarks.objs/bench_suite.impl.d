@@ -1,0 +1,1 @@
+lib/benchmarks/bench_suite.ml: Bench_alu74181 Bench_c1355 Bench_c17 Bench_c1908 Bench_c432 Bench_c499 Bench_c95 Bench_fulladder Circuit Hashtbl List

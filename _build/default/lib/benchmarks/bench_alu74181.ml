@@ -1,0 +1,73 @@
+(* Per bit i the '181 forms two select-controlled signals
+     x_i = NOR(a_i, b_i AND s0, NOT b_i AND s1)
+     y_i = NOR(a_i AND NOT b_i AND s2, a_i AND b_i AND s3)
+   whose complements act as carry propagate (p_i = NOT x_i) and generate
+   (g_i = NOT y_i).  The result bit is (x_i XOR y_i) XOR t_i where the
+   carry term t_i is forced to 1 in logic mode: t_i = m OR carry_i. *)
+
+let circuit () =
+  let b = Builder.make ~title:"alu74181" in
+  let vector prefix n =
+    Array.init n (fun i -> Builder.input b (Printf.sprintf "%s%d" prefix i))
+  in
+  let a = vector "a" 4 in
+  let bv = vector "b" 4 in
+  let s = vector "s" 4 in
+  let m = Builder.input b "m" in
+  let cn = Builder.input b "cn" in
+  let nb = Array.init 4 (fun i ->
+      Builder.not_ ~name:(Printf.sprintf "nb%d" i) b bv.(i))
+  in
+  let x = Array.init 4 (fun i ->
+      Builder.nor ~name:(Printf.sprintf "x%d" i) b
+        [ a.(i);
+          Builder.and_ b [ bv.(i); s.(0) ];
+          Builder.and_ b [ nb.(i); s.(1) ] ])
+  in
+  let y = Array.init 4 (fun i ->
+      Builder.nor ~name:(Printf.sprintf "y%d" i) b
+        [ Builder.and_ b [ a.(i); nb.(i); s.(2) ];
+          Builder.and_ b [ a.(i); bv.(i); s.(3) ] ])
+  in
+  let p = Array.init 4 (fun i ->
+      Builder.not_ ~name:(Printf.sprintf "p%d" i) b x.(i))
+  in
+  let g = Array.init 4 (fun i ->
+      Builder.not_ ~name:(Printf.sprintf "g%d" i) b y.(i))
+  in
+  (* Lookahead carries: carry_0 = cn, carry_{i} = OR of generate terms
+     propagated through runs of p, plus cn through all lower p. *)
+  let carry_into i =
+    let terms = ref [] in
+    for k = i - 1 downto 0 do
+      let run = List.init (i - 1 - k) (fun d -> p.(k + 1 + d)) in
+      terms := Builder.and_ b (g.(k) :: run) :: !terms
+    done;
+    let through = List.init i (fun d -> p.(d)) in
+    terms := Builder.and_ b (cn :: through) :: !terms;
+    Builder.or_ ~name:(Printf.sprintf "carry%d" i) b !terms
+  in
+  let carries = Array.init 5 (fun i -> if i = 0 then cn else carry_into i) in
+  let f = Array.init 4 (fun i ->
+      let sum_term =
+        Builder.xor ~name:(Printf.sprintf "xy%d" i) b [ x.(i); y.(i) ]
+      in
+      let t = Builder.or_ b [ m; carries.(i) ] in
+      Builder.xor ~name:(Printf.sprintf "f%d" i) b [ sum_term; t ])
+  in
+  Array.iter (Builder.output b) f;
+  Builder.output b ~name:"cn4" carries.(4);
+  Builder.output b
+    (Builder.and_ ~name:"gp" b (Array.to_list p));
+  let group_generate =
+    let terms =
+      List.init 4 (fun k ->
+          let run = List.init (3 - k) (fun d -> p.(k + 1 + d)) in
+          Builder.and_ b (g.(k) :: run))
+    in
+    Builder.or_ ~name:"gg" b terms
+  in
+  Builder.output b group_generate;
+  Builder.output b
+    (Builder.and_ ~name:"aeqb" b (Array.to_list f));
+  Builder.finish b

@@ -1,0 +1,12 @@
+(** 74LS181 4-bit ALU, re-entered at gate level from the public
+    description of its internals (X/Y select networks feeding a
+    carry-lookahead summation stage).
+
+    Conventions (documented deviations from the TI part, which mixes
+    active-low signals): the carry input [cn], carry output [cn4], group
+    generate [gg] and group propagate [gp] are all active-high.  With
+    [m = 1] the unit computes the 16 logic functions selected by
+    [s3 s2 s1 s0]; with [m = 0] it computes the 16 arithmetic functions
+    including [A plus B] at [s = 1001]. *)
+
+val circuit : unit -> Circuit.t

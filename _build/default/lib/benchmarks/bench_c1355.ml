@@ -1,0 +1,4 @@
+let circuit () =
+  let base = Bench_c499.circuit () in
+  let expanded = Transform.xor_to_nand (Transform.expand_to_two_input base) in
+  Circuit.retitle expanded "c1355"

@@ -1,0 +1,7 @@
+(** "c1355" — derived from {!Bench_c499} by expanding every gate to two
+    inputs and every XOR/XNOR into its NAND equivalent, which is exactly
+    the relationship between ISCAS-85 C499 and C1355 that the paper's
+    Figure 2 exploits (same function, larger netlist, lower
+    detectability). *)
+
+val circuit : unit -> Circuit.t

@@ -1,0 +1,17 @@
+let text =
+  "# c17 (ISCAS-85)\n\
+   INPUT(G1)\n\
+   INPUT(G2)\n\
+   INPUT(G3)\n\
+   INPUT(G6)\n\
+   INPUT(G7)\n\
+   OUTPUT(G22)\n\
+   OUTPUT(G23)\n\
+   G10 = NAND(G1, G3)\n\
+   G11 = NAND(G3, G6)\n\
+   G16 = NAND(G2, G11)\n\
+   G19 = NAND(G11, G7)\n\
+   G22 = NAND(G10, G16)\n\
+   G23 = NAND(G16, G19)\n"
+
+let circuit () = Bench_format.parse ~title:"c17" text

@@ -1,0 +1,3 @@
+(** ISCAS-85 C17 — the exact published six-NAND netlist. *)
+
+val circuit : unit -> Circuit.t

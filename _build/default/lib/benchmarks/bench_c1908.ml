@@ -1,0 +1,175 @@
+let word_bits = 24
+let check_bits = 6
+
+let popcount v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
+  go v 0
+
+let patterns_a =
+  let rec collect v acc count =
+    if count = word_bits then List.rev acc
+    else if popcount v >= 2 then collect (v + 1) (v :: acc) (count + 1)
+    else collect (v + 1) acc count
+  in
+  Array.of_list (collect 3 [] 0)
+
+let encode_checks word =
+  if Array.length word <> word_bits then
+    invalid_arg "Bench_c1908.encode_checks";
+  Array.init check_bits (fun j ->
+      let acc = ref false in
+      for i = 0 to word_bits - 1 do
+        if patterns_a.(i) land (1 lsl j) <> 0 then acc := !acc <> word.(i)
+      done;
+      !acc)
+
+let vector_of ~word ~checks ~ctl =
+  if
+    Array.length word <> word_bits
+    || Array.length checks <> check_bits
+    || Array.length ctl <> 3
+  then invalid_arg "Bench_c1908.vector_of";
+  let v = Array.make 33 false in
+  for i = 0 to 11 do
+    v.(2 * i) <- word.(i);
+    v.((2 * i) + 1) <- word.(12 + i)
+  done;
+  Array.blit checks 0 v 24 check_bits;
+  Array.blit ctl 0 v 30 3;
+  v
+
+(* One single-error decoder: syndromes from [checks] against [word],
+   AND-decode, correction gated by [enable]. *)
+let decoder b ~tag ~patterns ~word ~checks ~enable =
+  let syndrome =
+    Array.init check_bits (fun j ->
+        let members =
+          List.init word_bits (fun i -> i)
+          |> List.filter (fun i -> patterns.(i) land (1 lsl j) <> 0)
+          |> List.map (fun i -> word.(i))
+        in
+        Builder.xor ~name:(Printf.sprintf "%ss%d" tag j) b
+          (checks.(j) :: members))
+  in
+  let not_syndrome = Array.map (fun s -> Builder.not_ b s) syndrome in
+  let hits =
+    Array.init word_bits (fun i ->
+        let literals =
+          List.init check_bits (fun j ->
+              if patterns.(i) land (1 lsl j) <> 0 then syndrome.(j)
+              else not_syndrome.(j))
+        in
+        Builder.and_ ~name:(Printf.sprintf "%se%d" tag i) b
+          (enable :: literals))
+  in
+  let corrected =
+    Array.init word_bits (fun i ->
+        Builder.xor ~name:(Printf.sprintf "%sc%d" tag i) b
+          [ word.(i); hits.(i) ])
+  in
+  (syndrome, hits, corrected)
+
+let circuit () =
+  let b = Builder.make ~title:"c1908" in
+  (* The 24-bit word is split into halves that meet again in the adder
+     and comparator; declare the inputs with the halves interleaved
+     (lo0 hi0 lo1 hi1 ...) so the natural variable order keeps those
+     BDDs linear — benchmark input order is meaningful (paper §2.2). *)
+  let half_names i =
+    let lo = Printf.sprintf "d%d" i in
+    let hi =
+      if i < 4 then Printf.sprintf "d%d" (12 + i)
+      else Printf.sprintf "m%d" (i - 4)
+    in
+    (lo, hi)
+  in
+  let pairs =
+    Array.init 12 (fun i ->
+        let lo_name, hi_name = half_names i in
+        let lo = Builder.input b lo_name in
+        let hi = Builder.input b hi_name in
+        (lo, hi))
+  in
+  let lo = Array.map fst pairs and hi = Array.map snd pairs in
+  let vector prefix n =
+    Array.init n (fun i -> Builder.input b (Printf.sprintf "%s%d" prefix i))
+  in
+  let checks = vector "k" check_bits in
+  let ctl = vector "ctl" 3 in
+  let word = Array.append lo hi in
+  (* Correction path: the corrected data bits go straight to outputs (the
+     original C1908 is a SEC translator).  Keeping arithmetic off the
+     corrected bits keeps every function's BDD narrow: a carry chain over
+     bits whose value is only resolved by the full syndrome is
+     exponential in any order. *)
+  let syn_a, hits_a, corr_a =
+    decoder b ~tag:"A" ~patterns:patterns_a ~word ~checks ~enable:ctl.(0)
+  in
+  for i = 0 to 15 do
+    Builder.output b (Builder.buf ~name:(Printf.sprintf "f%d" i) b corr_a.(i))
+  done;
+  (* Datapath results are qualified by "no error detected": they are
+     forced low whenever the syndrome is non-zero, which also gives the
+     datapath the heavy observability masking of the original's deep
+     NAND structure. *)
+  let any_syn = Builder.or_ b (Array.to_list syn_a) in
+  let ok = Builder.not_ ~name:"ok" b any_syn in
+  let qualified name net = Builder.and_ ~name b [ net; ok ] in
+  (* Raw-word datapath, in parallel with correction: conditional
+     increment, half-word addition, magnitude comparison. *)
+  let inc = Array.make word_bits word.(0) in
+  let carry = ref ctl.(1) in
+  for i = 0 to word_bits - 1 do
+    inc.(i) <- Builder.xor ~name:(Printf.sprintf "q%d" i) b [ word.(i); !carry ];
+    carry := Builder.and_ b [ word.(i); !carry ]
+  done;
+  let half = word_bits / 2 in
+  let carry = ref ctl.(2) in
+  let sums =
+    Array.init half (fun i ->
+        let x = inc.(i) and y = inc.(half + i) in
+        let p = Builder.xor b [ x; y ] in
+        let sum = Builder.xor ~name:(Printf.sprintf "sum%d" i) b [ p; !carry ] in
+        carry :=
+          Builder.or_ b
+            [ Builder.and_ b [ x; y ]; Builder.and_ b [ p; !carry ] ];
+        sum)
+  in
+  Builder.output b (qualified "cout" !carry);
+  let bit_eq =
+    Array.init half (fun i -> Builder.xnor b [ inc.(i); inc.(half + i) ])
+  in
+  Builder.output b (qualified "heq" (Builder.and_ b (Array.to_list bit_eq)));
+  let gt_terms =
+    List.init half (fun i ->
+        let here = Builder.and_ b [ inc.(half + i); Builder.not_ b inc.(i) ] in
+        let above = List.init (half - 1 - i) (fun d -> bit_eq.(i + 1 + d)) in
+        Builder.and_ b (here :: above))
+  in
+  Builder.output b (qualified "hgt" (Builder.or_ b gt_terms));
+  Builder.output b (qualified "spar" (Builder.xor b (Array.to_list sums)));
+  (* Priority encoder over the decoder's error hits (low 3 index bits). *)
+  let granted =
+    Array.init word_bits (fun i ->
+        if i = 0 then hits_a.(0)
+        else
+          Builder.and_ b
+            (hits_a.(i) :: List.init i (fun k -> Builder.not_ b hits_a.(k))))
+  in
+  for bit = 0 to 2 do
+    let contributors =
+      List.init word_bits (fun i -> i)
+      |> List.filter (fun i -> i land (1 lsl bit) <> 0)
+      |> List.map (fun i -> granted.(i))
+    in
+    Builder.output b ~name:(Printf.sprintf "idx%d" bit)
+      (Builder.or_ b contributors)
+  done;
+  let any_a = Builder.or_ b (Array.to_list hits_a) in
+  Builder.output b (Builder.buf ~name:"anyerr" b any_syn);
+  Builder.output b
+    (Builder.and_ ~name:"uncorr" b [ any_syn; Builder.not_ b any_a ]);
+  (* Like the published netlist, the canonical form is NAND-expanded:
+     the deep four-NAND parity trees dominate its fault population. *)
+  Builder.finish b |> Transform.expand_to_two_input |> Transform.xor_to_nand
+  |> fun c -> Circuit.retitle c "c1908"

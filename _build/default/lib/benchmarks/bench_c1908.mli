@@ -1,0 +1,25 @@
+(** "c1908" — substitute for ISCAS-85 C1908 (a 16-bit SEC/DED error
+    corrector; original netlist unavailable here).  Same interface
+    footprint: 33 inputs and 25 outputs.  A single-error decoder
+    corrects a 24-bit word, and the corrected word feeds an
+    arithmetic/comparison backend (incrementer, half-word adder,
+    comparator, priority encoder), giving the error-correction-plus-
+    datapath mix of the original at a similar gate count.  The netlist is fully expanded to two-input gates. *)
+
+val circuit : unit -> Circuit.t
+
+val word_bits : int
+(** 24: sixteen data bits plus eight mask bits form the protected word. *)
+
+val check_bits : int
+(** 6. *)
+
+val encode_checks : bool array -> bool array
+(** Check bits consistent with a 24-bit word under decoder A's
+    parity-check matrix (all-zero syndrome). *)
+
+val vector_of :
+  word:bool array -> checks:bool array -> ctl:bool array -> bool array
+(** Assemble a primary-input vector from the logical word (24 bits),
+    check bits (6) and control bits (3), respecting the interleaved
+    input declaration order. *)

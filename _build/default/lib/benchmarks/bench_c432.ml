@@ -1,0 +1,69 @@
+let channels = 9
+
+let circuit () =
+  let b = Builder.make ~title:"c432" in
+  let vector prefix =
+    Array.init channels (fun i ->
+        Builder.input b (Printf.sprintf "%s%d" prefix i))
+  in
+  let enable = vector "e" in
+  let bus_a = vector "a" in
+  let bus_b = vector "bb" in
+  let bus_c = vector "c" in
+  let gated name bus =
+    Array.init channels (fun i ->
+        Builder.and_ ~name:(Printf.sprintf "%s%d" name i) b
+          [ bus.(i); enable.(i) ])
+  in
+  let ra = gated "ra" bus_a in
+  let rb = gated "rb" bus_b in
+  let rc = gated "rc" bus_c in
+  let any name reqs = Builder.or_ ~name b (Array.to_list reqs) in
+  let any_a = any "anya" ra in
+  let any_b = any "anyb" rb in
+  let any_c = any "anyc" rc in
+  (* Bus priority: A over B over C. *)
+  let grant_a = Builder.buf ~name:"granta" b any_a in
+  let grant_b =
+    Builder.and_ ~name:"grantb" b [ any_b; Builder.not_ b any_a ]
+  in
+  let grant_c =
+    Builder.and_ ~name:"grantc" b
+      [ any_c; Builder.not_ b any_a; Builder.not_ b any_b ]
+  in
+  Builder.output b grant_a;
+  Builder.output b grant_b;
+  Builder.output b grant_c;
+  (* Winning request per channel, then channel priority (0 highest). *)
+  let winning =
+    Array.init channels (fun i ->
+        Builder.or_ ~name:(Printf.sprintf "w%d" i) b
+          [ Builder.and_ b [ grant_a; ra.(i) ];
+            Builder.and_ b [ grant_b; rb.(i) ];
+            Builder.and_ b [ grant_c; rc.(i) ] ])
+  in
+  let granted =
+    Array.init channels (fun i ->
+        if i = 0 then Builder.buf ~name:"pr0" b winning.(0)
+        else
+          let blockers =
+            List.init i (fun k -> Builder.not_ b winning.(k))
+          in
+          Builder.and_ ~name:(Printf.sprintf "pr%d" i) b
+            (winning.(i) :: blockers))
+  in
+  (* 4-bit index of the granted channel. *)
+  for bit = 0 to 3 do
+    let contributors =
+      List.init channels (fun i -> i)
+      |> List.filter (fun i -> i land (1 lsl bit) <> 0)
+      |> List.map (fun i -> granted.(i))
+    in
+    let index_bit =
+      match contributors with
+      | [] -> Builder.const0 b
+      | nets -> Builder.or_ b nets
+    in
+    Builder.output b ~name:(Printf.sprintf "idx%d" bit) index_bit
+  done;
+  Builder.finish b

@@ -1,0 +1,8 @@
+(** "c432" — substitute for ISCAS-85 C432 (a 27-channel interrupt
+    controller; original netlist unavailable here).  Same interface
+    footprint: 36 inputs (three 9-line request buses gated by 9 enables)
+    and 7 outputs (three bus grants plus a 4-bit priority-encoded channel
+    index).  Reconvergent priority-masking logic dominates, as in the
+    original. *)
+
+val circuit : unit -> Circuit.t

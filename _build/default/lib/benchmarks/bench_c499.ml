@@ -1,0 +1,67 @@
+let data_bits = 32
+let check_bits = 8
+
+let popcount v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
+  go v 0
+
+(* The 32 smallest 8-bit values of weight >= 2, in increasing order; each
+   is a distinct non-trivial column of the parity-check matrix. *)
+let patterns =
+  let rec collect v acc count =
+    if count = data_bits then List.rev acc
+    else if popcount v >= 2 then collect (v + 1) (v :: acc) (count + 1)
+    else collect (v + 1) acc count
+  in
+  Array.of_list (collect 3 [] 0)
+
+let pattern i = patterns.(i)
+
+let encode_checks data =
+  if Array.length data <> data_bits then
+    invalid_arg "Bench_c499.encode_checks";
+  Array.init check_bits (fun j ->
+      let acc = ref false in
+      for i = 0 to data_bits - 1 do
+        if patterns.(i) land (1 lsl j) <> 0 then acc := !acc <> data.(i)
+      done;
+      !acc)
+
+let circuit () =
+  let b = Builder.make ~title:"c499" in
+  let data =
+    Array.init data_bits (fun i -> Builder.input b (Printf.sprintf "r%d" i))
+  in
+  let checks =
+    Array.init check_bits (fun j -> Builder.input b (Printf.sprintf "k%d" j))
+  in
+  let enable = Builder.input b "en" in
+  let syndrome =
+    Array.init check_bits (fun j ->
+        let members =
+          List.init data_bits (fun i -> i)
+          |> List.filter (fun i -> patterns.(i) land (1 lsl j) <> 0)
+          |> List.map (fun i -> data.(i))
+        in
+        Builder.xor ~name:(Printf.sprintf "s%d" j) b (checks.(j) :: members))
+  in
+  let not_syndrome =
+    Array.init check_bits (fun j ->
+        Builder.not_ ~name:(Printf.sprintf "ns%d" j) b syndrome.(j))
+  in
+  Array.iteri
+    (fun i d ->
+      let literals =
+        List.init check_bits (fun j ->
+            if patterns.(i) land (1 lsl j) <> 0 then syndrome.(j)
+            else not_syndrome.(j))
+      in
+      let flip =
+        Builder.and_ ~name:(Printf.sprintf "err%d" i) b (enable :: literals)
+      in
+      Builder.output b
+        (Builder.xor ~name:(Printf.sprintf "f%d" i) b [ d; flip ]))
+    data;
+  (* Canonical form is two-input, like the published netlist. *)
+  let c = Transform.expand_to_two_input (Builder.finish b) in
+  Circuit.retitle c "c499"

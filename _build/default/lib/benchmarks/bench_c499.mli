@@ -1,0 +1,20 @@
+(** "c499" — substitute for ISCAS-85 C499 (a 32-bit single-error-
+    correction network; original netlist unavailable here).  Same
+    interface footprint: 41 inputs (32 received data bits, 8 received
+    check bits, 1 correction enable) and 32 outputs (corrected data).
+    XOR syndrome trees feed AND-decode correction exactly as in the
+    original's documented function. *)
+
+val circuit : unit -> Circuit.t
+
+val check_bits : int
+val data_bits : int
+
+val pattern : int -> int
+(** Parity-check signature of data bit [i]: bit [j] set means data bit
+    [i] participates in check [j].  Signatures are distinct, have weight
+    of at least two (so they never collide with a single check-bit
+    error), and are non-zero. *)
+
+val encode_checks : bool array -> bool array
+(** Reference encoder: check bits for a 32-bit data word. *)

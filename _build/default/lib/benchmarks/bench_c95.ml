@@ -1,0 +1,55 @@
+let circuit () =
+  let b = Builder.make ~title:"c95" in
+  let width = 4 in
+  let input_vector prefix =
+    Array.init width (fun i -> Builder.input b (Printf.sprintf "%s%d" prefix i))
+  in
+  let xs = input_vector "a" in
+  let ys = input_vector "b" in
+  let cin = Builder.input b "cin" in
+  let propagate =
+    Array.init width (fun i ->
+        Builder.xor ~name:(Printf.sprintf "p%d" i) b [ xs.(i); ys.(i) ])
+  in
+  let generate =
+    Array.init width (fun i ->
+        Builder.and_ ~name:(Printf.sprintf "g%d" i) b [ xs.(i); ys.(i) ])
+  in
+  (* Carry-lookahead: carry into bit i as a flat sum of generate terms
+     shifted through runs of propagate. *)
+  let carry_into i =
+    let terms = ref [] in
+    for k = i - 1 downto 0 do
+      let run = List.init (i - 1 - k) (fun d -> propagate.(k + 1 + d)) in
+      terms := Builder.and_ b (generate.(k) :: run) :: !terms
+    done;
+    let through_all = List.init i (fun d -> propagate.(d)) in
+    terms := Builder.and_ b (cin :: through_all) :: !terms;
+    Builder.or_ ~name:(Printf.sprintf "c%d" i) b !terms
+  in
+  let carries = Array.init (width + 1) (fun i -> if i = 0 then cin else carry_into i) in
+  Array.iteri
+    (fun i p ->
+      Builder.output b
+        (Builder.xor ~name:(Printf.sprintf "s%d" i) b [ p; carries.(i) ]))
+    propagate;
+  Builder.output b ~name:"cout" carries.(width);
+  (* Magnitude comparator on the same operands. *)
+  let bit_eq =
+    Array.init width (fun i ->
+        Builder.xnor ~name:(Printf.sprintf "e%d" i) b [ xs.(i); ys.(i) ])
+  in
+  Builder.output b
+    (Builder.and_ ~name:"eq" b (Array.to_list bit_eq));
+  let gt_terms =
+    List.init width (fun i ->
+        let here =
+          Builder.and_ b
+            [ xs.(i); Builder.not_ b ys.(i) ]
+        in
+        let higher_equal = List.init (width - 1 - i) (fun d -> bit_eq.(i + 1 + d)) in
+        Builder.and_ b (here :: higher_equal))
+  in
+  Builder.output b (Builder.or_ ~name:"gt" b gt_terms);
+  let c = Transform.expand_to_two_input (Builder.finish b) in
+  Circuit.retitle c "c95"

@@ -1,0 +1,6 @@
+(** "c95" — substitute for the paper's small ISCAS-era circuit of the same
+    name (netlist unavailable): a 4-bit carry-lookahead adder fused with a
+    magnitude comparator.  9 inputs, 7 outputs, within a few nets of the
+    namesake's size and with comparable reconvergent structure. *)
+
+val circuit : unit -> Circuit.t

@@ -1,0 +1,24 @@
+(* Two cascaded one-bit full adders (a 2-bit ripple adder): the paper
+   lists its "fulladder circuit" between c17 and c95 in netlist size. *)
+
+let full_adder b ~tag a bb cin =
+  let half = Builder.xor ~name:("h" ^ tag) b [ a; bb ] in
+  let sum = Builder.xor ~name:("s" ^ tag) b [ half; cin ] in
+  let c1 = Builder.and_ ~name:("c1" ^ tag) b [ a; bb ] in
+  let c2 = Builder.and_ ~name:("c2" ^ tag) b [ half; cin ] in
+  let cout = Builder.or_ ~name:("co" ^ tag) b [ c1; c2 ] in
+  (sum, cout)
+
+let circuit () =
+  let b = Builder.make ~title:"fulladder" in
+  let a0 = Builder.input b "a0" in
+  let b0 = Builder.input b "b0" in
+  let a1 = Builder.input b "a1" in
+  let b1 = Builder.input b "b1" in
+  let cin = Builder.input b "cin" in
+  let s0, c0 = full_adder b ~tag:"0" a0 b0 cin in
+  let s1, c1 = full_adder b ~tag:"1" a1 b1 c0 in
+  Builder.output b s0;
+  Builder.output b s1;
+  Builder.output b c1;
+  Builder.finish b

@@ -1,0 +1,5 @@
+(** Two-bit ripple adder built from full-adder cells (XOR/AND/OR form) —
+    the paper's "fulladder", which it sizes between C17 and C95.
+    Inputs a0 b0 a1 b1 cin, outputs s0 s1 cout. *)
+
+val circuit : unit -> Circuit.t

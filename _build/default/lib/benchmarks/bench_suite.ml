@@ -1,0 +1,34 @@
+let builders =
+  [
+    ("c17", Bench_c17.circuit);
+    ("fulladder", Bench_fulladder.circuit);
+    ("c95", Bench_c95.circuit);
+    ("alu74181", Bench_alu74181.circuit);
+    ("c432", Bench_c432.circuit);
+    ("c499", Bench_c499.circuit);
+    ("c1355", Bench_c1355.circuit);
+    ("c1908", Bench_c1908.circuit);
+  ]
+
+let names = List.map fst builders
+
+let cache : (string, Circuit.t) Hashtbl.t = Hashtbl.create 8
+
+let find name =
+  match Hashtbl.find_opt cache name with
+  | Some c -> c
+  | None ->
+    let build = List.assoc name builders in
+    let c = build () in
+    Hashtbl.replace cache name c;
+    c
+
+let all () = List.map find names
+
+let small_names = [ "c17"; "fulladder"; "c95"; "alu74181" ]
+let small () = List.map find small_names
+
+let large () =
+  names
+  |> List.filter (fun n -> not (List.mem n small_names))
+  |> List.map find

@@ -1,0 +1,20 @@
+(** The paper's benchmark set, in increasing order of netlist size:
+    c17, fulladder, c95, alu74181, c432, c499, c1355, c1908
+    (see DESIGN.md §4 for which are exact and which are documented
+    substitutes). *)
+
+val names : string list
+(** Benchmark names in the paper's size order. *)
+
+val find : string -> Circuit.t
+(** Build a benchmark by name (memoised).  @raise Not_found. *)
+
+val all : unit -> Circuit.t list
+(** Every benchmark, in {!names} order. *)
+
+val small : unit -> Circuit.t list
+(** The benchmarks small enough for exhaustive simulation
+    (c17, fulladder, c95, alu74181). *)
+
+val large : unit -> Circuit.t list
+(** The remaining, larger benchmarks. *)

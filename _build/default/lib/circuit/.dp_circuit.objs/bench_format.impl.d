@@ -1,0 +1,1 @@
+lib/circuit/bench_format.ml: Array Buffer Circuit Filename Fun Gate List Printf String

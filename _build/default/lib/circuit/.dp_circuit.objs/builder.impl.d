@@ -1,0 +1,1 @@
+lib/circuit/builder.ml: Circuit Gate Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/circuit/dot.ml: Array Bdd Buffer Circuit Gate Hashtbl List Option Printf String Symbolic

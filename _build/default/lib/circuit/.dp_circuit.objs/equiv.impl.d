@@ -1,0 +1,1 @@
+lib/circuit/equiv.ml: Array Bdd Circuit Format Gate List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/equiv.mli: Circuit Format

@@ -1,0 +1,1 @@
+lib/circuit/generate.ml: Array Builder Gate List Printf Prng

@@ -1,0 +1,1 @@
+lib/circuit/ordering.ml: Array Circuit Fun Gate List Printf Prng

@@ -1,0 +1,1 @@
+lib/circuit/scoap.ml: Array Circuit Format Fun Gate List

@@ -1,0 +1,1 @@
+lib/circuit/scoap.mli: Circuit Format

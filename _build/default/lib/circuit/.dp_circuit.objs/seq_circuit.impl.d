@@ -1,0 +1,1 @@
+lib/circuit/seq_circuit.ml: Array Bench_format Circuit Gate List Printf String Transform

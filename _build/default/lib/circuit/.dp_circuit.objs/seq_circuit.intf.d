@@ -1,0 +1,1 @@
+lib/circuit/seq_circuit.mli: Circuit

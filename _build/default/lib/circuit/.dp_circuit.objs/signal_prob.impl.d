@@ -1,0 +1,1 @@
+lib/circuit/signal_prob.ml: Array Circuit Float Fun Gate Symbolic

@@ -1,0 +1,1 @@
+lib/circuit/signal_prob.mli: Circuit Symbolic

@@ -1,0 +1,1 @@
+lib/circuit/symbolic.ml: Array Bdd Circuit Gate List Ordering

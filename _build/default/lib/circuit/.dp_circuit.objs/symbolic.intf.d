@@ -1,0 +1,1 @@
+lib/circuit/symbolic.mli: Bdd Circuit Ordering

@@ -1,0 +1,1 @@
+lib/circuit/transform.ml: Array Circuit Gate Hashtbl List Printf String

@@ -1,0 +1,107 @@
+exception Parse_error of int * string
+
+let error line fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let is_space ch = ch = ' ' || ch = '\t' || ch = '\r'
+
+let strip s =
+  let n = String.length s in
+  let b = ref 0 and e = ref n in
+  while !b < n && is_space s.[!b] do incr b done;
+  while !e > !b && is_space s.[!e - 1] do decr e done;
+  String.sub s !b (!e - !b)
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+(* "KIND(a, b)" -> (KIND, [a; b]); raises on malformed parentheses. *)
+let split_call line s =
+  match String.index_opt s '(' with
+  | None -> error line "expected '(' in %S" s
+  | Some open_paren ->
+    if s.[String.length s - 1] <> ')' then error line "expected ')' in %S" s;
+    let head = strip (String.sub s 0 open_paren) in
+    let inner =
+      String.sub s (open_paren + 1) (String.length s - open_paren - 2)
+    in
+    let args =
+      String.split_on_char ',' inner
+      |> List.map strip
+      |> List.filter (fun a -> a <> "")
+    in
+    (head, args)
+
+let parse ~title text =
+  let inputs = ref [] and outputs = ref [] and defs = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = strip (strip_comment raw) in
+      if line <> "" then
+        match String.index_opt line '=' with
+        | Some eq ->
+          let net = strip (String.sub line 0 eq) in
+          let rhs =
+            strip (String.sub line (eq + 1) (String.length line - eq - 1))
+          in
+          if net = "" then error lineno "missing net name";
+          let kind_name, args = split_call lineno rhs in
+          (match Gate.of_name kind_name with
+          | Some Gate.Input -> error lineno "INPUT used as a gate"
+          | Some kind -> defs := (net, kind, args) :: !defs
+          | None ->
+            if String.uppercase_ascii kind_name = "DFF" then
+              error lineno "sequential element DFF is not supported"
+            else error lineno "unknown gate kind %S" kind_name)
+        | None ->
+          let head, args = split_call lineno line in
+          (match (String.uppercase_ascii head, args) with
+          | "INPUT", [ name ] -> inputs := name :: !inputs
+          | "OUTPUT", [ name ] -> outputs := name :: !outputs
+          | ("INPUT" | "OUTPUT"), _ ->
+            error lineno "%s takes exactly one net name" head
+          | _ -> error lineno "unrecognised directive %S" head))
+    lines;
+  Circuit.create ~title ~inputs:(List.rev !inputs) ~outputs:(List.rev !outputs)
+    (List.rev !defs)
+
+let parse_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let title = Filename.remove_extension (Filename.basename path) in
+  parse ~title text
+
+let print c =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" c.Circuit.title);
+  Array.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf "INPUT(%s)\n" (Circuit.gate c g).Circuit.name))
+    c.Circuit.inputs;
+  Array.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "OUTPUT(%s)\n" (Circuit.gate c o).Circuit.name))
+    c.Circuit.outputs;
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      if g.kind <> Gate.Input then begin
+        let fanin_names =
+          Array.to_list g.fanins
+          |> List.map (fun f -> (Circuit.gate c f).Circuit.name)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s = %s(%s)\n" g.name (Gate.name g.kind)
+             (String.concat ", " fanin_names))
+      end)
+    c.Circuit.gates;
+  Buffer.contents buf

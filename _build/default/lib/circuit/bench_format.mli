@@ -1,0 +1,25 @@
+(** Reader and writer for the ISCAS-85/89 style [.bench] netlist format.
+
+    The dialect accepted here is combinational only:
+    {v
+    # comment
+    INPUT(a)
+    OUTPUT(f)
+    f = NAND(a, b)
+    v}
+    Gate mnemonics are case-insensitive; [INV] and [BUFF] are aliases for
+    [NOT] and [BUF].  [DFF] is rejected with a clear error. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse : title:string -> string -> Circuit.t
+(** Parse netlist text.  @raise Parse_error on syntax errors and
+    @raise Circuit.Malformed on semantic errors. *)
+
+val parse_file : string -> Circuit.t
+(** Parse a [.bench] file; the title is the basename without extension. *)
+
+val print : Circuit.t -> string
+(** Render a circuit back to [.bench] text; [parse] of the result
+    reconstructs an identical circuit. *)

@@ -1,0 +1,69 @@
+type net = string
+
+type t = {
+  title : string;
+  mutable inputs : string list; (* reversed *)
+  mutable outputs : string list; (* reversed *)
+  mutable defs : (string * Gate.kind * string list) list; (* reversed *)
+  names : (string, unit) Hashtbl.t;
+  mutable fresh : int;
+}
+
+let make ~title =
+  {
+    title;
+    inputs = [];
+    outputs = [];
+    defs = [];
+    names = Hashtbl.create 256;
+    fresh = 0;
+  }
+
+let claim b name =
+  if Hashtbl.mem b.names name then
+    raise (Circuit.Malformed (Printf.sprintf "duplicate net %S" name));
+  Hashtbl.add b.names name ()
+
+let fresh_name b =
+  let rec next () =
+    let name = Printf.sprintf "ng%d" b.fresh in
+    b.fresh <- b.fresh + 1;
+    if Hashtbl.mem b.names name then next () else name
+  in
+  next ()
+
+let input b name =
+  claim b name;
+  b.inputs <- name :: b.inputs;
+  name
+
+let gate ?name b kind fanins =
+  let name = match name with Some n -> n | None -> fresh_name b in
+  claim b name;
+  b.defs <- (name, kind, fanins) :: b.defs;
+  name
+
+let const0 b = gate b Gate.Const0 []
+let const1 b = gate b Gate.Const1 []
+let not_ ?name b a = gate ?name b Gate.Not [ a ]
+let and_ ?name b nets = gate ?name b Gate.And nets
+let nand ?name b nets = gate ?name b Gate.Nand nets
+let or_ ?name b nets = gate ?name b Gate.Or nets
+let nor ?name b nets = gate ?name b Gate.Nor nets
+let xor ?name b nets = gate ?name b Gate.Xor nets
+let xnor ?name b nets = gate ?name b Gate.Xnor nets
+let buf ?name b a = gate ?name b Gate.Buf [ a ]
+
+let output ?name b net =
+  let net =
+    match name with
+    | Some n when n <> net -> buf ~name:n b net
+    | Some _ | None -> net
+  in
+  b.outputs <- net :: b.outputs
+
+let name_of _ net = net
+
+let finish b =
+  Circuit.create ~title:b.title ~inputs:(List.rev b.inputs)
+    ~outputs:(List.rev b.outputs) (List.rev b.defs)

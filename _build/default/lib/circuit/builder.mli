@@ -1,0 +1,44 @@
+(** Imperative combinator DSL for constructing circuits in OCaml code.
+
+    {[
+      let b = Builder.make ~title:"fulladder" in
+      let a = Builder.input b "a" and bi = Builder.input b "b" in
+      let cin = Builder.input b "cin" in
+      let s1 = Builder.gate b Gate.Xor [ a; bi ] in
+      let sum = Builder.gate b Gate.Xor [ s1; cin ] in
+      Builder.output b ~name:"sum" sum;
+      Builder.finish b
+    ]} *)
+
+type t
+
+type net
+(** Handle to a net under construction. *)
+
+val make : title:string -> t
+
+val input : t -> string -> net
+(** Declare a primary input. *)
+
+val gate : ?name:string -> t -> Gate.kind -> net list -> net
+(** Add a gate; an unnamed gate gets a fresh [ng<N>] name. *)
+
+val const0 : t -> net
+val const1 : t -> net
+val not_ : ?name:string -> t -> net -> net
+val and_ : ?name:string -> t -> net list -> net
+val nand : ?name:string -> t -> net list -> net
+val or_ : ?name:string -> t -> net list -> net
+val nor : ?name:string -> t -> net list -> net
+val xor : ?name:string -> t -> net list -> net
+val xnor : ?name:string -> t -> net list -> net
+val buf : ?name:string -> t -> net -> net
+
+val output : ?name:string -> t -> net -> unit
+(** Mark a net as a primary output.  With [~name], the net is first given
+    that name via a BUF when it already has another one. *)
+
+val name_of : t -> net -> string
+
+val finish : t -> Circuit.t
+(** Validate and produce the circuit.  @raise Circuit.Malformed. *)

@@ -1,0 +1,213 @@
+type gate = { name : string; kind : Gate.kind; fanins : int array }
+
+type t = {
+  title : string;
+  gates : gate array;
+  inputs : int array;
+  outputs : int array;
+}
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+(* Topologically sort named definitions (inputs first, then by dependency),
+   detecting cycles and dangling references along the way. *)
+let create ~title ~inputs ~outputs defs =
+  let defs =
+    List.map (fun name -> (name, Gate.Input, [])) inputs
+    @ List.filter (fun (_, kind, _) -> kind <> Gate.Input) defs
+  in
+  let by_name = Hashtbl.create (List.length defs * 2) in
+  List.iter
+    (fun ((name, _, _) as def) ->
+      if Hashtbl.mem by_name name then malformed "duplicate net %S" name;
+      Hashtbl.add by_name name def)
+    defs;
+  List.iter
+    (fun (name, kind, fanins) ->
+      if not (Gate.arity_ok kind (List.length fanins)) then
+        malformed "net %S: %s with %d fanins" name (Gate.name kind)
+          (List.length fanins))
+    defs;
+  (* DFS post-order gives a topological order; a grey node on the stack
+     means a combinational cycle. *)
+  let state = Hashtbl.create (List.length defs * 2) in
+  let order = ref [] in
+  let rec visit name =
+    match Hashtbl.find_opt state name with
+    | Some `Done -> ()
+    | Some `Active -> malformed "combinational cycle through %S" name
+    | None ->
+      let _, _, fanins =
+        match Hashtbl.find_opt by_name name with
+        | Some def -> def
+        | None -> malformed "undefined net %S" name
+      in
+      Hashtbl.replace state name `Active;
+      List.iter visit fanins;
+      Hashtbl.replace state name `Done;
+      order := name :: !order
+  in
+  List.iter (fun (name, _, _) -> visit name) defs;
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem by_name name) then
+        malformed "output %S is not a defined net" name)
+    outputs;
+  let sorted = List.rev !order in
+  let index = Hashtbl.create (List.length sorted * 2) in
+  List.iteri (fun i name -> Hashtbl.add index name i) sorted;
+  let gates =
+    Array.of_list
+      (List.map
+         (fun name ->
+           let _, kind, fanins = Hashtbl.find by_name name in
+           {
+             name;
+             kind;
+             fanins = Array.of_list (List.map (Hashtbl.find index) fanins);
+           })
+         sorted)
+  in
+  let resolve names =
+    Array.of_list (List.map (Hashtbl.find index) names)
+  in
+  { title; gates; inputs = resolve inputs; outputs = resolve outputs }
+
+let num_gates c = Array.length c.gates
+let num_inputs c = Array.length c.inputs
+let num_outputs c = Array.length c.outputs
+let gate c i = c.gates.(i)
+
+let index_of_name c name =
+  let n = num_gates c in
+  let rec find i =
+    if i >= n then None
+    else if String.equal c.gates.(i).name name then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let is_input c i = c.gates.(i).kind = Gate.Input
+
+let is_output c i = Array.exists (fun o -> o = i) c.outputs
+
+let input_position c i =
+  let n = Array.length c.inputs in
+  let rec find k =
+    if k >= n then None else if c.inputs.(k) = i then Some k else find (k + 1)
+  in
+  find 0
+
+let fanouts c =
+  let out = Array.make (num_gates c) [] in
+  Array.iteri
+    (fun g gate ->
+      Array.iter (fun f -> out.(f) <- g :: out.(f)) gate.fanins)
+    c.gates;
+  Array.map (fun consumers -> Array.of_list (List.rev consumers)) out
+
+let fanout_count c =
+  let out = Array.make (num_gates c) 0 in
+  Array.iter
+    (fun gate -> Array.iter (fun f -> out.(f) <- out.(f) + 1) gate.fanins)
+    c.gates;
+  out
+
+type branch = { stem : int; sink : int; pin : int }
+
+let branches c =
+  let counts = fanout_count c in
+  let acc = ref [] in
+  Array.iteri
+    (fun sink gate ->
+      Array.iteri
+        (fun pin stem ->
+          if counts.(stem) >= 2 then acc := { stem; sink; pin } :: !acc)
+        gate.fanins)
+    c.gates;
+  List.rev !acc
+
+let fanin_cone c net =
+  let seen = Array.make (num_gates c) false in
+  let rec go n =
+    if not seen.(n) then begin
+      seen.(n) <- true;
+      Array.iter go c.gates.(n).fanins
+    end
+  in
+  go net;
+  let acc = ref [] in
+  for i = num_gates c - 1 downto 0 do
+    if seen.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let fanout_cone c nets =
+  let n = num_gates c in
+  let in_cone = Array.make n false in
+  List.iter (fun net -> in_cone.(net) <- true) nets;
+  (* Topological order makes a single forward sweep sufficient. *)
+  for g = 0 to n - 1 do
+    if not in_cone.(g) && Array.exists (fun f -> in_cone.(f)) c.gates.(g).fanins
+    then in_cone.(g) <- true
+  done;
+  in_cone
+
+let output_cone c net =
+  let reach = fanout_cone c [ net ] in
+  Array.to_list c.outputs |> List.filter (fun o -> reach.(o))
+
+let levels c =
+  let lv = Array.make (num_gates c) 0 in
+  Array.iteri
+    (fun g gate ->
+      if gate.kind <> Gate.Input then
+        lv.(g) <- 1 + Array.fold_left (fun m f -> max m lv.(f)) (-1) gate.fanins)
+    c.gates;
+  lv
+
+let depth c = Array.fold_left max 0 (levels c)
+
+let levels_to_po c ~combine =
+  let n = num_gates c in
+  let dist = Array.make n (-1) in
+  Array.iter (fun o -> dist.(o) <- 0) c.outputs;
+  (* Reverse topological sweep: a net's distance comes from its sinks. *)
+  for g = n - 1 downto 0 do
+    if dist.(g) >= 0 then
+      Array.iter
+        (fun f ->
+          let candidate = dist.(g) + 1 in
+          if dist.(f) < 0 then dist.(f) <- candidate
+          else if f |> is_output c then ()
+          else dist.(f) <- combine dist.(f) candidate)
+        c.gates.(g).fanins
+  done;
+  dist
+
+let max_levels_to_po c = levels_to_po c ~combine:max
+let min_levels_to_po c = levels_to_po c ~combine:min
+
+let eval c input_values =
+  if Array.length input_values <> num_inputs c then
+    invalid_arg "Circuit.eval: input vector length mismatch";
+  let values = Array.make (num_gates c) false in
+  Array.iteri (fun pos g -> values.(g) <- input_values.(pos)) c.inputs;
+  Array.iteri
+    (fun g gate ->
+      if gate.kind <> Gate.Input then
+        values.(g) <- Gate.eval_bool gate.kind (Array.map (Array.get values) gate.fanins))
+    c.gates;
+  values
+
+let eval_outputs c input_values =
+  let values = eval c input_values in
+  Array.map (Array.get values) c.outputs
+
+let retitle c title = { c with title }
+
+let pp_summary fmt c =
+  Format.fprintf fmt "%s: %d nets, %d PIs, %d POs, depth %d" c.title
+    (num_gates c) (num_inputs c) (num_outputs c) (depth c)

@@ -1,0 +1,105 @@
+(** Gate-level combinational netlists.
+
+    A circuit is an array of named gates in topological order: every gate's
+    fanins have strictly smaller indices.  Gate indices double as net
+    identifiers — the net driven by gate [g] {e is} [g].  Primary inputs
+    are gates of kind {!Gate.Input}; primary outputs are designated nets
+    (any net, including an input, may be an output). *)
+
+type gate = private {
+  name : string;
+  kind : Gate.kind;
+  fanins : int array;  (** indices of driving gates, in pin order *)
+}
+
+type t = private {
+  title : string;
+  gates : gate array;  (** topologically sorted *)
+  inputs : int array;  (** input gate indices, in declaration order *)
+  outputs : int array;  (** output net indices, in declaration order *)
+}
+
+exception Malformed of string
+(** Raised by {!create} on duplicate names, undefined fanins, arity
+    violations, combinational cycles, or missing output nets. *)
+
+val create :
+  title:string ->
+  inputs:string list ->
+  outputs:string list ->
+  (string * Gate.kind * string list) list ->
+  t
+(** [create ~title ~inputs ~outputs defs] builds a circuit from named gate
+    definitions [(net, kind, fanin-names)], in any order; the result is
+    topologically sorted.  @raise Malformed on inconsistent input. *)
+
+(** {1 Accessors} *)
+
+val num_gates : t -> int
+(** Total nets (inputs included).  The paper's "netlist size". *)
+
+val num_inputs : t -> int
+val num_outputs : t -> int
+val gate : t -> int -> gate
+val index_of_name : t -> string -> int option
+val is_input : t -> int -> bool
+val is_output : t -> int -> bool
+val input_position : t -> int -> int option
+(** Position of an input gate within the declaration order. *)
+
+(** {1 Connectivity} *)
+
+val fanouts : t -> int array array
+(** [fanouts c].(g) lists the gates reading net [g] (with multiplicity when
+    a gate reads the same net on several pins). *)
+
+val fanout_count : t -> int array
+
+type branch = { stem : int; sink : int; pin : int }
+(** One fanout branch: net [stem] feeding pin [pin] of gate [sink]. *)
+
+val branches : t -> branch list
+(** All stem-to-pin connections of nets with fanout of at least two — the
+    fanout branches that, together with the primary inputs, form the
+    checkpoints of the circuit. *)
+
+val fanin_cone : t -> int -> int list
+(** Nets in the transitive fanin of a net (itself included), ascending. *)
+
+val fanout_cone : t -> int list -> bool array
+(** Characteristic vector of the union of transitive fanouts of the given
+    nets (the nets themselves included). *)
+
+val output_cone : t -> int -> int list
+(** Output nets reachable from a net — the POs the net {e feeds}. *)
+
+(** {1 Levels} *)
+
+val levels : t -> int array
+(** Distance from the primary inputs: inputs are level 0, other gates one
+    more than their deepest fanin. *)
+
+val depth : t -> int
+(** Maximum level over all nets. *)
+
+val max_levels_to_po : t -> int array
+(** For each net, the longest path (in gate levels) to any primary output
+    it reaches; 0 for nets that are themselves outputs and [-1] for nets
+    that reach no output.  X-axis of the paper's Figures 3 and 8. *)
+
+val min_levels_to_po : t -> int array
+(** Shortest-path variant of {!max_levels_to_po}. *)
+
+(** {1 Evaluation} *)
+
+val eval : t -> bool array -> bool array
+(** Evaluate all nets under an input assignment (indexed in input
+    declaration order).  Returns one value per net. *)
+
+val eval_outputs : t -> bool array -> bool array
+(** Output values only, in output declaration order. *)
+
+val retitle : t -> string -> t
+(** Same circuit under a different title. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+let circuit ?(highlight = []) c =
+  let buf = Buffer.create 4096 in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+  in
+  line "digraph %S {" c.Circuit.title;
+  line "  rankdir=LR;";
+  let levels = Circuit.levels c in
+  Array.iteri
+    (fun g (gate : Circuit.gate) ->
+      let shape =
+        match gate.Circuit.kind with
+        | Gate.Input -> "triangle"
+        | Gate.Const0 | Gate.Const1 -> "box"
+        | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+        | Gate.Xor | Gate.Xnor -> "ellipse"
+      in
+      let style =
+        let filled = Gate.inverted gate.Circuit.kind in
+        let red = List.mem g highlight in
+        match (filled, red) with
+        | true, true -> ", style=filled, fillcolor=red"
+        | true, false -> ", style=filled, fillcolor=lightgray"
+        | false, true -> ", color=red, fontcolor=red"
+        | false, false -> ""
+      in
+      let label =
+        match gate.Circuit.kind with
+        | Gate.Input -> gate.Circuit.name
+        | kind -> Printf.sprintf "%s\\n%s" gate.Circuit.name (Gate.name kind)
+      in
+      let peripheries = if Circuit.is_output c g then 2 else 1 in
+      line "  g%d [label=%S, shape=%s, peripheries=%d%s];" g label shape
+        peripheries style;
+      Array.iter (fun f -> line "  g%d -> g%d;" f g) gate.Circuit.fanins)
+    c.Circuit.gates;
+  (* Rank inputs together and each level together for a readable layout. *)
+  let by_level = Hashtbl.create 16 in
+  Array.iteri
+    (fun g _ ->
+      Hashtbl.replace by_level levels.(g)
+        (g :: Option.value (Hashtbl.find_opt by_level levels.(g)) ~default:[]))
+    c.Circuit.gates;
+  Hashtbl.iter
+    (fun _ nets ->
+      line "  { rank=same; %s }"
+        (String.concat "; " (List.map (Printf.sprintf "g%d") nets)))
+    by_level;
+  line "}";
+  Buffer.contents buf
+
+let node_function sym net =
+  let c = Symbolic.circuit sym in
+  let var_name pos = (Circuit.gate c c.Circuit.inputs.(pos)).Circuit.name in
+  Bdd.to_dot (Symbolic.manager sym) ~var_name
+    ~title:(Circuit.gate c net).Circuit.name
+    (Symbolic.node_function sym net)

@@ -1,0 +1,10 @@
+(** Graphviz rendering of netlists: gates ranked by level, inputs as
+    triangles, outputs doubled, inverting gates filled.  Meant for the
+    small benchmarks and for inspecting fault sites. *)
+
+val circuit : ?highlight:int list -> Circuit.t -> string
+(** DOT text; [highlight] nets are drawn red (e.g. a fault's sites). *)
+
+val node_function : Symbolic.t -> int -> string
+(** The OBDD of one net's good function as DOT, with primary-input
+    names on the decision nodes. *)

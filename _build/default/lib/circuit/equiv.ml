@@ -1,0 +1,80 @@
+type verdict =
+  | Equivalent
+  | Different of { output : int; witness : bool array }
+  | Interface_mismatch of string
+
+(* Evaluate a circuit's outputs in an existing manager whose variables
+   are input positions (shared by both sides). *)
+let outputs_in manager c =
+  let node = Array.make (Circuit.num_gates c) (Bdd.zero manager) in
+  Array.iteri
+    (fun g (gate : Circuit.gate) ->
+      node.(g) <-
+        (match gate.Circuit.kind with
+        | Gate.Input ->
+          (match Circuit.input_position c g with
+          | Some pos -> Bdd.var manager pos
+          | None -> assert false)
+        | Gate.Const0 -> Bdd.zero manager
+        | Gate.Const1 -> Bdd.one manager
+        | Gate.Buf -> node.(gate.Circuit.fanins.(0))
+        | Gate.Not -> Bdd.bnot manager node.(gate.Circuit.fanins.(0))
+        | (Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor)
+          as kind ->
+          let operands = Array.map (Array.get node) gate.Circuit.fanins in
+          let base =
+            match Gate.base_of_inverted kind with
+            | Gate.And ->
+              Array.fold_left (Bdd.band manager) (Bdd.one manager) operands
+            | Gate.Or ->
+              Array.fold_left (Bdd.bor manager) (Bdd.zero manager) operands
+            | Gate.Xor ->
+              Array.fold_left (Bdd.bxor manager) (Bdd.zero manager) operands
+            | Gate.Buf | Gate.Not | Gate.Input | Gate.Const0 | Gate.Const1
+            | Gate.Nand | Gate.Nor | Gate.Xnor ->
+              assert false
+          in
+          if Gate.inverted kind then Bdd.bnot manager base else base))
+    c.Circuit.gates;
+  Array.map (Array.get node) c.Circuit.outputs
+
+let check c1 c2 =
+  if Circuit.num_inputs c1 <> Circuit.num_inputs c2 then
+    Interface_mismatch
+      (Printf.sprintf "input counts differ: %d vs %d" (Circuit.num_inputs c1)
+         (Circuit.num_inputs c2))
+  else if Circuit.num_outputs c1 <> Circuit.num_outputs c2 then
+    Interface_mismatch
+      (Printf.sprintf "output counts differ: %d vs %d"
+         (Circuit.num_outputs c1) (Circuit.num_outputs c2))
+  else begin
+    let manager = Bdd.create (Circuit.num_inputs c1) in
+    let f1 = outputs_in manager c1 in
+    let f2 = outputs_in manager c2 in
+    let n = Array.length f1 in
+    let rec compare_outputs i =
+      if i >= n then Equivalent
+      else if Bdd.equal f1.(i) f2.(i) then compare_outputs (i + 1)
+      else begin
+        let miter = Bdd.bxor manager f1.(i) f2.(i) in
+        let witness = Array.make (Circuit.num_inputs c1) false in
+        (match Bdd.any_sat manager miter with
+        | Some literals ->
+          List.iter (fun (pos, value) -> witness.(pos) <- value) literals
+        | None -> assert false);
+        Different { output = i; witness }
+      end
+    in
+    compare_outputs 0
+  end
+
+let equivalent c1 c2 = check c1 c2 = Equivalent
+
+let pp_verdict c fmt = function
+  | Equivalent -> Format.fprintf fmt "equivalent"
+  | Interface_mismatch reason -> Format.fprintf fmt "interfaces differ: %s" reason
+  | Different { output; witness } ->
+    let name = (Circuit.gate c c.Circuit.outputs.(output)).Circuit.name in
+    Format.fprintf fmt "differ at output %s under %s" name
+      (String.concat ""
+         (Array.to_list (Array.map (fun b -> if b then "1" else "0") witness)))

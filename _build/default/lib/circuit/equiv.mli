@@ -1,0 +1,22 @@
+(** Formal combinational equivalence checking via the shared OBDD
+    substrate: build both circuits' output functions in one manager and
+    compare node handles.  Exact (no sampling); used to validate
+    function-preserving transforms such as the c499 → c1355 expansion. *)
+
+type verdict =
+  | Equivalent
+  | Different of {
+      output : int;  (** index into the first circuit's output list *)
+      witness : bool array;  (** input vector separating the circuits *)
+    }
+  | Interface_mismatch of string
+      (** input/output counts differ (names are not compared). *)
+
+val check : Circuit.t -> Circuit.t -> verdict
+(** Inputs are matched positionally (i-th input to i-th input), outputs
+    likewise — the convention of the [.bench] benchmarks. *)
+
+val equivalent : Circuit.t -> Circuit.t -> bool
+(** [check] collapsed to a boolean. *)
+
+val pp_verdict : Circuit.t -> Format.formatter -> verdict -> unit

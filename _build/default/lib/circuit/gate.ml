@@ -1,0 +1,105 @@
+type kind =
+  | Input
+  | Const0
+  | Const1
+  | Buf
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+
+let all_kinds =
+  [ Input; Const0; Const1; Buf; Not; And; Nand; Or; Nor; Xor; Xnor ]
+
+let name = function
+  | Input -> "INPUT"
+  | Const0 -> "CONST0"
+  | Const1 -> "CONST1"
+  | Buf -> "BUF"
+  | Not -> "NOT"
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+
+let of_name s =
+  match String.uppercase_ascii s with
+  | "INPUT" -> Some Input
+  | "CONST0" | "GND" -> Some Const0
+  | "CONST1" | "VDD" -> Some Const1
+  | "BUF" | "BUFF" -> Some Buf
+  | "NOT" | "INV" -> Some Not
+  | "AND" -> Some And
+  | "NAND" -> Some Nand
+  | "OR" -> Some Or
+  | "NOR" -> Some Nor
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | _ -> None
+
+let arity_ok kind n =
+  match kind with
+  | Input | Const0 | Const1 -> n = 0
+  | Buf | Not -> n = 1
+  | And | Nand | Or | Nor | Xor | Xnor -> n >= 1
+
+let inverted = function
+  | Not | Nand | Nor | Xnor -> true
+  | Input | Const0 | Const1 | Buf | And | Or | Xor -> false
+
+let base_of_inverted = function
+  | Not -> Buf
+  | Nand -> And
+  | Nor -> Or
+  | Xnor -> Xor
+  | (Input | Const0 | Const1 | Buf | And | Or | Xor) as k -> k
+
+let check kind args =
+  if not (arity_ok kind (Array.length args)) then
+    invalid_arg
+      (Printf.sprintf "Gate.eval: %s with %d fanins" (name kind)
+         (Array.length args))
+
+let eval_bool kind args =
+  check kind args;
+  match kind with
+  | Input -> invalid_arg "Gate.eval_bool: Input has no local function"
+  | Const0 -> false
+  | Const1 -> true
+  | Buf -> args.(0)
+  | Not -> not args.(0)
+  | And -> Array.for_all Fun.id args
+  | Nand -> not (Array.for_all Fun.id args)
+  | Or -> Array.exists Fun.id args
+  | Nor -> not (Array.exists Fun.id args)
+  | Xor -> Array.fold_left ( <> ) false args
+  | Xnor -> not (Array.fold_left ( <> ) false args)
+
+let eval_word kind args =
+  check kind args;
+  let open Int64 in
+  let fold op init = Array.fold_left op init args in
+  match kind with
+  | Input -> invalid_arg "Gate.eval_word: Input has no local function"
+  | Const0 -> 0L
+  | Const1 -> minus_one
+  | Buf -> args.(0)
+  | Not -> lognot args.(0)
+  | And -> fold logand minus_one
+  | Nand -> lognot (fold logand minus_one)
+  | Or -> fold logor 0L
+  | Nor -> lognot (fold logor 0L)
+  | Xor -> fold logxor 0L
+  | Xnor -> lognot (fold logxor 0L)
+
+let controlling_value = function
+  | And | Nand -> Some false
+  | Or | Nor -> Some true
+  | Input | Const0 | Const1 | Buf | Not | Xor | Xnor -> None
+
+let pp fmt kind = Format.pp_print_string fmt (name kind)

@@ -1,0 +1,46 @@
+(** Combinational gate kinds and their Boolean semantics. *)
+
+type kind =
+  | Input  (** primary input; no fanins *)
+  | Const0
+  | Const1
+  | Buf
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor  (** n-ary XNOR is defined as the complement of n-ary XOR *)
+
+val all_kinds : kind list
+
+val name : kind -> string
+(** Upper-case mnemonic as used in the [.bench] netlist format. *)
+
+val of_name : string -> kind option
+(** Case-insensitive parse; recognises the aliases INV and BUFF. *)
+
+val arity_ok : kind -> int -> bool
+(** Whether a gate of this kind may have the given fanin count. *)
+
+val inverted : kind -> bool
+(** True for the kinds whose output stage is an inversion (NOT, NAND, NOR,
+    XNOR).  The Difference Propagation rules are insensitive to output
+    inversion, which this predicate makes explicit. *)
+
+val base_of_inverted : kind -> kind
+(** AND for NAND, OR for NOR, XOR for XNOR, BUF for NOT; identity
+    otherwise. *)
+
+val eval_bool : kind -> bool array -> bool
+(** Semantics on booleans.  @raise Invalid_argument on arity violation. *)
+
+val eval_word : kind -> int64 array -> int64
+(** Bit-parallel semantics: 64 independent evaluations at once. *)
+
+val controlling_value : kind -> bool option
+(** The input value that determines the output alone (false for AND/NAND,
+    true for OR/NOR), if any. *)
+
+val pp : Format.formatter -> kind -> unit

@@ -1,0 +1,68 @@
+let random ~seed ~inputs ~gates ~outputs =
+  if inputs < 1 || gates < 1 || outputs < 1 then
+    invalid_arg "Generate.random: all sizes must be positive";
+  let rng = Prng.create ~seed in
+  let b = Builder.make ~title:(Printf.sprintf "rand-s%d" seed) in
+  let nets = ref [||] in
+  let push net = nets := Array.append !nets [| net |] in
+  for i = 0 to inputs - 1 do
+    push (Builder.input b (Printf.sprintf "i%d" i))
+  done;
+  let kinds =
+    [| Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor;
+       Gate.Not; Gate.Buf |]
+  in
+  (* Bias fanin choice towards recent nets so the circuit gains depth
+     instead of staying a two-level network over the inputs. *)
+  let pick_net () =
+    let n = Array.length !nets in
+    let recent = max 1 (n / 2) in
+    let from_recent = Prng.int rng 4 < 3 && n > 2 in
+    let idx =
+      if from_recent then n - 1 - Prng.int rng recent else Prng.int rng n
+    in
+    !nets.(idx)
+  in
+  for _ = 1 to gates do
+    let kind = kinds.(Prng.int rng (Array.length kinds)) in
+    let arity =
+      match kind with
+      | Gate.Not | Gate.Buf -> 1
+      | _ -> 2 + Prng.int rng 3
+    in
+    let fanins = List.init arity (fun _ -> pick_net ()) in
+    push (Builder.gate b kind fanins)
+  done;
+  let n = Array.length !nets in
+  let tail = max 1 (n / 4) in
+  for _ = 1 to outputs do
+    Builder.output b !nets.(n - 1 - Prng.int rng tail)
+  done;
+  Builder.finish b
+
+let parity_tree ~inputs =
+  if inputs < 1 then invalid_arg "Generate.parity_tree";
+  let b = Builder.make ~title:(Printf.sprintf "parity%d" inputs) in
+  let leaves =
+    List.init inputs (fun i -> Builder.input b (Printf.sprintf "i%d" i))
+  in
+  let rec reduce = function
+    | [ only ] -> only
+    | nets ->
+      let rec pair = function
+        | a :: c :: rest -> Builder.xor b [ a; c ] :: pair rest
+        | leftover -> leftover
+      in
+      reduce (pair nets)
+  in
+  Builder.output b ~name:"parity" (reduce leaves);
+  Builder.finish b
+
+let comparator ~width =
+  if width < 1 then invalid_arg "Generate.comparator";
+  let b = Builder.make ~title:(Printf.sprintf "eq%d" width) in
+  let xs = List.init width (fun i -> Builder.input b (Printf.sprintf "a%d" i)) in
+  let ys = List.init width (fun i -> Builder.input b (Printf.sprintf "b%d" i)) in
+  let bits = List.map2 (fun x y -> Builder.xnor b [ x; y ]) xs ys in
+  Builder.output b ~name:"eq" (Builder.and_ b bits);
+  Builder.finish b

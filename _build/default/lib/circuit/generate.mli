@@ -1,0 +1,20 @@
+(** Deterministic random-circuit generation for property tests and
+    scaling sweeps. *)
+
+val random :
+  seed:int ->
+  inputs:int ->
+  gates:int ->
+  outputs:int ->
+  Circuit.t
+(** Layered random combinational circuit: each gate draws a kind from
+    {AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF} and fanins uniformly from
+    nets created earlier, biased towards recent nets so depth grows.
+    Outputs are drawn from the last quarter of nets.  Same seed, same
+    circuit. *)
+
+val parity_tree : inputs:int -> Circuit.t
+(** Balanced XOR tree over [inputs] variables (single output). *)
+
+val comparator : width:int -> Circuit.t
+(** Equality comparator of two [width]-bit vectors (single output). *)

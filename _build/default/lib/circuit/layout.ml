@@ -1,0 +1,33 @@
+type t = { xs : float array; ys : float array }
+
+let compute c =
+  let n = Circuit.num_gates c in
+  let levels = Circuit.levels c in
+  let xs = Array.init n (fun g -> float_of_int levels.(g)) in
+  let ys = Array.make n 0.0 in
+  Array.iteri (fun pos g -> ys.(g) <- float_of_int pos) c.Circuit.inputs;
+  (* Topological order guarantees fanin Y values are final when read. *)
+  for g = 0 to n - 1 do
+    let gate = Circuit.gate c g in
+    if gate.Circuit.kind <> Gate.Input then begin
+      let fanins = gate.Circuit.fanins in
+      let arity = Array.length fanins in
+      if arity > 0 then begin
+        let sum = Array.fold_left (fun acc f -> acc +. ys.(f)) 0.0 fanins in
+        ys.(g) <- sum /. float_of_int arity
+      end
+    end
+  done;
+  { xs; ys }
+
+let position t g = (t.xs.(g), t.ys.(g))
+
+let distance t a b =
+  let dx = t.xs.(a) -. t.xs.(b) and dy = t.ys.(a) -. t.ys.(b) in
+  Float.sqrt ((dx *. dx) +. (dy *. dy))
+
+let max_distance t pairs =
+  List.fold_left (fun acc (a, b) -> Float.max acc (distance t a b)) 0.0 pairs
+
+let normalized_distance t ~max a b =
+  if max <= 0.0 then 0.0 else distance t a b /. max

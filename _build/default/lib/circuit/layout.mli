@@ -1,0 +1,25 @@
+(** Approximate layout coordinates, after the paper's §2.2.
+
+    With no real layouts available, the paper estimates wire distance from
+    the netlist alone: a gate's X coordinate is its level (distance in
+    gates from the primary inputs); primary inputs take Y coordinates
+    [0 .. n-1] in declaration order (the benchmark ordering is assumed
+    meaningful); every other gate's Y coordinate is the average of its
+    fanins' Y coordinates, assigned level by level.  This averages over
+    "the aggregate of all possible layouts for that PI ordering". *)
+
+type t
+
+val compute : Circuit.t -> t
+
+val position : t -> int -> float * float
+(** (x, y) of a net. *)
+
+val distance : t -> int -> int -> float
+(** Euclidean distance between two nets' estimated positions. *)
+
+val max_distance : t -> (int * int) list -> float
+(** Largest {!distance} over a list of net pairs (0 on the empty list). *)
+
+val normalized_distance : t -> max:float -> int -> int -> float
+(** Distance scaled into [0, 1] by a precomputed maximum. *)

@@ -1,0 +1,42 @@
+type heuristic = Natural | Dfs_fanin | Reverse | Shuffled of int
+
+let all = [ Natural; Dfs_fanin; Reverse; Shuffled 1 ]
+
+let name = function
+  | Natural -> "natural"
+  | Dfs_fanin -> "dfs-fanin"
+  | Reverse -> "reverse"
+  | Shuffled seed -> Printf.sprintf "shuffled-%d" seed
+
+let order heuristic c =
+  let n = Circuit.num_inputs c in
+  match heuristic with
+  | Natural -> Array.init n (fun i -> i)
+  | Reverse -> Array.init n (fun i -> n - 1 - i)
+  | Shuffled seed ->
+    let a = Array.init n (fun i -> i) in
+    Prng.shuffle (Prng.create ~seed) a;
+    a
+  | Dfs_fanin ->
+    let seen = Array.make (Circuit.num_gates c) false in
+    let acc = ref [] in
+    let rec visit g =
+      if not seen.(g) then begin
+        seen.(g) <- true;
+        let gate = Circuit.gate c g in
+        if gate.Circuit.kind = Gate.Input then begin
+          match Circuit.input_position c g with
+          | Some pos -> acc := pos :: !acc
+          | None -> ()
+        end
+        else Array.iter visit gate.Circuit.fanins
+      end
+    in
+    Array.iter visit c.Circuit.outputs;
+    (* Inputs never reached from an output go last, in natural order. *)
+    let reached = List.rev !acc in
+    let missing =
+      List.init n Fun.id
+      |> List.filter (fun pos -> not (List.mem pos reached))
+    in
+    Array.of_list (reached @ missing)

@@ -1,0 +1,20 @@
+(** Variable-ordering heuristics for the symbolic (OBDD) evaluation of a
+    circuit.  Orders map BDD levels to primary-input {e positions} (the
+    index into the circuit's input declaration order). *)
+
+type heuristic =
+  | Natural  (** declaration order — the paper's choice (§2.2) *)
+  | Dfs_fanin
+      (** depth-first traversal from the outputs, recording inputs at first
+          visit (Malik-style topological ordering) *)
+  | Reverse  (** declaration order reversed — a deliberately poor control *)
+  | Shuffled of int  (** deterministic pseudo-random order from a seed *)
+
+val all : heuristic list
+(** One representative of each constructor (seed 1 for [Shuffled]). *)
+
+val name : heuristic -> string
+
+val order : heuristic -> Circuit.t -> int array
+(** Permutation [p] with [p.(level) = input position]; length equals the
+    circuit's input count. *)

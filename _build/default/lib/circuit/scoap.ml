@@ -1,0 +1,115 @@
+type t = { cc0 : int array; cc1 : int array; co : int array }
+
+let unreachable = max_int
+
+(* Saturating addition keeps unreachable observabilities absorbing. *)
+let ( ++ ) a b =
+  if a = unreachable || b = unreachable then unreachable else a + b
+
+let sum_over a f = Array.fold_left (fun acc x -> acc ++ f x) 0 a
+
+let min_over a f =
+  Array.fold_left (fun acc x -> min acc (f x)) unreachable a
+
+let compute c =
+  let n = Circuit.num_gates c in
+  let cc0 = Array.make n 1 in
+  let cc1 = Array.make n 1 in
+  (* Forward sweep: controllabilities from fanin controllabilities. *)
+  Array.iteri
+    (fun g (gate : Circuit.gate) ->
+      let ins = gate.Circuit.fanins in
+      let c0 i = cc0.(ins.(i)) and c1 i = cc1.(ins.(i)) in
+      let idx = Array.init (Array.length ins) Fun.id in
+      match gate.Circuit.kind with
+      | Gate.Input -> ()
+      | Gate.Const0 ->
+        cc0.(g) <- 1;
+        cc1.(g) <- unreachable
+      | Gate.Const1 ->
+        cc0.(g) <- unreachable;
+        cc1.(g) <- 1
+      | Gate.Buf ->
+        cc0.(g) <- c0 0 ++ 1;
+        cc1.(g) <- c1 0 ++ 1
+      | Gate.Not ->
+        cc0.(g) <- c1 0 ++ 1;
+        cc1.(g) <- c0 0 ++ 1
+      | Gate.And ->
+        cc1.(g) <- sum_over idx c1 ++ 1;
+        cc0.(g) <- min_over idx c0 ++ 1
+      | Gate.Nand ->
+        cc0.(g) <- sum_over idx c1 ++ 1;
+        cc1.(g) <- min_over idx c0 ++ 1
+      | Gate.Or ->
+        cc0.(g) <- sum_over idx c0 ++ 1;
+        cc1.(g) <- min_over idx c1 ++ 1
+      | Gate.Nor ->
+        cc1.(g) <- sum_over idx c0 ++ 1;
+        cc0.(g) <- min_over idx c1 ++ 1
+      | Gate.Xor | Gate.Xnor ->
+        (* Fold pairwise: cost of parity 1 over a prefix and the next
+           input is the cheaper of (1,0) and (0,1), and so on. *)
+        let rec fold i acc0 acc1 =
+          if i >= Array.length ins then (acc0, acc1)
+          else
+            let z0 = min (acc0 ++ c0 i) (acc1 ++ c1 i) in
+            let z1 = min (acc0 ++ c1 i) (acc1 ++ c0 i) in
+            fold (i + 1) z0 z1
+        in
+        let parity0, parity1 = fold 1 (c0 0) (c1 0) in
+        if gate.Circuit.kind = Gate.Xor then begin
+          cc0.(g) <- parity0 ++ 1;
+          cc1.(g) <- parity1 ++ 1
+        end
+        else begin
+          cc0.(g) <- parity1 ++ 1;
+          cc1.(g) <- parity0 ++ 1
+        end)
+    c.Circuit.gates;
+  (* Backward sweep: observabilities; stems take the cheapest branch. *)
+  let co = Array.make n unreachable in
+  Array.iter (fun o -> co.(o) <- 0) c.Circuit.outputs;
+  for g = n - 1 downto 0 do
+    let gate = Circuit.gate c g in
+    if co.(g) <> unreachable && gate.Circuit.kind <> Gate.Input then begin
+      let ins = gate.Circuit.fanins in
+      let side_cost pin =
+        let others =
+          Array.to_list ins
+          |> List.filteri (fun j _ -> j <> pin)
+        in
+        match gate.Circuit.kind with
+        | Gate.And | Gate.Nand ->
+          List.fold_left (fun acc f -> acc ++ cc1.(f)) 0 others
+        | Gate.Or | Gate.Nor ->
+          List.fold_left (fun acc f -> acc ++ cc0.(f)) 0 others
+        | Gate.Xor | Gate.Xnor ->
+          List.fold_left (fun acc f -> acc ++ min cc0.(f) cc1.(f)) 0 others
+        | Gate.Buf | Gate.Not -> 0
+        | Gate.Input | Gate.Const0 | Gate.Const1 -> 0
+      in
+      Array.iteri
+        (fun pin f ->
+          let through = co.(g) ++ side_cost pin ++ 1 in
+          if through < co.(f) then co.(f) <- through)
+        ins
+    end
+  done;
+  { cc0; cc1; co }
+
+let controllability t ~net ~value = if value then t.cc1.(net) else t.cc0.(net)
+
+let observability t net = t.co.(net)
+
+let stuck_at_difficulty t ~stem ~value =
+  controllability t ~net:stem ~value:(not value) ++ observability t stem
+
+let pp c fmt t =
+  Format.fprintf fmt "  %-12s %6s %6s %8s@." "net" "CC0" "CC1" "CO";
+  let cell v = if v = unreachable then "inf" else string_of_int v in
+  Array.iteri
+    (fun g (gate : Circuit.gate) ->
+      Format.fprintf fmt "  %-12s %6s %6s %8s@." gate.Circuit.name
+        (cell t.cc0.(g)) (cell t.cc1.(g)) (cell t.co.(g)))
+    c.Circuit.gates

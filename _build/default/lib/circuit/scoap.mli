@@ -1,0 +1,32 @@
+(** SCOAP testability measures (Goldstein 1979): topological
+    controllability and observability estimates, linear-time and purely
+    structural.  The paper's §4.1 relates exact detectability to fault
+    topology ("detectability seems more closely correlated with
+    observability than with controllability"); these measures are the
+    classical way to quantify controllability/observability without
+    functional analysis, so the claim can be tested numerically against
+    the exact Difference Propagation detectabilities. *)
+
+type t = {
+  cc0 : int array;  (** cost of setting each net to 0 (>= 1) *)
+  cc1 : int array;  (** cost of setting each net to 1 (>= 1) *)
+  co : int array;
+      (** cost of observing each net at some primary output; [max_int]
+          for nets that reach no output *)
+}
+
+val compute : Circuit.t -> t
+
+val controllability : t -> net:int -> value:bool -> int
+(** [cc0] or [cc1] of the net. *)
+
+val observability : t -> int -> int
+
+val stuck_at_difficulty : t -> stem:int -> value:bool -> int
+(** SCOAP difficulty of a stuck-at fault on a line driven by [stem]:
+    controllability of the excitation value plus observability of the
+    stem (which approximates branch-pin observability well enough for
+    ranking). *)
+
+val pp : Circuit.t -> Format.formatter -> t -> unit
+(** Per-net table (for small circuits). *)

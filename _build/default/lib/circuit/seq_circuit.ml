@@ -1,0 +1,169 @@
+type t = {
+  title : string;
+  core : Circuit.t;
+  num_inputs : int;
+  num_outputs : int;
+  num_flops : int;
+  flop_names : string list;
+}
+
+exception Malformed of string
+
+type init = Zero | Free
+
+(* Pull "q = DFF(d)" lines out of bench text; the rest goes through the
+   ordinary combinational parser with q re-declared as an input and d as
+   an extra output. *)
+let extract_flops text =
+  let flops = ref [] in
+  let kept = ref [] in
+  String.split_on_char '\n' text
+  |> List.iter (fun raw ->
+         let no_comment =
+           match String.index_opt raw '#' with
+           | Some i -> String.sub raw 0 i
+           | None -> raw
+         in
+         let upper = String.uppercase_ascii no_comment in
+         let is_dff =
+           match String.index_opt upper '=' with
+           | Some eq ->
+             let rhs = String.trim (String.sub upper (eq + 1)
+                                      (String.length upper - eq - 1)) in
+             String.length rhs >= 4 && String.sub rhs 0 4 = "DFF("
+           | None -> false
+         in
+         if is_dff then begin
+           match String.index_opt no_comment '=' with
+           | None -> assert false
+           | Some eq ->
+             let q = String.trim (String.sub no_comment 0 eq) in
+             let rhs =
+               String.trim
+                 (String.sub no_comment (eq + 1)
+                    (String.length no_comment - eq - 1))
+             in
+             (match (String.index_opt rhs '(', String.rindex_opt rhs ')') with
+             | Some o, Some cl when cl > o ->
+               let d = String.trim (String.sub rhs (o + 1) (cl - o - 1)) in
+               if q = "" || d = "" then
+                 raise (Malformed "empty DFF operand");
+               flops := (q, d) :: !flops
+             | _ -> raise (Malformed ("unparsable DFF line: " ^ raw)))
+         end
+         else kept := raw :: !kept);
+  (List.rev !flops, String.concat "\n" (List.rev !kept))
+
+let wrap ~title core ~flops =
+  let q_names = List.map fst flops in
+  let d_names = List.map snd flops in
+  List.iter
+    (fun q ->
+      match Circuit.index_of_name core q with
+      | Some g when Circuit.is_input core g -> ()
+      | Some _ -> raise (Malformed ("flop output " ^ q ^ " is not an input"))
+      | None -> raise (Malformed ("flop output " ^ q ^ " undefined")))
+    q_names;
+  List.iter
+    (fun d ->
+      if Circuit.index_of_name core d = None then
+        raise (Malformed ("flop input " ^ d ^ " undefined")))
+    d_names;
+  (* Normalise the core's interface: real PIs first (declaration order,
+     flop Qs excluded), then the Qs; real POs first, then the Ds. *)
+  let input_names =
+    Array.to_list core.Circuit.inputs
+    |> List.map (fun g -> (Circuit.gate core g).Circuit.name)
+    |> List.filter (fun n -> not (List.mem n q_names))
+  in
+  let output_names =
+    Array.to_list core.Circuit.outputs
+    |> List.map (fun o -> (Circuit.gate core o).Circuit.name)
+  in
+  let normalised =
+    Circuit.create ~title
+      ~inputs:(input_names @ q_names)
+      ~outputs:(output_names @ d_names)
+      (Transform.definitions core)
+  in
+  {
+    title;
+    core = normalised;
+    num_inputs = List.length input_names;
+    num_outputs = List.length output_names;
+    num_flops = List.length flops;
+    flop_names = q_names;
+  }
+
+let parse ~title text =
+  let flops, combinational_text = extract_flops text in
+  if flops = [] then raise (Malformed "no DFFs: use Bench_format.parse");
+  let with_pseudo_inputs =
+    String.concat "\n"
+      (List.map (fun (q, _) -> Printf.sprintf "INPUT(%s)" q) flops)
+    ^ "\n" ^ combinational_text
+  in
+  let core = Bench_format.parse ~title with_pseudo_inputs in
+  wrap ~title core ~flops
+
+let of_circuit core ~flops = wrap ~title:core.Circuit.title core ~flops
+
+let frame_name name i = Printf.sprintf "%s@%d" name i
+
+let unroll t ~frames ~init =
+  if frames < 1 then invalid_arg "Seq_circuit.unroll: frames must be >= 1";
+  let core = t.core in
+  let core_defs = Transform.definitions core in
+  let real_inputs =
+    Array.to_list core.Circuit.inputs
+    |> List.map (fun g -> (Circuit.gate core g).Circuit.name)
+    |> List.filteri (fun i _ -> i < t.num_inputs)
+  in
+  let real_outputs =
+    Array.to_list core.Circuit.outputs
+    |> List.map (fun o -> (Circuit.gate core o).Circuit.name)
+    |> List.filteri (fun i _ -> i < t.num_outputs)
+  in
+  let d_names =
+    Array.to_list core.Circuit.outputs
+    |> List.map (fun o -> (Circuit.gate core o).Circuit.name)
+    |> List.filteri (fun i _ -> i >= t.num_outputs)
+  in
+  let defs = ref [] in
+  let inputs = ref [] in
+  let outputs = ref [] in
+  for i = 0 to frames - 1 do
+    let r name = frame_name name i in
+    (* Frame-local gate definitions. *)
+    List.iter
+      (fun (name, kind, fanins) ->
+        defs := (r name, kind, List.map r fanins) :: !defs)
+      core_defs;
+    (* Real inputs become per-frame primary inputs. *)
+    List.iter (fun name -> inputs := r name :: !inputs) real_inputs;
+    (* State inputs: initial state at frame 0, previous frame's
+       next-state nets afterwards. *)
+    List.iteri
+      (fun k q ->
+        if i = 0 then
+          match init with
+          | Zero -> defs := (r q, Gate.Const0, []) :: !defs
+          | Free -> inputs := r q :: !inputs
+        else
+          let d_prev = frame_name (List.nth d_names k) (i - 1) in
+          defs := (r q, Gate.Buf, [ d_prev ]) :: !defs)
+      t.flop_names;
+    List.iter (fun name -> outputs := r name :: !outputs) real_outputs
+  done;
+  Circuit.create
+    ~title:(Printf.sprintf "%s[%d frames]" t.title frames)
+    ~inputs:(List.rev !inputs) ~outputs:(List.rev !outputs)
+    (List.rev !defs)
+
+let step t ~state ~inputs =
+  if Array.length state <> t.num_flops then
+    invalid_arg "Seq_circuit.step: state width";
+  if Array.length inputs <> t.num_inputs then
+    invalid_arg "Seq_circuit.step: input width";
+  let all = Circuit.eval_outputs t.core (Array.append inputs state) in
+  (Array.sub all 0 t.num_outputs, Array.sub all t.num_outputs t.num_flops)

@@ -1,0 +1,48 @@
+(** Synchronous sequential netlists and time-frame expansion.
+
+    The paper's method is combinational-only; its ref [16] (Cho–Bryant)
+    handles sequential circuits symbolically.  This module provides the
+    classical bridge: parse `.bench` netlists {e with} DFFs, expose the
+    combinational core (flop outputs become pseudo primary inputs, flop
+    inputs pseudo primary outputs), and unroll a bounded number of time
+    frames into one combinational circuit that every analysis in this
+    repository — Difference Propagation included — can consume
+    unchanged. *)
+
+type t = private {
+  title : string;
+  core : Circuit.t;
+      (** combinational core: inputs are the real PIs followed by one
+          pseudo-input per flop (the flop's Q net, keeping its name);
+          outputs are the real POs followed by one pseudo-output per
+          flop (its D net) *)
+  num_inputs : int;  (** real primary inputs *)
+  num_outputs : int;  (** real primary outputs *)
+  num_flops : int;
+  flop_names : string list;  (** Q net names, in declaration order *)
+}
+
+exception Malformed of string
+
+val parse : title:string -> string -> t
+(** Parse a `.bench` netlist where [q = DFF(d)] defines a flip-flop.
+    @raise Malformed / @raise Bench_format.Parse_error as appropriate. *)
+
+val of_circuit : Circuit.t -> flops:(string * string) list -> t
+(** Wrap a combinational circuit whose [(q_input_name, d_net_name)]
+    pairs play the flop roles (for programmatic construction). *)
+
+type init = Zero | Free
+(** Initial state: all flops reset to 0, or left symbolic (each initial
+    state bit becomes a fresh primary input named [<q>@0]). *)
+
+val unroll : t -> frames:int -> init:init -> Circuit.t
+(** [frames] copies of the core in sequence: frame [i] inputs are fresh
+    PIs [<name>@i], its state comes from frame [i-1]'s next-state nets
+    (or the initial state), and every frame's real POs are outputs
+    [<name>@i].  The result is purely combinational.
+    @raise Invalid_argument when [frames < 1]. *)
+
+val step : t -> state:bool array -> inputs:bool array -> bool array * bool array
+(** Reference simulator: one clock cycle, returning (outputs, next
+    state). *)

@@ -1,0 +1,70 @@
+let estimate ?(input_probability = 0.5) c =
+  let p = Array.make (Circuit.num_gates c) input_probability in
+  Array.iteri
+    (fun g (gate : Circuit.gate) ->
+      let ins = gate.Circuit.fanins in
+      let prod f =
+        Array.fold_left (fun acc i -> acc *. f p.(i)) 1.0 ins
+      in
+      match gate.Circuit.kind with
+      | Gate.Input -> ()
+      | Gate.Const0 -> p.(g) <- 0.0
+      | Gate.Const1 -> p.(g) <- 1.0
+      | Gate.Buf -> p.(g) <- p.(ins.(0))
+      | Gate.Not -> p.(g) <- 1.0 -. p.(ins.(0))
+      | Gate.And -> p.(g) <- prod Fun.id
+      | Gate.Nand -> p.(g) <- 1.0 -. prod Fun.id
+      | Gate.Or -> p.(g) <- 1.0 -. prod (fun q -> 1.0 -. q)
+      | Gate.Nor -> p.(g) <- prod (fun q -> 1.0 -. q)
+      | Gate.Xor | Gate.Xnor ->
+        let parity =
+          Array.fold_left
+            (fun acc i ->
+              (* acc xor p.(i) under independence *)
+              (acc *. (1.0 -. p.(i))) +. ((1.0 -. acc) *. p.(i)))
+            0.0 ins
+        in
+        p.(g) <-
+          (if gate.Circuit.kind = Gate.Xor then parity else 1.0 -. parity))
+    c.Circuit.gates;
+  p
+
+type error_summary = {
+  nets : int;
+  mean_abs_error : float;
+  max_abs_error : float;
+  worst_net : int;
+  exact_on_trees : bool;
+}
+
+let compare_with_exact c sym =
+  let approx = estimate c in
+  let fanout = Circuit.fanout_count c in
+  (* A net is "tree-fed" when no net in its fanin cone fans out. *)
+  let tree_fed = Array.make (Circuit.num_gates c) true in
+  Array.iteri
+    (fun g (gate : Circuit.gate) ->
+      tree_fed.(g) <-
+        Array.for_all
+          (fun f -> tree_fed.(f) && fanout.(f) <= 1)
+          gate.Circuit.fanins)
+    c.Circuit.gates;
+  let n = Circuit.num_gates c in
+  let sum = ref 0.0 and worst = ref 0.0 and worst_net = ref 0 in
+  let exact_on_trees = ref true in
+  for g = 0 to n - 1 do
+    let err = Float.abs (approx.(g) -. Symbolic.syndrome sym g) in
+    sum := !sum +. err;
+    if err > !worst then begin
+      worst := err;
+      worst_net := g
+    end;
+    if tree_fed.(g) && err > 1e-9 then exact_on_trees := false
+  done;
+  {
+    nets = n;
+    mean_abs_error = !sum /. float_of_int n;
+    max_abs_error = !worst;
+    worst_net = !worst_net;
+    exact_on_trees = !exact_on_trees;
+  }

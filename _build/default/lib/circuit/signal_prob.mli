@@ -1,0 +1,24 @@
+(** Approximate signal probabilities by gate-local propagation under an
+    independence assumption (Parker–McCluskey style): linear time but
+    wrong wherever fanout reconverges.  The paper's motivation for
+    Difference Propagation is exactly that such approximations ([19])
+    were the state of the art for detection-probability profiles; the
+    [approx-vs-exact] benchmark quantifies the estimator's error against
+    the exact OBDD syndromes on every benchmark circuit. *)
+
+val estimate : ?input_probability:float -> Circuit.t -> float array
+(** One probability-of-one per net; primary inputs get
+    [input_probability] (default 0.5). *)
+
+type error_summary = {
+  nets : int;
+  mean_abs_error : float;
+  max_abs_error : float;
+  worst_net : int;
+  exact_on_trees : bool;
+      (** true when every fanout-free net matched the exact syndrome *)
+}
+
+val compare_with_exact : Circuit.t -> Symbolic.t -> error_summary
+(** Estimator error against the exact syndromes from a symbolic
+    evaluation of the same circuit. *)

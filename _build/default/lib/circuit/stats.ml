@@ -1,0 +1,56 @@
+type t = {
+  title : string;
+  nets : int;
+  inputs : int;
+  outputs : int;
+  gates : int;
+  depth : int;
+  fanout_stems : int;
+  max_fanout : int;
+  max_fanin : int;
+  kind_counts : (Gate.kind * int) list;
+}
+
+let compute c =
+  let counts = Hashtbl.create 16 in
+  let max_fanin = ref 0 in
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      let current =
+        Option.value (Hashtbl.find_opt counts g.kind) ~default:0
+      in
+      Hashtbl.replace counts g.kind (current + 1);
+      max_fanin := max !max_fanin (Array.length g.fanins))
+    c.Circuit.gates;
+  let fanout = Circuit.fanout_count c in
+  {
+    title = c.Circuit.title;
+    nets = Circuit.num_gates c;
+    inputs = Circuit.num_inputs c;
+    outputs = Circuit.num_outputs c;
+    gates = Circuit.num_gates c - Circuit.num_inputs c;
+    depth = Circuit.depth c;
+    fanout_stems =
+      Array.fold_left (fun acc k -> if k >= 2 then acc + 1 else acc) 0 fanout;
+    max_fanout = Array.fold_left max 0 fanout;
+    max_fanin = !max_fanin;
+    kind_counts =
+      Hashtbl.fold (fun kind count acc -> (kind, count) :: acc) counts []
+      |> List.sort (fun (_, a) (_, b) -> Stdlib.compare b a);
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%s: %d nets (%d PIs, %d POs, %d gates), depth %d, %d fanout stems, max \
+     fanout %d, max fanin %d"
+    t.title t.nets t.inputs t.outputs t.gates t.depth t.fanout_stems
+    t.max_fanout t.max_fanin
+
+let pp_table fmt stats =
+  Format.fprintf fmt "%-12s %6s %4s %4s %6s %6s %6s@."
+    "circuit" "nets" "PI" "PO" "gates" "depth" "stems";
+  List.iter
+    (fun t ->
+      Format.fprintf fmt "%-12s %6d %4d %4d %6d %6d %6d@." t.title t.nets
+        t.inputs t.outputs t.gates t.depth t.fanout_stems)
+    stats

@@ -1,0 +1,19 @@
+(** Netlist statistics used when reporting experiments. *)
+
+type t = {
+  title : string;
+  nets : int;
+  inputs : int;
+  outputs : int;
+  gates : int;  (** non-input nets *)
+  depth : int;
+  fanout_stems : int;  (** nets with fanout of at least 2 *)
+  max_fanout : int;
+  max_fanin : int;
+  kind_counts : (Gate.kind * int) list;  (** descending by count *)
+}
+
+val compute : Circuit.t -> t
+val pp : Format.formatter -> t -> unit
+val pp_table : Format.formatter -> t list -> unit
+(** Aligned multi-circuit table. *)

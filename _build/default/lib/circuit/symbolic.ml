@@ -1,0 +1,57 @@
+type t = { circuit : Circuit.t; manager : Bdd.manager; node : Bdd.t array }
+
+let gate_function m kind operands =
+  match (kind : Gate.kind) with
+  | Gate.Input -> invalid_arg "Symbolic: Input has no local function"
+  | Gate.Const0 -> Bdd.zero m
+  | Gate.Const1 -> Bdd.one m
+  | Gate.Buf -> List.nth operands 0
+  | Gate.Not -> Bdd.bnot m (List.nth operands 0)
+  | Gate.And -> Bdd.band_list m operands
+  | Gate.Nand -> Bdd.bnot m (Bdd.band_list m operands)
+  | Gate.Or -> Bdd.bor_list m operands
+  | Gate.Nor -> Bdd.bnot m (Bdd.bor_list m operands)
+  | Gate.Xor -> Bdd.bxor_list m operands
+  | Gate.Xnor -> Bdd.bnot m (Bdd.bxor_list m operands)
+
+let build ?(heuristic = Ordering.Natural) circuit =
+  let n_inputs = Circuit.num_inputs circuit in
+  let order = Ordering.order heuristic circuit in
+  let manager = Bdd.create ~order n_inputs in
+  let node = Array.make (Circuit.num_gates circuit) (Bdd.zero manager) in
+  Array.iteri
+    (fun g gate ->
+      node.(g) <-
+        (match gate.Circuit.kind with
+        | Gate.Input ->
+          (match Circuit.input_position circuit g with
+          | Some pos -> Bdd.var manager pos
+          | None -> assert false)
+        | kind ->
+          let operands =
+            Array.to_list gate.Circuit.fanins
+            |> List.map (fun f -> node.(f))
+          in
+          gate_function manager kind operands))
+    circuit.Circuit.gates;
+  { circuit; manager; node }
+
+let circuit t = t.circuit
+let manager t = t.manager
+let node_function t g = t.node.(g)
+
+let output_functions t =
+  Array.map (fun o -> t.node.(o)) t.circuit.Circuit.outputs
+
+let syndrome t g = Bdd.sat_fraction t.manager t.node.(g)
+let total_nodes t = Bdd.allocated_nodes t.manager
+
+let eval_consistent t inputs =
+  let concrete = Circuit.eval t.circuit inputs in
+  let assign pos = inputs.(pos) in
+  let n = Circuit.num_gates t.circuit in
+  let rec check g =
+    g >= n
+    || Bdd.eval t.manager t.node.(g) assign = concrete.(g) && check (g + 1)
+  in
+  check 0

@@ -1,0 +1,28 @@
+(** Symbolic circuit evaluation: one OBDD per net, over variables indexed
+    by primary-input position.  This supplies the {e good functions} [f_i]
+    that Difference Propagation consumes, and the line {e syndromes}
+    (SAT fractions) of the paper's §4.1. *)
+
+type t
+
+val build : ?heuristic:Ordering.heuristic -> Circuit.t -> t
+(** Evaluate the whole circuit symbolically (default heuristic:
+    {!Ordering.Natural}). *)
+
+val circuit : t -> Circuit.t
+val manager : t -> Bdd.manager
+
+val node_function : t -> int -> Bdd.t
+(** Good function of a net. *)
+
+val output_functions : t -> Bdd.t array
+(** Good functions of the primary outputs, in declaration order. *)
+
+val syndrome : t -> int -> float
+(** Fraction of input minterms setting the net to one (Savir's syndrome). *)
+
+val total_nodes : t -> int
+(** BDD nodes allocated while building — the ordering-ablation metric. *)
+
+val eval_consistent : t -> bool array -> bool
+(** Cross-check: symbolic and concrete evaluation agree on a vector. *)

@@ -1,0 +1,142 @@
+(* All transforms re-derive a name-based definition list, rewrite it, and
+   rebuild through Circuit.create so every structural invariant is
+   re-checked for free. *)
+
+let defs_of c =
+  Array.to_list c.Circuit.gates
+  |> List.filter_map (fun (g : Circuit.gate) ->
+         if g.kind = Gate.Input then None
+         else
+           Some
+             ( g.name,
+               g.kind,
+               Array.to_list g.fanins
+               |> List.map (fun f -> (Circuit.gate c f).Circuit.name) ))
+
+let input_names c =
+  Array.to_list c.Circuit.inputs
+  |> List.map (fun g -> (Circuit.gate c g).Circuit.name)
+
+let output_names c =
+  Array.to_list c.Circuit.outputs
+  |> List.map (fun o -> (Circuit.gate c o).Circuit.name)
+
+(* Fresh-name generator seeded with every name already in the circuit. *)
+let namer c =
+  let used = Hashtbl.create (Circuit.num_gates c * 2) in
+  Array.iter
+    (fun (g : Circuit.gate) -> Hashtbl.replace used g.name ())
+    c.Circuit.gates;
+  fun base ->
+    let rec try_at i =
+      let candidate = Printf.sprintf "%s_x%d" base i in
+      if Hashtbl.mem used candidate then try_at (i + 1)
+      else begin
+        Hashtbl.replace used candidate ();
+        candidate
+      end
+    in
+    try_at 1
+
+let rebuild c defs =
+  Circuit.create ~title:c.Circuit.title ~inputs:(input_names c)
+    ~outputs:(output_names c) defs
+
+let expand_to_two_input c =
+  let fresh = namer c in
+  let expand (name, kind, fanins) =
+    match (kind, fanins) with
+    | (Gate.And | Gate.Or | Gate.Xor), [ a ] -> [ (name, Gate.Buf, [ a ]) ]
+    | (Gate.Nand | Gate.Nor | Gate.Xnor), [ a ] -> [ (name, Gate.Not, [ a ]) ]
+    | ( (Gate.And | Gate.Or | Gate.Xor | Gate.Nand | Gate.Nor | Gate.Xnor),
+        (_ :: _ :: _ :: _ as fanins) ) ->
+      let base = Gate.base_of_inverted kind in
+      let extra = ref [] in
+      (* Balanced reduction: halve the operand list until two remain, the
+         final (possibly inverting) gate keeps the original name. *)
+      let rec reduce = function
+        | [ a; b ] -> (a, b)
+        | operands ->
+          let rec pair = function
+            | a :: b :: rest ->
+              let t = fresh name in
+              extra := (t, base, [ a; b ]) :: !extra;
+              t :: pair rest
+            | leftover -> leftover
+          in
+          reduce (pair operands)
+      in
+      let a, b = reduce fanins in
+      List.rev ((name, kind, [ a; b ]) :: !extra)
+    | _ -> [ (name, kind, fanins) ]
+  in
+  rebuild c (List.concat_map expand (defs_of c))
+
+let xor_to_nand c =
+  let fresh = namer c in
+  let expand (name, kind, fanins) =
+    match (kind, fanins) with
+    | (Gate.Xor | Gate.Xnor), [ a; b ] ->
+      let t1 = fresh name and t2 = fresh name and t3 = fresh name in
+      let common =
+        [
+          (t1, Gate.Nand, [ a; b ]);
+          (t2, Gate.Nand, [ a; t1 ]);
+          (t3, Gate.Nand, [ b; t1 ]);
+        ]
+      in
+      if kind = Gate.Xor then common @ [ (name, Gate.Nand, [ t2; t3 ]) ]
+      else
+        let t4 = fresh name in
+        common
+        @ [ (t4, Gate.Nand, [ t2; t3 ]); (name, Gate.Nand, [ t4; t4 ]) ]
+    | (Gate.Xor | Gate.Xnor), _ :: _ :: _ ->
+      invalid_arg "Transform.xor_to_nand: run expand_to_two_input first"
+    | _ -> [ (name, kind, fanins) ]
+  in
+  rebuild c (List.concat_map expand (defs_of c))
+
+let add_observation_points c nets =
+  let existing = output_names c in
+  let added =
+    nets
+    |> List.filter (fun net -> not (Circuit.is_output c net))
+    |> List.map (fun net -> (Circuit.gate c net).Circuit.name)
+    |> List.sort_uniq String.compare
+  in
+  Circuit.create ~title:c.Circuit.title ~inputs:(input_names c)
+    ~outputs:(existing @ added) (defs_of c)
+
+let add_control_point c ~net ~polarity =
+  let target = (Circuit.gate c net).Circuit.name in
+  let fresh = namer c in
+  let original = fresh target in
+  let control = fresh (target ^ "_ctl") in
+  let kind = match polarity with `Force0 -> Gate.And | `Force1 -> Gate.Or in
+  let rename name = if String.equal name target then original else name in
+  let defs =
+    defs_of c
+    |> List.map (fun (name, k, fanins) -> (rename name, k, fanins))
+  in
+  let defs = defs @ [ (target, kind, [ original; control ]) ] in
+  let inputs = List.map rename (input_names c) @ [ control ] in
+  (* A renamed primary input stays an input; an internal net keeps its own
+     definition under the new name, and the inserted gate takes over the
+     original name so all existing sinks observe the controlled value. *)
+  Circuit.create ~title:c.Circuit.title ~inputs ~outputs:(output_names c) defs
+
+let definitions = defs_of
+
+let strip_unreachable c =
+  let keep = Array.make (Circuit.num_gates c) false in
+  Array.iter
+    (fun o -> List.iter (fun g -> keep.(g) <- true) (Circuit.fanin_cone c o))
+    c.Circuit.outputs;
+  let defs =
+    defs_of c
+    |> List.filter (fun (name, _, _) ->
+           match Circuit.index_of_name c name with
+           | Some i -> keep.(i)
+           | None -> false)
+  in
+  rebuild c defs

@@ -1,0 +1,34 @@
+(** Structural, function-preserving circuit transformations. *)
+
+val expand_to_two_input : Circuit.t -> Circuit.t
+(** Replace every gate with more than two fanins by a balanced tree of
+    two-input gates of the base kind, keeping the output inversion (if
+    any) on the final gate.  Net names of original gates are preserved, so
+    fault sites remain addressable.  The paper expands n-input gates this
+    way to keep the Difference Propagation equations quadratic (§3). *)
+
+val xor_to_nand : Circuit.t -> Circuit.t
+(** Expand each two-input XOR into its four-NAND equivalent and each
+    two-input XNOR into the five-NAND equivalent — the transformation
+    relating ISCAS circuits C499 and C1355.  Gates must be at most
+    two-input ({!expand_to_two_input} first if needed). *)
+
+val add_observation_points : Circuit.t -> int list -> Circuit.t
+(** Make the given internal nets primary outputs (test-point insertion for
+    observability, the DFT move the paper's Figure 3 discussion favours).
+    Nets already observable are left alone. *)
+
+val add_control_point :
+  Circuit.t -> net:int -> polarity:[ `Force0 | `Force1 ] -> Circuit.t
+(** Cut net [net] and insert an AND (`Force0`) or OR (`Force1`) gate
+    driven by the original net and a fresh control input, giving direct
+    controllability of the net.  The control input must be held at the
+    non-controlling value in functional mode. *)
+
+val strip_unreachable : Circuit.t -> Circuit.t
+(** Remove gates that reach no primary output. *)
+
+val definitions : Circuit.t -> (string * Gate.kind * string list) list
+(** The circuit's non-input gates as named definitions (the
+    {!Circuit.create} input format) — the common currency of the
+    transforms here and of clients that rewrite netlists themselves. *)

@@ -1,0 +1,1 @@
+lib/core/bridge_class.ml: Bdd Bridge Engine List Symbolic

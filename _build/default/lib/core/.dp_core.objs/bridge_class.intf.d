@@ -1,0 +1,1 @@
+lib/core/bridge_class.mli: Bridge Engine

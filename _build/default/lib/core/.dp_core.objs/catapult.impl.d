@@ -1,0 +1,1 @@
+lib/core/catapult.ml: Array Bdd Circuit Engine Gate Rules Sa_fault

@@ -1,0 +1,1 @@
+lib/core/catapult.mli: Engine Sa_fault

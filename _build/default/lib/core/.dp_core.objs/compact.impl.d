@@ -1,0 +1,1 @@
+lib/core/compact.ml: Array Bdd Circuit Engine Fault_sim List

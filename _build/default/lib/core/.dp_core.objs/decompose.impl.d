@@ -1,0 +1,1 @@
+lib/core/decompose.ml: Array Bdd Bridge Circuit Fault Fun Gate List Rules Sa_fault

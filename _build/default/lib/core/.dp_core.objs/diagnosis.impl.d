@@ -1,0 +1,1 @@
+lib/core/diagnosis.ml: Array Bdd Circuit Engine Fault Int64 List Logic_sim

@@ -1,0 +1,1 @@
+lib/core/diagnosis.mli: Circuit Engine Fault

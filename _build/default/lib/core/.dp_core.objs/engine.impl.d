@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Bdd Bridge Circuit Fault Gate List Ordering Rules Sa_fault Symbolic

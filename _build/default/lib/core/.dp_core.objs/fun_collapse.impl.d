@@ -1,0 +1,1 @@
+lib/core/fun_collapse.ml: Array Bdd Engine Fault Format Hashtbl List Sa_fault

@@ -1,0 +1,1 @@
+lib/core/fun_collapse.mli: Circuit Engine Fault Format

@@ -1,0 +1,1 @@
+lib/core/transition.ml: Array Bdd Circuit Engine Fault Format Int64 List Logic_sim Sa_fault Symbolic

@@ -1,0 +1,36 @@
+type summary = {
+  kind : Bridge.kind;
+  total : int;
+  stuck_like : int;
+  proportion : float;
+}
+
+let is_stuck_like engine bridge =
+  let m = Engine.manager engine in
+  let sym = Engine.symbolic engine in
+  let f net = Symbolic.node_function sym net in
+  let wired =
+    match bridge.Bridge.kind with
+    | Bridge.Wired_and -> Bdd.band m (f bridge.Bridge.a) (f bridge.Bridge.b)
+    | Bridge.Wired_or -> Bdd.bor m (f bridge.Bridge.a) (f bridge.Bridge.b)
+  in
+  Bdd.is_const m wired
+
+let classify engine bridges =
+  let summarise kind =
+    let of_kind = List.filter (fun b -> b.Bridge.kind = kind) bridges in
+    let total = List.length of_kind in
+    let stuck_like =
+      List.length (List.filter (is_stuck_like engine) of_kind)
+    in
+    {
+      kind;
+      total;
+      stuck_like;
+      proportion =
+        (if total = 0 then 0.0
+         else float_of_int stuck_like /. float_of_int total);
+    }
+  in
+  [ summarise Bridge.Wired_and; summarise Bridge.Wired_or ]
+  |> List.filter (fun s -> s.total > 0 || bridges = [])

@@ -1,0 +1,20 @@
+(** Functional classification of bridging faults (paper §4.2, Figure 5).
+
+    A bridge {e exhibits stuck-at behaviour} when its wired function —
+    the faulty function carried by both shorted wires — has empty
+    support: it is then a constant, i.e. a double stuck-at fault.  The
+    paper measured these proportions to be generally low, agreeing with
+    Inductive Fault Analysis from the purely functional side. *)
+
+type summary = {
+  kind : Bridge.kind;
+  total : int;
+  stuck_like : int;
+  proportion : float;  (** [stuck_like / total]; 0 on an empty set *)
+}
+
+val is_stuck_like : Engine.t -> Bridge.t -> bool
+(** Whether the wired function at the bridge site is constant. *)
+
+val classify : Engine.t -> Bridge.t list -> summary list
+(** One summary per bridge kind present in the list, wired-AND first. *)

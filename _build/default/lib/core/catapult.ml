@@ -1,0 +1,80 @@
+(* Everything happens in a private manager with one auxiliary variable z
+   (placed last in the order) standing for the faulted line.  Outputs
+   are built over inputs + z, the Boolean difference is the XOR of the
+   two z-cofactors, and the control condition comes from a normal
+   evaluation.  Nothing is shared with the engine's manager — part of
+   the point is measuring the cost of not sharing. *)
+
+let aux_manager c =
+  let n = Circuit.num_inputs c in
+  (Bdd.create (n + 1), n (* the auxiliary variable index *))
+
+(* Evaluate all nets, with either one whole net or one gate pin replaced
+   by the auxiliary variable. *)
+let evaluate c m ~z ~force_net ~force_pin =
+  let node = Array.make (Circuit.num_gates c) (Bdd.zero m) in
+  Array.iteri
+    (fun g (gate : Circuit.gate) ->
+      node.(g) <-
+        (match gate.Circuit.kind with
+        | Gate.Input ->
+          (match Circuit.input_position c g with
+          | Some pos -> Bdd.var m pos
+          | None -> assert false)
+        | kind ->
+          let operands =
+            Array.mapi
+              (fun pin f -> if force_pin g pin then Bdd.var m z else node.(f))
+              gate.Circuit.fanins
+          in
+          Rules.gate_output m kind operands);
+      if force_net g then node.(g) <- Bdd.var m z)
+    c.Circuit.gates;
+  node
+
+let no_net _ = false
+let no_pin _ _ = false
+
+let observability_from c m ~z nodes =
+  Array.fold_left
+    (fun acc o ->
+      let f0, f1 = Bdd.cofactors m nodes.(o) z in
+      Bdd.bor m acc (Bdd.bxor m f0 f1))
+    (Bdd.zero m) c.Circuit.outputs
+
+let observability_fraction engine net =
+  let c = Engine.circuit engine in
+  let m, z = aux_manager c in
+  let nodes =
+    evaluate c m ~z ~force_net:(fun g -> g = net) ~force_pin:no_pin
+  in
+  Bdd.sat_fraction m (observability_from c m ~z nodes)
+
+let test_set_in engine fault =
+  let c = Engine.circuit engine in
+  let m, z = aux_manager c in
+  let force_net, force_pin, stem =
+    match fault.Sa_fault.line with
+    | Sa_fault.Stem s -> ((fun g -> g = s), no_pin, s)
+    | Sa_fault.Branch br ->
+      ( no_net,
+        (fun g pin -> g = br.Circuit.sink && pin = br.Circuit.pin),
+        br.Circuit.stem )
+  in
+  let substituted = evaluate c m ~z ~force_net ~force_pin in
+  let observability = observability_from c m ~z substituted in
+  let normal = evaluate c m ~z ~force_net:no_net ~force_pin:no_pin in
+  let control =
+    if fault.Sa_fault.value then Bdd.bnot m normal.(stem) else normal.(stem)
+  in
+  (m, Bdd.band m control observability)
+
+let detectability engine fault =
+  let m, t = test_set_in engine fault in
+  (* The test set never mentions z, so the fraction over n+1 variables
+     equals the fraction over the n real inputs. *)
+  Bdd.sat_fraction m t
+
+let test_cubes ?limit engine fault =
+  let m, t = test_set_in engine fault in
+  Bdd.sat_cubes m ?limit t

@@ -1,0 +1,29 @@
+(** A CATAPULT-style test generator (Gaede–Ross–Mercer–Butler, DAC'88 —
+    the paper's ref [13]): observability functions are derived
+    {e disjointly} from the control information, through the explicit
+    Boolean difference the paper says Difference Propagation eliminates.
+
+    For a stem fault s-a-v on net [s], the complete test set is
+
+      (f_s xor v)  AND  OR_po (po|_{s=0} xor po|_{s=1})
+
+    computed in a private manager with an auxiliary variable standing
+    for the faulted line (branch faults substitute the single sink pin
+    instead).  The result is exact and must equal the Difference
+    Propagation test set — asserted in the test suite — but pays the
+    full-cone re-evaluation and composition costs DP's rules avoid; the
+    [catapult] bench artifact measures the gap. *)
+
+val observability_fraction : Engine.t -> int -> float
+(** Fraction of the input space under which a change on the net is
+    visible at some primary output (SAT fraction of the OR of Boolean
+    differences). *)
+
+val detectability : Engine.t -> Sa_fault.t -> float
+(** Exact detectability of a stuck-at fault by control AND
+    observability; agrees with {!Engine.analyze}. *)
+
+val test_cubes :
+  ?limit:int -> Engine.t -> Sa_fault.t -> (int * bool) list list
+(** Satisfying cubes of the Boolean-difference test set, as (input
+    position, value) literals — same format as {!Engine.test_cubes}. *)

@@ -1,0 +1,84 @@
+type outcome = {
+  vectors : bool array list;
+  covered : int;
+  undetectable : int;
+}
+
+let vector_of_cube n cube =
+  let v = Array.make n false in
+  List.iter (fun (pos, value) -> v.(pos) <- value) cube;
+  v
+
+let greedy engine faults =
+  let m = Engine.manager engine in
+  let n = Circuit.num_inputs (Engine.circuit engine) in
+  let sets = List.map (fun f -> (f, Engine.test_set engine f)) faults in
+  let detectable, undetectable =
+    List.partition (fun (_, set) -> not (Bdd.is_zero m set)) sets
+  in
+  let remaining = ref detectable in
+  let vectors = ref [] in
+  let covered = ref 0 in
+  let detects vector set = Bdd.eval m set (fun pos -> vector.(pos)) in
+  while !remaining <> [] do
+    (* Hardest remaining fault: smallest test set. *)
+    let _, hardest_set =
+      List.fold_left
+        (fun ((_, best_set) as best) ((_, set) as cand) ->
+          if Bdd.sat_fraction m set < Bdd.sat_fraction m best_set then cand
+          else best)
+        (List.hd !remaining) (List.tl !remaining)
+    in
+    (* Candidate vectors from its first few cubes; keep the one that
+       covers the most remaining faults. *)
+    let candidates =
+      Bdd.sat_cubes m ~limit:8 hardest_set |> List.map (vector_of_cube n)
+    in
+    let coverage vector =
+      List.fold_left
+        (fun acc (_, set) -> if detects vector set then acc + 1 else acc)
+        0 !remaining
+    in
+    let best_vector =
+      match candidates with
+      | [] -> assert false (* the set is non-zero *)
+      | first :: rest ->
+        List.fold_left
+          (fun best cand ->
+            if coverage cand > coverage best then cand else best)
+          first rest
+    in
+    vectors := best_vector :: !vectors;
+    let survivors =
+      List.filter
+        (fun (_, set) ->
+          if detects best_vector set then begin
+            incr covered;
+            false
+          end
+          else true)
+        !remaining
+    in
+    remaining := survivors
+  done;
+  {
+    vectors = List.rev !vectors;
+    covered = !covered;
+    undetectable = List.length undetectable;
+  }
+
+let verify c faults vectors =
+  List.for_all
+    (fun fault ->
+      let detected =
+        List.exists (fun v -> Fault_sim.detects c fault v) vectors
+      in
+      detected
+      ||
+      (* Not detected by the compacted set: acceptable only when the
+         fault is undetectable outright, which simulation of the small
+         vector list cannot decide — fall back to an engine-free check
+         on small circuits, otherwise trust the caller's DP data. *)
+      Circuit.num_inputs c > 26
+      || Fault_sim.exhaustive_count c fault = 0)
+    faults

@@ -1,0 +1,24 @@
+(** Test-set compaction driven by complete test sets — one of the
+    paper's "implications to test": once every fault's full test set is
+    known, small covering test sets follow from set covering rather than
+    one-test-per-fault generation.
+
+    The greedy heuristic is hardest-fault-first: repeatedly take the
+    undetected fault with the smallest remaining test set, intersect the
+    test sets of all undetected faults with it to pick the vector
+    covering the most of them, and drop everything that vector detects
+    (by exact BDD membership, not simulation sampling). *)
+
+type outcome = {
+  vectors : bool array list;  (** the compacted test set, in pick order *)
+  covered : int;  (** faults detected by [vectors] *)
+  undetectable : int;  (** faults with empty test sets *)
+}
+
+val greedy : Engine.t -> Fault.t list -> outcome
+(** Cover every detectable fault in the list. *)
+
+val verify : Circuit.t -> Fault.t list -> bool array list -> bool
+(** Simulation check: every detectable-by-the-vectors fault claim holds
+    — i.e. each fault in the list is either detected by some vector or
+    undetectable (per simulation of the vectors only). *)

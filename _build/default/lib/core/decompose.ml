@@ -1,0 +1,141 @@
+(* Each primary output owns a manager ordered by a DFS of its fanin cone;
+   good functions of arbitrary nets are evaluated lazily in that manager,
+   so fault sites outside the cone (a bridge's far wire) cost only their
+   own support. *)
+
+type po_ctx = {
+  po : int;
+  m : Bdd.manager;
+  node : Bdd.t option array;
+  in_cone : bool array;  (* fanin cone of [po] *)
+  cone_nets : int;
+}
+
+type t = { c : Circuit.t; shared : Bdd.manager; ctxs : po_ctx array }
+
+let cone_order c po =
+  let n = Circuit.num_inputs c in
+  let seen = Array.make (Circuit.num_gates c) false in
+  let acc = ref [] in
+  let rec visit g =
+    if not seen.(g) then begin
+      seen.(g) <- true;
+      match Circuit.input_position c g with
+      | Some pos -> acc := pos :: !acc
+      | None -> Array.iter visit (Circuit.gate c g).Circuit.fanins
+    end
+  in
+  visit po;
+  let reached = List.rev !acc in
+  let missing =
+    List.init n Fun.id |> List.filter (fun pos -> not (List.mem pos reached))
+  in
+  Array.of_list (reached @ missing)
+
+let create c =
+  let ctxs =
+    Array.map
+      (fun po ->
+        let cone = Circuit.fanin_cone c po in
+        let in_cone = Array.make (Circuit.num_gates c) false in
+        List.iter (fun g -> in_cone.(g) <- true) cone;
+        {
+          po;
+          m = Bdd.create ~order:(cone_order c po) (Circuit.num_inputs c);
+          node = Array.make (Circuit.num_gates c) None;
+          in_cone;
+          cone_nets = List.length cone;
+        })
+      c.Circuit.outputs
+  in
+  { c; shared = Bdd.create (Circuit.num_inputs c); ctxs }
+
+let cones t = Array.length t.ctxs
+let max_cone_nets t =
+  Array.fold_left (fun acc ctx -> max acc ctx.cone_nets) 0 t.ctxs
+let shared_manager t = t.shared
+
+let rec good t ctx g =
+  match ctx.node.(g) with
+  | Some f -> f
+  | None ->
+    let gate = Circuit.gate t.c g in
+    let f =
+      match gate.Circuit.kind with
+      | Gate.Input ->
+        (match Circuit.input_position t.c g with
+        | Some pos -> Bdd.var ctx.m pos
+        | None -> assert false)
+      | kind ->
+        Rules.gate_output ctx.m kind (Array.map (good t ctx) gate.Circuit.fanins)
+    in
+    ctx.node.(g) <- Some f;
+    f
+
+let initial_deltas t ctx fault =
+  let m = ctx.m in
+  let f net = good t ctx net in
+  let against_constant g value = if value then Bdd.bnot m g else g in
+  match fault with
+  | Fault.Stuck { Sa_fault.line = Sa_fault.Stem s; value } ->
+    [ (s, against_constant (f s) value) ]
+  | Fault.Stuck { Sa_fault.line = Sa_fault.Branch br; value } ->
+    let sink = br.Circuit.sink in
+    let gate = Circuit.gate t.c sink in
+    let good_ins = Array.map f gate.Circuit.fanins in
+    let delta =
+      Array.mapi
+        (fun pin g ->
+          if pin = br.Circuit.pin then against_constant (f g) value
+          else Bdd.zero m)
+        gate.Circuit.fanins
+    in
+    [ (sink, Rules.delta m gate.Circuit.kind ~good:good_ins ~delta) ]
+  | Fault.Bridged { Bridge.a; b; kind } ->
+    let wired =
+      match kind with
+      | Bridge.Wired_and -> Bdd.band m (f a) (f b)
+      | Bridge.Wired_or -> Bdd.bor m (f a) (f b)
+    in
+    [ (a, Bdd.bxor m (f a) wired); (b, Bdd.bxor m (f b) wired) ]
+  | Fault.Multi_stuck sites ->
+    List.map (fun (s, value) -> (s, against_constant (f s) value)) sites
+
+(* Difference at one output, computed entirely inside its cone manager. *)
+let po_delta t ctx fault =
+  let m = ctx.m in
+  let zero = Bdd.zero m in
+  let sites = Fault.sites fault in
+  let site_cone = Circuit.fanout_cone t.c sites in
+  if not site_cone.(ctx.po) then zero
+  else begin
+    let deltas = Array.make (Circuit.num_gates t.c) zero in
+    let inits = initial_deltas t ctx fault in
+    List.iter (fun (net, d) -> deltas.(net) <- d) inits;
+    let is_site = Array.make (Circuit.num_gates t.c) false in
+    List.iter (fun (net, _) -> is_site.(net) <- true) inits;
+    Array.iteri
+      (fun g (gate : Circuit.gate) ->
+        if
+          site_cone.(g) && ctx.in_cone.(g) && (not is_site.(g))
+          && gate.kind <> Gate.Input
+          && Array.exists
+               (fun f -> not (Bdd.is_zero m deltas.(f)))
+               gate.Circuit.fanins
+        then
+          let good_ins = Array.map (good t ctx) gate.Circuit.fanins in
+          let delta = Array.map (fun f -> deltas.(f)) gate.Circuit.fanins in
+          deltas.(g) <- Rules.delta m gate.Circuit.kind ~good:good_ins ~delta)
+      t.c.Circuit.gates;
+    deltas.(ctx.po)
+  end
+
+let test_set t fault =
+  Array.fold_left
+    (fun acc ctx ->
+      let d = po_delta t ctx fault in
+      if Bdd.is_zero ctx.m d then acc
+      else Bdd.bor t.shared acc (Bdd.rebuild ~src:ctx.m ~dst:t.shared d))
+    (Bdd.zero t.shared) t.ctxs
+
+let detectability t fault = Bdd.sat_fraction t.shared (test_set t fault)

@@ -1,0 +1,81 @@
+type observation = { vector : bool array; failing : bool array }
+
+let predict engine fault vector =
+  let m = Engine.manager engine in
+  Array.map
+    (fun d -> Bdd.eval m d (fun pos -> vector.(pos)))
+    (Engine.po_differences engine fault)
+
+let observe c fault vector =
+  let words = Logic_sim.pack_patterns c [ vector ] in
+  let good = Logic_sim.outputs_of c (Logic_sim.eval_words c words) in
+  let faulty =
+    Logic_sim.outputs_of c (Logic_sim.eval_words_faulty c fault words)
+  in
+  {
+    vector;
+    failing =
+      Array.init (Array.length good) (fun i ->
+          Int64.logand (Int64.logxor good.(i) faulty.(i)) 1L <> 0L);
+  }
+
+let consistent engine fault obs =
+  predict engine fault obs.vector = obs.failing
+
+let candidates engine faults observations =
+  List.filter
+    (fun fault -> List.for_all (consistent engine fault) observations)
+    faults
+
+let distinguishing_vector engine f1 f2 =
+  let m = Engine.manager engine in
+  let d1 = Engine.po_differences engine f1 in
+  let d2 = Engine.po_differences engine f2 in
+  let disagree =
+    Array.to_list (Array.mapi (fun i a -> Bdd.bxor m a d2.(i)) d1)
+    |> Bdd.bor_list m
+  in
+  match Bdd.any_sat m disagree with
+  | None -> None
+  | Some literals ->
+    let v = Array.make (Circuit.num_inputs (Engine.circuit engine)) false in
+    List.iter (fun (pos, value) -> v.(pos) <- value) literals;
+    Some v
+
+type session = { applied : observation list; remaining : Fault.t list }
+
+let diagnose ?(max_vectors = 32) engine faults ~actual =
+  let c = Engine.circuit engine in
+  let apply session vector =
+    let obs = observe c actual vector in
+    {
+      applied = session.applied @ [ obs ];
+      remaining = candidates engine session.remaining [ obs ];
+    }
+  in
+  let initial = { applied = []; remaining = faults } in
+  let session =
+    match Engine.test_vector engine actual with
+    | Some v -> apply initial v
+    | None -> initial
+  in
+  (* Repeatedly split the first still-distinguishable candidate pair. *)
+  let rec refine session budget =
+    if budget <= 0 then session
+    else begin
+      let rec find_split = function
+        | f1 :: rest ->
+          let split =
+            List.find_map
+              (fun f2 -> distinguishing_vector engine f1 f2)
+              rest
+          in
+          (match split with Some v -> Some v | None -> find_split rest)
+        | [] -> None
+      in
+      match find_split session.remaining with
+      | None -> session
+      | Some vector -> refine (apply session vector) (budget - 1)
+    end
+  in
+  refine session (max_vectors - List.length session.applied)

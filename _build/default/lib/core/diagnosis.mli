@@ -1,0 +1,52 @@
+(** Fault diagnosis from complete functional information.
+
+    Difference Propagation gives, for every fault, the exact set of
+    vectors that expose it {e at each output}.  That is a full-response
+    fault dictionary in symbolic form: predicted tester responses follow
+    by evaluating the per-output differences, candidate faults are the
+    ones consistent with every observed response, and a vector that
+    tells two candidates apart — if any exists — falls out of one BDD
+    operation.  Faults no vector can tell apart are exactly the
+    functional equivalence classes of {!Fun_collapse}. *)
+
+type observation = {
+  vector : bool array;  (** applied input vector *)
+  failing : bool array;  (** per primary output: did it mismatch? *)
+}
+
+val predict : Engine.t -> Fault.t -> bool array -> bool array
+(** Predicted per-output mismatches of a fault under a vector. *)
+
+val observe : Circuit.t -> Fault.t -> bool array -> observation
+(** Simulate the (actual) faulty machine to produce a tester response. *)
+
+val consistent : Engine.t -> Fault.t -> observation -> bool
+(** Whether the fault explains the observation exactly (same mismatching
+    outputs — a full-response dictionary, not just pass/fail). *)
+
+val candidates : Engine.t -> Fault.t list -> observation list -> Fault.t list
+(** Faults consistent with every observation, in input order. *)
+
+val distinguishing_vector :
+  Engine.t -> Fault.t -> Fault.t -> bool array option
+(** A vector under which the two faults produce different responses at
+    some output, or [None] when they are functionally equivalent
+    (indistinguishable by any test). *)
+
+type session = {
+  applied : observation list;  (** vectors applied so far, latest last *)
+  remaining : Fault.t list;  (** candidates still consistent *)
+}
+
+val diagnose :
+  ?max_vectors:int ->
+  Engine.t ->
+  Fault.t list ->
+  actual:Fault.t ->
+  session
+(** Adaptive diagnosis against a simulated faulty machine: start from a
+    detecting vector of [actual], then repeatedly apply a vector
+    distinguishing the first two remaining candidates, until the
+    candidates are pairwise indistinguishable or [max_vectors] (default
+    32) is reached.  [actual] need not be in the candidate list; if it
+    is, it always remains. *)

@@ -1,0 +1,176 @@
+type t = {
+  base : Circuit.t;
+  heuristic : Ordering.heuristic;
+  mutable sym : Symbolic.t;
+}
+
+let create ?(heuristic = Ordering.Natural) base =
+  { base; heuristic; sym = Symbolic.build ~heuristic base }
+
+let circuit t = t.base
+let manager t = Symbolic.manager t.sym
+let symbolic t = t.sym
+
+let rebuild t = t.sym <- Symbolic.build ~heuristic:t.heuristic t.base
+
+(* Initial difference functions at the fault sites: (net, delta) pairs. *)
+let initial_deltas t fault =
+  let m = manager t in
+  let f net = Symbolic.node_function t.sym net in
+  let against_constant good value =
+    if value then Bdd.bnot m good else good
+  in
+  match fault with
+  | Fault.Stuck { Sa_fault.line = Sa_fault.Stem s; value } ->
+    [ (s, against_constant (f s) value) ]
+  | Fault.Stuck { Sa_fault.line = Sa_fault.Branch br; value } ->
+    (* A branch fault changes only one pin: inject the pin difference and
+       let the Table-1 rule of the sink gate turn it into the sink's
+       output difference. *)
+    let sink = br.Circuit.sink in
+    let gate = Circuit.gate t.base sink in
+    let good = Array.map (fun g -> f g) gate.Circuit.fanins in
+    let delta =
+      Array.mapi
+        (fun pin g ->
+          if pin = br.Circuit.pin then against_constant (f g) value
+          else Bdd.zero m)
+        gate.Circuit.fanins
+    in
+    [ (sink, Rules.delta m gate.Circuit.kind ~good ~delta) ]
+  | Fault.Bridged { Bridge.a; b; kind } ->
+    let wired =
+      match kind with
+      | Bridge.Wired_and -> Bdd.band m (f a) (f b)
+      | Bridge.Wired_or -> Bdd.bor m (f a) (f b)
+    in
+    [ (a, Bdd.bxor m (f a) wired); (b, Bdd.bxor m (f b) wired) ]
+  | Fault.Multi_stuck sites ->
+    (* Each forced stem has the same difference it would have alone; the
+       Table-1 rules are exact under simultaneous input differences, so
+       propagation composes the effects correctly. *)
+    List.map (fun (s, value) -> (s, against_constant (f s) value)) sites
+
+(* Propagate differences through the fanout cone of the sites. *)
+let all_deltas t fault =
+  let c = t.base in
+  let m = manager t in
+  let zero = Bdd.zero m in
+  let deltas = Array.make (Circuit.num_gates c) zero in
+  let sites = initial_deltas t fault in
+  List.iter (fun (net, d) -> deltas.(net) <- d) sites;
+  let is_site = Array.make (Circuit.num_gates c) false in
+  List.iter (fun (net, _) -> is_site.(net) <- true) sites;
+  let cone = Circuit.fanout_cone c (List.map fst sites) in
+  Array.iteri
+    (fun g (gate : Circuit.gate) ->
+      if cone.(g) && not is_site.(g) && gate.kind <> Gate.Input then begin
+        let fanins = gate.Circuit.fanins in
+        if Array.exists (fun f -> not (Bdd.is_zero m deltas.(f))) fanins then
+          let good = Array.map (Symbolic.node_function t.sym) fanins in
+          let delta = Array.map (fun f -> deltas.(f)) fanins in
+          deltas.(g) <- Rules.delta m gate.Circuit.kind ~good ~delta
+      end)
+    c.Circuit.gates;
+  deltas
+
+let po_differences t fault =
+  let deltas = all_deltas t fault in
+  Array.map (fun o -> deltas.(o)) t.base.Circuit.outputs
+
+let test_set t fault =
+  let m = manager t in
+  Array.fold_left (Bdd.bor m) (Bdd.zero m) (po_differences t fault)
+
+let test_cubes ?limit t fault = Bdd.sat_cubes (manager t) ?limit (test_set t fault)
+
+let test_vector t fault =
+  match Bdd.any_sat (manager t) (test_set t fault) with
+  | None -> None
+  | Some literals ->
+    let v = Array.make (Circuit.num_inputs t.base) false in
+    List.iter (fun (pos, value) -> v.(pos) <- value) literals;
+    Some v
+
+type result = {
+  fault : Fault.t;
+  detectability : float;
+  test_count : float;
+  detectable : bool;
+  pos_fed : int;
+  pos_observed : int;
+  upper_bound : float;
+  adherence : float option;
+  wired_support : int option;
+  test_set_nodes : int;
+}
+
+let upper_bound t fault =
+  let m = manager t in
+  let f net = Symbolic.node_function t.sym net in
+  match fault with
+  | Fault.Stuck { Sa_fault.line; value } ->
+    let stem = Sa_fault.stem_of_line line in
+    let syndrome = Bdd.sat_fraction m (f stem) in
+    if value then 1.0 -. syndrome else syndrome
+  | Fault.Bridged { Bridge.a; b; _ } ->
+    Bdd.sat_fraction m (Bdd.bxor m (f a) (f b))
+  | Fault.Multi_stuck sites ->
+    (* Excitation of at least one component fault. *)
+    let excited =
+      List.fold_left
+        (fun acc (s, value) ->
+          let delta = if value then Bdd.bnot m (f s) else f s in
+          Bdd.bor m acc delta)
+        (Bdd.zero m) sites
+    in
+    Bdd.sat_fraction m excited
+
+let wired_support t fault =
+  let m = manager t in
+  let f net = Symbolic.node_function t.sym net in
+  match fault with
+  | Fault.Stuck _ | Fault.Multi_stuck _ -> None
+  | Fault.Bridged { Bridge.a; b; kind } ->
+    let wired =
+      match kind with
+      | Bridge.Wired_and -> Bdd.band m (f a) (f b)
+      | Bridge.Wired_or -> Bdd.bor m (f a) (f b)
+    in
+    Some (List.length (Bdd.support m wired))
+
+let pos_fed t fault =
+  let reach = Circuit.fanout_cone t.base (Fault.sites fault) in
+  Array.fold_left
+    (fun acc o -> if reach.(o) then acc + 1 else acc)
+    0 t.base.Circuit.outputs
+
+let analyze t fault =
+  let m = manager t in
+  let per_po = po_differences t fault in
+  let union = Array.fold_left (Bdd.bor m) (Bdd.zero m) per_po in
+  let detectability = Bdd.sat_fraction m union in
+  let upper_bound = upper_bound t fault in
+  {
+    fault;
+    detectability;
+    test_count = Bdd.sat_count m union;
+    detectable = not (Bdd.is_zero m union);
+    pos_fed = pos_fed t fault;
+    pos_observed =
+      Array.fold_left
+        (fun acc d -> if Bdd.is_zero m d then acc else acc + 1)
+        0 per_po;
+    upper_bound;
+    adherence =
+      (if upper_bound > 0.0 then Some (detectability /. upper_bound) else None);
+    wired_support = wired_support t fault;
+    test_set_nodes = Bdd.size m union;
+  }
+
+let analyze_all ?(node_budget = 3_000_000) t faults =
+  List.map
+    (fun fault ->
+      if Bdd.allocated_nodes (manager t) > node_budget then rebuild t;
+      analyze t fault)
+    faults

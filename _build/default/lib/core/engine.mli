@@ -1,0 +1,60 @@
+(** Difference Propagation (the paper's §3).
+
+    An engine holds the symbolic good functions of one circuit.  For any
+    logical fault it initialises difference functions at the fault
+    site(s) and propagates them to the primary outputs with the Table-1
+    rules, visiting only the fault's fanout cone (selective trace).  The
+    union of the output differences is {e the complete test set} of the
+    fault, from which exact detectability, syndrome bounds, adherence
+    and observability statistics follow. *)
+
+type t
+
+val create : ?heuristic:Ordering.heuristic -> Circuit.t -> t
+val circuit : t -> Circuit.t
+val manager : t -> Bdd.manager
+val symbolic : t -> Symbolic.t
+
+(** {1 Test sets} *)
+
+val po_differences : t -> Fault.t -> Bdd.t array
+(** The difference function at every primary output (declaration
+    order) — each is the fault's complete test set {e at that output}. *)
+
+val test_set : t -> Fault.t -> Bdd.t
+(** Union of the output differences: the complete test set. *)
+
+val test_cubes : ?limit:int -> t -> Fault.t -> (int * bool) list list
+(** Satisfying cubes of the test set, as (input position, value) literal
+    lists; unmentioned inputs are don't-care. *)
+
+val test_vector : t -> Fault.t -> bool array option
+(** One full test vector, or [None] for an undetectable fault. *)
+
+(** {1 Exact fault statistics} *)
+
+type result = {
+  fault : Fault.t;
+  detectability : float;  (** |test set| / 2^n — exact *)
+  test_count : float;  (** |test set| *)
+  detectable : bool;
+  pos_fed : int;  (** outputs reachable from the fault site(s) *)
+  pos_observed : int;  (** outputs with a non-zero difference *)
+  upper_bound : float;
+      (** excitation bound: the site syndrome (or its complement) for
+          stuck-at faults, [satfrac (fa xor fb)] for bridges *)
+  adherence : float option;
+      (** detectability / upper_bound; [None] when the bound is zero *)
+  wired_support : int option;
+      (** bridges: support size of the wired function at the site — zero
+          means the bridge degenerates to (double) stuck-at behaviour *)
+  test_set_nodes : int;  (** BDD size of the test set *)
+}
+
+val analyze : t -> Fault.t -> result
+
+val analyze_all :
+  ?node_budget:int -> t -> Fault.t list -> result list
+(** Analyse a fault list.  The engine's BDD arena only grows, so after
+    [node_budget] allocated nodes (default 3 million) the symbolic state
+    is rebuilt from scratch; results are unaffected. *)

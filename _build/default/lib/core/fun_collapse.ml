@@ -1,0 +1,54 @@
+type classes = Fault.t list list
+
+(* Group faults by a key derived from their per-output differences.
+   Keys are lists of BDD handles, valid within one engine. *)
+let group_by_key engine key faults =
+  let table = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun fault ->
+      let k = key engine fault in
+      match Hashtbl.find_opt table k with
+      | Some members -> Hashtbl.replace table k (fault :: members)
+      | None ->
+        Hashtbl.replace table k [ fault ];
+        order := k :: !order)
+    faults;
+  List.rev_map (fun k -> List.rev (Hashtbl.find table k)) !order
+  |> List.rev
+
+let by_test_set engine faults =
+  let key engine fault =
+    Array.to_list (Engine.po_differences engine fault)
+    |> List.map Bdd.hash
+  in
+  group_by_key engine key faults
+
+let detection_equivalent engine faults =
+  let key engine fault = [ Bdd.hash (Engine.test_set engine fault) ] in
+  group_by_key engine key faults
+
+type summary = {
+  faults : int;
+  structural_classes : int;
+  functional_classes : int;
+  detection_classes : int;
+}
+
+let summarize engine c =
+  let checkpoint_faults =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.checkpoint_faults c)
+  in
+  {
+    faults = List.length checkpoint_faults;
+    structural_classes = List.length (Sa_fault.equivalence_classes c);
+    functional_classes = List.length (by_test_set engine checkpoint_faults);
+    detection_classes =
+      List.length (detection_equivalent engine checkpoint_faults);
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "  %d checkpoint faults -> %d structural classes -> %d functional \
+     classes (%d if only the union test set must match)@."
+    s.faults s.structural_classes s.functional_classes s.detection_classes

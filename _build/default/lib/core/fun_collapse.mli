@@ -1,0 +1,34 @@
+(** Functional fault collapsing: two faults are equivalent exactly when
+    they have the same difference function at every primary output —
+    decidable here because Difference Propagation materialises those
+    functions as hash-consed BDDs (handle equality = function equality).
+
+    Structural rules (McCluskey–Clegg, as in {!Sa_fault.collapsed_faults})
+    are sound but incomplete; this module measures how many further
+    merges full functional equivalence finds, and doubles as an exact
+    fault-dictionary: faults in different classes are distinguishable by
+    some test, faults in one class are not. *)
+
+type classes = Fault.t list list
+(** Partition; classes ordered by first member, members in input order. *)
+
+val by_test_set : Engine.t -> Fault.t list -> classes
+(** Equivalence as {e indistinguishability}: same difference function at
+    every output.  Undetectable faults form one class. *)
+
+val detection_equivalent : Engine.t -> Fault.t list -> classes
+(** Weaker relation used for test-set sizing: same {e union} test set
+    (detected by exactly the same vectors, possibly at different
+    outputs). *)
+
+type summary = {
+  faults : int;
+  structural_classes : int;  (** for reference, when given checkpoint faults *)
+  functional_classes : int;
+  detection_classes : int;
+}
+
+val summarize : Engine.t -> Circuit.t -> summary
+(** Collapse statistics over the circuit's checkpoint faults. *)
+
+val pp_summary : Format.formatter -> summary -> unit

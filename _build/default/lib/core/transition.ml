@@ -1,0 +1,64 @@
+type edge = Rise | Fall
+
+type t = { net : int; edge : edge }
+
+let pp c fmt f =
+  Format.fprintf fmt "slow-to-%s %s"
+    (match f.edge with Rise -> "rise" | Fall -> "fall")
+    (Circuit.gate c f.net).Circuit.name
+
+let all c =
+  List.init (Circuit.num_gates c) (fun net ->
+      [ { net; edge = Rise }; { net; edge = Fall } ])
+  |> List.concat
+
+(* The equivalent second-pattern stuck value: a slow-to-rise net stays
+   at 0, i.e. behaves as s-a-0 under the capture pattern. *)
+let stuck_value f = match f.edge with Rise -> false | Fall -> true
+
+let initial_value f = stuck_value f
+
+let stuck_fault f =
+  Fault.Stuck { Sa_fault.line = Sa_fault.Stem f.net; value = stuck_value f }
+
+let pair_detectability engine f =
+  let m = Engine.manager engine in
+  let sym = Engine.symbolic engine in
+  let good = Symbolic.node_function sym f.net in
+  let launch =
+    (* v1 puts the net at the pre-transition value. *)
+    if initial_value f then Bdd.sat_fraction m good
+    else 1.0 -. Bdd.sat_fraction m good
+  in
+  let capture =
+    (Engine.analyze engine (stuck_fault f)).Engine.detectability
+  in
+  launch *. capture
+
+let test_pair engine f =
+  let c = Engine.circuit engine in
+  let m = Engine.manager engine in
+  let sym = Engine.symbolic engine in
+  let good = Symbolic.node_function sym f.net in
+  let launch_set = if initial_value f then good else Bdd.bnot m good in
+  match Bdd.any_sat m launch_set with
+  | None -> None
+  | Some literals ->
+    (match Engine.test_vector engine (stuck_fault f) with
+    | None -> None
+    | Some v2 ->
+      let v1 = Array.make (Circuit.num_inputs c) false in
+      List.iter (fun (pos, value) -> v1.(pos) <- value) literals;
+      Some (v1, v2))
+
+let detect_pair c f v1 v2 =
+  let words1 = Logic_sim.pack_patterns c [ v1 ] in
+  let values1 = Logic_sim.eval_words c words1 in
+  let net_v1 = Int64.logand values1.(f.net) 1L = 1L in
+  if net_v1 <> initial_value f then false
+  else
+    (* Second pattern with the net frozen at its first-pattern value —
+       the transition never completes. *)
+    let frozen = Logic_sim.detect_word c (stuck_fault f)
+        (Logic_sim.pack_patterns c [ v2 ]) in
+    Int64.logand frozen 1L <> 0L

@@ -1,0 +1,39 @@
+(** Gross-delay (transition) faults — a two-pattern fault model, and a
+    demonstration of the paper's claim that Difference Propagation
+    addresses "more logical fault models than just the single stuck-at"
+    (§1, §5).
+
+    A slow-to-rise fault on a net means a launched 0→1 transition does
+    not complete before capture: under the second pattern the net still
+    carries its first-pattern value.  A pair (v1, v2) detects it exactly
+    when v1 initialises the net to 0 and v2 is a test for the net's
+    s-a-0 stuck fault (dually for slow-to-fall and s-a-1).  Complete
+    stuck-at test sets therefore give the {e exact pair-space
+    detectability} in closed form:
+
+      det(slow-to-rise) = syndrome0(net) * det(s-a-0 at net)
+
+    over independently chosen (v1, v2) — no two-pattern search needed. *)
+
+type edge = Rise | Fall
+
+type t = { net : int; edge : edge }
+
+val pp : Circuit.t -> Format.formatter -> t -> unit
+
+val all : Circuit.t -> t list
+(** Both edges on every net. *)
+
+val pair_detectability : Engine.t -> t -> float
+(** Exact fraction of (v1, v2) pairs (out of 2^{2n}) that detect the
+    fault. *)
+
+val test_pair : Engine.t -> t -> (bool array * bool array) option
+(** One detecting two-pattern test, or [None] for an undetectable
+    fault. *)
+
+val detect_pair : Circuit.t -> t -> bool array -> bool array -> bool
+(** Two-pattern simulation: evaluate [v1], then evaluate [v2] with the
+    net frozen at its [v1] value when the required transition was
+    launched; the fault is detected when some output differs from the
+    good second-pattern response. *)

@@ -1,0 +1,1 @@
+lib/faults/bridge.ml: Array Bytes Char Circuit Float Format Gate Hashtbl Layout List Prng Stdlib

@@ -1,0 +1,1 @@
+lib/faults/bridge.mli: Circuit Format

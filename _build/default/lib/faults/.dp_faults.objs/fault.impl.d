@@ -1,0 +1,1 @@
+lib/faults/fault.ml: Bool Bridge Circuit Format List Printf Sa_fault Stdlib String

@@ -1,0 +1,1 @@
+lib/faults/fault.mli: Bridge Circuit Format Sa_fault

@@ -1,0 +1,1 @@
+lib/faults/sa_fault.ml: Array Circuit Format Gate Hashtbl List Option Stdlib Union_find

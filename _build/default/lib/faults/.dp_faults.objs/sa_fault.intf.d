@@ -1,0 +1,1 @@
+lib/faults/sa_fault.mli: Circuit Format

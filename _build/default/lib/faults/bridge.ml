@@ -1,0 +1,179 @@
+type kind = Wired_and | Wired_or
+
+type t = { a : int; b : int; kind : kind }
+
+let make a b kind =
+  if a = b then invalid_arg "Bridge.make: a net cannot bridge to itself";
+  if a < b then { a; b; kind } else { a = b; b = a; kind }
+
+let compare x y = Stdlib.compare (x.a, x.b, x.kind) (y.a, y.b, y.kind)
+let equal x y = compare x y = 0
+
+let kind_name = function Wired_and -> "AND" | Wired_or -> "OR"
+
+let pp c fmt f =
+  Format.fprintf fmt "%s-bridge(%s, %s)" (kind_name f.kind)
+    (Circuit.gate c f.a).Circuit.name
+    (Circuit.gate c f.b).Circuit.name
+
+let to_string c f = Format.asprintf "%a" (pp c) f
+
+(* Transitive-fanin sets as packed bitsets: n nets, n bits each. *)
+type ancestors = { words : int; bits : Bytes.t array }
+
+let ancestors c =
+  let n = Circuit.num_gates c in
+  let words = (n + 7) / 8 in
+  let bits = Array.init n (fun _ -> Bytes.make words '\000') in
+  let set row i =
+    let byte = i lsr 3 and bit = i land 7 in
+    Bytes.set row byte
+      (Char.chr (Char.code (Bytes.get row byte) lor (1 lsl bit)))
+  in
+  let union ~into from =
+    for w = 0 to words - 1 do
+      Bytes.set into w
+        (Char.chr (Char.code (Bytes.get into w) lor Char.code (Bytes.get from w)))
+    done
+  in
+  Array.iteri
+    (fun g (gate : Circuit.gate) ->
+      Array.iter
+        (fun f ->
+          union ~into:bits.(g) bits.(f);
+          set bits.(g) f)
+        gate.fanins)
+    c.Circuit.gates;
+  { words; bits }
+
+let in_fanin anc ~net ~of_ =
+  let row = anc.bits.(of_) in
+  Char.code (Bytes.get row (net lsr 3)) land (1 lsl (net land 7)) <> 0
+
+let is_feedback anc a b =
+  in_fanin anc ~net:a ~of_:b || in_fanin anc ~net:b ~of_:a
+
+(* [fanout] is the precomputed Circuit.fanouts table and [is_po] the
+   output membership vector; recomputing either per candidate pair would
+   make the quadratic pair scan cubic. *)
+let trivial_with c ~fanout ~is_po f =
+  let sinks net = Array.to_list fanout.(net) |> List.sort_uniq Stdlib.compare in
+  match (sinks f.a, sinks f.b) with
+  | [ ga ], [ gb ] when ga = gb && (not is_po.(f.a)) && not is_po.(f.b) ->
+    let kind = (Circuit.gate c ga).Circuit.kind in
+    (match (f.kind, kind) with
+    | Wired_and, (Gate.And | Gate.Nand) -> true
+    | Wired_or, (Gate.Or | Gate.Nor) -> true
+    | (Wired_and | Wired_or), _ -> false)
+  | _ -> false
+
+let po_vector c =
+  let is_po = Array.make (Circuit.num_gates c) false in
+  Array.iter (fun o -> is_po.(o) <- true) c.Circuit.outputs;
+  is_po
+
+let trivially_undetectable c f =
+  trivial_with c ~fanout:(Circuit.fanouts c) ~is_po:(po_vector c) f
+
+let bridgeable_net c g =
+  match (Circuit.gate c g).Circuit.kind with
+  | Gate.Const0 | Gate.Const1 -> false
+  | Gate.Input | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or
+  | Gate.Nor | Gate.Xor | Gate.Xnor -> true
+
+(* Shared pair scan: calls [consider] on every potentially detectable
+   NFBF pair (a < b). *)
+let iter_pairs c consider =
+  let anc = ancestors c in
+  let fanout = Circuit.fanouts c in
+  let is_po = po_vector c in
+  let n = Circuit.num_gates c in
+  for a = 0 to n - 2 do
+    if bridgeable_net c a then
+      for b = a + 1 to n - 1 do
+        if bridgeable_net c b && not (is_feedback anc a b) then begin
+          let of_kind kind =
+            let f = { a; b; kind } in
+            if not (trivial_with c ~fanout ~is_po f) then consider f
+          in
+          of_kind Wired_and;
+          of_kind Wired_or
+        end
+      done
+  done
+
+let enumerate c =
+  let acc = ref [] in
+  iter_pairs c (fun f -> acc := f :: !acc);
+  List.rev !acc
+
+let count c =
+  let n = ref 0 in
+  iter_pairs c (fun _ -> incr n);
+  !n
+
+type sample_stats = {
+  requested : int;
+  accepted : int;
+  proposals : int;
+  max_distance : float;
+}
+
+let sample ?(theta = 0.25) ~seed ~size c =
+  if theta <= 0.0 then invalid_arg "Bridge.sample: theta must be positive";
+  let layout = Layout.compute c in
+  let anc = ancestors c in
+  (* Normalisation pass: the largest wire distance over valid pairs, and
+     the number of valid pairs so the request can be clamped. *)
+  let max_distance = ref 0.0 in
+  let valid_pairs = ref 0 in
+  iter_pairs c (fun f ->
+      if f.kind = Wired_and then begin
+        incr valid_pairs;
+        max_distance := Float.max !max_distance (Layout.distance layout f.a f.b)
+      end);
+  let requested = size in
+  let size = min size !valid_pairs in
+  let n = Circuit.num_gates c in
+  let rng = Prng.create ~seed in
+  let chosen = Hashtbl.create (2 * size) in
+  let proposals = ref 0 in
+  let budget = (1000 * size) + 100_000 in
+  let fanout = Circuit.fanouts c in
+  let is_po = po_vector c in
+  let valid a b =
+    a <> b
+    && bridgeable_net c a && bridgeable_net c b
+    && (not (is_feedback anc a b))
+    && (not (trivial_with c ~fanout ~is_po { a; b; kind = Wired_and })
+       || not (trivial_with c ~fanout ~is_po { a; b; kind = Wired_or }))
+  in
+  while Hashtbl.length chosen < size && !proposals < budget do
+    incr proposals;
+    let a = Prng.int rng n and b = Prng.int rng n in
+    let a, b = if a <= b then (a, b) else (b, a) in
+    if valid a b && not (Hashtbl.mem chosen (a, b)) then begin
+      let z =
+        Layout.normalized_distance layout ~max:!max_distance a b
+      in
+      if Prng.float rng < Float.exp (-.z /. theta) then
+        Hashtbl.replace chosen (a, b) ()
+    end
+  done;
+  let faults =
+    Hashtbl.fold (fun (a, b) () acc -> (a, b) :: acc) chosen []
+    |> List.sort Stdlib.compare
+    |> List.concat_map (fun (a, b) ->
+           let keep kind =
+             let f = { a; b; kind } in
+             if trivial_with c ~fanout ~is_po f then None else Some f
+           in
+           List.filter_map keep [ Wired_and; Wired_or ])
+  in
+  ( faults,
+    {
+      requested;
+      accepted = Hashtbl.length chosen;
+      proposals = !proposals;
+      max_distance = !max_distance;
+    } )

@@ -1,0 +1,64 @@
+(** Two-line non-feedback bridging faults (NFBFs), per the paper's §2.2.
+
+    A bridge shorts two nets [a] and [b] ([a < b]); under the wired-AND
+    model both carry [a AND b], under wired-OR both carry [a OR b].
+    Feedback bridges (one net in the other's transitive fanin) are
+    excluded, as are trivially undetectable bridges — those whose two
+    nets feed {e only} a single common gate whose kind absorbs the bridge
+    (AND bridge into an AND/NAND gate, OR bridge into an OR/NOR gate). *)
+
+type kind = Wired_and | Wired_or
+
+type t = { a : int; b : int; kind : kind }
+
+val make : int -> int -> kind -> t
+(** Normalises the net pair so that [a < b].
+    @raise Invalid_argument when the nets coincide. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Circuit.t -> Format.formatter -> t -> unit
+val to_string : Circuit.t -> t -> string
+
+(** {1 Structure predicates} *)
+
+type ancestors
+(** Transitive-fanin bitsets for every net (quadratic bits, built once). *)
+
+val ancestors : Circuit.t -> ancestors
+val in_fanin : ancestors -> net:int -> of_:int -> bool
+
+val is_feedback : ancestors -> int -> int -> bool
+(** Whether bridging the two nets would create a loop. *)
+
+val trivially_undetectable : Circuit.t -> t -> bool
+
+(** {1 Fault universes} *)
+
+val enumerate : Circuit.t -> t list
+(** Every potentially detectable NFBF, both kinds — feasible for the
+    small benchmarks only (quadratic in net count). *)
+
+val count : Circuit.t -> int
+(** [List.length (enumerate c)] without materialising the list. *)
+
+(** {1 Layout-weighted sampling (paper §2.2)} *)
+
+type sample_stats = {
+  requested : int;
+  accepted : int;
+  proposals : int;  (** candidate pairs drawn, including rejections *)
+  max_distance : float;  (** normalisation constant over valid NFBFs *)
+}
+
+val sample :
+  ?theta:float ->
+  seed:int ->
+  size:int ->
+  Circuit.t ->
+  t list * sample_stats
+(** Draw [size] distinct wire pairs, each accepted with probability
+    [exp (-z / theta)] of its normalised estimated wire distance [z]
+    (exponential distance law, default [theta = 0.25]), and return both
+    the wired-AND and wired-OR fault on every accepted pair
+    (so the list has [2 * size] faults).  Deterministic in [seed]. *)

@@ -1,0 +1,45 @@
+type t =
+  | Stuck of Sa_fault.t
+  | Bridged of Bridge.t
+  | Multi_stuck of (int * bool) list
+
+let multi sites =
+  if sites = [] then invalid_arg "Fault.multi: empty site list";
+  let sorted = List.sort Stdlib.compare sites in
+  let rec distinct = function
+    | (a, _) :: ((b, _) :: _ as rest) -> a <> b && distinct rest
+    | [ _ ] | [] -> true
+  in
+  if not (distinct sorted) then
+    invalid_arg "Fault.multi: duplicate stems";
+  Multi_stuck sorted
+
+let rank = function Stuck _ -> 0 | Bridged _ -> 1 | Multi_stuck _ -> 2
+
+let compare x y =
+  match (x, y) with
+  | Stuck a, Stuck b -> Sa_fault.compare a b
+  | Bridged a, Bridged b -> Bridge.compare a b
+  | Multi_stuck a, Multi_stuck b -> Stdlib.compare a b
+  | (Stuck _ | Bridged _ | Multi_stuck _), _ ->
+    Stdlib.compare (rank x) (rank y)
+
+let equal x y = compare x y = 0
+
+let pp c fmt = function
+  | Stuck f -> Sa_fault.pp c fmt f
+  | Bridged f -> Bridge.pp c fmt f
+  | Multi_stuck sites ->
+    let site (net, value) =
+      Printf.sprintf "%s/%d" (Circuit.gate c net).Circuit.name
+        (Bool.to_int value)
+    in
+    Format.fprintf fmt "multi{%s}" (String.concat " " (List.map site sites))
+
+let to_string c f = Format.asprintf "%a" (pp c) f
+
+let sites = function
+  | Stuck { Sa_fault.line = Sa_fault.Stem s; _ } -> [ s ]
+  | Stuck { Sa_fault.line = Sa_fault.Branch b; _ } -> [ b.Circuit.sink ]
+  | Bridged { Bridge.a; b; _ } -> [ a; b ]
+  | Multi_stuck sites -> List.map fst sites

@@ -1,0 +1,27 @@
+(** The union of the two fault models under study (paper §2): classical
+    single stuck-at faults and two-line non-feedback bridging faults. *)
+
+type t =
+  | Stuck of Sa_fault.t
+  | Bridged of Bridge.t
+  | Multi_stuck of (int * bool) list
+      (** simultaneous stuck-at faults on distinct stems — build with
+          {!multi}, which enforces the invariants *)
+
+val multi : (int * bool) list -> t
+(** Multiple stuck-at fault from (stem net, stuck value) pairs.  The
+    Difference Propagation rules are exact for any set of simultaneous
+    differences, so multiple faults need no new machinery (paper §3:
+    "any fault whose effects are restricted to the logical domain").
+    The list is normalised to ascending stems.
+    @raise Invalid_argument on an empty list or duplicate stems. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Circuit.t -> Format.formatter -> t -> unit
+val to_string : Circuit.t -> t -> string
+
+val sites : t -> int list
+(** Nets whose functions the fault changes first: the faulted stem (or
+    branch sink gate) for stuck-at faults, both bridged nets for
+    bridges.  Difference Propagation starts its selective trace here. *)

@@ -1,0 +1,123 @@
+type line = Stem of int | Branch of Circuit.branch
+
+type t = { line : line; value : bool }
+
+let stem_of_line = function Stem s -> s | Branch b -> b.Circuit.stem
+
+let site_gate _c f =
+  match f.line with Stem s -> s | Branch b -> b.Circuit.sink
+
+let compare_line a b =
+  match (a, b) with
+  | Stem x, Stem y -> Stdlib.compare x y
+  | Stem _, Branch _ -> -1
+  | Branch _, Stem _ -> 1
+  | Branch x, Branch y -> Stdlib.compare x y
+
+let compare a b =
+  match compare_line a.line b.line with
+  | 0 -> Stdlib.compare a.value b.value
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp c fmt f =
+  let value = if f.value then 1 else 0 in
+  match f.line with
+  | Stem s ->
+    Format.fprintf fmt "%s s-a-%d" (Circuit.gate c s).Circuit.name value
+  | Branch b ->
+    Format.fprintf fmt "%s->%s.%d s-a-%d"
+      (Circuit.gate c b.Circuit.stem).Circuit.name
+      (Circuit.gate c b.Circuit.sink).Circuit.name
+      b.Circuit.pin value
+
+let to_string c f = Format.asprintf "%a" (pp c) f
+
+let checkpoints c =
+  let pis = Array.to_list c.Circuit.inputs |> List.map (fun g -> Stem g) in
+  let branch_lines = Circuit.branches c |> List.map (fun b -> Branch b) in
+  pis @ branch_lines
+
+let faults_on lines =
+  List.concat_map
+    (fun line -> [ { line; value = false }; { line; value = true } ])
+    lines
+
+let checkpoint_faults c = faults_on (checkpoints c)
+
+let all_line_faults c =
+  let stems = List.init (Circuit.num_gates c) (fun g -> Stem g) in
+  let branch_lines = Circuit.branches c |> List.map (fun b -> Branch b) in
+  faults_on (stems @ branch_lines)
+
+(* Line identifiers for union-find: stems first, then branches. *)
+let line_index c =
+  let n = Circuit.num_gates c in
+  let branch_list = Circuit.branches c in
+  let table = Hashtbl.create (List.length branch_list * 2) in
+  List.iteri
+    (fun i (b : Circuit.branch) ->
+      Hashtbl.replace table (b.stem, b.sink, b.pin) (n + i))
+    branch_list;
+  let id = function
+    | Stem s -> s
+    | Branch b ->
+      Hashtbl.find table (b.Circuit.stem, b.Circuit.sink, b.Circuit.pin)
+  in
+  (id, n + List.length branch_list)
+
+let fault_element line_id f = (2 * line_id f.line) + if f.value then 1 else 0
+
+let build_equivalence c =
+  let line_id, num_lines = line_index c in
+  let uf = Union_find.create (2 * num_lines) in
+  let fanout = Circuit.fanout_count c in
+  let elem line value = (2 * line_id line) + if value then 1 else 0 in
+  let pin_line stem sink pin =
+    if fanout.(stem) >= 2 then Branch { Circuit.stem; sink; pin }
+    else Stem stem
+  in
+  Array.iteri
+    (fun g (gate : Circuit.gate) ->
+      let unite_pins ~input_value ~output_value =
+        Array.iteri
+          (fun pin stem ->
+            Union_find.union uf
+              (elem (pin_line stem g pin) input_value)
+              (elem (Stem g) output_value))
+          gate.fanins
+      in
+      match gate.kind with
+      | Gate.And -> unite_pins ~input_value:false ~output_value:false
+      | Gate.Nand -> unite_pins ~input_value:false ~output_value:true
+      | Gate.Or -> unite_pins ~input_value:true ~output_value:true
+      | Gate.Nor -> unite_pins ~input_value:true ~output_value:false
+      | Gate.Buf ->
+        unite_pins ~input_value:false ~output_value:false;
+        unite_pins ~input_value:true ~output_value:true
+      | Gate.Not ->
+        unite_pins ~input_value:false ~output_value:true;
+        unite_pins ~input_value:true ~output_value:false
+      | Gate.Input | Gate.Const0 | Gate.Const1 | Gate.Xor | Gate.Xnor -> ())
+    c.Circuit.gates;
+  (uf, fault_element line_id)
+
+let equivalence_classes c =
+  let uf, element = build_equivalence c in
+  let groups = Hashtbl.create 256 in
+  List.iter
+    (fun f ->
+      let root = Union_find.find uf (element f) in
+      let existing = Option.value (Hashtbl.find_opt groups root) ~default:[] in
+      Hashtbl.replace groups root (f :: existing))
+    (checkpoint_faults c);
+  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) groups []
+  |> List.sort (fun a b ->
+         match (a, b) with
+         | f :: _, g :: _ -> compare f g
+         | [], _ | _, [] -> 0)
+
+let collapsed_faults c =
+  equivalence_classes c
+  |> List.filter_map (function f :: _ -> Some f | [] -> None)

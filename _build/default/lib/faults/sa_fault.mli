@@ -1,0 +1,50 @@
+(** Single stuck-at faults on circuit lines.
+
+    A {e line} is either a net's stem (the gate output) or one fanout
+    branch of a multi-fanout net.  The paper's fault universe is the
+    classical {e checkpoint} set — primary inputs plus fanout branches —
+    collapsed by fault equivalence at gate inputs (§2.1). *)
+
+type line =
+  | Stem of int  (** a net, addressed by its gate index *)
+  | Branch of Circuit.branch
+      (** one pin connection of a net with fanout of at least two *)
+
+type t = { line : line; value : bool }
+(** Line stuck at [value]. *)
+
+val stem_of_line : line -> int
+(** Net carrying the fault (the branch's stem for branch faults). *)
+
+val site_gate : Circuit.t -> t -> int
+(** First gate whose function changes: the stem's gate for stem faults
+    (or the stem itself for primary-input stems), the sink gate for
+    branch faults. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Circuit.t -> Format.formatter -> t -> unit
+val to_string : Circuit.t -> t -> string
+
+(** {1 Fault universes} *)
+
+val checkpoints : Circuit.t -> line list
+(** Primary-input stems followed by fanout branches, in deterministic
+    order. *)
+
+val checkpoint_faults : Circuit.t -> t list
+(** Both polarities on every checkpoint (uncollapsed). *)
+
+val equivalence_classes : Circuit.t -> t list list
+(** Partition of the checkpoint faults into structural equivalence
+    classes: a stuck-at at a controlling value on a gate input is
+    equivalent to the corresponding output fault, and equivalence is
+    propagated through BUF/NOT chains. *)
+
+val collapsed_faults : Circuit.t -> t list
+(** One representative per equivalence class — the fault set the paper's
+    stuck-at statistics are computed over. *)
+
+val all_line_faults : Circuit.t -> t list
+(** Both polarities on every stem and every branch (the exhaustive line
+    fault universe, used by oracles and the ATPG baseline). *)

@@ -1,0 +1,1 @@
+lib/sim/fault_sim.ml: Array Circuit Float Int64 List Logic_sim Printf Prng

@@ -1,0 +1,1 @@
+lib/sim/logic_sim.ml: Array Bridge Circuit Fault Gate Int64 List Option Sa_fault

@@ -1,0 +1,1 @@
+lib/sim/logic_sim.mli: Circuit Fault

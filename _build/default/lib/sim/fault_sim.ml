@@ -1,0 +1,108 @@
+let detects c fault vector =
+  let words = Logic_sim.pack_patterns c [ vector ] in
+  Int64.logand (Logic_sim.detect_word c fault words) 1L <> 0L
+
+let check_exhaustible c =
+  let n = Circuit.num_inputs c in
+  if n > 26 then
+    invalid_arg
+      (Printf.sprintf "Fault_sim: %d inputs is too many for exhaustion" n);
+  n
+
+let exhaustive_fold c fault ~init ~f =
+  let n = check_exhaustible c in
+  let total = 1 lsl n in
+  let rec blocks base acc =
+    if base >= total then acc
+    else begin
+      let words = Logic_sim.base_words c base in
+      let hits = Logic_sim.detect_word c fault words in
+      (* Mask out patterns beyond 2^n in the final partial block. *)
+      let valid = min 64 (total - base) in
+      let mask =
+        if valid = 64 then Int64.minus_one
+        else Int64.sub (Int64.shift_left 1L valid) 1L
+      in
+      blocks (base + 64) (f acc base (Int64.logand hits mask))
+    end
+  in
+  blocks 0 init
+
+let exhaustive_count c fault =
+  exhaustive_fold c fault ~init:0 ~f:(fun acc _ hits ->
+      acc + Logic_sim.popcount hits)
+
+let exhaustive_detectability c fault =
+  let n = Circuit.num_inputs c in
+  float_of_int (exhaustive_count c fault)
+  /. Float.pow 2.0 (float_of_int n)
+
+let vector_of_pattern c pattern =
+  Array.init (Circuit.num_inputs c) (fun j -> (pattern lsr j) land 1 = 1)
+
+let exhaustive_test_set c fault =
+  exhaustive_fold c fault ~init:[] ~f:(fun acc base hits ->
+      let rec collect i acc =
+        if i >= 64 then acc
+        else
+          let acc =
+            if Int64.logand hits (Int64.shift_left 1L i) <> 0L then
+              vector_of_pattern c (base + i) :: acc
+            else acc
+          in
+          collect (i + 1) acc
+      in
+      collect 0 acc)
+  |> List.rev
+
+let estimated_detectability ~seed ~patterns c fault =
+  if patterns <= 0 then invalid_arg "Fault_sim.estimated_detectability";
+  let rng = Prng.create ~seed in
+  let n = Circuit.num_inputs c in
+  let words = (patterns + 63) / 64 in
+  let hits = ref 0 in
+  for _ = 1 to words do
+    let inputs = Array.init n (fun _ -> Prng.word rng) in
+    hits := !hits + Logic_sim.popcount (Logic_sim.detect_word c fault inputs)
+  done;
+  float_of_int !hits /. float_of_int (words * 64)
+
+type coverage_point = {
+  patterns_applied : int;
+  faults_detected : int;
+  coverage : float;
+}
+
+let random_coverage ~seed ~patterns c faults =
+  let rng = Prng.create ~seed in
+  let n = Circuit.num_inputs c in
+  let total = List.length faults in
+  let live = ref faults in
+  let detected = ref 0 in
+  let points = ref [] in
+  let applied = ref 0 in
+  while !applied < patterns && !live <> [] do
+    let words = Array.init n (fun _ -> Prng.word rng) in
+    let survivors =
+      List.filter
+        (fun fault ->
+          if Logic_sim.detect_word c fault words <> 0L then begin
+            incr detected;
+            false
+          end
+          else true)
+        !live
+    in
+    live := survivors;
+    applied := !applied + 64;
+    points :=
+      {
+        patterns_applied = !applied;
+        faults_detected = !detected;
+        coverage =
+          (if total = 0 then 1.0
+           else float_of_int !detected /. float_of_int total);
+      }
+      :: !points
+  done;
+  List.rev !points

@@ -1,0 +1,41 @@
+(** Fault simulation built on {!Logic_sim}: exhaustive simulation as the
+    exact (but exponential) baseline, plus random-pattern simulation
+    with fault dropping. *)
+
+val detects : Circuit.t -> Fault.t -> bool array -> bool
+(** Whether a single input vector detects the fault. *)
+
+val exhaustive_count : Circuit.t -> Fault.t -> int
+(** Number of the 2^n input vectors detecting the fault — exact
+    detectability numerator.  Only sensible for small input counts
+    (guarded at 26 inputs). *)
+
+val exhaustive_detectability : Circuit.t -> Fault.t -> float
+(** [exhaustive_count] / 2^n. *)
+
+val exhaustive_test_set : Circuit.t -> Fault.t -> bool array list
+(** Every detecting vector, in pattern-number order. *)
+
+val estimated_detectability :
+  seed:int -> patterns:int -> Circuit.t -> Fault.t -> float
+(** Monte-Carlo estimate of detectability from uniform random patterns
+    (rounded up to whole 64-pattern words).  The sampling alternative to
+    the exact OBDD count: cheap, but its relative error explodes for
+    low-detectability faults — which is where test generation actually
+    struggles. *)
+
+type coverage_point = {
+  patterns_applied : int;
+  faults_detected : int;
+  coverage : float;
+}
+
+val random_coverage :
+  seed:int ->
+  patterns:int ->
+  Circuit.t ->
+  Fault.t list ->
+  coverage_point list
+(** Random-pattern fault simulation with fault dropping: coverage after
+    every 64-pattern block.  The first coverage point reflects 64
+    patterns. *)

@@ -1,0 +1,101 @@
+let eval_with_overrides c ~force_net ~force_pin inputs =
+  if Array.length inputs <> Circuit.num_inputs c then
+    invalid_arg "Logic_sim: input word count mismatch";
+  let values = Array.make (Circuit.num_gates c) 0L in
+  Array.iteri (fun pos g -> values.(g) <- inputs.(pos)) c.Circuit.inputs;
+  Array.iteri
+    (fun g (gate : Circuit.gate) ->
+      (match gate.kind with
+      | Gate.Input -> ()
+      | kind ->
+        let operands =
+          Array.mapi
+            (fun pin f ->
+              match force_pin g pin with
+              | Some w -> w
+              | None -> values.(f))
+            gate.fanins
+        in
+        values.(g) <- Gate.eval_word kind operands);
+      match force_net g with Some w -> values.(g) <- w | None -> ())
+    c.Circuit.gates;
+  values
+
+let no_net _ = None
+let no_pin _ _ = None
+
+let eval_words c inputs =
+  eval_with_overrides c ~force_net:no_net ~force_pin:no_pin inputs
+
+let eval_words_faulty c fault inputs =
+  match fault with
+  | Fault.Stuck { Sa_fault.line = Sa_fault.Stem s; value } ->
+    let w = if value then Int64.minus_one else 0L in
+    let force_net g = if g = s then Some w else None in
+    eval_with_overrides c ~force_net ~force_pin:no_pin inputs
+  | Fault.Stuck { Sa_fault.line = Sa_fault.Branch br; value } ->
+    let w = if value then Int64.minus_one else 0L in
+    let force_pin g pin =
+      if g = br.Circuit.sink && pin = br.Circuit.pin then Some w else None
+    in
+    eval_with_overrides c ~force_net:no_net ~force_pin inputs
+  | Fault.Bridged { Bridge.a; b; kind } ->
+    (* The bridged value depends on the two nets' good values, which a
+       non-feedback bridge cannot disturb: take them from a good pass. *)
+    let good = eval_words c inputs in
+    let wired =
+      match kind with
+      | Bridge.Wired_and -> Int64.logand good.(a) good.(b)
+      | Bridge.Wired_or -> Int64.logor good.(a) good.(b)
+    in
+    let force_net g = if g = a || g = b then Some wired else None in
+    eval_with_overrides c ~force_net ~force_pin:no_pin inputs
+  | Fault.Multi_stuck sites ->
+    let force_net g =
+      List.assoc_opt g sites
+      |> Option.map (fun v -> if v then Int64.minus_one else 0L)
+    in
+    eval_with_overrides c ~force_net ~force_pin:no_pin inputs
+
+let outputs_of c values = Array.map (Array.get values) c.Circuit.outputs
+
+let detect_word c fault inputs =
+  let good = outputs_of c (eval_words c inputs) in
+  let faulty = outputs_of c (eval_words_faulty c fault inputs) in
+  let acc = ref 0L in
+  Array.iteri
+    (fun i g -> acc := Int64.logor !acc (Int64.logxor g faulty.(i)))
+    good;
+  !acc
+
+let pack_patterns c patterns =
+  let n = Circuit.num_inputs c in
+  let words = Array.make n 0L in
+  List.iteri
+    (fun i vector ->
+      if i >= 64 then invalid_arg "Logic_sim.pack_patterns: more than 64";
+      if Array.length vector <> n then
+        invalid_arg "Logic_sim.pack_patterns: vector length mismatch";
+      Array.iteri
+        (fun j bit ->
+          if bit then words.(j) <- Int64.logor words.(j) (Int64.shift_left 1L i))
+        vector)
+    patterns;
+  words
+
+let base_words c base =
+  let n = Circuit.num_inputs c in
+  Array.init n (fun j ->
+      let word = ref 0L in
+      for i = 0 to 63 do
+        if (base + i) lsr j land 1 = 1 then
+          word := Int64.logor !word (Int64.shift_left 1L i)
+      done;
+      !word)
+
+let popcount w =
+  let rec go w acc =
+    if Int64.equal w 0L then acc
+    else go (Int64.logand w (Int64.sub w 1L)) (acc + 1)
+  in
+  go w 0

@@ -1,0 +1,31 @@
+(** Bit-parallel (64 patterns per word) logic simulation with fault
+    injection — the simulation substrate the paper positions Difference
+    Propagation against, and the oracle our tests validate it with. *)
+
+val eval_words : Circuit.t -> int64 array -> int64 array
+(** Good-machine simulation: input words (one per primary input, bit [i]
+    of every word forming pattern [i]) to one word per net. *)
+
+val eval_words_faulty : Circuit.t -> Fault.t -> int64 array -> int64 array
+(** Faulty-machine simulation.  Stuck stems force the net, stuck
+    branches force a single gate pin, bridges replace both nets by their
+    wired-AND / wired-OR combination (two-pass, sound because only
+    non-feedback bridges are representable). *)
+
+val outputs_of : Circuit.t -> int64 array -> int64 array
+(** Select the primary-output words from a net-indexed array. *)
+
+val detect_word : Circuit.t -> Fault.t -> int64 array -> int64
+(** Bit mask of the patterns (among the 64 encoded in the input words)
+    that detect the fault at some primary output. *)
+
+val pack_patterns : Circuit.t -> bool array list -> int64 array
+(** Pack up to 64 input vectors into simulation words (pattern [i] goes
+    to bit [i]). *)
+
+val base_words : Circuit.t -> int -> int64 array
+(** Words encoding the 64 consecutive exhaustive patterns starting at
+    [base] (pattern number [base + i] assigns input [j] the [j]-th bit
+    of the pattern number). *)
+
+val popcount : int64 -> int

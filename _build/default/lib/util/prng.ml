@@ -1,0 +1,32 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int ((seed * 2) + 1) }
+
+let word t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let masked = Int64.logand (word t) Int64.max_int in
+  Int64.to_int (Int64.rem masked (Int64.of_int bound))
+
+let bool t = Int64.logand (word t) 1L = 1L
+
+let float t =
+  let bits53 = Int64.shift_right_logical (word t) 11 in
+  Int64.to_float bits53 /. 9007199254740992.0
+
+let bool_array t n = Array.init n (fun _ -> bool t)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,28 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    Every sampled artifact in this repository (bridging-fault sets,
+    random circuits, shuffled variable orders, random test vectors) is
+    reproducible from an integer seed through this module; the OCaml
+    [Random] module is deliberately not used. *)
+
+type t
+
+val create : seed:int -> t
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0 .. bound-1].
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform draw from [0, 1). *)
+
+val word : t -> int64
+(** Raw 64-bit output. *)
+
+val bool_array : t -> int -> bool array
+(** Uniform vector of booleans. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,19 @@
+(** Union-find over integer elements, with path compression and union by
+    rank.  Used to collapse stuck-at fault equivalence classes. *)
+
+type t
+
+val create : int -> t
+(** [create n] starts with elements [0 .. n-1], each in its own class. *)
+
+val find : t -> int -> int
+(** Canonical representative of an element's class. *)
+
+val union : t -> int -> int -> unit
+(** Merge two classes (no-op when already merged). *)
+
+val same : t -> int -> int -> bool
+
+val classes : t -> int list array
+(** Members of each class, indexed by representative; non-representative
+    slots hold the empty list.  Members appear in increasing order. *)

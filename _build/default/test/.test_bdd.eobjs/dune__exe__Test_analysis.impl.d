@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Bathtub Bench_suite Bridge Circuit Dft Engine Experiments Fault Fun Histogram List Order_search Ordering Po_stats Sa_fault Symbolic Trends

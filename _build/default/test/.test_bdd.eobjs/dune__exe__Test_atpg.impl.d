@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Bench_suite Circuit Engine Fault Fault_sim Gate Generate List Option Podem Sa_fault

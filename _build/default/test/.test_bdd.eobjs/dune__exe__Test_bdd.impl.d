@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bdd Float List Printf Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Bench_c1908 Bench_c499 Bench_suite Bool Circuit Fun Gate Hashtbl List Printf Prng

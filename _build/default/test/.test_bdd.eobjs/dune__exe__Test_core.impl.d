@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bdd Bench_suite Bridge Bridge_class Circuit Decompose Engine Fault Fault_sim Float Gate Generate List Option Ordering Prng QCheck QCheck_alcotest Rules Sa_fault

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Bdd Bench_format Bench_suite Circuit Engine Equiv Fault List Option Podem Sa_fault Seq_circuit

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Bdd Bench_suite Bridge Circuit Engine Fault Fault_sim Gate Layout List Option Prng Sa_fault Stdlib Union_find

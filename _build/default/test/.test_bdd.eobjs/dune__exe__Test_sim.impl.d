@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Bench_suite Bridge Circuit Fault Fault_sim Float Gate Generate Int64 List Logic_sim Option Printf Prng Sa_fault

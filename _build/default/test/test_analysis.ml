@@ -1,0 +1,305 @@
+(* Tests for the experiment layer: histograms, trends, bathtub curves,
+   PO statistics, and the experiment runner itself (on the small
+   circuits to stay fast). *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let float_t = Alcotest.float 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+
+let test_histogram_basic () =
+  let h = Histogram.make ~bins:4 [ 0.1; 0.1; 0.3; 0.6; 0.99 ] in
+  check int_t "total" 5 h.Histogram.total;
+  check (Alcotest.array int_t) "counts" [| 2; 1; 1; 1 |] h.Histogram.counts;
+  check float_t "proportion bin 0" 0.4 h.Histogram.proportions.(0);
+  check float_t "proportions sum to one" 1.0
+    (Array.fold_left ( +. ) 0.0 h.Histogram.proportions)
+
+let test_histogram_boundaries () =
+  let h = Histogram.make ~bins:10 [ 0.0; 1.0; 0.999999; -0.5; 1.5 ] in
+  (* 0.0 and the clamped -0.5 land in bin 0; 1.0, 1.5 and 0.999999 in
+     the last bin. *)
+  check int_t "first bin" 2 h.Histogram.counts.(0);
+  check int_t "last bin" 3 h.Histogram.counts.(9)
+
+let test_histogram_empty () =
+  let h = Histogram.make ~bins:5 [] in
+  check int_t "empty total" 0 h.Histogram.total;
+  Array.iter (fun p -> check float_t "zero proportions" 0.0 p) h.Histogram.proportions
+
+let test_histogram_rejects_zero_bins () =
+  check bool_t "zero bins" true
+    (try
+       ignore (Histogram.make ~bins:0 [ 0.5 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_bin_geometry () =
+  let h = Histogram.make ~bins:4 [ 0.5 ] in
+  check float_t "lower" 0.25 (Histogram.bin_lower h 1);
+  check float_t "center" 0.375 (Histogram.bin_center h 1)
+
+let test_mean () =
+  check float_t "mean" 0.5 (Histogram.mean [ 0.25; 0.75 ]);
+  check float_t "empty mean" 0.0 (Histogram.mean [])
+
+(* ------------------------------------------------------------------ *)
+(* Trends                                                              *)
+
+let test_trend_row () =
+  let c = Bench_suite.find "c17" in
+  let engine = Engine.create c in
+  let results =
+    Engine.analyze_all engine
+      (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
+  in
+  let row = Trends.row_of_results c results in
+  check int_t "nets" 11 row.Trends.nets;
+  check int_t "outputs" 2 row.Trends.outputs;
+  check int_t "all detectable on c17" row.Trends.total row.Trends.detectable;
+  check float_t "normalized = mean / po"
+    (row.Trends.mean_detectability /. 2.0)
+    row.Trends.normalized
+
+let test_decreasing_normalized () =
+  let row title nets normalized =
+    {
+      Trends.title;
+      nets;
+      outputs = 1;
+      detectable = 1;
+      total = 1;
+      mean_detectability = normalized;
+      normalized;
+    }
+  in
+  check bool_t "decreasing" true
+    (Trends.decreasing_normalized
+       [ row "a" 10 0.5; row "b" 20 0.3; row "c" 30 0.3 ]);
+  check bool_t "not decreasing" false
+    (Trends.decreasing_normalized [ row "a" 10 0.2; row "b" 20 0.3 ]);
+  (* Order of the list must not matter. *)
+  check bool_t "sorted internally" true
+    (Trends.decreasing_normalized [ row "b" 20 0.3; row "a" 10 0.5 ])
+
+(* ------------------------------------------------------------------ *)
+(* Bathtub                                                             *)
+
+let test_bathtub_grouping () =
+  let c = Bench_suite.find "c17" in
+  let engine = Engine.create c in
+  let results =
+    Engine.analyze_all engine
+      (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
+  in
+  let points = Bathtub.by_po_distance c results in
+  check bool_t "has groups" true (points <> []);
+  let total = List.fold_left (fun a p -> a + p.Bathtub.faults) 0 points in
+  check int_t "all faults grouped" (List.length results) total;
+  let rec ascending = function
+    | (a : Bathtub.point) :: (b :: _ as rest) ->
+      a.Bathtub.distance < b.Bathtub.distance && ascending rest
+    | [ _ ] | [] -> true
+  in
+  check bool_t "distances ascending" true (ascending points);
+  List.iter
+    (fun p ->
+      check bool_t "means in [0,1]" true (p.Bathtub.mean >= 0.0 && p.Bathtub.mean <= 1.0))
+    points
+
+let test_bathtub_pi_levels () =
+  let c = Bench_suite.find "c95" in
+  let engine = Engine.create c in
+  let results =
+    Engine.analyze_all engine
+      (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
+  in
+  let points = Bathtub.by_pi_level c results in
+  check bool_t "has PI-level groups" true (points <> [])
+
+let test_correlation () =
+  let p distance mean faults = { Bathtub.distance; mean; faults } in
+  check bool_t "positive correlation" true
+    (Bathtub.correlation [ p 0 0.1 5; p 1 0.2 5; p 2 0.3 5 ] > 0.99);
+  check bool_t "negative correlation" true
+    (Bathtub.correlation [ p 0 0.3 5; p 1 0.2 5; p 2 0.1 5 ] < -0.99);
+  check float_t "degenerate" 0.0 (Bathtub.correlation [ p 1 0.5 3 ]);
+  check float_t "empty" 0.0 (Bathtub.correlation [])
+
+(* ------------------------------------------------------------------ *)
+(* PO statistics                                                       *)
+
+let test_po_stats () =
+  let c = Bench_suite.find "c17" in
+  let engine = Engine.create c in
+  let results =
+    Engine.analyze_all engine
+      (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
+  in
+  let s = Po_stats.summarize results in
+  check int_t "detectable faults counted" 18 s.Po_stats.faults;
+  check bool_t "proportion near one (paper: almost always)" true
+    (s.Po_stats.proportion > 0.8);
+  check bool_t "mean observed <= mean fed" true
+    (s.Po_stats.mean_observed <= s.Po_stats.mean_fed +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Experiments                                                         *)
+
+let small_config =
+  { Experiments.default with Experiments.bridge_sample = 20; seed = 1 }
+
+let test_run_caches () =
+  Experiments.clear_cache ();
+  let a = Experiments.run ~config:small_config "c17" in
+  let b = Experiments.run ~config:small_config "c17" in
+  check bool_t "cached object reused" true (a == b);
+  Experiments.clear_cache ();
+  let c = Experiments.run ~config:small_config "c17" in
+  check bool_t "fresh after clear" true (a != c)
+
+let test_run_small_uses_full_enumeration () =
+  let cr = Experiments.run ~config:small_config "c17" in
+  check bool_t "full NFBF set" true (cr.Experiments.bf_sampled = None);
+  check int_t "enumerated faults" (Bridge.count (Bench_suite.find "c17"))
+    (List.length cr.Experiments.bf_faults)
+
+let test_run_sa_results_present () =
+  let cr = Experiments.run ~config:small_config "fulladder" in
+  check bool_t "has stuck-at results" true (cr.Experiments.sa_results <> []);
+  check bool_t "has bridge results" true (cr.Experiments.bf_results <> [])
+
+let test_split_bridge_results () =
+  let cr = Experiments.run ~config:small_config "c17" in
+  let ands, ors = Experiments.split_bridge_results cr in
+  check int_t "split is a partition"
+    (List.length cr.Experiments.bf_results)
+    (List.length ands + List.length ors);
+  List.iter
+    (fun r ->
+      match r.Engine.fault with
+      | Fault.Bridged { Bridge.kind = Bridge.Wired_and; _ } -> ()
+      | _ -> Alcotest.fail "non-AND in AND partition")
+    ands
+
+let test_table1_verification () =
+  check bool_t "Table 1 verified" true
+    (Experiments.table1_verification ~trials:50 ~vars:6)
+
+let test_adherence_values_range () =
+  let cr = Experiments.run ~config:small_config "c17" in
+  List.iter
+    (fun a -> check bool_t "adherence in range" true (a >= 0.0 && a <= 1.0 +. 1e-9))
+    (Experiments.adherence_values cr.Experiments.sa_results)
+
+(* ------------------------------------------------------------------ *)
+(* DFT planner                                                         *)
+
+let test_dft_objective_range () =
+  let v = Dft.objective (Bench_suite.find "c17") in
+  check bool_t "objective in [0,1]" true (v >= 0.0 && v <= 1.0)
+
+let test_dft_candidates_internal () =
+  let c = Bench_suite.find "c95" in
+  let cands = Dft.candidates c ~limit:5 in
+  check int_t "limited" 5 (List.length cands);
+  List.iter
+    (fun g ->
+      check bool_t "internal net" true
+        ((not (Circuit.is_input c g)) && not (Circuit.is_output c g)))
+    cands
+
+let test_dft_greedy_improves () =
+  let c = Bench_suite.find "c17" in
+  let plan = Dft.greedy ~budget:2 ~candidate_limit:4 c in
+  check bool_t "at most budget steps" true (List.length plan.Dft.steps <= 2);
+  let rec improving prev = function
+    | s :: rest -> s.Dft.mean_after > prev && improving s.Dft.mean_after rest
+    | [] -> true
+  in
+  check bool_t "objective strictly improves" true
+    (improving plan.Dft.mean_before plan.Dft.steps);
+  (* The instrumented circuit really has the final objective. *)
+  (match List.rev plan.Dft.steps with
+  | last :: _ ->
+    check (Alcotest.float 1e-9) "final objective consistent"
+      last.Dft.mean_after
+      (Dft.objective plan.Dft.circuit)
+  | [] -> ());
+  (* Instrumentation preserves the original function on the original
+     outputs (observation points only add outputs; any control point
+     adds an input that must be held high). *)
+  check bool_t "original outputs preserved" true
+    (Circuit.num_outputs plan.Dft.circuit >= Circuit.num_outputs c)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "basic" `Quick test_histogram_basic;
+          Alcotest.test_case "boundaries" `Quick test_histogram_boundaries;
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "zero bins" `Quick test_histogram_rejects_zero_bins;
+          Alcotest.test_case "bin geometry" `Quick test_bin_geometry;
+          Alcotest.test_case "mean" `Quick test_mean;
+        ] );
+      ( "trends",
+        [
+          Alcotest.test_case "row" `Quick test_trend_row;
+          Alcotest.test_case "decreasing check" `Quick test_decreasing_normalized;
+        ] );
+      ( "bathtub",
+        [
+          Alcotest.test_case "grouping" `Quick test_bathtub_grouping;
+          Alcotest.test_case "PI levels" `Quick test_bathtub_pi_levels;
+          Alcotest.test_case "correlation" `Quick test_correlation;
+        ] );
+      ( "po-stats", [ Alcotest.test_case "summary" `Quick test_po_stats ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "caching" `Quick test_run_caches;
+          Alcotest.test_case "full enumeration for small" `Quick
+            test_run_small_uses_full_enumeration;
+          Alcotest.test_case "results present" `Quick test_run_sa_results_present;
+          Alcotest.test_case "bridge split" `Quick test_split_bridge_results;
+          Alcotest.test_case "table1 verification" `Quick
+            test_table1_verification;
+          Alcotest.test_case "adherence values" `Quick
+            test_adherence_values_range;
+        ] );
+      ( "order-search",
+        [
+          Alcotest.test_case "cost matches symbolic build" `Quick (fun () ->
+              let c = Bench_suite.find "alu74181" in
+              let natural = Ordering.order Ordering.Natural c in
+              check int_t "same node count"
+                (Symbolic.total_nodes (Symbolic.build c))
+                (Order_search.cost c natural));
+          Alcotest.test_case "hill climbing never worsens" `Quick (fun () ->
+              List.iter
+                (fun name ->
+                  let c = Bench_suite.find name in
+                  let r = Order_search.hill_climb ~max_passes:2 c in
+                  check bool_t (name ^ " improved or equal") true
+                    (r.Order_search.nodes <= r.Order_search.start_nodes);
+                  (* The returned order must still be a permutation and
+                     reproduce the claimed cost. *)
+                  let seen = Array.make (Circuit.num_inputs c) false in
+                  Array.iter (fun v -> seen.(v) <- true) r.Order_search.order;
+                  check bool_t "permutation" true (Array.for_all Fun.id seen);
+                  check int_t "cost reproducible" r.Order_search.nodes
+                    (Order_search.cost c r.Order_search.order))
+                [ "c17"; "c95"; "alu74181" ]);
+        ] );
+      ( "dft",
+        [
+          Alcotest.test_case "objective range" `Quick test_dft_objective_range;
+          Alcotest.test_case "candidates internal" `Quick
+            test_dft_candidates_internal;
+          Alcotest.test_case "greedy improves" `Quick test_dft_greedy_improves;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+(* Tests for the PODEM baseline, cross-validated against Difference
+   Propagation: a fault has a PODEM test iff its DP test set is
+   non-empty, and PODEM's vectors must actually detect. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let cross_validate c faults =
+  let engine = Engine.create c in
+  List.iter
+    (fun f ->
+      let fault = Fault.Stuck f in
+      let dp_detectable =
+        (Engine.analyze engine fault).Engine.detectable
+      in
+      match Podem.generate c f with
+      | Podem.Test v ->
+        check bool_t
+          ("vector detects " ^ Sa_fault.to_string c f)
+          true
+          (Fault_sim.detects c fault v);
+        check bool_t "DP agrees detectable" true dp_detectable
+      | Podem.Redundant ->
+        check bool_t
+          ("DP agrees redundant " ^ Sa_fault.to_string c f)
+          false dp_detectable
+      | Podem.Aborted -> Alcotest.fail "unexpected abort on small circuit")
+    faults
+
+let test_podem_c17 () =
+  let c = Bench_suite.find "c17" in
+  cross_validate c (Sa_fault.all_line_faults c)
+
+let test_podem_fulladder () =
+  let c = Bench_suite.find "fulladder" in
+  cross_validate c (Sa_fault.all_line_faults c)
+
+let test_podem_c95 () =
+  let c = Bench_suite.find "c95" in
+  cross_validate c (Sa_fault.collapsed_faults c)
+
+let test_podem_random_circuits () =
+  List.iter
+    (fun seed ->
+      let c = Generate.random ~seed ~inputs:8 ~gates:35 ~outputs:3 in
+      cross_validate c (Sa_fault.collapsed_faults c))
+    [ 301; 302; 303 ]
+
+let test_podem_finds_redundancy () =
+  (* y = a or not a is constant one; s-a-1 on y is undetectable. *)
+  let c =
+    Circuit.create ~title:"taut" ~inputs:[ "a" ] ~outputs:[ "y" ]
+      [ ("na", Gate.Not, [ "a" ]); ("y", Gate.Or, [ "a"; "na" ]) ]
+  in
+  let y = Option.get (Circuit.index_of_name c "y") in
+  (match Podem.generate c { Sa_fault.line = Sa_fault.Stem y; value = true } with
+  | Podem.Redundant -> ()
+  | Podem.Test _ -> Alcotest.fail "found a test for a redundant fault"
+  | Podem.Aborted -> Alcotest.fail "aborted");
+  match Podem.generate c { Sa_fault.line = Sa_fault.Stem y; value = false } with
+  | Podem.Test v ->
+    check bool_t "s-a-0 test detects" true
+      (Fault_sim.detects c
+         (Fault.Stuck { Sa_fault.line = Sa_fault.Stem y; value = false })
+         v)
+  | Podem.Redundant | Podem.Aborted -> Alcotest.fail "s-a-0 must be testable"
+
+let test_podem_branch_fault () =
+  let c = Bench_suite.find "c17" in
+  let g16 = Option.get (Circuit.index_of_name c "G16") in
+  let branch =
+    List.find (fun b -> b.Circuit.stem = g16) (Circuit.branches c)
+  in
+  let f = { Sa_fault.line = Sa_fault.Branch branch; value = true } in
+  match Podem.generate c f with
+  | Podem.Test v ->
+    check bool_t "branch test detects" true
+      (Fault_sim.detects c (Fault.Stuck f) v)
+  | Podem.Redundant | Podem.Aborted -> Alcotest.fail "branch fault testable"
+
+let test_podem_abort_budget () =
+  (* With a zero backtrack budget, hard faults must abort rather than
+     loop; easy faults may still succeed first try. *)
+  let c = Bench_suite.find "c95" in
+  let outcomes =
+    List.map (fun f -> Podem.generate ~backtrack_limit:0 c f)
+      (Sa_fault.collapsed_faults c)
+  in
+  check bool_t "no infinite loops" true (List.length outcomes > 0)
+
+let test_run_all_coverage () =
+  let c = Bench_suite.find "c95" in
+  let run = Podem.run_all c (Sa_fault.collapsed_faults c) in
+  check bool_t "full coverage on c95" true (run.Podem.coverage >= 1.0 -. 1e-9);
+  check int_t "no aborts" 0 (List.length run.Podem.aborted);
+  (* Fault dropping must give fewer explicit tests than faults. *)
+  check bool_t "dropping compacts" true
+    (List.length run.Podem.tests
+    < List.length (Sa_fault.collapsed_faults c));
+  List.iter
+    (fun (f, v) ->
+      check bool_t "run_all vectors detect" true
+        (Fault_sim.detects c (Fault.Stuck f) v))
+    run.Podem.tests
+
+let test_run_all_no_drop () =
+  let c = Bench_suite.find "c17" in
+  let faults = Sa_fault.collapsed_faults c in
+  let run = Podem.run_all ~drop:false c faults in
+  check int_t "one test per detectable fault"
+    (List.length faults - List.length run.Podem.redundant)
+    (List.length run.Podem.tests)
+
+let () =
+  Alcotest.run "atpg"
+    [
+      ( "podem",
+        [
+          Alcotest.test_case "c17 cross-validation" `Quick test_podem_c17;
+          Alcotest.test_case "fulladder cross-validation" `Quick
+            test_podem_fulladder;
+          Alcotest.test_case "c95 cross-validation" `Quick test_podem_c95;
+          Alcotest.test_case "random circuits" `Slow test_podem_random_circuits;
+          Alcotest.test_case "redundancy proof" `Quick test_podem_finds_redundancy;
+          Alcotest.test_case "branch fault" `Quick test_podem_branch_fault;
+          Alcotest.test_case "abort budget" `Quick test_podem_abort_budget;
+        ] );
+      ( "run-all",
+        [
+          Alcotest.test_case "coverage with dropping" `Quick test_run_all_coverage;
+          Alcotest.test_case "without dropping" `Quick test_run_all_no_drop;
+        ] );
+    ]

@@ -1,0 +1,472 @@
+(* Functional validation of the benchmark suite against independent
+   reference models. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let bits_of value width = Array.init width (fun i -> (value lsr i) land 1 = 1)
+
+let int_of_bits bits =
+  Array.to_list bits
+  |> List.mapi (fun i b -> if b then 1 lsl i else 0)
+  |> List.fold_left ( + ) 0
+
+(* ------------------------------------------------------------------ *)
+
+let test_suite_inventory () =
+  check (Alcotest.list Alcotest.string) "names"
+    [ "c17"; "fulladder"; "c95"; "alu74181"; "c432"; "c499"; "c1355"; "c1908" ]
+    Bench_suite.names;
+  check int_t "small set" 4 (List.length (Bench_suite.small ()));
+  check int_t "large set" 4 (List.length (Bench_suite.large ()));
+  check bool_t "find raises on unknown" true
+    (try
+       ignore (Bench_suite.find "c6288");
+       false
+     with Not_found -> true)
+
+let test_sizes_strictly_increase () =
+  let sizes = List.map Circuit.num_gates (Bench_suite.all ()) in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | [ _ ] | [] -> true
+  in
+  check bool_t "netlist sizes increase along the suite" true (increasing sizes)
+
+let test_io_footprints () =
+  let expect =
+    [
+      ("c17", 5, 2);
+      ("fulladder", 5, 3);
+      ("c95", 9, 7);
+      ("alu74181", 14, 8);
+      ("c432", 36, 7);
+      ("c499", 41, 32);
+      ("c1355", 41, 32);
+      ("c1908", 33, 25);
+    ]
+  in
+  List.iter
+    (fun (name, pis, pos) ->
+      let c = Bench_suite.find name in
+      check int_t (name ^ " PIs") pis (Circuit.num_inputs c);
+      check int_t (name ^ " POs") pos (Circuit.num_outputs c))
+    expect
+
+(* ------------------------------------------------------------------ *)
+(* c17: compare against its published NAND equations. *)
+
+let test_c17_truth_table () =
+  let c = Bench_suite.find "c17" in
+  for bits = 0 to 31 do
+    let v = bits_of bits 5 in
+    (* inputs in order G1 G2 G3 G6 G7 *)
+    let g1 = v.(0) and g2 = v.(1) and g3 = v.(2) and g6 = v.(3) and g7 = v.(4) in
+    let nand a b = not (a && b) in
+    let g10 = nand g1 g3 in
+    let g11 = nand g3 g6 in
+    let g16 = nand g2 g11 in
+    let g19 = nand g11 g7 in
+    let expected = [| nand g10 g16; nand g16 g19 |] in
+    check (Alcotest.array bool_t) "c17" expected (Circuit.eval_outputs c v)
+  done
+
+let test_fulladder () =
+  (* 2-bit ripple adder: inputs a0 b0 a1 b1 cin; outputs s0 s1 cout. *)
+  let c = Bench_suite.find "fulladder" in
+  for bits = 0 to 31 do
+    let v = bits_of bits 5 in
+    let a = Bool.to_int v.(0) + (2 * Bool.to_int v.(2)) in
+    let b = Bool.to_int v.(1) + (2 * Bool.to_int v.(3)) in
+    let total = a + b + Bool.to_int v.(4) in
+    let out = Circuit.eval_outputs c v in
+    check int_t "sum" (total land 3) (int_of_bits (Array.sub out 0 2));
+    check bool_t "carry" (total >= 4) out.(2)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* c95: 4-bit CLA adder with comparator. *)
+
+let test_c95_exhaustive () =
+  let c = Bench_suite.find "c95" in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      for cin = 0 to 1 do
+        let v = Array.concat [ bits_of a 4; bits_of b 4; bits_of cin 1 ] in
+        let out = Circuit.eval_outputs c v in
+        let sum = a + b + cin in
+        check int_t "sum bits" (sum land 15) (int_of_bits (Array.sub out 0 4));
+        check bool_t "cout" (sum >= 16) out.(4);
+        check bool_t "eq" (a = b) out.(5);
+        check bool_t "gt" (a > b) out.(6)
+      done
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* alu74181: all 16 logic functions and arithmetic spot checks. *)
+
+let alu_vector ~a ~b ~s ~m ~cn =
+  Array.concat [ bits_of a 4; bits_of b 4; bits_of s 4; [| m; cn |] ]
+
+let logic_reference s a b =
+  let na = lnot a land 15 and nb = lnot b land 15 in
+  match s with
+  | 0 -> na
+  | 1 -> lnot (a lor b) land 15
+  | 2 -> na land b
+  | 3 -> 0
+  | 4 -> lnot (a land b) land 15
+  | 5 -> nb
+  | 6 -> a lxor b
+  | 7 -> a land nb
+  | 8 -> na lor b
+  | 9 -> lnot (a lxor b) land 15
+  | 10 -> b
+  | 11 -> a land b
+  | 12 -> 15
+  | 13 -> a lor nb
+  | 14 -> a lor b
+  | 15 -> a
+  | _ -> assert false
+
+let test_alu74181_logic_mode () =
+  let c = Bench_suite.find "alu74181" in
+  for s = 0 to 15 do
+    for a = 0 to 15 do
+      for b = 0 to 15 do
+        let v = alu_vector ~a ~b ~s ~m:true ~cn:false in
+        let out = Circuit.eval_outputs c v in
+        check int_t
+          (Printf.sprintf "logic s=%d a=%d b=%d" s a b)
+          (logic_reference s a b)
+          (int_of_bits (Array.sub out 0 4))
+      done
+    done
+  done
+
+let test_alu74181_add_mode () =
+  let c = Bench_suite.find "alu74181" in
+  (* s = 1001 computes A plus B plus cn (active-high carry). *)
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      for cn = 0 to 1 do
+        let v = alu_vector ~a ~b ~s:9 ~m:false ~cn:(cn = 1) in
+        let out = Circuit.eval_outputs c v in
+        let sum = a + b + cn in
+        check int_t "add F" (sum land 15) (int_of_bits (Array.sub out 0 4));
+        check bool_t "add cn4" (sum >= 16) out.(4)
+      done
+    done
+  done
+
+let test_alu74181_group_signals () =
+  let c = Bench_suite.find "alu74181" in
+  (* At s = 1001, gp = AND of (a|b) bits, gg = carry generate. *)
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      let v = alu_vector ~a ~b ~s:9 ~m:false ~cn:false in
+      let out = Circuit.eval_outputs c v in
+      check bool_t "gp" (a lor b = 15) out.(5);
+      check bool_t "gg" (a + b >= 16) out.(6);
+      check bool_t "aeqb" ((a + b) land 15 = 15) out.(7)
+    done
+  done
+
+let test_alu74181_arithmetic_identities () =
+  let c = Bench_suite.find "alu74181" in
+  for a = 0 to 15 do
+    (* s = 0000: F = A plus cn. *)
+    let out =
+      Circuit.eval_outputs c (alu_vector ~a ~b:5 ~s:0 ~m:false ~cn:true)
+    in
+    check int_t "A plus 1" ((a + 1) land 15) (int_of_bits (Array.sub out 0 4));
+    (* s = 1111: F = A minus 1 plus cn = A when cn = 1. *)
+    let out =
+      Circuit.eval_outputs c (alu_vector ~a ~b:3 ~s:15 ~m:false ~cn:true)
+    in
+    check int_t "A - 1 + 1" a (int_of_bits (Array.sub out 0 4))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* c432: priority/interrupt controller reference model. *)
+
+let c432_reference e a bb cc =
+  let gated bus = Array.init 9 (fun i -> bus.(i) && e.(i)) in
+  let ra = gated a and rb = gated bb and rc = gated cc in
+  let any v = Array.exists Fun.id v in
+  let granta = any ra in
+  let grantb = any rb && not granta in
+  let grantc = any rc && (not granta) && not grantb in
+  let winning =
+    Array.init 9 (fun i ->
+        (granta && ra.(i)) || (grantb && rb.(i)) || (grantc && rc.(i)))
+  in
+  let rec first i =
+    if i >= 9 then None else if winning.(i) then Some i else first (i + 1)
+  in
+  let idx = match first 0 with None -> 0 | Some i -> i in
+  let has_winner = first 0 <> None in
+  ( granta,
+    grantb,
+    grantc,
+    Array.init 4 (fun bit -> has_winner && idx land (1 lsl bit) <> 0) )
+
+let test_c432_against_reference () =
+  let c = Bench_suite.find "c432" in
+  let rng = Prng.create ~seed:21 in
+  for _ = 1 to 500 do
+    let e = Prng.bool_array rng 9 in
+    let a = Prng.bool_array rng 9 in
+    let bb = Prng.bool_array rng 9 in
+    let cc = Prng.bool_array rng 9 in
+    let v = Array.concat [ e; a; bb; cc ] in
+    let out = Circuit.eval_outputs c v in
+    let granta, grantb, grantc, idx = c432_reference e a bb cc in
+    check bool_t "granta" granta out.(0);
+    check bool_t "grantb" grantb out.(1);
+    check bool_t "grantc" grantc out.(2);
+    for bit = 0 to 3 do
+      check bool_t (Printf.sprintf "idx%d" bit) idx.(bit) out.(bit + 3)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* c499 / c1355: single-error correction and mutual equivalence. *)
+
+let c499_vector ~data ~checks ~en = Array.concat [ data; checks; [| en |] ]
+
+let test_c499_clean_word_passes () =
+  let c = Bench_suite.find "c499" in
+  let rng = Prng.create ~seed:31 in
+  for _ = 1 to 50 do
+    let data = Prng.bool_array rng 32 in
+    let checks = Bench_c499.encode_checks data in
+    let out = Circuit.eval_outputs c (c499_vector ~data ~checks ~en:true) in
+    check (Alcotest.array bool_t) "clean passes" data out
+  done
+
+let test_c499_corrects_single_error () =
+  let c = Bench_suite.find "c499" in
+  let rng = Prng.create ~seed:32 in
+  for _ = 1 to 50 do
+    let data = Prng.bool_array rng 32 in
+    let checks = Bench_c499.encode_checks data in
+    let flip = Prng.int rng 32 in
+    let corrupted = Array.copy data in
+    corrupted.(flip) <- not corrupted.(flip);
+    let out =
+      Circuit.eval_outputs c (c499_vector ~data:corrupted ~checks ~en:true)
+    in
+    check (Alcotest.array bool_t) "corrected" data out
+  done
+
+let test_c499_enable_off_passes_errors () =
+  let c = Bench_suite.find "c499" in
+  let data = Array.make 32 false in
+  let checks = Bench_c499.encode_checks data in
+  let corrupted = Array.copy data in
+  corrupted.(7) <- true;
+  let out =
+    Circuit.eval_outputs c (c499_vector ~data:corrupted ~checks ~en:false)
+  in
+  check (Alcotest.array bool_t) "no correction" corrupted out
+
+let test_c499_check_bit_error_harmless () =
+  let c = Bench_suite.find "c499" in
+  let rng = Prng.create ~seed:33 in
+  for _ = 1 to 20 do
+    let data = Prng.bool_array rng 32 in
+    let checks = Bench_c499.encode_checks data in
+    let j = Prng.int rng 8 in
+    let bad = Array.copy checks in
+    bad.(j) <- not bad.(j);
+    let out = Circuit.eval_outputs c (c499_vector ~data ~checks:bad ~en:true) in
+    (* A single check-bit error has a weight-one syndrome, which matches
+       no data signature (all have weight >= 2). *)
+    check (Alcotest.array bool_t) "data untouched" data out
+  done
+
+let test_c499_patterns_valid () =
+  let seen = Hashtbl.create 64 in
+  for i = 0 to 31 do
+    let p = Bench_c499.pattern i in
+    check bool_t "nonzero" true (p <> 0);
+    let rec weight v = if v = 0 then 0 else (v land 1) + weight (v lsr 1) in
+    check bool_t "weight >= 2" true (weight p >= 2);
+    check bool_t "distinct" false (Hashtbl.mem seen p);
+    Hashtbl.replace seen p ()
+  done
+
+let test_c1355_equivalent_to_c499 () =
+  let c499 = Bench_suite.find "c499" in
+  let c1355 = Bench_suite.find "c1355" in
+  check bool_t "c1355 is larger" true
+    (Circuit.num_gates c1355 > Circuit.num_gates c499);
+  let rng = Prng.create ~seed:34 in
+  for _ = 1 to 100 do
+    let v = Prng.bool_array rng 41 in
+    check (Alcotest.array bool_t) "same function"
+      (Circuit.eval_outputs c499 v)
+      (Circuit.eval_outputs c1355 v)
+  done
+
+let test_c1355_has_no_xor () =
+  let c = Bench_suite.find "c1355" in
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      match g.Circuit.kind with
+      | Gate.Xor | Gate.Xnor ->
+        Alcotest.failf "xor gate %s survived expansion" g.Circuit.name
+      | Gate.Input | Gate.Nand | Gate.Not | Gate.Buf | Gate.And | Gate.Or
+      | Gate.Nor | Gate.Const0 | Gate.Const1 -> ())
+    c.Circuit.gates
+
+(* ------------------------------------------------------------------ *)
+(* c1908 *)
+
+let test_c1908_two_input_only () =
+  let c = Bench_suite.find "c1908" in
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      check bool_t "fanin <= 2" true (Array.length g.Circuit.fanins <= 2))
+    c.Circuit.gates
+
+(* Output layout: f0..15 (0-15), cout 16, heq 17, hgt 18, spar 19,
+   idx0..2 (20-22), anyerr 23, uncorr 24. *)
+
+let test_c1908_corrects_single_error () =
+  let c = Bench_suite.find "c1908" in
+  let rng = Prng.create ~seed:41 in
+  let ctl = [| true; false; false |] in
+  for _ = 1 to 25 do
+    let word = Prng.bool_array rng 24 in
+    let checks = Bench_c1908.encode_checks word in
+    let flip = Prng.int rng 24 in
+    let corrupted = Array.copy word in
+    corrupted.(flip) <- not corrupted.(flip);
+    let out =
+      Circuit.eval_outputs c (Bench_c1908.vector_of ~word:corrupted ~checks ~ctl)
+    in
+    (* Corrected data outputs recover the original low 16 word bits. *)
+    for i = 0 to 15 do
+      check bool_t (Printf.sprintf "f%d" i) word.(i) out.(i)
+    done;
+    check bool_t "anyerr raised" true out.(23);
+    check bool_t "uncorr quiet" false out.(24)
+  done
+
+let test_c1908_clean_flags_quiet () =
+  let c = Bench_suite.find "c1908" in
+  let rng = Prng.create ~seed:42 in
+  for _ = 1 to 25 do
+    let word = Prng.bool_array rng 24 in
+    let checks = Bench_c1908.encode_checks word in
+    let out =
+      Circuit.eval_outputs c
+        (Bench_c1908.vector_of ~word ~checks ~ctl:[| true; false; false |])
+    in
+    for i = 0 to 15 do
+      check bool_t "data passes" word.(i) out.(i)
+    done;
+    check bool_t "anyerr quiet" false out.(23);
+    check bool_t "uncorr quiet" false out.(24)
+  done
+
+let test_c1908_uncorrectable_flag () =
+  (* A weight-one syndrome (single check-bit error) matches no data
+     signature: flagged as uncorrectable. *)
+  let c = Bench_suite.find "c1908" in
+  let word = Array.make 24 false in
+  let checks = Bench_c1908.encode_checks word in
+  let bad = Array.copy checks in
+  bad.(0) <- not bad.(0);
+  let out =
+    Circuit.eval_outputs c
+      (Bench_c1908.vector_of ~word ~checks:bad ~ctl:[| true; false; false |])
+  in
+  check bool_t "anyerr" true out.(23);
+  check bool_t "uncorr" true out.(24)
+
+let parity n =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc <> (n land 1 = 1)) in
+  go n false
+
+let test_c1908_datapath () =
+  let c = Bench_suite.find "c1908" in
+  let rng = Prng.create ~seed:43 in
+  for _ = 1 to 50 do
+    let word = Prng.bool_array rng 24 in
+    let checks = Bench_c1908.encode_checks word in
+    let increment = Prng.bool rng in
+    let cin = Prng.bool rng in
+    let out =
+      Circuit.eval_outputs c
+        (Bench_c1908.vector_of ~word ~checks ~ctl:[| false; increment; cin |])
+    in
+    let wordint = int_of_bits word in
+    let w' = (wordint + Bool.to_int increment) land 0xFFFFFF in
+    let lo = w' land 0xFFF and hi = w' lsr 12 in
+    let sum = lo + hi + Bool.to_int cin in
+    check bool_t "cout" (sum >= 4096) out.(16);
+    check bool_t "heq" (lo = hi) out.(17);
+    check bool_t "hgt" (hi > lo) out.(18);
+    check bool_t "spar" (parity (sum land 0xFFF)) out.(19)
+  done
+
+let () =
+  Alcotest.run "benchmarks"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "inventory" `Quick test_suite_inventory;
+          Alcotest.test_case "sizes increase" `Quick test_sizes_strictly_increase;
+          Alcotest.test_case "I/O footprints" `Quick test_io_footprints;
+        ] );
+      ( "small",
+        [
+          Alcotest.test_case "c17 truth table" `Quick test_c17_truth_table;
+          Alcotest.test_case "fulladder" `Quick test_fulladder;
+          Alcotest.test_case "c95 exhaustive" `Quick test_c95_exhaustive;
+        ] );
+      ( "alu74181",
+        [
+          Alcotest.test_case "logic mode (all 16)" `Quick test_alu74181_logic_mode;
+          Alcotest.test_case "addition" `Quick test_alu74181_add_mode;
+          Alcotest.test_case "group signals" `Quick test_alu74181_group_signals;
+          Alcotest.test_case "arithmetic identities" `Quick
+            test_alu74181_arithmetic_identities;
+        ] );
+      ( "c432",
+        [
+          Alcotest.test_case "reference model" `Quick
+            test_c432_against_reference;
+        ] );
+      ( "c499-c1355",
+        [
+          Alcotest.test_case "clean word passes" `Quick
+            test_c499_clean_word_passes;
+          Alcotest.test_case "corrects single error" `Quick
+            test_c499_corrects_single_error;
+          Alcotest.test_case "enable off" `Quick
+            test_c499_enable_off_passes_errors;
+          Alcotest.test_case "check-bit error harmless" `Quick
+            test_c499_check_bit_error_harmless;
+          Alcotest.test_case "signature validity" `Quick test_c499_patterns_valid;
+          Alcotest.test_case "c1355 equivalent" `Quick
+            test_c1355_equivalent_to_c499;
+          Alcotest.test_case "c1355 xor-free" `Quick test_c1355_has_no_xor;
+        ] );
+      ( "c1908",
+        [
+          Alcotest.test_case "two-input only" `Quick test_c1908_two_input_only;
+          Alcotest.test_case "corrects single error" `Quick
+            test_c1908_corrects_single_error;
+          Alcotest.test_case "clean flags quiet" `Quick
+            test_c1908_clean_flags_quiet;
+          Alcotest.test_case "uncorrectable flag" `Quick
+            test_c1908_uncorrectable_flag;
+          Alcotest.test_case "raw datapath" `Quick test_c1908_datapath;
+        ] );
+    ]

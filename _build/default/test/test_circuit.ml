@@ -1,0 +1,609 @@
+(* Tests for the netlist substrate: model, parser, transforms, layout,
+   ordering, generation, symbolic evaluation. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let sample_bench =
+  "# sample\n\
+   INPUT(a)\n\
+   INPUT(b)\n\
+   INPUT(c)\n\
+   OUTPUT(y)\n\
+   OUTPUT(z)\n\
+   t1 = NAND(a, b)\n\
+   t2 = XOR(t1, c)\n\
+   y = NOT(t2)\n\
+   z = OR(t1, c)\n"
+
+let sample () = Bench_format.parse ~title:"sample" sample_bench
+
+(* ------------------------------------------------------------------ *)
+(* Circuit model                                                       *)
+
+let test_create_topological () =
+  (* Definitions given out of order must still produce a valid circuit. *)
+  let c =
+    Circuit.create ~title:"ooo" ~inputs:[ "a" ] ~outputs:[ "y" ]
+      [ ("y", Gate.Not, [ "t" ]); ("t", Gate.Buf, [ "a" ]) ]
+  in
+  check int_t "nets" 3 (Circuit.num_gates c);
+  let y = Option.get (Circuit.index_of_name c "y") in
+  let t = Option.get (Circuit.index_of_name c "t") in
+  check bool_t "topological order" true (t < y)
+
+let expect_malformed build =
+  try
+    ignore (build ());
+    false
+  with Circuit.Malformed _ -> true
+
+let test_create_rejects_cycle () =
+  check bool_t "cycle rejected" true
+    (expect_malformed (fun () ->
+         Circuit.create ~title:"cycle" ~inputs:[ "a" ] ~outputs:[ "x" ]
+           [ ("x", Gate.And, [ "a"; "y" ]); ("y", Gate.Buf, [ "x" ]) ]))
+
+let test_create_rejects_duplicates () =
+  check bool_t "duplicate rejected" true
+    (expect_malformed (fun () ->
+         Circuit.create ~title:"dup" ~inputs:[ "a"; "a" ] ~outputs:[] []))
+
+let test_create_rejects_undefined () =
+  check bool_t "undefined fanin rejected" true
+    (expect_malformed (fun () ->
+         Circuit.create ~title:"und" ~inputs:[ "a" ] ~outputs:[ "y" ]
+           [ ("y", Gate.And, [ "a"; "ghost" ]) ]))
+
+let test_create_rejects_arity () =
+  check bool_t "arity violation rejected" true
+    (expect_malformed (fun () ->
+         Circuit.create ~title:"arity" ~inputs:[ "a"; "b" ] ~outputs:[ "y" ]
+           [ ("y", Gate.Not, [ "a"; "b" ]) ]))
+
+let test_eval () =
+  let c = sample () in
+  (* y = not ((a nand b) xor c); z = (a nand b) or c *)
+  let cases =
+    [
+      ([| false; false; false |], [| false; true |]);
+      ([| true; true; false |], [| true; false |]);
+      ([| true; true; true |], [| false; true |]);
+      ([| true; false; true |], [| true; true |]);
+    ]
+  in
+  List.iter
+    (fun (input, expected) ->
+      let got = Circuit.eval_outputs c input in
+      check (Alcotest.array bool_t) "outputs" expected got)
+    cases
+
+let test_fanouts_and_branches () =
+  let c = sample () in
+  let t1 = Option.get (Circuit.index_of_name c "t1") in
+  let counts = Circuit.fanout_count c in
+  check int_t "t1 fans out twice" 2 counts.(t1);
+  let branches = Circuit.branches c in
+  let stems =
+    branches
+    |> List.map (fun b -> b.Circuit.stem)
+    |> List.sort_uniq Stdlib.compare
+  in
+  let c_in = Option.get (Circuit.index_of_name c "c") in
+  check (Alcotest.list int_t) "branch stems"
+    (List.sort Stdlib.compare [ t1; c_in ])
+    stems;
+  check int_t "four branches" 4 (List.length branches)
+
+let test_levels_and_depth () =
+  let c = sample () in
+  let levels = Circuit.levels c in
+  let idx n = Option.get (Circuit.index_of_name c n) in
+  check int_t "input level" 0 levels.(idx "a");
+  check int_t "t1 level" 1 levels.(idx "t1");
+  check int_t "t2 level" 2 levels.(idx "t2");
+  check int_t "y level" 3 levels.(idx "y");
+  check int_t "depth" 3 (Circuit.depth c)
+
+let test_max_levels_to_po () =
+  let c = sample () in
+  let dist = Circuit.max_levels_to_po c in
+  let idx n = Option.get (Circuit.index_of_name c n) in
+  check int_t "y is a PO" 0 dist.(idx "y");
+  check int_t "t2 one from y" 1 dist.(idx "t2");
+  check int_t "a max distance" 3 dist.(idx "a");
+  let mins = Circuit.min_levels_to_po c in
+  check int_t "c min distance" 1 mins.(idx "c")
+
+let test_cones () =
+  let c = sample () in
+  let idx n = Option.get (Circuit.index_of_name c n) in
+  let fanin = Circuit.fanin_cone c (idx "y") in
+  check bool_t "y cone has a" true (List.mem (idx "a") fanin);
+  check bool_t "y cone has itself" true (List.mem (idx "y") fanin);
+  let reach = Circuit.fanout_cone c [ idx "c" ] in
+  check bool_t "c reaches z" true reach.(idx "z");
+  check bool_t "c reaches y" true reach.(idx "y");
+  check bool_t "c does not reach t1" false reach.(idx "t1");
+  check (Alcotest.list int_t) "output cone of t1"
+    (List.sort Stdlib.compare [ idx "y"; idx "z" ])
+    (List.sort Stdlib.compare (Circuit.output_cone c (idx "t1")))
+
+let test_output_that_is_input () =
+  let c = Circuit.create ~title:"thru" ~inputs:[ "a" ] ~outputs:[ "a" ] [] in
+  check bool_t "input is output" true
+    (Circuit.is_output c (Option.get (Circuit.index_of_name c "a")))
+
+(* ------------------------------------------------------------------ *)
+(* Bench format                                                        *)
+
+let test_parse_print_roundtrip () =
+  let c = sample () in
+  let c' = Bench_format.parse ~title:"sample" (Bench_format.print c) in
+  check int_t "same nets" (Circuit.num_gates c) (Circuit.num_gates c');
+  let rng = Prng.create ~seed:11 in
+  for _ = 1 to 20 do
+    let v = Prng.bool_array rng (Circuit.num_inputs c) in
+    check (Alcotest.array bool_t) "same function" (Circuit.eval_outputs c v)
+      (Circuit.eval_outputs c' v)
+  done
+
+let expect_parse_error text =
+  try
+    ignore (Bench_format.parse ~title:"bad" text);
+    false
+  with Bench_format.Parse_error _ -> true
+
+let test_parse_errors () =
+  check bool_t "dff rejected" true (expect_parse_error "x = DFF(a)\n");
+  check bool_t "unknown gate" true (expect_parse_error "x = FROB(a)\n");
+  check bool_t "missing paren" true (expect_parse_error "INPUT a\n");
+  check bool_t "two args to INPUT" true (expect_parse_error "INPUT(a, b)\n");
+  check bool_t "input as gate" true (expect_parse_error "x = INPUT(a)\n")
+
+let test_parse_aliases_and_comments () =
+  let c =
+    Bench_format.parse ~title:"alias"
+      "INPUT(a) # trailing comment\nOUTPUT(y)\n# full line\ny = INV(a)\n"
+  in
+  check int_t "two nets" 2 (Circuit.num_gates c);
+  check (Alcotest.array bool_t) "inverter" [| false |]
+    (Circuit.eval_outputs c [| true |])
+
+(* ------------------------------------------------------------------ *)
+(* Transforms                                                          *)
+
+let circuits_equivalent c1 c2 ~trials =
+  let rng = Prng.create ~seed:99 in
+  let n = Circuit.num_inputs c1 in
+  n = Circuit.num_inputs c2
+  && Circuit.num_outputs c1 = Circuit.num_outputs c2
+  && List.for_all
+       (fun _ ->
+         let v = Prng.bool_array rng n in
+         Circuit.eval_outputs c1 v = Circuit.eval_outputs c2 v)
+       (List.init trials Fun.id)
+
+let test_expand_to_two_input () =
+  let c =
+    Circuit.create ~title:"wide" ~inputs:[ "a"; "b"; "c"; "d"; "e" ]
+      ~outputs:[ "y"; "z"; "w" ]
+      [
+        ("y", Gate.Nand, [ "a"; "b"; "c"; "d"; "e" ]);
+        ("z", Gate.Xnor, [ "a"; "b"; "c" ]);
+        ("w", Gate.Or, [ "d" ]);
+      ]
+  in
+  let e = Transform.expand_to_two_input c in
+  check bool_t "equivalent" true (circuits_equivalent c e ~trials:64);
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      check bool_t "fanin <= 2" true (Array.length g.Circuit.fanins <= 2))
+    e.Circuit.gates
+
+let test_xor_to_nand () =
+  let c =
+    Circuit.create ~title:"xors" ~inputs:[ "a"; "b"; "c" ] ~outputs:[ "y"; "z" ]
+      [
+        ("t", Gate.Xor, [ "a"; "b" ]);
+        ("y", Gate.Xnor, [ "t"; "c" ]);
+        ("z", Gate.And, [ "t"; "c" ]);
+      ]
+  in
+  let e = Transform.xor_to_nand c in
+  check bool_t "equivalent" true (circuits_equivalent c e ~trials:8);
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      check bool_t "no xor left" true
+        (g.Circuit.kind <> Gate.Xor && g.Circuit.kind <> Gate.Xnor))
+    e.Circuit.gates
+
+let test_add_observation_points () =
+  let c = sample () in
+  let t1 = Option.get (Circuit.index_of_name c "t1") in
+  let c' = Transform.add_observation_points c [ t1 ] in
+  check int_t "one more output" (Circuit.num_outputs c + 1)
+    (Circuit.num_outputs c');
+  let t1' = Option.get (Circuit.index_of_name c' "t1") in
+  check bool_t "t1 now observable" true (Circuit.is_output c' t1')
+
+let test_add_control_point () =
+  let c = sample () in
+  let t1 = Option.get (Circuit.index_of_name c "t1") in
+  let forced = Transform.add_control_point c ~net:t1 ~polarity:`Force0 in
+  check int_t "one more input" (Circuit.num_inputs c + 1)
+    (Circuit.num_inputs forced);
+  (* Control high = transparent: same function as before. *)
+  let rng = Prng.create ~seed:5 in
+  for _ = 1 to 16 do
+    let v = Prng.bool_array rng (Circuit.num_inputs c) in
+    let v' = Array.append v [| true |] in
+    check (Alcotest.array bool_t) "transparent when control=1"
+      (Circuit.eval_outputs c v)
+      (Circuit.eval_outputs forced v')
+  done;
+  (* Control low forces t1 to 0: z = t1 or c becomes just c. *)
+  let v = [| true; true; false |] in
+  let z_forced =
+    (Circuit.eval_outputs forced (Array.append v [| false |])).(1)
+  in
+  check bool_t "z sees forced 0" false z_forced
+
+let test_strip_unreachable () =
+  let c =
+    Circuit.create ~title:"dead" ~inputs:[ "a"; "b" ] ~outputs:[ "y" ]
+      [
+        ("y", Gate.Not, [ "a" ]);
+        ("dead1", Gate.And, [ "a"; "b" ]);
+        ("dead2", Gate.Or, [ "dead1"; "b" ]);
+      ]
+  in
+  let s = Transform.strip_unreachable c in
+  check int_t "dead gates removed" 3 (Circuit.num_gates s);
+  check bool_t "function kept" true (circuits_equivalent c s ~trials:4)
+
+(* ------------------------------------------------------------------ *)
+(* Layout                                                              *)
+
+let test_layout_coordinates () =
+  let c = sample () in
+  let l = Layout.compute c in
+  let idx n = Option.get (Circuit.index_of_name c n) in
+  check (Alcotest.float 1e-9) "PI a at y=0" 0.0
+    (snd (Layout.position l (idx "a")));
+  check (Alcotest.float 1e-9) "PI c at y=2" 2.0
+    (snd (Layout.position l (idx "c")));
+  let x, y = Layout.position l (idx "t1") in
+  check (Alcotest.float 1e-9) "t1 x" 1.0 x;
+  check (Alcotest.float 1e-9) "t1 y" 0.5 y;
+  check (Alcotest.float 1e-9) "distance symmetric"
+    (Layout.distance l (idx "a") (idx "t1"))
+    (Layout.distance l (idx "t1") (idx "a"));
+  check (Alcotest.float 1e-9) "self distance" 0.0
+    (Layout.distance l (idx "a") (idx "a"))
+
+let test_layout_normalization () =
+  let c = sample () in
+  let l = Layout.compute c in
+  let pairs = [ (0, 1); (0, 4); (2, 3) ] in
+  let dmax = Layout.max_distance l pairs in
+  List.iter
+    (fun (a, b) ->
+      let z = Layout.normalized_distance l ~max:dmax a b in
+      check bool_t "normalized in [0,1]" true (z >= 0.0 && z <= 1.0))
+    pairs
+
+(* ------------------------------------------------------------------ *)
+(* Ordering                                                            *)
+
+let test_orders_are_permutations () =
+  let c = Bench_suite.find "alu74181" in
+  List.iter
+    (fun h ->
+      let order = Ordering.order h c in
+      let n = Circuit.num_inputs c in
+      check int_t (Ordering.name h ^ " length") n (Array.length order);
+      let seen = Array.make n false in
+      Array.iter (fun v -> seen.(v) <- true) order;
+      check bool_t
+        (Ordering.name h ^ " permutation")
+        true
+        (Array.for_all Fun.id seen))
+    Ordering.all
+
+let test_shuffled_deterministic () =
+  let c = Bench_suite.find "alu74181" in
+  let o1 = Ordering.order (Ordering.Shuffled 7) c in
+  let o2 = Ordering.order (Ordering.Shuffled 7) c in
+  check bool_t "same seed same order" true (o1 = o2)
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+
+let test_random_circuit_deterministic () =
+  let c1 = Generate.random ~seed:3 ~inputs:8 ~gates:40 ~outputs:4 in
+  let c2 = Generate.random ~seed:3 ~inputs:8 ~gates:40 ~outputs:4 in
+  check bool_t "same seed same netlist" true
+    (Bench_format.print c1 = Bench_format.print c2);
+  check int_t "net count" (8 + 40) (Circuit.num_gates c1)
+
+let test_parity_tree () =
+  let c = Generate.parity_tree ~inputs:9 in
+  let rng = Prng.create ~seed:1 in
+  for _ = 1 to 32 do
+    let v = Prng.bool_array rng 9 in
+    let expected = Array.fold_left ( <> ) false v in
+    check bool_t "parity" expected (Circuit.eval_outputs c v).(0)
+  done
+
+let test_comparator () =
+  let c = Generate.comparator ~width:5 in
+  let rng = Prng.create ~seed:2 in
+  for _ = 1 to 32 do
+    let a = Prng.bool_array rng 5 and b = Prng.bool_array rng 5 in
+    let v = Array.append a b in
+    check bool_t "eq" (a = b) (Circuit.eval_outputs c v).(0)
+  done;
+  let a = Prng.bool_array rng 5 in
+  check bool_t "reflexive" true (Circuit.eval_outputs c (Array.append a a)).(0)
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic                                                            *)
+
+let test_symbolic_matches_eval () =
+  let c = Generate.random ~seed:17 ~inputs:10 ~gates:80 ~outputs:5 in
+  let sym = Symbolic.build c in
+  let rng = Prng.create ~seed:18 in
+  for _ = 1 to 50 do
+    let v = Prng.bool_array rng 10 in
+    check bool_t "symbolic consistent" true (Symbolic.eval_consistent sym v)
+  done
+
+let test_symbolic_syndrome () =
+  let c =
+    Circuit.create ~title:"syn" ~inputs:[ "a"; "b" ] ~outputs:[ "y" ]
+      [ ("y", Gate.And, [ "a"; "b" ]) ]
+  in
+  let sym = Symbolic.build c in
+  let y = Option.get (Circuit.index_of_name c "y") in
+  check (Alcotest.float 1e-12) "AND syndrome" 0.25 (Symbolic.syndrome sym y)
+
+let test_symbolic_ordering_variants () =
+  let c = Bench_suite.find "c95" in
+  List.iter
+    (fun h ->
+      let sym = Symbolic.build ~heuristic:h c in
+      let rng = Prng.create ~seed:4 in
+      for _ = 1 to 10 do
+        let v = Prng.bool_array rng (Circuit.num_inputs c) in
+        check bool_t (Ordering.name h) true (Symbolic.eval_consistent sym v)
+      done)
+    Ordering.all
+
+(* ------------------------------------------------------------------ *)
+(* Sequential circuits and time-frame expansion                        *)
+
+let counter_bench =
+  "INPUT(en)\n\
+   OUTPUT(carry)\n\
+   q0n = XOR(q0, en)\n\
+   t = AND(q0, en)\n\
+   q1n = XOR(q1, t)\n\
+   carry = AND(q1, t)\n\
+   q0 = DFF(q0n)\n\
+   q1 = DFF(q1n)\n"
+
+let counter () = Seq_circuit.parse ~title:"counter2" counter_bench
+
+(* Reference model: a 2-bit counter with enable; carry pulses on the
+   11 -> 00 wrap. *)
+let counter_reference state en =
+  let value = Bool.to_int state.(0) + (2 * Bool.to_int state.(1)) in
+  let next = if en then (value + 1) land 3 else value in
+  let carry = en && value = 3 in
+  ([| carry |], [| next land 1 = 1; next land 2 = 2 |])
+
+let test_seq_parse () =
+  let s = counter () in
+  check int_t "inputs" 1 s.Seq_circuit.num_inputs;
+  check int_t "outputs" 1 s.Seq_circuit.num_outputs;
+  check int_t "flops" 2 s.Seq_circuit.num_flops;
+  check (Alcotest.list Alcotest.string) "flop names" [ "q0"; "q1" ]
+    (List.sort String.compare s.Seq_circuit.flop_names)
+
+let test_seq_step_matches_reference () =
+  let s = counter () in
+  (* q0 appears before q1 in flop_names order used by step's state. *)
+  let order = s.Seq_circuit.flop_names in
+  let to_state bits =
+    Array.of_list (List.map (fun q -> List.assoc q bits) order)
+  in
+  for v = 0 to 3 do
+    List.iter
+      (fun en ->
+        let bits = [ ("q0", v land 1 = 1); ("q1", v land 2 = 2) ] in
+        let out, next =
+          Seq_circuit.step s ~state:(to_state bits) ~inputs:[| en |]
+        in
+        let ref_out, ref_next =
+          counter_reference [| v land 1 = 1; v land 2 = 2 |] en
+        in
+        check (Alcotest.array bool_t) "output" ref_out out;
+        (* Map next-state back through the flop order. *)
+        let expected =
+          Array.of_list
+            (List.map
+               (fun q -> if q = "q0" then ref_next.(0) else ref_next.(1))
+               order)
+        in
+        check (Alcotest.array bool_t) "next state" expected next)
+      [ false; true ]
+  done
+
+let test_seq_unroll_zero_init () =
+  let s = counter () in
+  let frames = 4 in
+  let unrolled = Seq_circuit.unroll s ~frames ~init:Seq_circuit.Zero in
+  check int_t "one PI per frame" frames (Circuit.num_inputs unrolled);
+  check int_t "one PO per frame" frames (Circuit.num_outputs unrolled);
+  (* Every enable sequence agrees with the iterated reference model. *)
+  for bits = 0 to (1 lsl frames) - 1 do
+    let ens = Array.init frames (fun i -> (bits lsr i) land 1 = 1) in
+    let outs = Circuit.eval_outputs unrolled ens in
+    let state = ref [| false; false |] in
+    Array.iteri
+      (fun i en ->
+        let out, next = counter_reference !state en in
+        state := next;
+        check bool_t
+          (Printf.sprintf "frame %d carry" i)
+          out.(0) outs.(i))
+      ens
+  done
+
+let test_seq_unroll_free_init () =
+  let s = counter () in
+  let unrolled = Seq_circuit.unroll s ~frames:2 ~init:Seq_circuit.Free in
+  (* 2 enables + 2 initial-state bits. *)
+  check int_t "inputs with free state" 4 (Circuit.num_inputs unrolled)
+
+let test_seq_unroll_supports_fault_analysis () =
+  (* The unrolled circuit is ordinary combinational netlist: Difference
+     Propagation and exhaustive simulation must agree on it. *)
+  let s = counter () in
+  let unrolled = Seq_circuit.unroll s ~frames:3 ~init:Seq_circuit.Free in
+  let engine = Engine.create unrolled in
+  List.iter
+    (fun f ->
+      let fault = Fault.Stuck f in
+      check (Alcotest.float 1e-12)
+        (Fault.to_string unrolled fault)
+        (Fault_sim.exhaustive_detectability unrolled fault)
+        (Engine.analyze engine fault).Engine.detectability)
+    (Sa_fault.collapsed_faults unrolled)
+
+let test_seq_rejects_pure_combinational () =
+  check bool_t "no DFFs rejected" true
+    (try
+       ignore (Seq_circuit.parse ~title:"x" "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n");
+       false
+     with Seq_circuit.Malformed _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Gate semantics                                                      *)
+
+let test_gate_word_vs_bool () =
+  let kinds = [ Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor ] in
+  List.iter
+    (fun kind ->
+      for bits = 0 to 15 do
+        let args = Array.init 4 (fun i -> (bits lsr i) land 1 = 1) in
+        let expected = Gate.eval_bool kind args in
+        let words =
+          Array.map (fun b -> if b then Int64.minus_one else 0L) args
+        in
+        let got = Int64.logand (Gate.eval_word kind words) 1L = 1L in
+        check bool_t (Gate.name kind) expected got
+      done)
+    kinds
+
+let test_gate_names_roundtrip () =
+  List.iter
+    (fun kind ->
+      check bool_t (Gate.name kind) true
+        (Gate.of_name (Gate.name kind) = Some kind))
+    Gate.all_kinds
+
+let test_controlling_values () =
+  check (Alcotest.option bool_t) "AND" (Some false)
+    (Gate.controlling_value Gate.And);
+  check (Alcotest.option bool_t) "NOR" (Some true)
+    (Gate.controlling_value Gate.Nor);
+  check (Alcotest.option bool_t) "XOR" None (Gate.controlling_value Gate.Xor)
+
+let () =
+  Alcotest.run "circuit"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "topological create" `Quick test_create_topological;
+          Alcotest.test_case "cycle rejected" `Quick test_create_rejects_cycle;
+          Alcotest.test_case "duplicates rejected" `Quick
+            test_create_rejects_duplicates;
+          Alcotest.test_case "undefined rejected" `Quick
+            test_create_rejects_undefined;
+          Alcotest.test_case "arity rejected" `Quick test_create_rejects_arity;
+          Alcotest.test_case "evaluation" `Quick test_eval;
+          Alcotest.test_case "fanouts and branches" `Quick
+            test_fanouts_and_branches;
+          Alcotest.test_case "levels and depth" `Quick test_levels_and_depth;
+          Alcotest.test_case "max levels to PO" `Quick test_max_levels_to_po;
+          Alcotest.test_case "cones" `Quick test_cones;
+          Alcotest.test_case "output that is an input" `Quick
+            test_output_that_is_input;
+        ] );
+      ( "bench-format",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_parse_print_roundtrip;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "aliases and comments" `Quick
+            test_parse_aliases_and_comments;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "expand to two-input" `Quick
+            test_expand_to_two_input;
+          Alcotest.test_case "xor to nand" `Quick test_xor_to_nand;
+          Alcotest.test_case "observation points" `Quick
+            test_add_observation_points;
+          Alcotest.test_case "control point" `Quick test_add_control_point;
+          Alcotest.test_case "strip unreachable" `Quick test_strip_unreachable;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "coordinates" `Quick test_layout_coordinates;
+          Alcotest.test_case "normalization" `Quick test_layout_normalization;
+        ] );
+      ( "ordering",
+        [
+          Alcotest.test_case "permutations" `Quick test_orders_are_permutations;
+          Alcotest.test_case "deterministic shuffle" `Quick
+            test_shuffled_deterministic;
+        ] );
+      ( "generate",
+        [
+          Alcotest.test_case "deterministic random circuit" `Quick
+            test_random_circuit_deterministic;
+          Alcotest.test_case "parity tree" `Quick test_parity_tree;
+          Alcotest.test_case "comparator" `Quick test_comparator;
+        ] );
+      ( "symbolic",
+        [
+          Alcotest.test_case "matches concrete eval" `Quick
+            test_symbolic_matches_eval;
+          Alcotest.test_case "syndrome" `Quick test_symbolic_syndrome;
+          Alcotest.test_case "ordering variants" `Quick
+            test_symbolic_ordering_variants;
+        ] );
+      ( "sequential",
+        [
+          Alcotest.test_case "parse" `Quick test_seq_parse;
+          Alcotest.test_case "step vs reference" `Quick
+            test_seq_step_matches_reference;
+          Alcotest.test_case "unroll zero init" `Quick test_seq_unroll_zero_init;
+          Alcotest.test_case "unroll free init" `Quick test_seq_unroll_free_init;
+          Alcotest.test_case "fault analysis on unrolled" `Quick
+            test_seq_unroll_supports_fault_analysis;
+          Alcotest.test_case "rejects combinational" `Quick
+            test_seq_rejects_pure_combinational;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "word vs bool semantics" `Quick
+            test_gate_word_vs_bool;
+          Alcotest.test_case "name roundtrip" `Quick test_gate_names_roundtrip;
+          Alcotest.test_case "controlling values" `Quick
+            test_controlling_values;
+        ] );
+    ]

@@ -1,0 +1,200 @@
+(* Edge-case batch: API misuse, degenerate inputs, and cross-module
+   consistency checks that did not fit the per-module suites. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let float_t = Alcotest.float 1e-12
+
+let expect_invalid f =
+  try
+    ignore (f ());
+    false
+  with Invalid_argument _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* BDD edge cases                                                      *)
+
+let test_bdd_zero_vars () =
+  let m = Bdd.create 0 in
+  check bool_t "one" true (Bdd.is_one m (Bdd.one m));
+  check float_t "satfrac of one" 1.0 (Bdd.sat_fraction m (Bdd.one m));
+  check float_t "satcount of one" 1.0 (Bdd.sat_count m (Bdd.one m))
+
+let test_bdd_conflicting_cube () =
+  let m = Bdd.create 3 in
+  check bool_t "x and not x is zero" true
+    (Bdd.is_zero m (Bdd.cube m [ (1, true); (1, false) ]))
+
+let test_bdd_multi_var_quantification () =
+  let m = Bdd.create 4 in
+  let f =
+    Bdd.band m
+      (Bdd.bxor m (Bdd.var m 0) (Bdd.var m 1))
+      (Bdd.bor m (Bdd.var m 2) (Bdd.var m 3))
+  in
+  (* Quantifying every variable collapses to a constant: exists = 1 for
+     a satisfiable f, forall = 0 for a refutable f. *)
+  check bool_t "exists all" true (Bdd.is_one m (Bdd.exists m [ 0; 1; 2; 3 ] f));
+  check bool_t "forall all" true (Bdd.is_zero m (Bdd.forall m [ 0; 1; 2; 3 ] f))
+
+let test_bdd_compose_chain () =
+  let m = Bdd.create 3 in
+  (* f = x0 xor x1; substituting x1 := x2 then x2 := x0 gives zero. *)
+  let f = Bdd.bxor m (Bdd.var m 0) (Bdd.var m 1) in
+  let g = Bdd.compose m f ~var:1 (Bdd.var m 2) in
+  let h = Bdd.compose m g ~var:2 (Bdd.var m 0) in
+  check bool_t "composition collapses" true (Bdd.is_zero m h)
+
+let test_bdd_of_fun_arity_guard () =
+  let m = Bdd.create 2 in
+  check bool_t "arity too large" true
+    (expect_invalid (fun () -> Bdd.of_fun m ~arity:3 (fun _ -> true)))
+
+(* ------------------------------------------------------------------ *)
+(* Circuit / format edge cases                                         *)
+
+let test_eval_width_guard () =
+  let c = Bench_suite.find "c17" in
+  check bool_t "short vector rejected" true
+    (expect_invalid (fun () -> Circuit.eval c [| true |]))
+
+let test_retitle_preserves_structure () =
+  let c = Bench_suite.find "c17" in
+  let r = Circuit.retitle c "renamed" in
+  check Alcotest.string "title" "renamed" r.Circuit.title;
+  check int_t "same nets" (Circuit.num_gates c) (Circuit.num_gates r)
+
+let test_large_roundtrip_c1908 () =
+  let c = Bench_suite.find "c1908" in
+  let c' = Bench_format.parse ~title:"c1908" (Bench_format.print c) in
+  check int_t "same size" (Circuit.num_gates c) (Circuit.num_gates c');
+  check bool_t "formally equivalent" true (Equiv.equivalent c c')
+
+let test_unroll_one_frame_matches_core_step () =
+  let seq =
+    Seq_circuit.parse ~title:"toggle"
+      "INPUT(en)\nOUTPUT(o)\nqn = XOR(q, en)\no = BUF(q)\nq = DFF(qn)\n"
+  in
+  let unrolled = Seq_circuit.unroll seq ~frames:1 ~init:Seq_circuit.Zero in
+  (* One frame with zero init: output is the initial state. *)
+  List.iter
+    (fun en ->
+      let out = Circuit.eval_outputs unrolled [| en |] in
+      let ref_out, _ = Seq_circuit.step seq ~state:[| false |] ~inputs:[| en |] in
+      check (Alcotest.array bool_t) "frame 0" ref_out out)
+    [ false; true ]
+
+let test_unroll_rejects_zero_frames () =
+  let seq =
+    Seq_circuit.parse ~title:"toggle"
+      "INPUT(en)\nOUTPUT(o)\nqn = XOR(q, en)\no = BUF(q)\nq = DFF(qn)\n"
+  in
+  check bool_t "zero frames" true
+    (expect_invalid (fun () ->
+         Seq_circuit.unroll seq ~frames:0 ~init:Seq_circuit.Zero))
+
+(* ------------------------------------------------------------------ *)
+(* Engine consistency across representations                           *)
+
+let test_engine_on_parsed_equals_built () =
+  (* The same circuit reached through the builder and through parsed
+     text yields identical per-fault statistics. *)
+  let built = Bench_suite.find "c95" in
+  let parsed = Bench_format.parse ~title:"c95" (Bench_format.print built) in
+  let e1 = Engine.create built and e2 = Engine.create parsed in
+  List.iter
+    (fun f1 ->
+      let name = Sa_fault.to_string built f1 in
+      (* Rebind stem faults by name (branch pins require care; skip). *)
+      match f1.Sa_fault.line with
+      | Sa_fault.Stem s ->
+        let s' =
+          Option.get
+            (Circuit.index_of_name parsed (Circuit.gate built s).Circuit.name)
+        in
+        let f2 = { f1 with Sa_fault.line = Sa_fault.Stem s' } in
+        check float_t name
+          (Engine.analyze e1 (Fault.Stuck f1)).Engine.detectability
+          (Engine.analyze e2 (Fault.Stuck f2)).Engine.detectability
+      | Sa_fault.Branch _ -> ())
+    (Sa_fault.collapsed_faults built)
+
+let test_result_invariants_hold_broadly () =
+  (* Structural invariants of every analysis result on one mid-size
+     circuit: counts within range, bound respected, consistency between
+     detectable and test_count. *)
+  let c = Bench_suite.find "c432" in
+  let engine = Engine.create c in
+  let faults =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+    |> List.filteri (fun i _ -> i mod 3 = 0)
+  in
+  List.iter
+    (fun fault ->
+      let r = Engine.analyze engine fault in
+      check bool_t "detectability in range" true
+        (r.Engine.detectability >= 0.0 && r.Engine.detectability <= 1.0);
+      check bool_t "bound respected" true
+        (r.Engine.detectability <= r.Engine.upper_bound +. 1e-12);
+      check bool_t "detectable iff positive count" true
+        (r.Engine.detectable = (r.Engine.test_count > 0.0));
+      check bool_t "observed <= fed" true
+        (r.Engine.pos_observed <= r.Engine.pos_fed);
+      check bool_t "fed <= outputs" true
+        (r.Engine.pos_fed <= Circuit.num_outputs c))
+    faults
+
+let test_podem_rejects_nothing_dp_accepts () =
+  (* On a circuit with genuine redundancy (c432 has undetectable
+     checkpoint faults), PODEM and DP partition the faults the same
+     way. *)
+  let c = Bench_suite.find "c432" in
+  let engine = Engine.create c in
+  let disagreements = ref 0 in
+  List.iteri
+    (fun i f ->
+      if i mod 6 = 0 then begin
+        let dp = (Engine.analyze engine (Fault.Stuck f)).Engine.detectable in
+        match Podem.generate c f with
+        | Podem.Test _ -> if not dp then incr disagreements
+        | Podem.Redundant -> if dp then incr disagreements
+        | Podem.Aborted -> ()
+      end)
+    (Sa_fault.collapsed_faults c);
+  check int_t "no disagreements" 0 !disagreements
+
+let () =
+  Alcotest.run "edge-cases"
+    [
+      ( "bdd",
+        [
+          Alcotest.test_case "zero variables" `Quick test_bdd_zero_vars;
+          Alcotest.test_case "conflicting cube" `Quick test_bdd_conflicting_cube;
+          Alcotest.test_case "multi-var quantification" `Quick
+            test_bdd_multi_var_quantification;
+          Alcotest.test_case "compose chain" `Quick test_bdd_compose_chain;
+          Alcotest.test_case "of_fun arity guard" `Quick
+            test_bdd_of_fun_arity_guard;
+        ] );
+      ( "circuit",
+        [
+          Alcotest.test_case "eval width guard" `Quick test_eval_width_guard;
+          Alcotest.test_case "retitle" `Quick test_retitle_preserves_structure;
+          Alcotest.test_case "c1908 roundtrip + equivalence" `Quick
+            test_large_roundtrip_c1908;
+          Alcotest.test_case "one-frame unroll" `Quick
+            test_unroll_one_frame_matches_core_step;
+          Alcotest.test_case "zero frames rejected" `Quick
+            test_unroll_rejects_zero_frames;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "parsed = built" `Quick
+            test_engine_on_parsed_equals_built;
+          Alcotest.test_case "result invariants" `Quick
+            test_result_invariants_hold_broadly;
+          Alcotest.test_case "PODEM/DP partition agreement" `Quick
+            test_podem_rejects_nothing_dp_accepts;
+        ] );
+    ]

@@ -1,0 +1,723 @@
+(* Tests for the extension modules: equivalence checking, SCOAP,
+   approximate signal probabilities, multiple stuck-at faults, test-set
+   compaction, functional collapsing, correlation statistics. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let float_t = Alcotest.float 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Equiv                                                               *)
+
+let test_equiv_c499_c1355 () =
+  check bool_t "c499 = c1355 (formally)" true
+    (Equiv.equivalent (Bench_suite.find "c499") (Bench_suite.find "c1355"))
+
+let test_equiv_transforms () =
+  let c = Bench_suite.find "alu74181" in
+  check bool_t "expand_to_two_input preserves" true
+    (Equiv.equivalent c (Transform.expand_to_two_input c));
+  let two = Transform.expand_to_two_input c in
+  check bool_t "xor_to_nand preserves" true
+    (Equiv.equivalent two (Transform.xor_to_nand two))
+
+let test_equiv_detects_difference () =
+  let c1 =
+    Circuit.create ~title:"a" ~inputs:[ "x"; "y" ] ~outputs:[ "o" ]
+      [ ("o", Gate.And, [ "x"; "y" ]) ]
+  in
+  let c2 =
+    Circuit.create ~title:"b" ~inputs:[ "x"; "y" ] ~outputs:[ "o" ]
+      [ ("o", Gate.Or, [ "x"; "y" ]) ]
+  in
+  (match Equiv.check c1 c2 with
+  | Equiv.Different { output; witness } ->
+    check int_t "first output differs" 0 output;
+    (* The witness must actually separate the two circuits. *)
+    check bool_t "witness separates" true
+      (Circuit.eval_outputs c1 witness <> Circuit.eval_outputs c2 witness)
+  | Equiv.Equivalent | Equiv.Interface_mismatch _ ->
+    Alcotest.fail "AND vs OR must differ");
+  match Equiv.check c1 (Bench_suite.find "c17") with
+  | Equiv.Interface_mismatch _ -> ()
+  | Equiv.Equivalent | Equiv.Different _ ->
+    Alcotest.fail "interface mismatch expected"
+
+let test_equiv_random_rewrites () =
+  List.iter
+    (fun seed ->
+      let c = Generate.random ~seed ~inputs:8 ~gates:40 ~outputs:4 in
+      check bool_t "two-input expansion equivalent" true
+        (Equiv.equivalent c (Transform.expand_to_two_input c)))
+    [ 1; 2; 3 ]
+
+(* Every function-preserving transform, proven (not sampled) equivalent
+   on random circuits: the strongest form of the transform tests. *)
+let prop_transforms_preserve_function =
+  let test seed =
+    let rng = Prng.create ~seed:(seed + 9000) in
+    let c =
+      Generate.random ~seed:(seed + 1) ~inputs:(4 + Prng.int rng 6)
+        ~gates:(8 + Prng.int rng 40)
+        ~outputs:(1 + Prng.int rng 4)
+    in
+    let two = Transform.expand_to_two_input c in
+    Equiv.equivalent c two
+    && Equiv.equivalent two (Transform.xor_to_nand two)
+    && Equiv.equivalent c (Transform.strip_unreachable c)
+    &&
+    (* A control point held at the non-controlling value is transparent:
+       compose it away by checking outputs under a fixed control. *)
+    let net = Prng.int rng (Circuit.num_gates c) in
+    let forced = Transform.add_control_point c ~net ~polarity:`Force0 in
+    let ok = ref true in
+    for _ = 1 to 16 do
+      let v = Prng.bool_array rng (Circuit.num_inputs c) in
+      if
+        Circuit.eval_outputs c v
+        <> Circuit.eval_outputs forced (Array.append v [| true |])
+      then ok := false
+    done;
+    !ok
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60
+       ~name:"transforms preserve the function (formally checked)"
+       QCheck.small_nat test)
+
+(* ------------------------------------------------------------------ *)
+(* SCOAP                                                               *)
+
+let test_scoap_inputs () =
+  let c = Bench_suite.find "c17" in
+  let m = Scoap.compute c in
+  Array.iter
+    (fun g ->
+      check int_t "PI cc0" 1 (Scoap.controllability m ~net:g ~value:false);
+      check int_t "PI cc1" 1 (Scoap.controllability m ~net:g ~value:true))
+    c.Circuit.inputs;
+  Array.iter
+    (fun o -> check int_t "PO co" 0 (Scoap.observability m o))
+    c.Circuit.outputs
+
+let test_scoap_and_gate () =
+  let c =
+    Circuit.create ~title:"and3" ~inputs:[ "a"; "b"; "c" ] ~outputs:[ "y" ]
+      [ ("y", Gate.And, [ "a"; "b"; "c" ]) ]
+  in
+  let m = Scoap.compute c in
+  let y = Option.get (Circuit.index_of_name c "y") in
+  (* CC1(AND) = sum of input CC1s + 1 = 4; CC0 = min CC0 + 1 = 2. *)
+  check int_t "cc1" 4 (Scoap.controllability m ~net:y ~value:true);
+  check int_t "cc0" 2 (Scoap.controllability m ~net:y ~value:false);
+  let a = Option.get (Circuit.index_of_name c "a") in
+  (* CO(a) = CO(y) + CC1(b) + CC1(c) + 1 = 0 + 1 + 1 + 1. *)
+  check int_t "co of input" 3 (Scoap.observability m a)
+
+let test_scoap_constants () =
+  let c =
+    Circuit.create ~title:"k" ~inputs:[ "a" ] ~outputs:[ "y" ]
+      [ ("one", Gate.Const1, []); ("y", Gate.And, [ "a"; "one" ]) ]
+  in
+  let m = Scoap.compute c in
+  let one = Option.get (Circuit.index_of_name c "one") in
+  check int_t "const1 cc1" 1 (Scoap.controllability m ~net:one ~value:true);
+  check int_t "const1 cc0 unreachable" max_int
+    (Scoap.controllability m ~net:one ~value:false)
+
+let test_scoap_deeper_is_harder () =
+  let c = Bench_suite.find "c1355" in
+  let m = Scoap.compute c in
+  let levels = Circuit.levels c in
+  (* Controllability cost grows with depth on average. *)
+  let avg predicate =
+    let sum = ref 0 and n = ref 0 in
+    Array.iteri
+      (fun g _ ->
+        if predicate levels.(g) then begin
+          let v = Scoap.controllability m ~net:g ~value:true in
+          if v < max_int then begin
+            sum := !sum + v;
+            incr n
+          end
+        end)
+      c.Circuit.gates;
+    float_of_int !sum /. float_of_int (max 1 !n)
+  in
+  check bool_t "deep nets cost more" true (avg (fun l -> l > 10) > avg (fun l -> l <= 2))
+
+(* ------------------------------------------------------------------ *)
+(* Signal probabilities                                                *)
+
+let test_signal_prob_tree_exact () =
+  (* Fanout-free circuit: the estimator is exact. *)
+  let c =
+    Circuit.create ~title:"tree" ~inputs:[ "a"; "b"; "c"; "d" ]
+      ~outputs:[ "y" ]
+      [
+        ("t1", Gate.And, [ "a"; "b" ]);
+        ("t2", Gate.Or, [ "c"; "d" ]);
+        ("y", Gate.Xor, [ "t1"; "t2" ]);
+      ]
+  in
+  let p = Signal_prob.estimate c in
+  let sym = Symbolic.build c in
+  Array.iteri
+    (fun g _ ->
+      check float_t
+        (Printf.sprintf "net %d" g)
+        (Symbolic.syndrome sym g) p.(g))
+    c.Circuit.gates;
+  let s = Signal_prob.compare_with_exact c sym in
+  check bool_t "flagged exact on trees" true s.Signal_prob.exact_on_trees;
+  check float_t "zero max error" 0.0 s.Signal_prob.max_abs_error
+
+let test_signal_prob_reconvergence_errs () =
+  (* y = a AND a (through two paths) has probability 1/2, but the
+     independence assumption predicts 1/4. *)
+  let c =
+    Circuit.create ~title:"reconv" ~inputs:[ "a" ] ~outputs:[ "y" ]
+      [
+        ("b1", Gate.Buf, [ "a" ]);
+        ("b2", Gate.Buf, [ "a" ]);
+        ("y", Gate.And, [ "b1"; "b2" ]);
+      ]
+  in
+  let p = Signal_prob.estimate c in
+  let y = Option.get (Circuit.index_of_name c "y") in
+  check float_t "estimator says 1/4" 0.25 p.(y);
+  let sym = Symbolic.build c in
+  check float_t "exact is 1/2" 0.5 (Symbolic.syndrome sym y);
+  let s = Signal_prob.compare_with_exact c sym in
+  check float_t "max error 1/4" 0.25 s.Signal_prob.max_abs_error
+
+let test_signal_prob_custom_input_probability () =
+  let c =
+    Circuit.create ~title:"p" ~inputs:[ "a"; "b" ] ~outputs:[ "y" ]
+      [ ("y", Gate.And, [ "a"; "b" ]) ]
+  in
+  let p = Signal_prob.estimate ~input_probability:0.9 c in
+  let y = Option.get (Circuit.index_of_name c "y") in
+  check float_t "0.81" 0.81 p.(y)
+
+(* ------------------------------------------------------------------ *)
+(* Multiple stuck-at faults                                            *)
+
+let test_multi_constructor () =
+  check bool_t "empty rejected" true
+    (try
+       ignore (Fault.multi []);
+       false
+     with Invalid_argument _ -> true);
+  check bool_t "duplicates rejected" true
+    (try
+       ignore (Fault.multi [ (3, true); (3, false) ]);
+       false
+     with Invalid_argument _ -> true);
+  (* Normalisation makes order irrelevant. *)
+  check bool_t "order-insensitive equality" true
+    (Fault.equal
+       (Fault.multi [ (5, true); (2, false) ])
+       (Fault.multi [ (2, false); (5, true) ]))
+
+let test_multi_matches_simulation () =
+  let c = Bench_suite.find "c95" in
+  let engine = Engine.create c in
+  let rng = Prng.create ~seed:55 in
+  let n = Circuit.num_gates c in
+  for _ = 1 to 40 do
+    let a = Prng.int rng n in
+    let b = (a + 1 + Prng.int rng (n - 1)) mod n in
+    let fault = Fault.multi [ (a, Prng.bool rng); (b, Prng.bool rng) ] in
+    check float_t
+      (Fault.to_string c fault)
+      (Fault_sim.exhaustive_detectability c fault)
+      (Engine.analyze engine fault).Engine.detectability
+  done
+
+let test_multi_singleton_matches_stem () =
+  let c = Bench_suite.find "c17" in
+  let engine = Engine.create c in
+  let g11 = Option.get (Circuit.index_of_name c "G11") in
+  let single =
+    Fault.Stuck { Sa_fault.line = Sa_fault.Stem g11; value = true }
+  in
+  check float_t "singleton multi = stem fault"
+    (Engine.analyze engine single).Engine.detectability
+    (Engine.analyze engine (Fault.multi [ (g11, true) ])).Engine.detectability
+
+let test_multi_triple () =
+  let c = Bench_suite.find "fulladder" in
+  let engine = Engine.create c in
+  let fault = Fault.multi [ (0, true); (2, false); (5, true) ] in
+  check float_t "triple fault exact"
+    (Fault_sim.exhaustive_detectability c fault)
+    (Engine.analyze engine fault).Engine.detectability
+
+let test_multi_masking_possible () =
+  (* Two faults can mask each other: x s-a-1 with not(x) s-a-1 feeding
+     an AND — the pair's detectability can differ from either single. *)
+  let c =
+    Circuit.create ~title:"mask" ~inputs:[ "a" ] ~outputs:[ "y" ]
+      [ ("na", Gate.Not, [ "a" ]); ("y", Gate.And, [ "a"; "na" ]) ]
+  in
+  let engine = Engine.create c in
+  let a = Option.get (Circuit.index_of_name c "a") in
+  let na = Option.get (Circuit.index_of_name c "na") in
+  (* y == 0 always; a s-a-1 alone makes y = na = not(1)... still 0 for
+     a=1.  Forcing both a=1 and na=1 makes y = 1: detectable always. *)
+  let pair = Fault.multi [ (a, true); (na, true) ] in
+  check float_t "double detectable everywhere" 1.0
+    (Engine.analyze engine pair).Engine.detectability;
+  check float_t "simulation agrees" 1.0
+    (Fault_sim.exhaustive_detectability c pair)
+
+(* ------------------------------------------------------------------ *)
+(* Compaction                                                          *)
+
+let test_compaction_covers () =
+  let c = Bench_suite.find "c95" in
+  let engine = Engine.create c in
+  let faults =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+  in
+  let outcome = Compact.greedy engine faults in
+  check int_t "everything covered" (List.length faults)
+    (outcome.Compact.covered + outcome.Compact.undetectable);
+  check bool_t "verified by simulation" true
+    (Compact.verify c faults outcome.Compact.vectors);
+  (* Compaction must not be worse than one vector per fault. *)
+  check bool_t "fewer vectors than faults" true
+    (List.length outcome.Compact.vectors < List.length faults)
+
+let test_compaction_beats_podem_counts () =
+  let c = Bench_suite.find "alu74181" in
+  let engine = Engine.create c in
+  let sa = Sa_fault.collapsed_faults c in
+  let outcome =
+    Compact.greedy engine (List.map (fun f -> Fault.Stuck f) sa)
+  in
+  let podem = Podem.run_all c sa in
+  check bool_t "no more vectors than PODEM-with-dropping" true
+    (List.length outcome.Compact.vectors
+    <= List.length podem.Podem.tests)
+
+let test_compaction_handles_redundant () =
+  let c =
+    Circuit.create ~title:"taut" ~inputs:[ "a"; "b" ] ~outputs:[ "y" ]
+      [ ("na", Gate.Not, [ "a" ]); ("y", Gate.Or, [ "a"; "na" ]) ]
+  in
+  let engine = Engine.create c in
+  let y = Option.get (Circuit.index_of_name c "y") in
+  let faults =
+    [
+      Fault.Stuck { Sa_fault.line = Sa_fault.Stem y; value = true };
+      Fault.Stuck { Sa_fault.line = Sa_fault.Stem y; value = false };
+    ]
+  in
+  let outcome = Compact.greedy engine faults in
+  check int_t "one undetectable" 1 outcome.Compact.undetectable;
+  check int_t "one covered" 1 outcome.Compact.covered
+
+(* ------------------------------------------------------------------ *)
+(* Functional collapsing                                               *)
+
+let test_fun_collapse_refines_structural () =
+  let c = Bench_suite.find "c17" in
+  let engine = Engine.create c in
+  let s = Fun_collapse.summarize engine c in
+  check int_t "faults" 22 s.Fun_collapse.faults;
+  check bool_t "functional <= structural" true
+    (s.Fun_collapse.functional_classes <= s.Fun_collapse.structural_classes);
+  check bool_t "detection <= functional" true
+    (s.Fun_collapse.detection_classes <= s.Fun_collapse.functional_classes)
+
+let test_fun_collapse_classes_consistent () =
+  let c = Bench_suite.find "c95" in
+  let engine = Engine.create c in
+  let faults =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.checkpoint_faults c)
+  in
+  let classes = Fun_collapse.by_test_set engine faults in
+  check int_t "partition" (List.length faults)
+    (List.length (List.concat classes));
+  (* Members of one class must have identical detectability. *)
+  List.iter
+    (fun cls ->
+      match cls with
+      | [] -> ()
+      | first :: rest ->
+        let d0 = (Engine.analyze engine first).Engine.detectability in
+        List.iter
+          (fun f ->
+            check float_t "same detectability" d0
+              (Engine.analyze engine f).Engine.detectability)
+          rest)
+    classes
+
+(* ------------------------------------------------------------------ *)
+(* Transition faults                                                   *)
+
+let test_transition_exact_vs_pair_enumeration () =
+  (* Count detecting (v1, v2) pairs exhaustively on c17 (2^10 pairs)
+     and compare with the closed-form pair detectability. *)
+  let c = Bench_suite.find "c17" in
+  let engine = Engine.create c in
+  let vectors =
+    List.init 32 (fun bits -> Array.init 5 (fun i -> (bits lsr i) land 1 = 1))
+  in
+  let faults =
+    Transition.all c |> List.filteri (fun i _ -> i mod 3 = 0)
+  in
+  List.iter
+    (fun f ->
+      let count =
+        List.fold_left
+          (fun acc v1 ->
+            List.fold_left
+              (fun acc v2 ->
+                if Transition.detect_pair c f v1 v2 then acc + 1 else acc)
+              acc vectors)
+          0 vectors
+      in
+      let enumerated = float_of_int count /. 1024.0 in
+      check float_t
+        (Format.asprintf "%a" (Transition.pp c) f)
+        enumerated
+        (Transition.pair_detectability engine f))
+    faults
+
+let test_transition_test_pair_detects () =
+  let c = Bench_suite.find "c95" in
+  let engine = Engine.create c in
+  List.iter
+    (fun f ->
+      match Transition.test_pair engine f with
+      | Some (v1, v2) ->
+        check bool_t
+          (Format.asprintf "%a" (Transition.pp c) f)
+          true
+          (Transition.detect_pair c f v1 v2)
+      | None ->
+        check float_t "undetectable means zero" 0.0
+          (Transition.pair_detectability engine f))
+    (Transition.all c |> List.filteri (fun i _ -> i mod 7 = 0))
+
+let test_transition_relates_to_stuck_at () =
+  (* Pair detectability = launch probability x stuck-at detectability,
+     so it can never exceed the stuck-at detectability. *)
+  let c = Bench_suite.find "c17" in
+  let engine = Engine.create c in
+  List.iter
+    (fun (f : Transition.t) ->
+      let sa_value = match f.Transition.edge with
+        | Transition.Rise -> false
+        | Transition.Fall -> true
+      in
+      let sa =
+        (Engine.analyze engine
+           (Fault.Stuck
+              { Sa_fault.line = Sa_fault.Stem f.Transition.net;
+                value = sa_value }))
+          .Engine.detectability
+      in
+      check bool_t "bounded by stuck-at" true
+        (Transition.pair_detectability engine f <= sa +. 1e-12))
+    (Transition.all c)
+
+(* ------------------------------------------------------------------ *)
+(* CATAPULT-style Boolean-difference baseline                          *)
+
+let test_catapult_matches_dp_c17 () =
+  let c = Bench_suite.find "c17" in
+  let engine = Engine.create c in
+  List.iter
+    (fun f ->
+      check float_t
+        (Sa_fault.to_string c f)
+        (Engine.analyze engine (Fault.Stuck f)).Engine.detectability
+        (Catapult.detectability engine f))
+    (Sa_fault.all_line_faults c)
+
+let test_catapult_matches_dp_c95 () =
+  let c = Bench_suite.find "c95" in
+  let engine = Engine.create c in
+  List.iter
+    (fun f ->
+      check float_t
+        (Sa_fault.to_string c f)
+        (Engine.analyze engine (Fault.Stuck f)).Engine.detectability
+        (Catapult.detectability engine f))
+    (Sa_fault.collapsed_faults c)
+
+let test_catapult_cubes_detect () =
+  let c = Bench_suite.find "c17" in
+  let engine = Engine.create c in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun cube ->
+          let v = Array.make 5 false in
+          List.iter (fun (pos, value) -> v.(pos) <- value) cube;
+          check bool_t "catapult cube detects" true
+            (Fault_sim.detects c (Fault.Stuck f) v))
+        (Catapult.test_cubes ~limit:4 engine f))
+    (Sa_fault.collapsed_faults c)
+
+let test_catapult_observability_bounds_detectability () =
+  (* Observability of a stem upper-bounds the detectability of stem
+     faults on it (changing a single branch can escape cancellation, so
+     the bound is claimed for stem faults only). *)
+  let c = Bench_suite.find "c95" in
+  let engine = Engine.create c in
+  let stem_faults =
+    Sa_fault.collapsed_faults c
+    |> List.filter (fun f ->
+           match f.Sa_fault.line with
+           | Sa_fault.Stem _ -> true
+           | Sa_fault.Branch _ -> false)
+  in
+  List.iter
+    (fun f ->
+      let stem = Sa_fault.stem_of_line f.Sa_fault.line in
+      let obs = Catapult.observability_fraction engine stem in
+      let det = (Engine.analyze engine (Fault.Stuck f)).Engine.detectability in
+      check bool_t
+        ("obs bound " ^ Sa_fault.to_string c f)
+        true
+        (det <= obs +. 1e-12))
+    stem_faults
+
+(* ------------------------------------------------------------------ *)
+(* Diagnosis                                                           *)
+
+let test_diagnosis_predict_matches_observe () =
+  let c = Bench_suite.find "c17" in
+  let engine = Engine.create c in
+  let rng = Prng.create ~seed:71 in
+  List.iter
+    (fun f ->
+      let fault = Fault.Stuck f in
+      for _ = 1 to 8 do
+        let v = Prng.bool_array rng 5 in
+        let obs = Diagnosis.observe c fault v in
+        check (Alcotest.array bool_t) "prediction = simulation"
+          obs.Diagnosis.failing
+          (Diagnosis.predict engine fault v)
+      done)
+    (Sa_fault.collapsed_faults c)
+
+let test_diagnosis_actual_survives () =
+  let c = Bench_suite.find "c17" in
+  let engine = Engine.create c in
+  let universe =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+  in
+  List.iter
+    (fun actual ->
+      let session = Diagnosis.diagnose engine universe ~actual in
+      check bool_t
+        ("actual survives " ^ Fault.to_string c actual)
+        true
+        (List.exists (Fault.equal actual) session.Diagnosis.remaining);
+      (* Survivors must be pairwise indistinguishable. *)
+      let rec all_equiv = function
+        | f1 :: rest ->
+          List.for_all
+            (fun f2 -> Diagnosis.distinguishing_vector engine f1 f2 = None)
+            rest
+          && all_equiv rest
+        | [] -> true
+      in
+      check bool_t "resolution limit reached" true
+        (all_equiv session.Diagnosis.remaining))
+    universe
+
+let test_distinguishing_vector_separates () =
+  let c = Bench_suite.find "c17" in
+  let engine = Engine.create c in
+  let universe =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+  in
+  let pairs =
+    match universe with
+    | a :: b :: d :: e :: _ -> [ (a, b); (a, d); (b, e) ]
+    | _ -> []
+  in
+  List.iter
+    (fun (f1, f2) ->
+      match Diagnosis.distinguishing_vector engine f1 f2 with
+      | None ->
+        (* Functionally equivalent: identical responses everywhere. *)
+        let rng = Prng.create ~seed:3 in
+        for _ = 1 to 16 do
+          let v = Prng.bool_array rng 5 in
+          check (Alcotest.array bool_t) "equal responses"
+            (Diagnosis.observe c f1 v).Diagnosis.failing
+            (Diagnosis.observe c f2 v).Diagnosis.failing
+        done
+      | Some v ->
+        check bool_t "vector separates the pair" false
+          ((Diagnosis.observe c f1 v).Diagnosis.failing
+          = (Diagnosis.observe c f2 v).Diagnosis.failing))
+    pairs
+
+let test_diagnosis_equivalent_faults_inseparable () =
+  (* Faults in one structural equivalence class admit no distinguishing
+     vector. *)
+  let c = Bench_suite.find "c17" in
+  let engine = Engine.create c in
+  List.iter
+    (fun cls ->
+      match List.map (fun f -> Fault.Stuck f) cls with
+      | f1 :: f2 :: _ ->
+        check bool_t "no distinguishing vector inside a class" true
+          (Diagnosis.distinguishing_vector engine f1 f2 = None)
+      | [ _ ] | [] -> ())
+    (Sa_fault.equivalence_classes c)
+
+(* ------------------------------------------------------------------ *)
+(* Correlation                                                         *)
+
+let test_correlation_basics () =
+  check float_t "perfect" 1.0
+    (Correlation.pearson [ (1.0, 2.0); (2.0, 4.0); (3.0, 6.0) ]);
+  check float_t "perfect negative" (-1.0)
+    (Correlation.pearson [ (1.0, 3.0); (2.0, 2.0); (3.0, 1.0) ]);
+  check float_t "degenerate" 0.0 (Correlation.pearson [ (1.0, 1.0) ]);
+  check float_t "spearman monotone nonlinear" 1.0
+    (Correlation.spearman [ (1.0, 1.0); (2.0, 10.0); (3.0, 11.0) ])
+
+let test_correlation_ties () =
+  (* Ties get averaged ranks; a constant column correlates with nothing. *)
+  check float_t "constant column" 0.0
+    (Correlation.spearman [ (1.0, 5.0); (2.0, 5.0); (3.0, 5.0) ])
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "equiv",
+        [
+          Alcotest.test_case "c499 = c1355" `Quick test_equiv_c499_c1355;
+          Alcotest.test_case "transforms preserve" `Quick test_equiv_transforms;
+          Alcotest.test_case "difference witness" `Quick
+            test_equiv_detects_difference;
+          Alcotest.test_case "random rewrites" `Quick test_equiv_random_rewrites;
+          prop_transforms_preserve_function;
+        ] );
+      ( "scoap",
+        [
+          Alcotest.test_case "inputs and outputs" `Quick test_scoap_inputs;
+          Alcotest.test_case "AND gate" `Quick test_scoap_and_gate;
+          Alcotest.test_case "constants" `Quick test_scoap_constants;
+          Alcotest.test_case "depth monotonicity" `Quick
+            test_scoap_deeper_is_harder;
+        ] );
+      ( "signal-prob",
+        [
+          Alcotest.test_case "exact on trees" `Quick test_signal_prob_tree_exact;
+          Alcotest.test_case "reconvergence errs" `Quick
+            test_signal_prob_reconvergence_errs;
+          Alcotest.test_case "custom input probability" `Quick
+            test_signal_prob_custom_input_probability;
+        ] );
+      ( "multi-stuck",
+        [
+          Alcotest.test_case "constructor" `Quick test_multi_constructor;
+          Alcotest.test_case "matches simulation" `Quick
+            test_multi_matches_simulation;
+          Alcotest.test_case "singleton = stem" `Quick
+            test_multi_singleton_matches_stem;
+          Alcotest.test_case "triple fault" `Quick test_multi_triple;
+          Alcotest.test_case "mutual masking" `Quick test_multi_masking_possible;
+        ] );
+      ( "compaction",
+        [
+          Alcotest.test_case "covers everything" `Quick test_compaction_covers;
+          Alcotest.test_case "at most PODEM size" `Quick
+            test_compaction_beats_podem_counts;
+          Alcotest.test_case "redundant faults" `Quick
+            test_compaction_handles_redundant;
+        ] );
+      ( "fun-collapse",
+        [
+          Alcotest.test_case "refines structural" `Quick
+            test_fun_collapse_refines_structural;
+          Alcotest.test_case "classes consistent" `Quick
+            test_fun_collapse_classes_consistent;
+        ] );
+      ( "transition",
+        [
+          Alcotest.test_case "exact vs pair enumeration" `Quick
+            test_transition_exact_vs_pair_enumeration;
+          Alcotest.test_case "test pairs detect" `Quick
+            test_transition_test_pair_detects;
+          Alcotest.test_case "bounded by stuck-at" `Quick
+            test_transition_relates_to_stuck_at;
+        ] );
+      ( "catapult",
+        [
+          Alcotest.test_case "matches DP on c17" `Quick
+            test_catapult_matches_dp_c17;
+          Alcotest.test_case "matches DP on c95" `Quick
+            test_catapult_matches_dp_c95;
+          Alcotest.test_case "cubes detect" `Quick test_catapult_cubes_detect;
+          Alcotest.test_case "observability bound" `Quick
+            test_catapult_observability_bounds_detectability;
+        ] );
+      ( "diagnosis",
+        [
+          Alcotest.test_case "predictions match simulation" `Quick
+            test_diagnosis_predict_matches_observe;
+          Alcotest.test_case "actual fault survives" `Quick
+            test_diagnosis_actual_survives;
+          Alcotest.test_case "distinguishing vectors separate" `Quick
+            test_distinguishing_vector_separates;
+          Alcotest.test_case "equivalent faults inseparable" `Quick
+            test_diagnosis_equivalent_faults_inseparable;
+        ] );
+      ( "correlation",
+        [
+          Alcotest.test_case "basics" `Quick test_correlation_basics;
+          Alcotest.test_case "ties" `Quick test_correlation_ties;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "circuit rendering" `Quick (fun () ->
+              let c = Bench_suite.find "c17" in
+              let text = Dot.circuit ~highlight:[ 5 ] c in
+              check bool_t "digraph" true
+                (String.length text > 0
+                && String.sub text 0 7 = "digraph");
+              (* One node statement per net and the highlight colour. *)
+              Array.iteri
+                (fun g _ ->
+                  let needle = Printf.sprintf "g%d [" g in
+                  let contains =
+                    let rec scan i =
+                      i + String.length needle <= String.length text
+                      && (String.sub text i (String.length needle) = needle
+                         || scan (i + 1))
+                    in
+                    scan 0
+                  in
+                  check bool_t (Printf.sprintf "net %d present" g) true contains)
+                c.Circuit.gates);
+          Alcotest.test_case "bdd rendering" `Quick (fun () ->
+              let m = Bdd.create 3 in
+              let f = Bdd.band m (Bdd.var m 0) (Bdd.bxor m (Bdd.var m 1) (Bdd.var m 2)) in
+              let text = Bdd.to_dot m f in
+              check bool_t "has terminals" true
+                (String.length text > 40
+                && String.sub text 0 7 = "digraph");
+              (* Node count in the text matches the BDD size. *)
+              let circles = ref 0 in
+              String.iteri
+                (fun i ch ->
+                  if ch = 'c' && i + 6 <= String.length text
+                     && String.sub text i 6 = "circle" then incr circles)
+                text;
+              check int_t "one circle per node" (Bdd.size m f) !circles);
+        ] );
+    ]

@@ -1,0 +1,354 @@
+(* Tests for the fault models: checkpoints, collapsing, bridging
+   enumeration / screening / sampling, and the PRNG / union-find
+   utilities underneath them. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let c17 () = Bench_suite.find "c17"
+
+(* ------------------------------------------------------------------ *)
+(* Utilities                                                           *)
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:5 and b = Prng.create ~seed:5 in
+  for _ = 1 to 100 do
+    check bool_t "same stream" true (Prng.word a = Prng.word b)
+  done;
+  let c = Prng.create ~seed:6 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.word a <> Prng.word c then differs := true
+  done;
+  check bool_t "different seeds differ" true !differs
+
+let test_prng_ranges () =
+  let rng = Prng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    check bool_t "int in range" true (v >= 0 && v < 17);
+    let f = Prng.float rng in
+    check bool_t "float in range" true (f >= 0.0 && f < 1.0)
+  done;
+  check bool_t "int rejects zero bound" true
+    (try
+       ignore (Prng.int rng 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_prng_uniformity () =
+  let rng = Prng.create ~seed:9 in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 4000 do
+    let v = Prng.int rng 4 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c -> check bool_t "roughly uniform" true (c > 800 && c < 1200))
+    counts
+
+let test_union_find () =
+  let uf = Union_find.create 10 in
+  check bool_t "initially apart" false (Union_find.same uf 0 1);
+  Union_find.union uf 0 1;
+  Union_find.union uf 2 3;
+  Union_find.union uf 1 3;
+  check bool_t "transitive union" true (Union_find.same uf 0 2);
+  check bool_t "others untouched" false (Union_find.same uf 0 4);
+  let classes = Union_find.classes uf in
+  let nonempty = Array.to_list classes |> List.filter (fun l -> l <> []) in
+  check int_t "7 classes remain" 7 (List.length nonempty);
+  let big = List.find (fun l -> List.length l = 4) nonempty in
+  check (Alcotest.list int_t) "merged class members" [ 0; 1; 2; 3 ] big
+
+(* ------------------------------------------------------------------ *)
+(* Stuck-at checkpoints and collapsing                                 *)
+
+let test_checkpoints_c17 () =
+  let c = c17 () in
+  let cps = Sa_fault.checkpoints c in
+  (* 5 PIs; fanout stems: G3 (to G10, G11), G11 (to G16, G19), G16 (to
+     G22, G23) -> 6 branches.  11 checkpoints total. *)
+  check int_t "checkpoint count" 11 (List.length cps);
+  check int_t "uncollapsed faults" 22
+    (List.length (Sa_fault.checkpoint_faults c))
+
+let test_collapsing_reduces () =
+  let c = c17 () in
+  let collapsed = Sa_fault.collapsed_faults c in
+  check bool_t "collapsing reduces" true
+    (List.length collapsed < List.length (Sa_fault.checkpoint_faults c))
+
+let test_classes_partition () =
+  let c = Bench_suite.find "c95" in
+  let classes = Sa_fault.equivalence_classes c in
+  let all = List.concat classes in
+  check int_t "partition covers all checkpoint faults"
+    (List.length (Sa_fault.checkpoint_faults c))
+    (List.length all);
+  let sorted = List.sort Sa_fault.compare all in
+  let rec no_dup = function
+    | a :: (b :: _ as rest) -> (not (Sa_fault.equal a b)) && no_dup rest
+    | [ _ ] | [] -> true
+  in
+  check bool_t "no duplicates across classes" true (no_dup sorted)
+
+let test_equivalent_faults_same_test_set () =
+  (* Every fault in a structural equivalence class must have exactly the
+     same complete test set — checked with the engine on c17. *)
+  let c = c17 () in
+  let engine = Engine.create c in
+  List.iter
+    (fun cls ->
+      match cls with
+      | [] -> ()
+      | first :: rest ->
+        let reference = Engine.test_set engine (Fault.Stuck first) in
+        List.iter
+          (fun f ->
+            check bool_t
+              (Sa_fault.to_string c first ^ " ~ " ^ Sa_fault.to_string c f)
+              true
+              (Bdd.equal reference (Engine.test_set engine (Fault.Stuck f))))
+          rest)
+    (Sa_fault.equivalence_classes c)
+
+let test_all_line_faults () =
+  let c = c17 () in
+  (* 11 stems + 6 branches = 17 lines, two polarities each. *)
+  check int_t "line fault universe" 34
+    (List.length (Sa_fault.all_line_faults c))
+
+let test_site_gate () =
+  let c = c17 () in
+  let g3 = Option.get (Circuit.index_of_name c "G3") in
+  let g10 = Option.get (Circuit.index_of_name c "G10") in
+  check int_t "stem site" g3
+    (Sa_fault.site_gate c { Sa_fault.line = Sa_fault.Stem g3; value = false });
+  let branch =
+    List.find
+      (fun b -> b.Circuit.stem = g3 && b.Circuit.sink = g10)
+      (Circuit.branches c)
+  in
+  check int_t "branch site is sink" g10
+    (Sa_fault.site_gate c
+       { Sa_fault.line = Sa_fault.Branch branch; value = true })
+
+(* ------------------------------------------------------------------ *)
+(* Bridging faults                                                     *)
+
+let test_bridge_make_normalises () =
+  let b = Bridge.make 7 3 Bridge.Wired_and in
+  check int_t "a" 3 b.Bridge.a;
+  check int_t "b" 7 b.Bridge.b;
+  check bool_t "self bridge rejected" true
+    (try
+       ignore (Bridge.make 4 4 Bridge.Wired_or);
+       false
+     with Invalid_argument _ -> true)
+
+let test_ancestors () =
+  let c = c17 () in
+  let anc = Bridge.ancestors c in
+  let idx n = Option.get (Circuit.index_of_name c n) in
+  check bool_t "G3 ancestor of G22" true
+    (Bridge.in_fanin anc ~net:(idx "G3") ~of_:(idx "G22"));
+  check bool_t "G22 not ancestor of G3" false
+    (Bridge.in_fanin anc ~net:(idx "G22") ~of_:(idx "G3"));
+  check bool_t "feedback pair" true
+    (Bridge.is_feedback anc (idx "G3") (idx "G22"));
+  check bool_t "sibling inputs not feedback" false
+    (Bridge.is_feedback anc (idx "G1") (idx "G2"))
+
+let test_enumerate_excludes_feedback () =
+  let c = c17 () in
+  let anc = Bridge.ancestors c in
+  List.iter
+    (fun f ->
+      check bool_t "non-feedback" false
+        (Bridge.is_feedback anc f.Bridge.a f.Bridge.b))
+    (Bridge.enumerate c)
+
+let test_enumerate_screens_trivial () =
+  (* Two inputs feeding only a single AND gate: the AND bridge between
+     them is trivially undetectable and must be screened out. *)
+  let c =
+    Circuit.create ~title:"screen" ~inputs:[ "a"; "b" ] ~outputs:[ "y" ]
+      [ ("y", Gate.And, [ "a"; "b" ]) ]
+  in
+  let bridges = Bridge.enumerate c in
+  let a = Option.get (Circuit.index_of_name c "a") in
+  let b = Option.get (Circuit.index_of_name c "b") in
+  check bool_t "AND bridge screened" false
+    (List.exists
+       (fun f ->
+         f.Bridge.a = min a b
+         && f.Bridge.b = max a b
+         && f.Bridge.kind = Bridge.Wired_and)
+       bridges);
+  check bool_t "OR bridge kept" true
+    (List.exists
+       (fun f ->
+         f.Bridge.a = min a b
+         && f.Bridge.b = max a b
+         && f.Bridge.kind = Bridge.Wired_or)
+       bridges)
+
+let test_screen_spares_observable_nets () =
+  (* Same shape, but one bridged net is also a primary output: the
+     bridge is observable there, so it must be kept. *)
+  let c =
+    Circuit.create ~title:"screen2" ~inputs:[ "a"; "b" ] ~outputs:[ "a"; "y" ]
+      [ ("y", Gate.And, [ "a"; "b" ]) ]
+  in
+  let a = Option.get (Circuit.index_of_name c "a") in
+  let b = Option.get (Circuit.index_of_name c "b") in
+  check bool_t "kept when observable" false
+    (Bridge.trivially_undetectable c
+       { Bridge.a = min a b; b = max a b; kind = Bridge.Wired_and })
+
+let test_screened_bridges_are_undetectable () =
+  (* Everything the screen removes really is undetectable (checked by
+     exhaustive simulation on a small circuit). *)
+  let c =
+    Circuit.create ~title:"screen3" ~inputs:[ "a"; "b"; "c" ] ~outputs:[ "y" ]
+      [ ("t", Gate.Nand, [ "a"; "b" ]); ("y", Gate.Or, [ "t"; "c" ]) ]
+  in
+  let n = Circuit.num_gates c in
+  for a = 0 to n - 2 do
+    for b = a + 1 to n - 1 do
+      List.iter
+        (fun kind ->
+          let f = { Bridge.a; b; kind } in
+          if Bridge.trivially_undetectable c f then
+            check (Alcotest.float 1e-12)
+              (Bridge.to_string c f ^ " undetectable")
+              0.0
+              (Fault_sim.exhaustive_detectability c (Fault.Bridged f)))
+        [ Bridge.Wired_and; Bridge.Wired_or ]
+    done
+  done
+
+let test_count_matches_enumerate () =
+  let c = c17 () in
+  check int_t "count = |enumerate|"
+    (List.length (Bridge.enumerate c))
+    (Bridge.count c)
+
+let test_sample_deterministic_and_valid () =
+  let c = Bench_suite.find "c432" in
+  let f1, s1 = Bridge.sample ~seed:7 ~size:40 c in
+  let f2, _ = Bridge.sample ~seed:7 ~size:40 c in
+  check bool_t "deterministic" true (List.equal Bridge.equal f1 f2);
+  check int_t "requested" 40 s1.Bridge.requested;
+  check int_t "accepted pairs" 40 s1.Bridge.accepted;
+  check bool_t "max distance positive" true (s1.Bridge.max_distance > 0.0);
+  let anc = Bridge.ancestors c in
+  List.iter
+    (fun f ->
+      check bool_t "valid pair" true
+        (f.Bridge.a < f.Bridge.b
+        && (not (Bridge.is_feedback anc f.Bridge.a f.Bridge.b))
+        && not (Bridge.trivially_undetectable c f)))
+    f1
+
+let test_sample_prefers_close_pairs () =
+  (* With a steep exponential the accepted pairs should sit closer than
+     the theoretical maximum distance on average. *)
+  let c = Bench_suite.find "c432" in
+  let faults, stats = Bridge.sample ~theta:0.1 ~seed:3 ~size:60 c in
+  let layout = Layout.compute c in
+  let mean_z =
+    let zs =
+      List.map
+        (fun f ->
+          Layout.normalized_distance layout ~max:stats.Bridge.max_distance
+            f.Bridge.a f.Bridge.b)
+        faults
+    in
+    List.fold_left ( +. ) 0.0 zs /. float_of_int (List.length zs)
+  in
+  check bool_t "mean normalized distance below 0.5" true (mean_z < 0.5)
+
+let test_sample_both_kinds () =
+  let c = Bench_suite.find "c499" in
+  let faults, _ = Bridge.sample ~seed:11 ~size:30 c in
+  let ands =
+    List.length (List.filter (fun f -> f.Bridge.kind = Bridge.Wired_and) faults)
+  in
+  let ors =
+    List.length (List.filter (fun f -> f.Bridge.kind = Bridge.Wired_or) faults)
+  in
+  check bool_t "both kinds present" true (ands > 0 && ors > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Unified fault type                                                  *)
+
+let test_fault_sites () =
+  let c = c17 () in
+  let g3 = Option.get (Circuit.index_of_name c "G3") in
+  let g10 = Option.get (Circuit.index_of_name c "G10") in
+  check (Alcotest.list int_t) "stem fault site" [ g3 ]
+    (Fault.sites (Fault.Stuck { Sa_fault.line = Sa_fault.Stem g3; value = true }));
+  check (Alcotest.list int_t) "bridge sites"
+    (List.sort Stdlib.compare [ g3; g10 ])
+    (List.sort Stdlib.compare
+       (Fault.sites (Fault.Bridged (Bridge.make g3 g10 Bridge.Wired_or))))
+
+let test_fault_printing () =
+  let c = c17 () in
+  let g3 = Option.get (Circuit.index_of_name c "G3") in
+  let fault = Fault.Stuck { Sa_fault.line = Sa_fault.Stem g3; value = false } in
+  check Alcotest.string "stuck print" "G3 s-a-0" (Fault.to_string c fault);
+  let g10 = Option.get (Circuit.index_of_name c "G10") in
+  let bridge = Fault.Bridged (Bridge.make g10 g3 Bridge.Wired_and) in
+  check Alcotest.string "bridge print" "AND-bridge(G3, G10)"
+    (Fault.to_string c bridge)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "util",
+        [
+          Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "prng ranges" `Quick test_prng_ranges;
+          Alcotest.test_case "prng uniformity" `Quick test_prng_uniformity;
+          Alcotest.test_case "union-find" `Quick test_union_find;
+        ] );
+      ( "stuck-at",
+        [
+          Alcotest.test_case "c17 checkpoints" `Quick test_checkpoints_c17;
+          Alcotest.test_case "collapsing reduces" `Quick test_collapsing_reduces;
+          Alcotest.test_case "classes partition" `Quick test_classes_partition;
+          Alcotest.test_case "equivalent faults share test sets" `Quick
+            test_equivalent_faults_same_test_set;
+          Alcotest.test_case "line fault universe" `Quick test_all_line_faults;
+          Alcotest.test_case "site gates" `Quick test_site_gate;
+        ] );
+      ( "bridging",
+        [
+          Alcotest.test_case "make normalises" `Quick test_bridge_make_normalises;
+          Alcotest.test_case "ancestors" `Quick test_ancestors;
+          Alcotest.test_case "enumerate excludes feedback" `Quick
+            test_enumerate_excludes_feedback;
+          Alcotest.test_case "trivial screen" `Quick
+            test_enumerate_screens_trivial;
+          Alcotest.test_case "screen spares observable nets" `Quick
+            test_screen_spares_observable_nets;
+          Alcotest.test_case "screened bridges undetectable" `Quick
+            test_screened_bridges_are_undetectable;
+          Alcotest.test_case "count" `Quick test_count_matches_enumerate;
+          Alcotest.test_case "sampling valid and deterministic" `Quick
+            test_sample_deterministic_and_valid;
+          Alcotest.test_case "sampling prefers close pairs" `Quick
+            test_sample_prefers_close_pairs;
+          Alcotest.test_case "sampling emits both kinds" `Quick
+            test_sample_both_kinds;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "sites" `Quick test_fault_sites;
+          Alcotest.test_case "printing" `Quick test_fault_printing;
+        ] );
+    ]

@@ -1,0 +1,267 @@
+(* Tests for the logic/fault simulation substrate. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let c17 () = Bench_suite.find "c17"
+
+let stem_fault c name value =
+  let s = Option.get (Circuit.index_of_name c name) in
+  Fault.Stuck { Sa_fault.line = Sa_fault.Stem s; value }
+
+(* ------------------------------------------------------------------ *)
+(* Word-level simulation                                               *)
+
+let test_words_match_scalar () =
+  let c = Generate.random ~seed:23 ~inputs:9 ~gates:60 ~outputs:4 in
+  let rng = Prng.create ~seed:24 in
+  let vectors = List.init 64 (fun _ -> Prng.bool_array rng 9) in
+  let words = Logic_sim.pack_patterns c vectors in
+  let values = Logic_sim.eval_words c words in
+  let outs = Logic_sim.outputs_of c values in
+  List.iteri
+    (fun i v ->
+      let expected = Circuit.eval_outputs c v in
+      Array.iteri
+        (fun o word ->
+          let bit = Int64.logand (Int64.shift_right_logical word i) 1L = 1L in
+          check bool_t (Printf.sprintf "pattern %d out %d" i o) expected.(o) bit)
+        outs)
+    vectors
+
+let test_base_words_enumerate () =
+  let c = c17 () in
+  let words = Logic_sim.base_words c 0 in
+  (* Bit i of input word j must be bit j of the number i. *)
+  for i = 0 to 31 do
+    for j = 0 to 4 do
+      let bit =
+        Int64.logand (Int64.shift_right_logical words.(j) i) 1L = 1L
+      in
+      check bool_t "encoding" ((i lsr j) land 1 = 1) bit
+    done
+  done
+
+let test_pack_rejects_excess () =
+  let c = c17 () in
+  let too_many = List.init 65 (fun _ -> Array.make 5 false) in
+  check bool_t "more than 64 rejected" true
+    (try
+       ignore (Logic_sim.pack_patterns c too_many);
+       false
+     with Invalid_argument _ -> true)
+
+let test_popcount () =
+  check int_t "zero" 0 (Logic_sim.popcount 0L);
+  check int_t "all ones" 64 (Logic_sim.popcount Int64.minus_one);
+  check int_t "0b1011" 3 (Logic_sim.popcount 11L)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+
+let test_stem_fault_injection () =
+  let c = c17 () in
+  (* G16 s-a-1 with all inputs 1: good G16 = nand(G2=1, G11=nand(1,1)=0)=1,
+     so no difference; with G2=0,G3=1,G6=1: G11=0, G16=nand(0,0)=1 ... use
+     simulation against a hand-built faulty evaluation instead. *)
+  let fault = stem_fault c "G16" true in
+  let rng = Prng.create ~seed:31 in
+  for _ = 1 to 32 do
+    let v = Prng.bool_array rng 5 in
+    let words = Logic_sim.pack_patterns c [ v ] in
+    let faulty = Logic_sim.eval_words_faulty c fault words in
+    let g16 = Option.get (Circuit.index_of_name c "G16") in
+    check bool_t "stem forced" true (Int64.logand faulty.(g16) 1L = 1L)
+  done
+
+let test_branch_fault_vs_stem_fault_differ () =
+  (* A branch fault affects one sink only; the stem fault affects all.
+     On c17, G16->G22 s-a-1 must leave G23 at its good value. *)
+  let c = c17 () in
+  let g16 = Option.get (Circuit.index_of_name c "G16") in
+  let g22 = Option.get (Circuit.index_of_name c "G22") in
+  let branch =
+    List.find
+      (fun b -> b.Circuit.stem = g16 && b.Circuit.sink = g22)
+      (Circuit.branches c)
+  in
+  let branch_fault =
+    Fault.Stuck { Sa_fault.line = Sa_fault.Branch branch; value = true }
+  in
+  let g23 = Option.get (Circuit.index_of_name c "G23") in
+  let rng = Prng.create ~seed:32 in
+  for _ = 1 to 32 do
+    let v = Prng.bool_array rng 5 in
+    let words = Logic_sim.pack_patterns c [ v ] in
+    let good = Logic_sim.eval_words c words in
+    let faulty = Logic_sim.eval_words_faulty c branch_fault words in
+    check bool_t "G23 untouched by branch fault" true
+      (Int64.logand good.(g23) 1L = Int64.logand faulty.(g23) 1L)
+  done
+
+let test_bridge_fault_semantics () =
+  let c = c17 () in
+  let g10 = Option.get (Circuit.index_of_name c "G10") in
+  let g19 = Option.get (Circuit.index_of_name c "G19") in
+  let fault = Fault.Bridged (Bridge.make g10 g19 Bridge.Wired_and) in
+  let rng = Prng.create ~seed:33 in
+  for _ = 1 to 32 do
+    let v = Prng.bool_array rng 5 in
+    let words = Logic_sim.pack_patterns c [ v ] in
+    let good = Logic_sim.eval_words c words in
+    let faulty = Logic_sim.eval_words_faulty c fault words in
+    let wired = Int64.logand good.(g10) good.(g19) in
+    check bool_t "a wired" true
+      (Int64.logand faulty.(g10) 1L = Int64.logand wired 1L);
+    check bool_t "b wired" true
+      (Int64.logand faulty.(g19) 1L = Int64.logand wired 1L)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive fault simulation                                         *)
+
+let test_exhaustive_counts_c17 () =
+  (* Cross-validated reference values come from the symbolic engine,
+     which test_core checks independently; here spot-check a fault whose
+     detectability is known by hand: G1 s-a-1 on c17 requires G1=0,
+     G3=1 (excite), and propagation G16=1, i.e. patterns where the
+     fault flips G22.  The easy hand-checkable case is the PI G7:
+     detection of G7 s-a-0 requires G7=1 and G11=1 and observation at
+     G23 with G16=1. *)
+  let c = c17 () in
+  let fault = stem_fault c "G7" false in
+  let count = Fault_sim.exhaustive_count c fault in
+  (* G23 = nand(G16, G19); fault flips G19 = nand(G11, G7) only when
+     G11=1; flip matters when G16=1.  G11=1 means not(G3&G6).
+     Conditions: G7=1, G11=1, G16=nand(G2,G11)=nand(G2,1)=~G2 -> G2=0.
+     Free: G1, G3, G6 with not(G3&G6): 2 * 3 = 6 patterns. *)
+  check int_t "G7 s-a-0 count" 6 count
+
+let test_exhaustive_detectability_range () =
+  let c = c17 () in
+  List.iter
+    (fun f ->
+      let d = Fault_sim.exhaustive_detectability c (Fault.Stuck f) in
+      check bool_t "in [0,1]" true (d >= 0.0 && d <= 1.0))
+    (Sa_fault.collapsed_faults c)
+
+let test_exhaustive_test_set_detects () =
+  let c = c17 () in
+  let fault = stem_fault c "G16" false in
+  let tests = Fault_sim.exhaustive_test_set c fault in
+  check int_t "count matches set size"
+    (Fault_sim.exhaustive_count c fault)
+    (List.length tests);
+  List.iter
+    (fun v -> check bool_t "each vector detects" true (Fault_sim.detects c fault v))
+    tests
+
+let test_exhaustive_rejects_wide () =
+  let c = Bench_suite.find "c432" in
+  check bool_t "36 inputs rejected" true
+    (try
+       ignore (Fault_sim.exhaustive_count c (stem_fault c "e0" false));
+       false
+     with Invalid_argument _ -> true)
+
+let test_partial_block_masking () =
+  (* A 3-input circuit exercises the partial final block (8 < 64). *)
+  let c =
+    Circuit.create ~title:"tiny" ~inputs:[ "a"; "b"; "c" ] ~outputs:[ "y" ]
+      [ ("y", Gate.And, [ "a"; "b"; "c" ]) ]
+  in
+  let a = Option.get (Circuit.index_of_name c "a") in
+  let fault = Fault.Stuck { Sa_fault.line = Sa_fault.Stem a; value = false } in
+  (* y flips only at a=b=c=1: one pattern. *)
+  check int_t "single test" 1 (Fault_sim.exhaustive_count c fault)
+
+(* ------------------------------------------------------------------ *)
+(* Random-pattern fault simulation                                     *)
+
+let test_random_coverage_monotone () =
+  let c = Bench_suite.find "c95" in
+  let faults =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+  in
+  let points = Fault_sim.random_coverage ~seed:3 ~patterns:512 c faults in
+  check bool_t "has points" true (points <> []);
+  let rec monotone = function
+    | (a : Fault_sim.coverage_point) :: (b :: _ as rest) ->
+      a.Fault_sim.coverage <= b.Fault_sim.coverage && monotone rest
+    | [ _ ] | [] -> true
+  in
+  check bool_t "coverage monotone" true (monotone points);
+  let last = List.nth points (List.length points - 1) in
+  check bool_t "most faults found quickly" true
+    (last.Fault_sim.coverage > 0.9)
+
+let test_estimated_detectability_converges () =
+  let c = Bench_suite.find "c95" in
+  let fault = stem_fault c "cin" true in
+  let exact = Fault_sim.exhaustive_detectability c fault in
+  let estimate =
+    Fault_sim.estimated_detectability ~seed:5 ~patterns:8192 c fault
+  in
+  check bool_t "within 10% of exact" true
+    (Float.abs (estimate -. exact) < 0.1 *. Float.max exact 0.05)
+
+let test_estimated_detectability_zero_for_redundant () =
+  let c =
+    Circuit.create ~title:"taut" ~inputs:[ "a" ] ~outputs:[ "y" ]
+      [ ("na", Gate.Not, [ "a" ]); ("y", Gate.Or, [ "a"; "na" ]) ]
+  in
+  let y = Option.get (Circuit.index_of_name c "y") in
+  let fault = Fault.Stuck { Sa_fault.line = Sa_fault.Stem y; value = true } in
+  check (Alcotest.float 1e-12) "never detected" 0.0
+    (Fault_sim.estimated_detectability ~seed:1 ~patterns:1024 c fault)
+
+let test_random_coverage_deterministic () =
+  let c = c17 () in
+  let faults =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+  in
+  let p1 = Fault_sim.random_coverage ~seed:5 ~patterns:128 c faults in
+  let p2 = Fault_sim.random_coverage ~seed:5 ~patterns:128 c faults in
+  check bool_t "same curve" true (p1 = p2)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "logic",
+        [
+          Alcotest.test_case "words match scalar" `Quick test_words_match_scalar;
+          Alcotest.test_case "base word encoding" `Quick test_base_words_enumerate;
+          Alcotest.test_case "pack limit" `Quick test_pack_rejects_excess;
+          Alcotest.test_case "popcount" `Quick test_popcount;
+        ] );
+      ( "injection",
+        [
+          Alcotest.test_case "stem fault" `Quick test_stem_fault_injection;
+          Alcotest.test_case "branch vs stem" `Quick
+            test_branch_fault_vs_stem_fault_differ;
+          Alcotest.test_case "bridge semantics" `Quick test_bridge_fault_semantics;
+        ] );
+      ( "exhaustive",
+        [
+          Alcotest.test_case "hand-checked count" `Quick test_exhaustive_counts_c17;
+          Alcotest.test_case "detectability range" `Quick
+            test_exhaustive_detectability_range;
+          Alcotest.test_case "test set detects" `Quick
+            test_exhaustive_test_set_detects;
+          Alcotest.test_case "width guard" `Quick test_exhaustive_rejects_wide;
+          Alcotest.test_case "partial block masking" `Quick
+            test_partial_block_masking;
+        ] );
+      ( "random",
+        [
+          Alcotest.test_case "coverage monotone" `Quick
+            test_random_coverage_monotone;
+          Alcotest.test_case "estimate converges" `Quick
+            test_estimated_detectability_converges;
+          Alcotest.test_case "estimate zero for redundant" `Quick
+            test_estimated_detectability_zero_for_redundant;
+          Alcotest.test_case "deterministic" `Quick
+            test_random_coverage_deterministic;
+        ] );
+    ]
