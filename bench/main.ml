@@ -624,6 +624,117 @@ let micro () =
   note "DP's advantage grows exponentially with input count (paper §1, §3)"
 
 (* ------------------------------------------------------------------ *)
+(* Parallel-throughput benchmark (BENCH_dp.json)                       *)
+
+let perf_domain_counts = [ 1; 2; 4; 8 ]
+
+let perf_circuits =
+  ref [ "alu74181"; "c432"; "c499"; "c1355"; "c1908" ]
+
+let perf_out = ref "BENCH_dp.json"
+
+type perf_run = {
+  domains : int;
+  seconds : float;
+  faults_per_sec : float;
+  matches_sequential : bool;
+}
+
+let write_perf_json path rows =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "{\n  \"hardware_domains\": %d,\n"
+    (Parallel.available_domains ());
+  Printf.bprintf buf "  \"bridge_sample\": %d,\n"
+    (!config).Experiments.bridge_sample;
+  Buffer.add_string buf "  \"circuits\": [\n";
+  List.iteri
+    (fun i (name, faults, runs) ->
+      Printf.bprintf buf "    { \"name\": %S, \"faults\": %d, \"runs\": [" name
+        faults;
+      List.iteri
+        (fun j r ->
+          Printf.bprintf buf
+            "%s\n      { \"domains\": %d, \"seconds\": %.6f, \
+             \"faults_per_sec\": %.3f, \"matches_sequential\": %b }"
+            (if j = 0 then "" else ",")
+            r.domains r.seconds r.faults_per_sec r.matches_sequential)
+        runs;
+      Printf.bprintf buf "\n    ] }%s\n"
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let perf () =
+  section "perf"
+    "domain-sharded fault analysis: full stuck-at + bridging per circuit";
+  Format.fprintf fmt "  %-12s %8s %8s %10s %14s %8s@." "circuit" "faults"
+    "domains" "seconds" "faults/sec" "agree";
+  let rows = ref [] in
+  List.iter
+    (fun name ->
+        let c =
+          try Bench_suite.find name
+          with Not_found ->
+            Format.eprintf "perf: unknown circuit %S (known: %s)@." name
+              (String.concat ", " Bench_suite.names);
+            exit 2
+        in
+        let faults =
+          List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+          @
+          let bf, _ = Experiments.bridge_faults !config c in
+          List.map (fun b -> Fault.Bridged b) bf
+        in
+        let n = List.length faults in
+        let baseline = ref [] in
+        let runs =
+          List.map
+            (fun d ->
+              (* Engine construction is inside the timed region for every
+                 domain count: the parallel path pays one symbolic build
+                 per worker, and that overhead belongs in the
+                 throughput. *)
+              let results, dt =
+                elapsed (fun () ->
+                    Engine.analyze_all ~domains:d (Engine.create c) faults)
+              in
+              let matches_sequential =
+                if d = 1 then begin
+                  baseline := results;
+                  true
+                end
+                else results = !baseline
+              in
+              let faults_per_sec = float_of_int n /. dt in
+              Format.fprintf fmt "  %-12s %8d %8d %10.2f %14.1f %8s@." name n
+                d dt faults_per_sec
+                (if matches_sequential then "yes" else "NO");
+              { domains = d; seconds = dt; faults_per_sec; matches_sequential })
+            perf_domain_counts
+        in
+        let seconds_at d =
+          match List.find_opt (fun r -> r.domains = d) runs with
+          | Some r -> r.seconds
+          | None -> Float.nan
+        in
+        note
+          (Printf.sprintf "%s: 4-domain speedup %.2fx over 1 domain" name
+             (seconds_at 1 /. seconds_at 4));
+        rows := !rows @ [ (name, n, runs) ];
+        (* Rewritten after every circuit, so a truncated run still
+           leaves a well-formed trajectory on disk. *)
+        write_perf_json !perf_out !rows)
+    !perf_circuits;
+  note
+    (Printf.sprintf
+       "%s written (hardware domains available here: %d)"
+       !perf_out
+       (Parallel.available_domains ()))
+
+(* ------------------------------------------------------------------ *)
 
 let artifacts =
   [
@@ -650,9 +761,14 @@ let artifacts =
     ("micro", micro);
   ]
 
+(* [perf] is dispatchable by name but deliberately not part of [all]:
+   it is a timing measurement, not a paper artifact. *)
+let commands = artifacts @ [ ("perf", perf) ]
+
 let usage () =
   Format.fprintf fmt
-    "usage: main.exe [-sample N] [-seed N] [all | %s]...@."
+    "usage: main.exe [-sample N] [-seed N] [-perf-circuits A,B,..] \
+     [-perf-out FILE] [all | perf | %s]...@."
     (String.concat " | " (List.map fst artifacts))
 
 let () =
@@ -665,6 +781,12 @@ let () =
     | "-seed" :: n :: rest ->
       config := { !config with Experiments.seed = int_of_string n };
       parse acc rest
+    | "-perf-circuits" :: names :: rest ->
+      perf_circuits := String.split_on_char ',' names;
+      parse acc rest
+    | "-perf-out" :: path :: rest ->
+      perf_out := path;
+      parse acc rest
     | "all" :: rest -> parse (acc @ List.map fst artifacts) rest
     | name :: rest -> parse (acc @ [ name ]) rest
     | [] -> acc
@@ -676,7 +798,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->
-      match List.assoc_opt name artifacts with
+      match List.assoc_opt name commands with
       | Some run -> run ()
       | None ->
         Format.fprintf fmt "unknown artifact %S@." name;

@@ -178,11 +178,21 @@ let profile_cmd =
     let doc = "Histogram bins." in
     Arg.(value & opt int 10 & info [ "bins" ] ~docv:"N" ~doc)
   in
-  let run spec bins =
+  let domains =
+    let doc =
+      "Worker domains for the fault sweep (default: all the hardware \
+       offers).  Results are identical at any count."
+    in
+    Arg.(
+      value
+      & opt int (Parallel.available_domains ())
+      & info [ "domains"; "j" ] ~docv:"N" ~doc)
+  in
+  let run spec bins domains =
     let c = load_circuit spec in
     let engine = Engine.create c in
     let results =
-      Engine.analyze_all engine
+      Engine.analyze_all ~domains engine
         (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
     in
     let detectable = List.filter (fun r -> r.Engine.detectable) results in
@@ -197,7 +207,7 @@ let profile_cmd =
   in
   Cmd.v
     (Cmd.info "profile" ~doc:"Stuck-at detectability profile of a circuit")
-    Term.(const run $ circuit_arg $ bins)
+    Term.(const run $ circuit_arg $ bins $ domains)
 
 let atpg_cmd =
   let run spec =

@@ -1,6 +1,19 @@
-type config = { bridge_sample : int; theta : float; seed : int; bins : int }
+type config = {
+  bridge_sample : int;
+  theta : float;
+  seed : int;
+  bins : int;
+  domains : int;
+}
 
-let default = { bridge_sample = 150; theta = 0.25; seed = 42; bins = 10 }
+let default =
+  {
+    bridge_sample = 150;
+    theta = 0.25;
+    seed = 42;
+    bins = 10;
+    domains = Parallel.available_domains ();
+  }
 
 type circuit_run = {
   circuit : Circuit.t;
@@ -33,13 +46,20 @@ let run ?(config = default) name =
   | None ->
     let circuit = Bench_suite.find name in
     let engine = Engine.create circuit in
+    (* Cached results are plain scalars, but [engine] itself is also
+       cached and handed to later consumers; a budget-triggered rebuild
+       invalidates any BDD handles they hold, so evict the entry and
+       let the next [run] start from a consistent engine. *)
+    Engine.on_rebuild engine (fun () -> Hashtbl.remove cache (name, config));
     let sa_faults =
       List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults circuit)
     in
-    let sa_results = Engine.analyze_all engine sa_faults in
+    let sa_results =
+      Engine.analyze_all ~domains:config.domains engine sa_faults
+    in
     let bf_faults, bf_sampled = bridge_faults config circuit in
     let bf_results =
-      Engine.analyze_all engine
+      Engine.analyze_all ~domains:config.domains engine
         (List.map (fun b -> Fault.Bridged b) bf_faults)
     in
     let r =

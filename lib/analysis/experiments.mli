@@ -12,10 +12,14 @@ type config = {
   theta : float;  (** exponential distance parameter (paper §2.2) *)
   seed : int;
   bins : int;  (** histogram resolution *)
+  domains : int;
+      (** worker domains for fault analysis ({!Engine.analyze_all});
+          results are bit-identical at any count *)
 }
 
 val default : config
-(** 150 sampled pairs, theta 0.25, seed 42, 10 bins. *)
+(** 150 sampled pairs, theta 0.25, seed 42, 10 bins, and as many
+    domains as {!Parallel.available_domains} suggests. *)
 
 (** {1 Cached per-circuit analysis} *)
 
@@ -30,6 +34,11 @@ type circuit_run = {
 
 val run : ?config:config -> string -> circuit_run
 (** Analyse one benchmark by name (memoised on name and config). *)
+
+val bridge_faults : config -> Circuit.t -> Bridge.t list * Bridge.sample_stats option
+(** The circuit's bridging-fault universe under a config: full NFBF
+    enumeration for the four small circuits, layout-weighted sampling
+    (with stats) for the rest — exactly what {!run} analyses. *)
 
 val clear_cache : unit -> unit
 

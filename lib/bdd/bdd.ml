@@ -34,6 +34,14 @@ type manager = {
   ite_key2 : int array;
   ite_key3 : int array;
   ite_result : int array;
+  (* manager-resident statistics memos, node-indexed and grown with the
+     arena.  A node's function never changes, so its SAT fraction is
+     memoised permanently (NaN = unset); size/support walks stamp nodes
+     with a generation counter instead of allocating a visited table. *)
+  mutable sat_memo : float array;
+  mutable visit_stamp : int array;
+  level_stamp : int array;
+  mutable stat_gen : int;
 }
 
 exception Variable_out_of_range of int
@@ -90,6 +98,10 @@ let create ?order n_vars =
     ite_key2 = Array.make ite_cache_size (-1);
     ite_key3 = Array.make ite_cache_size (-1);
     ite_result = Array.make ite_cache_size (-1);
+    sat_memo = Array.make cap Float.nan;
+    visit_stamp = Array.make cap 0;
+    level_stamp = Array.make (max n_vars 1) 0;
+    stat_gen = 0;
   }
 
 let num_vars m = m.n_vars
@@ -128,7 +140,9 @@ let grow_nodes m =
   let copy a = Array.append a (Array.make cap 0) in
   m.level <- copy m.level;
   m.low <- copy m.low;
-  m.high <- copy m.high
+  m.high <- copy m.high;
+  m.sat_memo <- Array.append m.sat_memo (Array.make cap Float.nan);
+  m.visit_stamp <- copy m.visit_stamp
 
 let rec rehash m =
   let old = m.table in
@@ -325,47 +339,53 @@ let forall m vars f =
   in
   List.fold_left quantify f vars
 
+let fresh_stat_gen m =
+  m.stat_gen <- m.stat_gen + 1;
+  m.stat_gen
+
 let support m f =
-  let seen = Hashtbl.create 64 in
-  let levels = Hashtbl.create 16 in
+  let gen = fresh_stat_gen m in
   let rec go f =
-    if f >= 2 && not (Hashtbl.mem seen f) then begin
-      Hashtbl.add seen f ();
-      Hashtbl.replace levels m.level.(f) ();
+    if f >= 2 && m.visit_stamp.(f) <> gen then begin
+      m.visit_stamp.(f) <- gen;
+      m.level_stamp.(m.level.(f)) <- gen;
       go m.low.(f);
       go m.high.(f)
     end
   in
   go f;
-  Hashtbl.fold (fun lvl () acc -> m.level_var.(lvl) :: acc) levels []
-  |> List.sort Stdlib.compare
+  let acc = ref [] in
+  for lvl = m.n_vars - 1 downto 0 do
+    if m.level_stamp.(lvl) = gen then acc := m.level_var.(lvl) :: !acc
+  done;
+  List.sort Stdlib.compare !acc
 
 let size m f =
-  let seen = Hashtbl.create 64 in
+  let gen = fresh_stat_gen m in
+  let count = ref 0 in
   let rec go f =
-    if f >= 2 && not (Hashtbl.mem seen f) then begin
-      Hashtbl.add seen f ();
+    if f >= 2 && m.visit_stamp.(f) <> gen then begin
+      m.visit_stamp.(f) <- gen;
+      incr count;
       go m.low.(f);
       go m.high.(f)
     end
   in
   go f;
-  Hashtbl.length seen
+  !count
 
-let sat_fraction m f =
-  let memo = Hashtbl.create 64 in
-  let rec go f =
-    if f = 0 then 0.0
-    else if f = 1 then 1.0
-    else
-      match Hashtbl.find_opt memo f with
-      | Some p -> p
-      | None ->
-        let p = 0.5 *. (go m.low.(f) +. go m.high.(f)) in
-        Hashtbl.add memo f p;
-        p
-  in
-  go f
+(* Permanent memo: fractions are in [0, 1], so NaN is a free "unset". *)
+let rec sat_fraction m f =
+  if f = 0 then 0.0
+  else if f = 1 then 1.0
+  else
+    let cached = m.sat_memo.(f) in
+    if Float.is_nan cached then begin
+      let p = 0.5 *. (sat_fraction m m.low.(f) +. sat_fraction m m.high.(f)) in
+      m.sat_memo.(f) <- p;
+      p
+    end
+    else cached
 
 let sat_count m f = sat_fraction m f *. Float.pow 2.0 (float_of_int m.n_vars)
 

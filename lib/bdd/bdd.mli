@@ -99,16 +99,21 @@ val forall : manager -> int list -> t -> t
 (** Universal quantification over a set of variables. *)
 
 val support : manager -> t -> int list
-(** Variables the function actually depends on, sorted increasingly. *)
+(** Variables the function actually depends on, sorted increasingly.
+    Allocation-free: the walk stamps manager-resident generation
+    counters instead of building a visited table. *)
 
 val size : manager -> t -> int
-(** Number of internal (non-terminal) nodes reachable from the root. *)
+(** Number of internal (non-terminal) nodes reachable from the root.
+    Allocation-free, like {!support}. *)
 
 (** {1 Counting and satisfaction} *)
 
 val sat_fraction : manager -> t -> float
 (** Fraction of the 2^n input space mapped to true (the paper's
-    {e syndrome} when applied to a circuit line's good function). *)
+    {e syndrome} when applied to a circuit line's good function).
+    Memoised permanently in the manager — repeated queries over shared
+    subgraphs cost O(nodes not seen by any earlier query). *)
 
 val sat_count : manager -> t -> float
 (** [sat_fraction] scaled by 2^[num_vars]; exact while n <= 61. *)

@@ -159,6 +159,27 @@ let output_cone c net =
   let reach = fanout_cone c [ net ] in
   Array.to_list c.outputs |> List.filter (fun o -> reach.(o))
 
+let cone_walker c ~fanouts =
+  let stamp = Array.make (num_gates c) 0 in
+  let gen = ref 0 in
+  fun nets ->
+    incr gen;
+    let g = !gen in
+    let acc = ref [] in
+    let rec visit n =
+      if stamp.(n) <> g then begin
+        stamp.(n) <- g;
+        acc := n :: !acc;
+        Array.iter visit fanouts.(n)
+      end
+    in
+    List.iter visit nets;
+    let cone = Array.of_list !acc in
+    (* Gate indices are topologically sorted, so ascending index order is
+       a valid evaluation order for the cone. *)
+    Array.sort Stdlib.compare cone;
+    cone
+
 let levels c =
   let lv = Array.make (num_gates c) 0 in
   Array.iteri

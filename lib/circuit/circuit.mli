@@ -73,6 +73,16 @@ val fanout_cone : t -> int list -> bool array
 val output_cone : t -> int -> int list
 (** Output nets reachable from a net — the POs the net {e feeds}. *)
 
+val cone_walker : t -> fanouts:int array array -> int list -> int array
+(** [cone_walker c ~fanouts] is a reusable selective-trace enumerator:
+    applied to a net list, it returns the union of their transitive
+    fanouts (the nets themselves included) as gate indices in ascending
+    — hence topological — order.  [fanouts] must be [fanouts c].  The
+    partial application owns generation-stamped scratch, so repeated
+    queries touch only the cone (O(k log k) for a cone of k nets) and
+    never re-scan or re-allocate the whole netlist.  Each walker's
+    scratch is unsynchronised: share a walker within one domain only. *)
+
 (** {1 Levels} *)
 
 val levels : t -> int array

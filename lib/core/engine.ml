@@ -1,22 +1,56 @@
 type t = {
   base : Circuit.t;
   heuristic : Ordering.heuristic;
+  fanouts : int array array;
+  output_mark : bool array; (* net -> is a primary output *)
+  cone : int list -> int array; (* reusable selective-trace walker *)
   mutable sym : Symbolic.t;
+  mutable good : Bdd.t array; (* cached good functions, one per net *)
+  mutable delta_scratch : Bdd.t array; (* zero outside the cone in flight *)
+  mutable generation : int;
+  mutable rebuild_hooks : (unit -> unit) list;
 }
 
 let create ?(heuristic = Ordering.Natural) base =
-  { base; heuristic; sym = Symbolic.build ~heuristic base }
+  let sym = Symbolic.build ~heuristic base in
+  let n = Circuit.num_gates base in
+  let fanouts = Circuit.fanouts base in
+  let output_mark = Array.make n false in
+  Array.iter (fun o -> output_mark.(o) <- true) base.Circuit.outputs;
+  {
+    base;
+    heuristic;
+    fanouts;
+    output_mark;
+    cone = Circuit.cone_walker base ~fanouts;
+    sym;
+    good = Array.init n (Symbolic.node_function sym);
+    delta_scratch = Array.make n (Bdd.zero (Symbolic.manager sym));
+    generation = 0;
+    rebuild_hooks = [];
+  }
 
 let circuit t = t.base
 let manager t = Symbolic.manager t.sym
 let symbolic t = t.sym
+let generation t = t.generation
+let on_rebuild t hook = t.rebuild_hooks <- hook :: t.rebuild_hooks
 
-let rebuild t = t.sym <- Symbolic.build ~heuristic:t.heuristic t.base
+let rebuild t =
+  let sym = Symbolic.build ~heuristic:t.heuristic t.base in
+  t.sym <- sym;
+  t.good <- Array.init (Circuit.num_gates t.base) (Symbolic.node_function sym);
+  (* Old handles are meaningless in the fresh manager. *)
+  Array.fill t.delta_scratch 0
+    (Array.length t.delta_scratch)
+    (Bdd.zero (Symbolic.manager sym));
+  t.generation <- t.generation + 1;
+  List.iter (fun hook -> hook ()) t.rebuild_hooks
 
 (* Initial difference functions at the fault sites: (net, delta) pairs. *)
 let initial_deltas t fault =
   let m = manager t in
-  let f net = Symbolic.node_function t.sym net in
+  let f net = t.good.(net) in
   let against_constant good value =
     if value then Bdd.bnot m good else good
   in
@@ -51,32 +85,40 @@ let initial_deltas t fault =
        propagation composes the effects correctly. *)
     List.map (fun (s, value) -> (s, against_constant (f s) value)) sites
 
-(* Propagate differences through the fanout cone of the sites. *)
-let all_deltas t fault =
-  let c = t.base in
+(* Propagate differences through the fanout cone of the sites and hand
+   the scratch delta array to [k].  Selective trace: the cone walker
+   enumerates exactly the gates a difference can reach, already in
+   topological order, so gates outside the cone are never looked at.
+   The scratch is zeroed again before returning. *)
+let propagate t fault k =
   let m = manager t in
   let zero = Bdd.zero m in
-  let deltas = Array.make (Circuit.num_gates c) zero in
+  let deltas = t.delta_scratch in
   let sites = initial_deltas t fault in
   List.iter (fun (net, d) -> deltas.(net) <- d) sites;
-  let is_site = Array.make (Circuit.num_gates c) false in
-  List.iter (fun (net, _) -> is_site.(net) <- true) sites;
-  let cone = Circuit.fanout_cone c (List.map fst sites) in
-  Array.iteri
-    (fun g (gate : Circuit.gate) ->
-      if cone.(g) && not is_site.(g) && gate.kind <> Gate.Input then begin
-        let fanins = gate.Circuit.fanins in
-        if Array.exists (fun f -> not (Bdd.is_zero m deltas.(f))) fanins then
-          let good = Array.map (Symbolic.node_function t.sym) fanins in
-          let delta = Array.map (fun f -> deltas.(f)) fanins in
-          deltas.(g) <- Rules.delta m gate.Circuit.kind ~good ~delta
-      end)
-    c.Circuit.gates;
-  deltas
+  let cone = t.cone (List.map fst sites) in
+  Fun.protect
+    ~finally:(fun () -> Array.iter (fun g -> deltas.(g) <- zero) cone)
+    (fun () ->
+      Array.iter
+        (fun g ->
+          let gate = t.base.Circuit.gates.(g) in
+          if (not (List.mem_assoc g sites)) && gate.Circuit.kind <> Gate.Input
+          then begin
+            let fanins = gate.Circuit.fanins in
+            if
+              Array.exists (fun f -> not (Bdd.is_zero m deltas.(f))) fanins
+            then
+              let good = Array.map (fun f -> t.good.(f)) fanins in
+              let delta = Array.map (fun f -> deltas.(f)) fanins in
+              deltas.(g) <- Rules.delta m gate.Circuit.kind ~good ~delta
+          end)
+        cone;
+      k deltas)
 
 let po_differences t fault =
-  let deltas = all_deltas t fault in
-  Array.map (fun o -> deltas.(o)) t.base.Circuit.outputs
+  propagate t fault (fun deltas ->
+      Array.map (fun o -> deltas.(o)) t.base.Circuit.outputs)
 
 let test_set t fault =
   let m = manager t in
@@ -107,7 +149,7 @@ type result = {
 
 let upper_bound t fault =
   let m = manager t in
-  let f net = Symbolic.node_function t.sym net in
+  let f net = t.good.(net) in
   match fault with
   | Fault.Stuck { Sa_fault.line; value } ->
     let stem = Sa_fault.stem_of_line line in
@@ -128,7 +170,7 @@ let upper_bound t fault =
 
 let wired_support t fault =
   let m = manager t in
-  let f net = Symbolic.node_function t.sym net in
+  let f net = t.good.(net) in
   match fault with
   | Fault.Stuck _ | Fault.Multi_stuck _ -> None
   | Fault.Bridged { Bridge.a; b; kind } ->
@@ -140,10 +182,10 @@ let wired_support t fault =
     Some (List.length (Bdd.support m wired))
 
 let pos_fed t fault =
-  let reach = Circuit.fanout_cone t.base (Fault.sites fault) in
+  let cone = t.cone (Fault.sites fault) in
   Array.fold_left
-    (fun acc o -> if reach.(o) then acc + 1 else acc)
-    0 t.base.Circuit.outputs
+    (fun acc g -> if t.output_mark.(g) then acc + 1 else acc)
+    0 cone
 
 let analyze t fault =
   let m = manager t in
@@ -168,9 +210,26 @@ let analyze t fault =
     test_set_nodes = Bdd.size m union;
   }
 
-let analyze_all ?(node_budget = 3_000_000) t faults =
+let default_node_budget = 3_000_000
+
+let analyze_seq ~node_budget t faults =
   List.map
     (fun fault ->
       if Bdd.allocated_nodes (manager t) > node_budget then rebuild t;
       analyze t fault)
     faults
+
+let analyze_all ?(node_budget = default_node_budget) ?(domains = 1) t faults =
+  if domains <= 1 then analyze_seq ~node_budget t faults
+  else
+    (* The hash-consing arena is single-threaded mutable state, so every
+       worker domain builds its own Symbolic/Bdd manager and analyses
+       its contiguous shard with an independent node budget.  Results
+       are plain scalars (no BDD handles), and ROBDDs are canonical
+       under a fixed variable order, so the merged list is bit-identical
+       to a sequential run. *)
+    Parallel.map_chunked ~domains
+      (fun shard ->
+        let worker = create ~heuristic:t.heuristic t.base in
+        analyze_seq ~node_budget worker shard)
+      faults

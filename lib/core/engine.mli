@@ -15,6 +15,16 @@ val circuit : t -> Circuit.t
 val manager : t -> Bdd.manager
 val symbolic : t -> Symbolic.t
 
+val generation : t -> int
+(** Number of symbolic rebuilds so far.  BDD handles obtained from
+    {!manager}/{!symbolic} are only valid while the generation is
+    unchanged; {!result} values are plain data and survive rebuilds. *)
+
+val on_rebuild : t -> (unit -> unit) -> unit
+(** Register a hook run after every symbolic rebuild (budget-triggered
+    rebuilds during {!analyze_all} included) — the place to invalidate
+    external caches holding BDD handles from this engine. *)
+
 (** {1 Test sets} *)
 
 val po_differences : t -> Fault.t -> Bdd.t array
@@ -54,7 +64,16 @@ type result = {
 val analyze : t -> Fault.t -> result
 
 val analyze_all :
-  ?node_budget:int -> t -> Fault.t list -> result list
+  ?node_budget:int -> ?domains:int -> t -> Fault.t list -> result list
 (** Analyse a fault list.  The engine's BDD arena only grows, so after
     [node_budget] allocated nodes (default 3 million) the symbolic state
-    is rebuilt from scratch; results are unaffected. *)
+    is rebuilt from scratch; results are unaffected.
+
+    [domains] (default 1) shards the list into contiguous chunks
+    analysed on that many OCaml domains.  Each worker builds its own
+    Symbolic/Bdd manager (the arena is single-threaded) with the same
+    ordering heuristic and applies the node budget independently; the
+    engine passed in is left untouched.  Results merge back in input
+    order and are bit-identical to a sequential run — ROBDDs are
+    canonical under a fixed variable order, so every statistic is
+    manager-independent. *)

@@ -1,0 +1,49 @@
+(* Domain-sharded fan-out over fault lists (OCaml 5 stdlib only).
+
+   The BDD arena is single-threaded mutable state, so callers hand this
+   module *chunk* functions that build their own per-domain state (one
+   Symbolic/Bdd manager per worker) rather than sharing an engine.
+   Chunks are contiguous and results are concatenated, so output order
+   equals input order. *)
+
+let available_domains () = Domain.recommended_domain_count ()
+
+let chunk ~pieces items =
+  if pieces < 1 then invalid_arg "Parallel.chunk: pieces < 1";
+  let n = List.length items in
+  let pieces = min pieces n in
+  if pieces <= 1 then if items = [] then [] else [ items ]
+  else begin
+    (* Contiguous chunks whose sizes differ by at most one. *)
+    let base = n / pieces and extra = n mod pieces in
+    let rec take k xs acc =
+      if k = 0 then (List.rev acc, xs)
+      else
+        match xs with
+        | [] -> (List.rev acc, [])
+        | x :: rest -> take (k - 1) rest (x :: acc)
+    in
+    let rec split i xs =
+      if i >= pieces then []
+      else
+        let size = base + if i < extra then 1 else 0 in
+        let piece, rest = take size xs [] in
+        piece :: split (i + 1) rest
+    in
+    split 0 items
+  end
+
+let map_chunked ?domains f items =
+  let pieces =
+    match domains with Some d -> max 1 d | None -> available_domains ()
+  in
+  match chunk ~pieces items with
+  | [] -> []
+  | [ only ] -> f only
+  | first :: rest ->
+    (* The spawning domain works on the first chunk while the others run. *)
+    let workers = List.map (fun c -> Domain.spawn (fun () -> f c)) rest in
+    let head = f first in
+    List.concat (head :: List.map Domain.join workers)
+
+let map ?domains f items = map_chunked ?domains (List.map f) items

@@ -1,0 +1,28 @@
+(** Domain-sharded parallel mapping over work lists.
+
+    Sharding is contiguous and order-preserving: results come back
+    exactly as a sequential run would produce them.  Worker functions
+    must build any mutable state (BDD managers in particular) inside
+    the worker — a manager's hash-consing arena is single-threaded. *)
+
+val available_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — the hardware parallelism the
+    runtime suggests. *)
+
+val chunk : pieces:int -> 'a list -> 'a list list
+(** Split into at most [pieces] contiguous chunks whose sizes differ by
+    at most one; concatenating the chunks restores the input.  Fewer
+    chunks come back when the list is shorter than [pieces]; the empty
+    list yields no chunks.  @raise Invalid_argument when [pieces < 1]. *)
+
+val map_chunked : ?domains:int -> ('a list -> 'b list) -> 'a list -> 'b list
+(** [map_chunked ~domains f items] runs [f] on each chunk in its own
+    domain (the calling domain takes the first chunk) and concatenates
+    the results in input order.  [f] must map each input chunk to a
+    result list of the same length for the order guarantee to be
+    meaningful.  [domains] defaults to {!available_domains}; [1] runs
+    sequentially with no domain spawned.  Exceptions from workers are
+    re-raised on join. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Per-item convenience wrapper over {!map_chunked}. *)
