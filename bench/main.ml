@@ -411,7 +411,7 @@ let multi () =
             in
             draw ())
       in
-      let results = Engine.analyze_all cr.Experiments.engine pairs in
+      let results = Engine.analyze_exact cr.Experiments.engine pairs in
       let detectable = List.filter (fun r -> r.Engine.detectable) results in
       let mean =
         Histogram.mean
@@ -638,6 +638,7 @@ type perf_run = {
   seconds : float;
   faults_per_sec : float;
   matches_sequential : bool;
+  degraded : int;
 }
 
 let write_perf_json path rows =
@@ -655,9 +656,11 @@ let write_perf_json path rows =
         (fun j r ->
           Printf.bprintf buf
             "%s\n      { \"domains\": %d, \"seconds\": %.6f, \
-             \"faults_per_sec\": %.3f, \"matches_sequential\": %b }"
+             \"faults_per_sec\": %.3f, \"matches_sequential\": %b, \
+             \"degraded\": %d }"
             (if j = 0 then "" else ",")
-            r.domains r.seconds r.faults_per_sec r.matches_sequential)
+            r.domains r.seconds r.faults_per_sec r.matches_sequential
+            r.degraded)
         runs;
       Printf.bprintf buf "\n    ] }%s\n"
         (if i = List.length rows - 1 then "" else ","))
@@ -670,8 +673,8 @@ let write_perf_json path rows =
 let perf () =
   section "perf"
     "domain-sharded fault analysis: full stuck-at + bridging per circuit";
-  Format.fprintf fmt "  %-12s %8s %8s %10s %14s %8s@." "circuit" "faults"
-    "domains" "seconds" "faults/sec" "agree";
+  Format.fprintf fmt "  %-12s %8s %8s %10s %14s %8s %9s@." "circuit" "faults"
+    "domains" "seconds" "faults/sec" "agree" "degraded";
   let rows = ref [] in
   List.iter
     (fun name ->
@@ -708,11 +711,19 @@ let perf () =
                 end
                 else results = !baseline
               in
+              let degraded = List.length (Engine.degraded results) in
               let faults_per_sec = float_of_int n /. dt in
-              Format.fprintf fmt "  %-12s %8d %8d %10.2f %14.1f %8s@." name n
-                d dt faults_per_sec
-                (if matches_sequential then "yes" else "NO");
-              { domains = d; seconds = dt; faults_per_sec; matches_sequential })
+              Format.fprintf fmt "  %-12s %8d %8d %10.2f %14.1f %8s %9d@."
+                name n d dt faults_per_sec
+                (if matches_sequential then "yes" else "NO")
+                degraded;
+              {
+                domains = d;
+                seconds = dt;
+                faults_per_sec;
+                matches_sequential;
+                degraded;
+              })
             perf_domain_counts
         in
         let seconds_at d =

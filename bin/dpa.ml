@@ -12,7 +12,16 @@
 open Cmdliner
 
 let load_circuit spec =
-  if Sys.file_exists spec then Bench_format.parse_file spec
+  if Sys.file_exists spec then (
+    (* Malformed netlists are user input, not internal errors: a
+       one-line file:line: diagnostic, never an exception backtrace. *)
+    try Bench_format.parse_file spec with
+    | Bench_format.Parse_error (line, msg) ->
+      Printf.eprintf "%s:%d: %s\n" spec line msg;
+      exit 2
+    | Circuit.Malformed msg | Seq_circuit.Malformed msg ->
+      Printf.eprintf "%s: %s\n" spec msg;
+      exit 2)
   else
     try Bench_suite.find spec
     with Not_found ->
@@ -129,7 +138,25 @@ let analyze_cmd =
     let doc = "Print up to $(docv) test cubes." in
     Arg.(value & opt int 8 & info [ "cubes" ] ~docv:"N" ~doc)
   in
-  let run spec stuck bridge cubes =
+  let fault_budget =
+    let doc =
+      "Cap the analysis at $(docv) freshly allocated BDD nodes per \
+       attempt; a blown budget degrades the fault instead of growing the \
+       arena unboundedly."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-budget" ] ~docv:"NODES" ~doc)
+  in
+  let max_retries =
+    let doc =
+      "Re-run a failed analysis up to $(docv) times, each on a fresh \
+       manager with the budget doubled (2x, 4x, ...)."
+    in
+    Arg.(value & opt int 2 & info [ "max-retries" ] ~docv:"N" ~doc)
+  in
+  let run spec stuck bridge cubes fault_budget max_retries =
     let c = load_circuit spec in
     let fault =
       match (stuck, bridge) with
@@ -140,7 +167,18 @@ let analyze_cmd =
         exit 2
     in
     let engine = Engine.create c in
-    let r = Engine.analyze engine fault in
+    let r =
+      match
+        Engine.analyze_all ?fault_budget ~max_retries engine [ fault ]
+      with
+      | [ Engine.Exact r ] -> r
+      | [ (Engine.Budget_exceeded _ | Engine.Crashed _) as o ] ->
+        Format.printf "fault: %s@." (Fault.to_string c fault);
+        Format.printf "DEGRADED after %d retries — %s@." max_retries
+          (Engine.outcome_to_string c o);
+        exit 1
+      | _ -> assert false
+    in
     Format.printf "fault: %s@." (Fault.to_string c fault);
     Format.printf "detectability: %.6f (%g test vectors of 2^%d)@."
       r.Engine.detectability r.Engine.test_count (Circuit.num_inputs c);
@@ -171,7 +209,9 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Exact analysis of a single fault")
-    Term.(const run $ circuit_arg $ stuck $ bridge $ cubes)
+    Term.(
+      const run $ circuit_arg $ stuck $ bridge $ cubes $ fault_budget
+      $ max_retries)
 
 let profile_cmd =
   let bins =
@@ -191,10 +231,19 @@ let profile_cmd =
   let run spec bins domains =
     let c = load_circuit spec in
     let engine = Engine.create c in
-    let results =
+    let outcomes =
       Engine.analyze_all ~domains engine
         (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
     in
+    let results = Engine.exact_results outcomes in
+    (match Engine.degraded outcomes with
+    | [] -> ()
+    | bad ->
+      Format.printf "degraded faults (excluded from the profile): %d@."
+        (List.length bad);
+      List.iter
+        (fun o -> Format.printf "  %s@." (Engine.outcome_to_string c o))
+        bad);
     let detectable = List.filter (fun r -> r.Engine.detectable) results in
     Format.printf "%d collapsed checkpoint faults, %d detectable@."
       (List.length results) (List.length detectable);

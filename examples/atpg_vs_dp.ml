@@ -30,7 +30,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   let engine = Engine.create circuit in
   let results =
-    Engine.analyze_all engine (List.map (fun f -> Fault.Stuck f) faults)
+    Engine.analyze_exact engine (List.map (fun f -> Fault.Stuck f) faults)
   in
   let dp_time = Unix.gettimeofday () -. t0 in
   let undetectable =

@@ -33,7 +33,7 @@ let () =
 
   let engine = Engine.create circuit in
   let results =
-    Engine.analyze_all engine (List.map (fun b -> Fault.Bridged b) bridges)
+    Engine.analyze_exact engine (List.map (fun b -> Fault.Bridged b) bridges)
   in
 
   (* Detectability histograms per wired model (Figure 6's content). *)
@@ -69,7 +69,7 @@ let () =
 
   (* Comparison with the stuck-at fault model on the same circuit. *)
   let sa_results =
-    Engine.analyze_all engine
+    Engine.analyze_exact engine
       (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults circuit))
   in
   let mean rs =

@@ -22,7 +22,7 @@ let () =
   let faults =
     List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults circuit)
   in
-  let results = Engine.analyze_all engine faults in
+  let results = Engine.analyze_exact engine faults in
   let detectable = List.filter (fun r -> r.Engine.detectable) results in
   let ds = List.map (fun r -> r.Engine.detectability) detectable in
   Format.printf "%d detectable faults, detectability %.2e .. %.2e@."

@@ -13,7 +13,7 @@
 let mean_detectability circuit =
   let engine = Engine.create circuit in
   let results =
-    Engine.analyze_all engine
+    Engine.analyze_exact engine
       (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults circuit))
   in
   let detectable = List.filter (fun r -> r.Engine.detectable) results in

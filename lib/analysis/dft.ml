@@ -10,7 +10,7 @@ type plan = { mean_before : float; steps : step list; circuit : Circuit.t }
 let objective c =
   let engine = Engine.create c in
   let results =
-    Engine.analyze_all engine
+    Engine.analyze_exact engine
       (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
   in
   (* Mean over every fault, counting undetectable as zero: DFT gets

@@ -22,6 +22,7 @@ type circuit_run = {
   bf_results : Engine.result list;
   bf_faults : Bridge.t list;
   bf_sampled : Bridge.sample_stats option;
+  degraded : Engine.outcome list;
 }
 
 let cache : (string * config, circuit_run) Hashtbl.t = Hashtbl.create 16
@@ -54,16 +55,24 @@ let run ?(config = default) name =
     let sa_faults =
       List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults circuit)
     in
-    let sa_results =
+    let sa_outcomes =
       Engine.analyze_all ~domains:config.domains engine sa_faults
     in
     let bf_faults, bf_sampled = bridge_faults config circuit in
-    let bf_results =
+    let bf_outcomes =
       Engine.analyze_all ~domains:config.domains engine
         (List.map (fun b -> Fault.Bridged b) bf_faults)
     in
     let r =
-      { circuit; engine; sa_results; bf_results; bf_faults; bf_sampled }
+      {
+        circuit;
+        engine;
+        sa_results = Engine.exact_results sa_outcomes;
+        bf_results = Engine.exact_results bf_outcomes;
+        bf_faults;
+        bf_sampled;
+        degraded = Engine.degraded sa_outcomes @ Engine.degraded bf_outcomes;
+      }
     in
     Hashtbl.replace cache (name, config) r;
     r

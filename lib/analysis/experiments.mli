@@ -26,10 +26,15 @@ val default : config
 type circuit_run = {
   circuit : Circuit.t;
   engine : Engine.t;
-  sa_results : Engine.result list;  (** collapsed checkpoint faults *)
-  bf_results : Engine.result list;  (** potentially detectable NFBFs *)
+  sa_results : Engine.result list;
+      (** collapsed checkpoint faults (exact outcomes only) *)
+  bf_results : Engine.result list;
+      (** potentially detectable NFBFs (exact outcomes only) *)
   bf_faults : Bridge.t list;
   bf_sampled : Bridge.sample_stats option;  (** [None] = full enumeration *)
+  degraded : Engine.outcome list;
+      (** faults the sweeps could not analyse exactly (budget blow-ups or
+          crashes, after retries); empty on the healthy benchmark suite *)
 }
 
 val run : ?config:config -> string -> circuit_run

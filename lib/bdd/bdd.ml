@@ -42,9 +42,18 @@ type manager = {
   mutable visit_stamp : int array;
   level_stamp : int array;
   mutable stat_gen : int;
+  (* allocation budget for the current computation window: [mk] refuses
+     to allocate a fresh node once [budget_used] reaches [budget_limit]
+     (max_int = no window open).  Raising *before* the allocation keeps
+     the arena consistent, so the manager stays fully usable after a
+     blown budget. *)
+  mutable budget_limit : int;
+  mutable budget_used : int;
 }
 
 exception Variable_out_of_range of int
+
+exception Budget_exceeded of { nodes : int; budget : int }
 
 let terminal_level = max_int
 let op_and = 2
@@ -102,6 +111,8 @@ let create ?order n_vars =
     visit_stamp = Array.make cap 0;
     level_stamp = Array.make (max n_vars 1) 0;
     stat_gen = 0;
+    budget_limit = max_int;
+    budget_used = 0;
   }
 
 let num_vars m = m.n_vars
@@ -119,6 +130,19 @@ let allocated_nodes m = m.next
 let clear_caches m =
   Array.fill m.op_key1 0 op_cache_size (-1);
   Array.fill m.ite_key1 0 ite_cache_size (-1)
+
+let with_budget m ~budget f =
+  if budget < 0 then invalid_arg "Bdd.with_budget: negative budget";
+  let saved_limit = m.budget_limit and saved_used = m.budget_used in
+  m.budget_limit <- budget;
+  m.budget_used <- 0;
+  Fun.protect
+    ~finally:(fun () ->
+      (* Inner allocations also count against an enclosing window. *)
+      let inner = m.budget_used in
+      m.budget_limit <- saved_limit;
+      m.budget_used <- saved_used + inner)
+    f
 
 let zero _ = 0
 let one _ = 1
@@ -173,6 +197,10 @@ let mk m lvl lo hi =
     let rec probe i =
       let n = m.table.(i) in
       if n < 0 then begin
+        if m.budget_used >= m.budget_limit then
+          raise
+            (Budget_exceeded { nodes = m.budget_used; budget = m.budget_limit });
+        m.budget_used <- m.budget_used + 1;
         if m.next >= Array.length m.level then grow_nodes m;
         let fresh = m.next in
         m.next <- fresh + 1;

@@ -17,6 +17,13 @@ type t
 exception Variable_out_of_range of int
 (** Raised when a variable index is not within [0 .. num_vars - 1]. *)
 
+exception Budget_exceeded of { nodes : int; budget : int }
+(** Raised by any BDD operation running inside {!with_budget} the moment
+    it would allocate the ([budget]+1)-th fresh node.  [nodes] is the
+    number of nodes the window had already allocated.  The raise happens
+    {e before} the offending allocation, so the arena is left consistent
+    and the manager (and every existing handle) remains fully usable. *)
+
 (** {1 Managers} *)
 
 val create : ?order:int array -> int -> manager
@@ -39,6 +46,16 @@ val allocated_nodes : manager -> int
 
 val clear_caches : manager -> unit
 (** Drop all operation caches (unique table is kept, handles stay valid). *)
+
+val with_budget : manager -> budget:int -> (unit -> 'a) -> 'a
+(** [with_budget m ~budget f] runs [f] with a cap of [budget] fresh node
+    allocations; exceeding it raises {!Budget_exceeded} mid-operation
+    instead of letting the arena grow unboundedly.  The previous budget
+    state is restored on exit (normal or exceptional); windows nest, and
+    an inner window's allocations count against the enclosing one.
+    Nodes found in the unique table or operation caches are free — the
+    budget prices growth, not work.  @raise Invalid_argument on a
+    negative budget. *)
 
 (** {1 Constants, variables and tests} *)
 

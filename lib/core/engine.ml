@@ -95,11 +95,14 @@ let propagate t fault k =
   let zero = Bdd.zero m in
   let deltas = t.delta_scratch in
   let sites = initial_deltas t fault in
-  List.iter (fun (net, d) -> deltas.(net) <- d) sites;
   let cone = t.cone (List.map fst sites) in
+  (* Every scratch write happens inside the protected region (the cone
+     contains the sites), so a crash or a blown BDD budget anywhere in
+     the walk cannot leave stale deltas behind for the next fault. *)
   Fun.protect
     ~finally:(fun () -> Array.iter (fun g -> deltas.(g) <- zero) cone)
     (fun () ->
+      List.iter (fun (net, d) -> deltas.(net) <- d) sites;
       Array.iter
         (fun g ->
           let gate = t.base.Circuit.gates.(g) in
@@ -211,25 +214,119 @@ let analyze t fault =
   }
 
 let default_node_budget = 3_000_000
+let default_max_retries = 2
 
-let analyze_seq ~node_budget t faults =
+type outcome =
+  | Exact of result
+  | Budget_exceeded of { fault : Fault.t; nodes : int; budget : int }
+  | Crashed of { fault : Fault.t; message : string }
+
+let outcome_fault = function
+  | Exact r -> r.fault
+  | Budget_exceeded { fault; _ } | Crashed { fault; _ } -> fault
+
+let is_exact = function
+  | Exact _ -> true
+  | Budget_exceeded _ | Crashed _ -> false
+
+let exact_results outcomes =
+  List.filter_map (function Exact r -> Some r | _ -> None) outcomes
+
+let degraded outcomes = List.filter (fun o -> not (is_exact o)) outcomes
+
+let outcome_to_string c outcome =
+  let fault_text fault =
+    (* The fault itself may be the malformed input that crashed the
+       analysis; never let diagnostics crash with it. *)
+    try Fault.to_string c fault with _ -> "<unprintable fault>"
+  in
+  match outcome with
+  | Exact r -> Printf.sprintf "%s: exact" (fault_text r.fault)
+  | Budget_exceeded { fault; nodes; budget } ->
+    Printf.sprintf "%s: BDD budget exceeded (%d nodes allocated, budget %d)"
+      (fault_text fault) nodes budget
+  | Crashed { fault; message } ->
+    Printf.sprintf "%s: crashed (%s)" (fault_text fault) message
+
+let analyze_protected ?fault_budget t fault =
+  match fault_budget with
+  | None -> (
+    try Exact (analyze t fault)
+    with exn -> Crashed { fault; message = Printexc.to_string exn })
+  | Some budget -> (
+    try
+      Exact (Bdd.with_budget (manager t) ~budget (fun () -> analyze t fault))
+    with
+    | Bdd.Budget_exceeded { nodes; budget } ->
+      Budget_exceeded { fault; nodes; budget }
+    | exn -> Crashed { fault; message = Printexc.to_string exn })
+
+(* Escalating retry: each attempt runs on a freshly rebuilt manager (a
+   crash may be a symptom of arena-history effects, and a fresh arena
+   makes the allocation count of the retry deterministic) with the
+   per-fault budget doubled every round — 2x, 4x, ... the original. *)
+let rec retry_outcome t fault ~fault_budget ~attempt ~max_retries outcome =
+  match outcome with
+  | Exact _ -> outcome
+  | Budget_exceeded _ | Crashed _ when attempt < max_retries -> (
+    match (try Ok (rebuild t) with exn -> Error exn) with
+    | Error _ ->
+      (* No fresh state to retry on; keep the more informative original. *)
+      outcome
+    | Ok () ->
+      let budget =
+        Option.map (fun b -> b lsl (attempt + 1)) fault_budget
+      in
+      analyze_protected ?fault_budget:budget t fault
+      |> retry_outcome t fault ~fault_budget ~attempt:(attempt + 1)
+           ~max_retries)
+  | Budget_exceeded _ | Crashed _ -> outcome
+
+let analyze_outcomes_seq ~node_budget ~fault_budget ~max_retries t faults =
   List.map
     (fun fault ->
       if Bdd.allocated_nodes (manager t) > node_budget then rebuild t;
-      analyze t fault)
+      analyze_protected ?fault_budget t fault
+      |> retry_outcome t fault ~fault_budget ~attempt:0 ~max_retries)
     faults
 
-let analyze_all ?(node_budget = default_node_budget) ?(domains = 1) t faults =
-  if domains <= 1 then analyze_seq ~node_budget t faults
+let analyze_all ?(node_budget = default_node_budget) ?fault_budget
+    ?(max_retries = default_max_retries) ?(domains = 1) t faults =
+  if domains <= 1 then
+    analyze_outcomes_seq ~node_budget ~fault_budget ~max_retries t faults
   else
     (* The hash-consing arena is single-threaded mutable state, so every
        worker domain builds its own Symbolic/Bdd manager and analyses
-       its contiguous shard with an independent node budget.  Results
+       its contiguous shard with an independent node budget.  Outcomes
        are plain scalars (no BDD handles), and ROBDDs are canonical
        under a fixed variable order, so the merged list is bit-identical
-       to a sequential run. *)
-    Parallel.map_chunked ~domains
+       to a sequential run.  Workers are supervised: a shard that dies
+       before producing outcomes (its engine failed to build) is
+       requeued through the sequential retry path, and surviving shards
+       keep their results. *)
+    Parallel.map_chunked_outcomes ~domains
       (fun shard ->
         let worker = create ~heuristic:t.heuristic t.base in
-        analyze_seq ~node_budget worker shard)
+        analyze_outcomes_seq ~node_budget ~fault_budget ~max_retries worker
+          shard)
       faults
+    |> List.concat_map (fun (shard, res) ->
+           match res with
+           | Ok outcomes -> outcomes
+           | Error exn -> (
+             match create ~heuristic:t.heuristic t.base with
+             | worker ->
+               analyze_outcomes_seq ~node_budget ~fault_budget ~max_retries
+                 worker shard
+             | exception _ ->
+               let message = Printexc.to_string exn in
+               List.map (fun fault -> Crashed { fault; message }) shard))
+
+let analyze_exact ?node_budget ?domains t faults =
+  analyze_all ?node_budget ?domains t faults
+  |> List.map (function
+       | Exact r -> r
+       | (Budget_exceeded _ | Crashed _) as o ->
+         failwith
+           ("Engine.analyze_exact: degraded fault: "
+           ^ outcome_to_string t.base o))

@@ -62,18 +62,87 @@ type result = {
 }
 
 val analyze : t -> Fault.t -> result
+(** Exact analysis of one fault.  May raise — {!analyze_protected} is
+    the isolated variant. *)
+
+(** {1 Fault-tolerant sweeps}
+
+    A sweep over thousands of faults must survive the one fault whose
+    difference BDD explodes (or whose description is malformed): one bad
+    fault may not abort the run and discard every finished result.
+    Every fault therefore comes back as a structured {!outcome}. *)
+
+type outcome =
+  | Exact of result  (** the analysis completed; statistics are exact *)
+  | Budget_exceeded of { fault : Fault.t; nodes : int; budget : int }
+      (** the per-fault BDD allocation budget blew mid-apply, after
+          [nodes] fresh nodes against a cap of [budget] (the cap of the
+          final, escalated attempt) *)
+  | Crashed of { fault : Fault.t; message : string }
+      (** the analysis raised; [message] is the printed exception *)
+
+val outcome_fault : outcome -> Fault.t
+
+val is_exact : outcome -> bool
+
+val exact_results : outcome list -> result list
+(** The [Exact] payloads, input order kept; degraded outcomes dropped. *)
+
+val degraded : outcome list -> outcome list
+(** The non-[Exact] outcomes, input order kept. *)
+
+val outcome_to_string : Circuit.t -> outcome -> string
+(** One-line description for logs and summaries.  Never raises, even on
+    faults naming nonexistent nets. *)
+
+val analyze_protected : ?fault_budget:int -> t -> Fault.t -> outcome
+(** {!analyze} with per-fault isolation: an exception becomes [Crashed]
+    and, when [fault_budget] is given, the analysis runs inside
+    {!Bdd.with_budget} so a blown budget is caught {e mid-apply} as
+    [Budget_exceeded] instead of growing the arena unboundedly.  The
+    engine survives either way (scratch state is restored, the arena
+    stays consistent). *)
 
 val analyze_all :
-  ?node_budget:int -> ?domains:int -> t -> Fault.t list -> result list
-(** Analyse a fault list.  The engine's BDD arena only grows, so after
-    [node_budget] allocated nodes (default 3 million) the symbolic state
-    is rebuilt from scratch; results are unaffected.
+  ?node_budget:int ->
+  ?fault_budget:int ->
+  ?max_retries:int ->
+  ?domains:int ->
+  t ->
+  Fault.t list ->
+  outcome list
+(** Analyse a fault list, returning one outcome per fault in input
+    order — the sweep completes whatever individual faults do.
+
+    The engine's BDD arena only grows, so after [node_budget] allocated
+    nodes (default 3 million) the symbolic state is rebuilt from
+    scratch; results are unaffected.  [fault_budget] (default: none)
+    additionally caps the fresh allocations of each single fault's
+    analysis.
+
+    Failed faults are retried with an escalating policy: up to
+    [max_retries] (default 2) re-runs, each on a freshly rebuilt
+    manager, with the per-fault budget doubled every round (2x, 4x, ...)
+    — a fault that only blew its budget through bad luck or a tight cap
+    recovers to [Exact]; a deterministic crash stays [Crashed].
 
     [domains] (default 1) shards the list into contiguous chunks
     analysed on that many OCaml domains.  Each worker builds its own
     Symbolic/Bdd manager (the arena is single-threaded) with the same
-    ordering heuristic and applies the node budget independently; the
-    engine passed in is left untouched.  Results merge back in input
-    order and are bit-identical to a sequential run — ROBDDs are
-    canonical under a fixed variable order, so every statistic is
-    manager-independent. *)
+    ordering heuristic and applies the budgets independently; the
+    engine passed in is left untouched.  Workers are supervised: a
+    shard that dies wholesale is requeued through the sequential retry
+    path, surviving shards keep their results, and every spawned domain
+    is joined.  Outcomes merge back in input order; every [Exact]
+    outcome is bit-identical to a sequential run — ROBDDs are canonical
+    under a fixed variable order, so every statistic is
+    manager-independent.  (Whether a {e borderline} fault degrades can
+    depend on arena history and hence on sharding; the exact statistics
+    never do.) *)
+
+val analyze_exact :
+  ?node_budget:int -> ?domains:int -> t -> Fault.t list -> result list
+(** {!analyze_all} for callers that require every fault exact: unwraps
+    the results and raises [Failure] on the first degraded outcome.
+    With no [fault_budget] and healthy fault descriptions this is the
+    pre-robustness behaviour. *)

@@ -33,17 +33,30 @@ let chunk ~pieces items =
     split 0 items
   end
 
-let map_chunked ?domains f items =
+let map_chunked_outcomes ?domains f items =
   let pieces =
     match domains with Some d -> max 1 d | None -> available_domains ()
   in
+  let guard c = try Ok (f c) with exn -> Error exn in
   match chunk ~pieces items with
   | [] -> []
-  | [ only ] -> f only
+  | [ only ] -> [ (only, guard only) ]
   | first :: rest ->
-    (* The spawning domain works on the first chunk while the others run. *)
-    let workers = List.map (fun c -> Domain.spawn (fun () -> f c)) rest in
-    let head = f first in
-    List.concat (head :: List.map Domain.join workers)
+    (* Supervision: each worker catches inside its own domain, so join
+       never raises and every spawned domain is joined — even when the
+       head chunk (run on the spawning domain) fails. *)
+    let workers = List.map (fun c -> (c, Domain.spawn (fun () -> guard c))) rest in
+    let head = guard first in
+    (first, head) :: List.map (fun (c, d) -> (c, Domain.join d)) workers
+
+let map_chunked ?domains f items =
+  let shards = map_chunked_outcomes ?domains f items in
+  (* Every domain is already home; only now re-raise the first failure. *)
+  List.iter
+    (fun (_, r) -> match r with Error exn -> raise exn | Ok _ -> ())
+    shards;
+  List.concat_map
+    (fun (_, r) -> match r with Ok results -> results | Error _ -> [])
+    shards
 
 let map ?domains f items = map_chunked ?domains (List.map f) items

@@ -15,14 +15,28 @@ val chunk : pieces:int -> 'a list -> 'a list list
     chunks come back when the list is shorter than [pieces]; the empty
     list yields no chunks.  @raise Invalid_argument when [pieces < 1]. *)
 
+val map_chunked_outcomes :
+  ?domains:int ->
+  ('a list -> 'b list) ->
+  'a list ->
+  ('a list * ('b list, exn) result) list
+(** Supervised sharding: runs [f] on each chunk in its own domain (the
+    calling domain takes the first chunk) and reports every chunk with
+    its outcome, in input order.  A crashing chunk is contained as
+    [Error exn] — surviving chunks' results are kept, and the failed
+    chunk comes back verbatim so its items can be requeued elsewhere.
+    Every spawned domain is joined before this returns, whichever chunks
+    fail.  [domains] defaults to {!available_domains}. *)
+
 val map_chunked : ?domains:int -> ('a list -> 'b list) -> 'a list -> 'b list
 (** [map_chunked ~domains f items] runs [f] on each chunk in its own
     domain (the calling domain takes the first chunk) and concatenates
     the results in input order.  [f] must map each input chunk to a
     result list of the same length for the order guarantee to be
     meaningful.  [domains] defaults to {!available_domains}; [1] runs
-    sequentially with no domain spawned.  Exceptions from workers are
-    re-raised on join. *)
+    sequentially with no domain spawned.  A worker exception is
+    re-raised — but only after {e all} spawned domains have been joined,
+    so no domain ever leaks. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Per-item convenience wrapper over {!map_chunked}. *)

@@ -53,7 +53,7 @@ let test_trend_row () =
   let c = Bench_suite.find "c17" in
   let engine = Engine.create c in
   let results =
-    Engine.analyze_all engine
+    Engine.analyze_exact engine
       (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
   in
   let row = Trends.row_of_results c results in
@@ -92,7 +92,7 @@ let test_bathtub_grouping () =
   let c = Bench_suite.find "c17" in
   let engine = Engine.create c in
   let results =
-    Engine.analyze_all engine
+    Engine.analyze_exact engine
       (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
   in
   let points = Bathtub.by_po_distance c results in
@@ -114,7 +114,7 @@ let test_bathtub_pi_levels () =
   let c = Bench_suite.find "c95" in
   let engine = Engine.create c in
   let results =
-    Engine.analyze_all engine
+    Engine.analyze_exact engine
       (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
   in
   let points = Bathtub.by_pi_level c results in
@@ -136,7 +136,7 @@ let test_po_stats () =
   let c = Bench_suite.find "c17" in
   let engine = Engine.create c in
   let results =
-    Engine.analyze_all engine
+    Engine.analyze_exact engine
       (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
   in
   let s = Po_stats.summarize results in

@@ -345,9 +345,9 @@ let test_analyze_all_with_tiny_budget () =
     List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
     |> List.filteri (fun i _ -> i < 20)
   in
-  let normal = Engine.analyze_all engine faults in
+  let normal = Engine.analyze_exact engine faults in
   let engine2 = Engine.create c in
-  let rebuilt = Engine.analyze_all ~node_budget:1 engine2 faults in
+  let rebuilt = Engine.analyze_exact ~node_budget:1 engine2 faults in
   List.iter2
     (fun a b ->
       check float_t "same detectability" a.Engine.detectability
@@ -362,11 +362,11 @@ let test_heuristic_invariance () =
     |> List.filteri (fun i _ -> i < 15)
   in
   let base =
-    Engine.analyze_all (Engine.create ~heuristic:Ordering.Natural c) faults
+    Engine.analyze_exact (Engine.create ~heuristic:Ordering.Natural c) faults
   in
   List.iter
     (fun h ->
-      let results = Engine.analyze_all (Engine.create ~heuristic:h c) faults in
+      let results = Engine.analyze_exact (Engine.create ~heuristic:h c) faults in
       List.iter2
         (fun a b ->
           check float_t (Ordering.name h) a.Engine.detectability

@@ -100,7 +100,7 @@ let test_random_patterns_respect_redundancy () =
   let faults =
     List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
   in
-  let results = Engine.analyze_all engine faults in
+  let results = Engine.analyze_exact engine faults in
   let undetectable =
     List.filter_map
       (fun r -> if r.Engine.detectable then None else Some r.Engine.fault)

@@ -87,7 +87,7 @@ let test_exact_vs_exhaustive name () =
   let faults =
     List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
   in
-  let results = Engine.analyze_all ~domains:2 (Engine.create c) faults in
+  let results = Engine.analyze_exact ~domains:2 (Engine.create c) faults in
   List.iter
     (fun (r : Engine.result) ->
       let exact = Fault_sim.exhaustive_detectability c r.Engine.fault in

@@ -1,0 +1,292 @@
+(* Fault-tolerance layer: budgeted BDD growth (Bdd.with_budget /
+   Budget_exceeded), per-fault isolation with structured outcomes and
+   escalating retries (Engine.analyze_all), and supervised domain
+   workers (Parallel.map_chunked_outcomes).  The central property: a
+   sweep containing hostile faults completes, returns an outcome for
+   every fault in input order, and every Exact outcome is bit-identical
+   to a clean sequential run. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Bdd.with_budget                                                     *)
+
+(* A function needing plenty of fresh nodes on an empty manager. *)
+let build_xor_chain m n = Bdd.bxor_list m (List.init n (Bdd.var m))
+
+let test_budget_raises_mid_apply () =
+  let m = Bdd.create 24 in
+  let blown =
+    try
+      ignore (Bdd.with_budget m ~budget:5 (fun () -> build_xor_chain m 24));
+      None
+    with Bdd.Budget_exceeded { nodes; budget } -> Some (nodes, budget)
+  in
+  (match blown with
+  | None -> Alcotest.fail "tiny budget did not raise"
+  | Some (nodes, budget) ->
+    check int_t "budget field" 5 budget;
+    (* The raise happens before the (budget+1)-th allocation. *)
+    check int_t "nodes field" 5 nodes);
+  (* The arena is still consistent and the manager fully usable. *)
+  let f = build_xor_chain m 24 in
+  check bool_t "manager usable after blown budget" true
+    (Bdd.check_invariants m f);
+  (* Parity of n variables needs 2n-1 nodes: plenty more than the blown
+     budget, so unlimited allocation is demonstrably restored. *)
+  check int_t "budget window restored (unlimited again)" ((2 * 24) - 1)
+    (Bdd.size m f)
+
+let test_budget_success_and_restore () =
+  let m = Bdd.create 16 in
+  let f = Bdd.with_budget m ~budget:1_000 (fun () -> build_xor_chain m 16) in
+  check bool_t "computation under ample budget is unchanged" true
+    (Bdd.equal f (build_xor_chain m 16))
+
+let test_budget_windows_nest () =
+  let m = Bdd.create 24 in
+  let outer_blew =
+    try
+      Bdd.with_budget m ~budget:30 (fun () ->
+          (* The inner window blows; its allocations still count against
+             the outer window, which the follow-up work then exhausts. *)
+          (try
+             ignore
+               (Bdd.with_budget m ~budget:20 (fun () -> build_xor_chain m 24))
+           with Bdd.Budget_exceeded _ -> ());
+          ignore (build_xor_chain m 24);
+          false)
+    with Bdd.Budget_exceeded { budget; _ } -> budget = 30
+  in
+  check bool_t "inner allocations charged to the outer window" true
+    outer_blew
+
+(* ------------------------------------------------------------------ *)
+(* Engine: budget degradation and escalating-retry recovery            *)
+
+let some_fault c =
+  Fault.Stuck (List.nth (Sa_fault.collapsed_faults c) 7)
+
+(* Fresh allocations one fault's analysis needs on a pristine engine —
+   deterministic, and exactly what a retry on a rebuilt manager pays. *)
+let fresh_cost c fault =
+  let engine = Engine.create c in
+  let before = Bdd.allocated_nodes (Engine.manager engine) in
+  let _ = Engine.analyze engine fault in
+  Bdd.allocated_nodes (Engine.manager engine) - before
+
+let test_budget_degrades_not_crashes () =
+  let c = Bench_suite.find "c95" in
+  let fault = some_fault c in
+  let used = fresh_cost c fault in
+  check bool_t "fault is expensive enough to test budgets" true (used >= 8);
+  let budget = (used + 3) / 4 in
+  let engine = Engine.create c in
+  match Engine.analyze_all ~fault_budget:budget ~max_retries:0 engine [ fault ] with
+  | [ Engine.Budget_exceeded { nodes; budget = b; fault = f } ] ->
+    check int_t "reported budget" budget b;
+    check int_t "blown exactly at the cap" budget nodes;
+    check bool_t "carries the fault" true (Fault.equal f fault)
+  | [ Engine.Exact _ ] -> Alcotest.fail "tiny budget did not degrade"
+  | [ Engine.Crashed { message; _ } ] ->
+    Alcotest.fail ("budget blow-up surfaced as a crash: " ^ message)
+  | _ -> Alcotest.fail "expected exactly one outcome"
+
+let test_retry_recovers_to_exact () =
+  let c = Bench_suite.find "c95" in
+  let fault = some_fault c in
+  let used = fresh_cost c fault in
+  let budget = (used + 3) / 4 in
+  (* budget < used, but 4 * budget >= used: attempt 0 (and possibly 1)
+     blows, the 4x attempt must recover. *)
+  let clean = Engine.analyze (Engine.create c) fault in
+  let engine = Engine.create c in
+  match Engine.analyze_all ~fault_budget:budget ~max_retries:2 engine [ fault ] with
+  | [ Engine.Exact r ] ->
+    check bool_t "recovered result is bit-identical to a clean run" true
+      (r = clean)
+  | [ o ] ->
+    Alcotest.fail ("escalating retry failed to recover: "
+                   ^ Engine.outcome_to_string c o)
+  | _ -> Alcotest.fail "expected exactly one outcome"
+
+(* ------------------------------------------------------------------ *)
+(* Engine: crash isolation                                             *)
+
+(* A fault naming a net outside the circuit: analysis crashes before
+   touching shared scratch state. *)
+let crash_fault c =
+  Fault.Stuck
+    { Sa_fault.line = Sa_fault.Stem (Circuit.num_gates c + 7); value = false }
+
+let insert k x xs =
+  List.filteri (fun i _ -> i < k) xs @ (x :: List.filteri (fun i _ -> i >= k) xs)
+
+let crash_isolation_prop c clean faults (pos, domains) =
+  let pos = pos mod (List.length faults + 1) in
+  let hostile = insert pos (crash_fault c) faults in
+  let outcomes = Engine.analyze_all ~domains (Engine.create c) hostile in
+  List.length outcomes = List.length hostile
+  && List.for_all2
+       (fun i outcome ->
+         if i = pos then
+           match outcome with Engine.Crashed _ -> true | _ -> false
+         else outcome = List.nth clean (if i < pos then i else i - 1))
+       (List.init (List.length hostile) Fun.id)
+       outcomes
+
+let prop_injected_crash_leaves_others_bit_identical =
+  let c = Bench_suite.find "c17" in
+  let faults =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+  in
+  let clean = Engine.analyze_all ~domains:1 (Engine.create c) faults in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:25
+       ~name:"injected crash: all other outcomes bit-identical (any domains)"
+       QCheck.(pair (int_bound 1000) (int_range 1 4))
+       (crash_isolation_prop c clean faults))
+
+(* The acceptance scenario: one crashing fault and at least one
+   budget-blowing fault in the same sweep, at several domain counts. *)
+let test_hostile_sweep_completes () =
+  let c = Bench_suite.find "c95" in
+  let faults =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+  in
+  (* Arena sharing makes a fault's in-sweep cost far below its
+     fresh-engine cost, so measure the per-fault allocation deltas of an
+     actual sequential sweep: a budget just under the largest delta
+     guarantees that fault blows it (everything before it evolves the
+     arena identically), and no retries keeps it degraded. *)
+  let max_cost =
+    let engine = Engine.create c in
+    let m = Engine.manager engine in
+    List.fold_left
+      (fun acc f ->
+        let before = Bdd.allocated_nodes m in
+        let _ = Engine.analyze engine f in
+        max acc (Bdd.allocated_nodes m - before))
+      0 faults
+  in
+  check bool_t "sweep has a meaningfully expensive fault" true (max_cost >= 4);
+  let budget = max_cost - 1 in
+  let pos = List.length faults / 2 in
+  let hostile = insert pos (crash_fault c) faults in
+  let sweep domains =
+    Engine.analyze_all ~fault_budget:budget ~max_retries:0 ~domains
+      (Engine.create c) hostile
+  in
+  let baseline = sweep 1 in
+  check int_t "an outcome for every fault" (List.length hostile)
+    (List.length baseline);
+  check bool_t "the injected fault crashed, contained" true
+    (match List.nth baseline pos with
+    | Engine.Crashed _ -> true
+    | _ -> false);
+  check bool_t "at least one fault degraded on budget" true
+    (List.exists
+       (function Engine.Budget_exceeded _ -> true | _ -> false)
+       baseline);
+  check bool_t "and most completed exactly" true
+    (List.length (Engine.exact_results baseline) > List.length hostile / 2);
+  List.iter
+    (fun domains ->
+      let outcomes = sweep domains in
+      check int_t "same length at any domain count" (List.length baseline)
+        (List.length outcomes);
+      (* Exact statistics are canonical: wherever both runs completed a
+         fault, the records agree bit for bit.  (Whether a borderline
+         fault degrades may depend on arena history, hence sharding.) *)
+      List.iter2
+        (fun a b ->
+          match (a, b) with
+          | Engine.Exact ra, Engine.Exact rb ->
+            check bool_t "Exact outcomes bit-identical across shardings"
+              true (ra = rb)
+          | _ -> ())
+        baseline outcomes)
+    [ 2; 3; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Parallel supervision                                                *)
+
+let test_supervised_shard_containment () =
+  let items = List.init 40 Fun.id in
+  let shards =
+    Parallel.map_chunked_outcomes ~domains:4
+      (fun chunk ->
+        if List.mem 13 chunk then failwith "boom" else List.map succ chunk)
+      items
+  in
+  check bool_t "chunks concatenate to the input" true
+    (List.concat_map fst shards = items);
+  List.iter
+    (fun (chunk, res) ->
+      match res with
+      | Ok results ->
+        check bool_t "surviving shard kept its results" true
+          (results = List.map succ chunk);
+        check bool_t "only the poisoned shard failed" false
+          (List.mem 13 chunk)
+      | Error exn ->
+        check bool_t "failed shard is the poisoned one" true
+          (List.mem 13 chunk);
+        check bool_t "original exception preserved" true
+          (exn = Failure "boom"))
+    shards
+
+let test_map_chunked_joins_before_reraise () =
+  (* The head chunk (run on the spawning domain) contains 0 and fails;
+     the exception must still propagate — after every worker joined. *)
+  let raised =
+    try
+      ignore
+        (Parallel.map_chunked ~domains:4
+           (fun chunk ->
+             if List.mem 0 chunk then failwith "head down"
+             else List.map succ chunk)
+           (List.init 37 Fun.id));
+      false
+    with Failure m -> m = "head down"
+  in
+  check bool_t "head-chunk failure re-raised" true raised
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "bdd budget",
+        [
+          Alcotest.test_case "tiny budget raises mid-apply, arena intact"
+            `Quick test_budget_raises_mid_apply;
+          Alcotest.test_case "ample budget changes nothing" `Quick
+            test_budget_success_and_restore;
+          Alcotest.test_case "windows nest and charge outward" `Quick
+            test_budget_windows_nest;
+        ] );
+      ( "engine degradation",
+        [
+          Alcotest.test_case "tiny fault budget degrades, not crashes"
+            `Quick test_budget_degrades_not_crashes;
+          Alcotest.test_case "2x/4x retry recovers to Exact" `Quick
+            test_retry_recovers_to_exact;
+        ] );
+      ( "crash isolation",
+        [
+          prop_injected_crash_leaves_others_bit_identical;
+          Alcotest.test_case
+            "hostile sweep completes with structured outcomes" `Slow
+            test_hostile_sweep_completes;
+        ] );
+      ( "parallel supervision",
+        [
+          Alcotest.test_case "crashed shard contained, survivors kept"
+            `Quick test_supervised_shard_containment;
+          Alcotest.test_case "worker exception re-raised after joins" `Quick
+            test_map_chunked_joins_before_reraise;
+        ] );
+    ]
