@@ -626,7 +626,7 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 (* Parallel-throughput benchmark (BENCH_dp.json)                       *)
 
-let perf_domain_counts = [ 1; 2; 4; 8 ]
+let perf_domain_counts = ref [ 1; 2; 4; 8 ]
 
 let perf_circuits =
   ref [ "alu74181"; "c432"; "c499"; "c1355"; "c1908" ]
@@ -634,11 +634,13 @@ let perf_circuits =
 let perf_out = ref "BENCH_dp.json"
 
 type perf_run = {
+  scheduler : Engine.scheduler;
   domains : int;
   seconds : float;
   faults_per_sec : float;
   matches_sequential : bool;
   degraded : int;
+  stats : Engine.sweep_stats;
 }
 
 let write_perf_json path rows =
@@ -655,12 +657,19 @@ let write_perf_json path rows =
       List.iteri
         (fun j r ->
           Printf.bprintf buf
-            "%s\n      { \"domains\": %d, \"seconds\": %.6f, \
-             \"faults_per_sec\": %.3f, \"matches_sequential\": %b, \
-             \"degraded\": %d }"
+            "%s\n      { \"scheduler\": %S, \"domains\": %d, \
+             \"seconds\": %.6f, \"faults_per_sec\": %.3f, \
+             \"matches_sequential\": %b, \"degraded\": %d, \
+             \"build_seconds\": %.6f, \"analysis_seconds\": %.6f, \
+             \"gc_seconds\": %.6f, \"gc_collections\": %d, \
+             \"batches\": %d, \"good_functions_built\": %d }"
             (if j = 0 then "" else ",")
+            (Engine.scheduler_to_string r.scheduler)
             r.domains r.seconds r.faults_per_sec r.matches_sequential
-            r.degraded)
+            r.degraded r.stats.Engine.build_seconds
+            r.stats.Engine.analysis_seconds r.stats.Engine.gc_seconds
+            r.stats.Engine.gc_collections r.stats.Engine.batch_count
+            r.stats.Engine.good_functions_built)
         runs;
       Printf.bprintf buf "\n    ] }%s\n"
         (if i = List.length rows - 1 then "" else ","))
@@ -672,9 +681,11 @@ let write_perf_json path rows =
 
 let perf () =
   section "perf"
-    "domain-sharded fault analysis: full stuck-at + bridging per circuit";
-  Format.fprintf fmt "  %-12s %8s %8s %10s %14s %8s %9s@." "circuit" "faults"
-    "domains" "seconds" "faults/sec" "agree" "degraded";
+    "fault-sweep throughput: static shards vs work-stealing batches";
+  Format.fprintf fmt
+    "  %-12s %8s %-9s %7s %9s %12s %8s %8s %7s %7s %8s@." "circuit" "faults"
+    "sched" "domains" "seconds" "faults/sec" "build(s)" "sweep(s)" "gc(s)"
+    "gc#" "agree";
   let rows = ref [] in
   List.iter
     (fun name ->
@@ -693,47 +704,70 @@ let perf () =
         in
         let n = List.length faults in
         let baseline = ref [] in
-        let runs =
-          List.map
-            (fun d ->
-              (* Engine construction is inside the timed region for every
-                 domain count: the parallel path pays one symbolic build
-                 per worker, and that overhead belongs in the
-                 throughput. *)
-              let results, dt =
-                elapsed (fun () ->
-                    Engine.analyze_all ~domains:d (Engine.create c) faults)
-              in
-              let matches_sequential =
-                if d = 1 then begin
-                  baseline := results;
-                  true
-                end
-                else results = !baseline
-              in
-              let degraded = List.length (Engine.degraded results) in
-              let faults_per_sec = float_of_int n /. dt in
-              Format.fprintf fmt "  %-12s %8d %8d %10.2f %14.1f %8s %9d@."
-                name n d dt faults_per_sec
-                (if matches_sequential then "yes" else "NO")
-                degraded;
-              {
-                domains = d;
-                seconds = dt;
-                faults_per_sec;
-                matches_sequential;
-                degraded;
-              })
-            perf_domain_counts
+        let measure scheduler d =
+          (* Engine construction is inside the timed region for every
+             configuration: each path pays its own symbolic builds, and
+             that overhead belongs in the throughput. *)
+          let (results, stats), dt =
+            elapsed (fun () ->
+                Engine.analyze_all_stats ~scheduler ~domains:d
+                  (Engine.create c) faults)
+          in
+          let matches_sequential =
+            if !baseline = [] then begin
+              baseline := results;
+              true
+            end
+            else results = !baseline
+          in
+          let degraded = List.length (Engine.degraded results) in
+          let faults_per_sec = float_of_int n /. dt in
+          Format.fprintf fmt
+            "  %-12s %8d %-9s %7d %9.2f %12.1f %8.2f %8.2f %7.2f %7d %8s@."
+            name n
+            (Engine.scheduler_to_string scheduler)
+            d dt faults_per_sec stats.Engine.build_seconds
+            stats.Engine.analysis_seconds stats.Engine.gc_seconds
+            stats.Engine.gc_collections
+            (if matches_sequential then "yes" else "NO");
+          {
+            scheduler;
+            domains = d;
+            seconds = dt;
+            faults_per_sec;
+            matches_sequential;
+            degraded;
+            stats;
+          }
         in
-        let seconds_at d =
-          match List.find_opt (fun r -> r.domains = d) runs with
+        (* The static single-domain run is the reference: every other
+           configuration must reproduce its outcome list bit for bit.
+           (Bound first — [::] would evaluate its right side first.) *)
+        let reference = measure Engine.Static 1 in
+        let runs =
+          reference :: List.map (measure Engine.Stealing) !perf_domain_counts
+        in
+        let seconds_of pred =
+          match List.find_opt pred runs with
           | Some r -> r.seconds
           | None -> Float.nan
         in
+        let static1 = seconds_of (fun r -> r.scheduler = Engine.Static) in
+        let stealing_at d =
+          seconds_of (fun r -> r.scheduler = Engine.Stealing && r.domains = d)
+        in
         note
-          (Printf.sprintf "%s: 4-domain speedup %.2fx over 1 domain" name
-             (seconds_at 1 /. seconds_at 4));
+          (Printf.sprintf
+             "%s: stealing@1 overhead %+.1f%% vs static@1; best stealing \
+              speedup %.2fx"
+             name
+             ((stealing_at 1 /. static1 -. 1.0) *. 100.0)
+             (List.fold_left
+                (fun acc r ->
+                  if r.scheduler = Engine.Stealing then
+                    Float.max acc (static1 /. r.seconds)
+                  else acc)
+                0.0 runs));
         rows := !rows @ [ (name, n, runs) ];
         (* Rewritten after every circuit, so a truncated run still
            leaves a well-formed trajectory on disk. *)
@@ -779,7 +813,7 @@ let commands = artifacts @ [ ("perf", perf) ]
 let usage () =
   Format.fprintf fmt
     "usage: main.exe [-sample N] [-seed N] [-perf-circuits A,B,..] \
-     [-perf-out FILE] [all | perf | %s]...@."
+     [-perf-domains 1,2,..] [-perf-out FILE] [all | perf | %s]...@."
     (String.concat " | " (List.map fst artifacts))
 
 let () =
@@ -794,6 +828,10 @@ let () =
       parse acc rest
     | "-perf-circuits" :: names :: rest ->
       perf_circuits := String.split_on_char ',' names;
+      parse acc rest
+    | "-perf-domains" :: counts :: rest ->
+      perf_domain_counts :=
+        String.split_on_char ',' counts |> List.map int_of_string;
       parse acc rest
     | "-perf-out" :: path :: rest ->
       perf_out := path;

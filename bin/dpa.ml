@@ -125,6 +125,18 @@ let parse_bridge c spec =
     Printf.eprintf "expected NETA,NETB:KIND, got %S\n" spec;
     exit 2
 
+let scheduler_arg =
+  let doc =
+    "Sweep scheduler: $(b,static) fixes contiguous fault shards up front, \
+     $(b,stealing) has idle domains pull cone-grouped batches off a shared \
+     queue.  Exact results are bit-identical either way."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("static", Engine.Static); ("stealing", Engine.Stealing) ])
+        Engine.Static
+    & info [ "scheduler" ] ~docv:"MODE" ~doc)
+
 let analyze_cmd =
   let stuck =
     let doc = "Stuck-at fault as NET:VALUE (e.g. G10:0)." in
@@ -156,7 +168,7 @@ let analyze_cmd =
     in
     Arg.(value & opt int 2 & info [ "max-retries" ] ~docv:"N" ~doc)
   in
-  let run spec stuck bridge cubes fault_budget max_retries =
+  let run spec stuck bridge cubes fault_budget max_retries scheduler =
     let c = load_circuit spec in
     let fault =
       match (stuck, bridge) with
@@ -169,7 +181,8 @@ let analyze_cmd =
     let engine = Engine.create c in
     let r =
       match
-        Engine.analyze_all ?fault_budget ~max_retries engine [ fault ]
+        Engine.analyze_all ?fault_budget ~max_retries ~scheduler engine
+          [ fault ]
       with
       | [ Engine.Exact r ] -> r
       | [ (Engine.Budget_exceeded _ | Engine.Crashed _) as o ] ->
@@ -211,7 +224,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Exact analysis of a single fault")
     Term.(
       const run $ circuit_arg $ stuck $ bridge $ cubes $ fault_budget
-      $ max_retries)
+      $ max_retries $ scheduler_arg)
 
 let profile_cmd =
   let bins =
@@ -228,11 +241,11 @@ let profile_cmd =
       & opt int (Parallel.available_domains ())
       & info [ "domains"; "j" ] ~docv:"N" ~doc)
   in
-  let run spec bins domains =
+  let run spec bins domains scheduler =
     let c = load_circuit spec in
     let engine = Engine.create c in
     let outcomes =
-      Engine.analyze_all ~domains engine
+      Engine.analyze_all ~domains ~scheduler engine
         (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
     in
     let results = Engine.exact_results outcomes in
@@ -256,7 +269,7 @@ let profile_cmd =
   in
   Cmd.v
     (Cmd.info "profile" ~doc:"Stuck-at detectability profile of a circuit")
-    Term.(const run $ circuit_arg $ bins $ domains)
+    Term.(const run $ circuit_arg $ bins $ domains $ scheduler_arg)
 
 let atpg_cmd =
   let run spec =

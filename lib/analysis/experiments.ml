@@ -4,6 +4,7 @@ type config = {
   seed : int;
   bins : int;
   domains : int;
+  scheduler : Engine.scheduler;
 }
 
 let default =
@@ -13,6 +14,7 @@ let default =
     seed = 42;
     bins = 10;
     domains = Parallel.available_domains ();
+    scheduler = Engine.Stealing;
   }
 
 type circuit_run = {
@@ -56,11 +58,13 @@ let run ?(config = default) name =
       List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults circuit)
     in
     let sa_outcomes =
-      Engine.analyze_all ~domains:config.domains engine sa_faults
+      Engine.analyze_all ~domains:config.domains ~scheduler:config.scheduler
+        engine sa_faults
     in
     let bf_faults, bf_sampled = bridge_faults config circuit in
     let bf_outcomes =
-      Engine.analyze_all ~domains:config.domains engine
+      Engine.analyze_all ~domains:config.domains ~scheduler:config.scheduler
+        engine
         (List.map (fun b -> Fault.Bridged b) bf_faults)
     in
     let r =

@@ -15,11 +15,15 @@ type config = {
   domains : int;
       (** worker domains for fault analysis ({!Engine.analyze_all});
           results are bit-identical at any count *)
+  scheduler : Engine.scheduler;
+      (** how the sweep is fanned out; exact results are bit-identical
+          under either scheduler *)
 }
 
 val default : config
-(** 150 sampled pairs, theta 0.25, seed 42, 10 bins, and as many
-    domains as {!Parallel.available_domains} suggests. *)
+(** 150 sampled pairs, theta 0.25, seed 42, 10 bins, as many domains as
+    {!Parallel.available_domains} suggests, and the work-stealing
+    scheduler. *)
 
 (** {1 Cached per-circuit analysis} *)
 

@@ -49,6 +49,11 @@ type manager = {
      blown budget. *)
   mutable budget_limit : int;
   mutable budget_used : int;
+  (* handle arrays owned by clients (good-function tables, scratch
+     deltas): [collect] treats every entry as a GC root and rewrites it
+     in place with the node's post-compaction index. *)
+  mutable registered : (int * int array) list;
+  mutable next_registration : int;
 }
 
 exception Variable_out_of_range of int
@@ -113,6 +118,8 @@ let create ?order n_vars =
     stat_gen = 0;
     budget_limit = max_int;
     budget_used = 0;
+    registered = [];
+    next_registration = 0;
   }
 
 let num_vars m = m.n_vars
@@ -217,6 +224,91 @@ let mk m lvl lo hi =
     in
     probe (triple_hash lvl lo hi land mask)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Mark-sweep garbage collection.
+
+   The arena only ever grows during apply chains, and most of that
+   growth is intermediate results nobody holds anymore.  [collect]
+   reclaims it without invalidating the client's world: every handle
+   stored in a registered array (plus any [roots] arrays passed to the
+   call) is treated as live, the survivors are compacted to a dense
+   prefix (children keep smaller indices than parents, so one ascending
+   pass suffices), and the registered arrays are rewritten in place with
+   the new indices.  The unique table is rebuilt over the survivors and
+   the lossy op/ite caches are flushed (they hold pre-compaction
+   indices).  SAT-fraction memos move with their nodes — a collection
+   never forgets a computed statistic of a surviving function. *)
+
+type registration = int
+
+let register m handles =
+  let id = m.next_registration in
+  m.next_registration <- id + 1;
+  m.registered <- (id, handles) :: m.registered;
+  id
+
+let unregister m id =
+  m.registered <- List.filter (fun (i, _) -> i <> id) m.registered
+
+let collect ?(roots = []) m =
+  let root_arrays = roots @ List.map snd m.registered in
+  let next = m.next in
+  let live = Array.make next false in
+  live.(0) <- true;
+  live.(1) <- true;
+  (* Mark: explicit stack, no recursion on deep diagrams. *)
+  let stack = ref [] in
+  let visit n =
+    if n >= 2 && not live.(n) then begin
+      live.(n) <- true;
+      stack := n :: !stack
+    end
+  in
+  List.iter (Array.iter visit) root_arrays;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | n :: rest ->
+      stack := rest;
+      visit m.low.(n);
+      visit m.high.(n);
+      drain ()
+  in
+  drain ();
+  (* Compact: survivors slide down to a dense prefix in ascending index
+     order.  A node's children were hash-consed before it, so their
+     (smaller) indices are already remapped when the parent moves. *)
+  let remap = Array.make next (-1) in
+  remap.(0) <- 0;
+  remap.(1) <- 1;
+  let count = ref 2 in
+  for n = 2 to next - 1 do
+    if live.(n) then begin
+      let fresh = !count in
+      count := fresh + 1;
+      remap.(n) <- fresh;
+      m.level.(fresh) <- m.level.(n);
+      m.low.(fresh) <- remap.(m.low.(n));
+      m.high.(fresh) <- remap.(m.high.(n));
+      m.sat_memo.(fresh) <- m.sat_memo.(n)
+    end
+  done;
+  m.next <- !count;
+  (* Slots above the live prefix must read as unset for their next
+     occupants; stale visit stamps are harmless (generations only move
+     forward, so an old stamp never equals a fresh one). *)
+  Array.fill m.sat_memo !count (Array.length m.sat_memo - !count) Float.nan;
+  Array.fill m.table 0 (Array.length m.table) (-1);
+  m.table_count <- 0;
+  for n = 2 to !count - 1 do
+    insert_node m n
+  done;
+  clear_caches m;
+  List.iter
+    (fun a ->
+      Array.iteri (fun i h -> if h >= 2 then a.(i) <- remap.(h)) a)
+    root_arrays
 
 let var m v =
   let lvl = level_of_var m v in

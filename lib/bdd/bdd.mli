@@ -57,6 +57,34 @@ val with_budget : manager -> budget:int -> (unit -> 'a) -> 'a
     budget prices growth, not work.  @raise Invalid_argument on a
     negative budget. *)
 
+(** {1 Garbage collection} *)
+
+type registration
+(** Token naming a client handle array registered with {!register}. *)
+
+val register : manager -> t array -> registration
+(** [register m handles] declares [handles] as a long-lived root set:
+    every {!collect} treats each entry as live and rewrites it in place
+    with the node's post-compaction handle.  The array is registered by
+    identity — clients may keep mutating its entries between
+    collections.  Returns a token for {!unregister}. *)
+
+val unregister : manager -> registration -> unit
+(** Forget a previously registered root array.  Its entries are no
+    longer kept alive nor remapped by subsequent collections. *)
+
+val collect : ?roots:t array list -> manager -> unit
+(** Mark-sweep-compact the arena.  Everything reachable from the
+    registered arrays and the extra [?roots] arrays survives; all other
+    nodes are reclaimed and the survivors are compacted into a dense
+    prefix.  All surviving handles are {e renumbered}: the registered
+    and [roots] arrays are rewritten in place with the new handles, and
+    any other outstanding handle is invalidated.  Operation caches are
+    flushed; memoised statistics ({!sat_fraction}) of surviving nodes
+    are preserved.  {!allocated_nodes} never increases across a
+    collection.  Allocation-free, so safe inside a {!with_budget}
+    window. *)
+
 (** {1 Constants, variables and tests} *)
 
 val zero : manager -> t

@@ -1,4 +1,13 @@
-type t = { circuit : Circuit.t; manager : Bdd.manager; node : Bdd.t array }
+type t = {
+  circuit : Circuit.t;
+  manager : Bdd.manager;
+  node : Bdd.t array;
+  (* [built.(g)] guards [node.(g)]: lazy instances fill entries on
+     demand, eager ones start all-true.  The node array is registered
+     with the manager, so a [Bdd.collect] keeps every built good
+     function alive and remaps the handles in place. *)
+  built : bool array;
+}
 
 let gate_function m kind operands =
   match (kind : Gate.kind) with
@@ -14,36 +23,58 @@ let gate_function m kind operands =
   | Gate.Xor -> Bdd.bxor_list m operands
   | Gate.Xnor -> Bdd.bnot m (Bdd.bxor_list m operands)
 
-let build ?(heuristic = Ordering.Natural) circuit =
+let compute t g =
+  let gate = t.circuit.Circuit.gates.(g) in
+  match gate.Circuit.kind with
+  | Gate.Input ->
+    (match Circuit.input_position t.circuit g with
+    | Some pos -> Bdd.var t.manager pos
+    | None -> assert false)
+  | kind ->
+    let operands =
+      Array.to_list gate.Circuit.fanins |> List.map (fun f -> t.node.(f))
+    in
+    gate_function t.manager kind operands
+
+let rec force t g =
+  if not t.built.(g) then begin
+    let gate = t.circuit.Circuit.gates.(g) in
+    Array.iter (force t) gate.Circuit.fanins;
+    t.node.(g) <- compute t g;
+    t.built.(g) <- true
+  end
+
+let make ~lazily ?(heuristic = Ordering.Natural) circuit =
   let n_inputs = Circuit.num_inputs circuit in
   let order = Ordering.order heuristic circuit in
   let manager = Bdd.create ~order n_inputs in
-  let node = Array.make (Circuit.num_gates circuit) (Bdd.zero manager) in
-  Array.iteri
-    (fun g gate ->
-      node.(g) <-
-        (match gate.Circuit.kind with
-        | Gate.Input ->
-          (match Circuit.input_position circuit g with
-          | Some pos -> Bdd.var manager pos
-          | None -> assert false)
-        | kind ->
-          let operands =
-            Array.to_list gate.Circuit.fanins
-            |> List.map (fun f -> node.(f))
-          in
-          gate_function manager kind operands))
-    circuit.Circuit.gates;
-  { circuit; manager; node }
+  let n = Circuit.num_gates circuit in
+  let node = Array.make n (Bdd.zero manager) in
+  let built = Array.make n (not lazily) in
+  let t = { circuit; manager; node; built } in
+  ignore (Bdd.register manager node : Bdd.registration);
+  if not lazily then
+    for g = 0 to n - 1 do
+      node.(g) <- compute t g
+    done;
+  t
 
+let build ?heuristic circuit = make ~lazily:false ?heuristic circuit
+let build_lazy ?heuristic circuit = make ~lazily:true ?heuristic circuit
 let circuit t = t.circuit
 let manager t = t.manager
-let node_function t g = t.node.(g)
+
+let node_function t g =
+  force t g;
+  t.node.(g)
+
+let node_array t = t.node
+let built_count t = Array.fold_left (fun n b -> if b then n + 1 else n) 0 t.built
 
 let output_functions t =
-  Array.map (fun o -> t.node.(o)) t.circuit.Circuit.outputs
+  Array.map (node_function t) t.circuit.Circuit.outputs
 
-let syndrome t g = Bdd.sat_fraction t.manager t.node.(g)
+let syndrome t g = Bdd.sat_fraction t.manager (node_function t g)
 let total_nodes t = Bdd.allocated_nodes t.manager
 
 let eval_consistent t inputs =
@@ -52,6 +83,7 @@ let eval_consistent t inputs =
   let n = Circuit.num_gates t.circuit in
   let rec check g =
     g >= n
-    || Bdd.eval t.manager t.node.(g) assign = concrete.(g) && check (g + 1)
+    || Bdd.eval t.manager (node_function t g) assign = concrete.(g)
+       && check (g + 1)
   in
   check 0

@@ -9,11 +9,31 @@ val build : ?heuristic:Ordering.heuristic -> Circuit.t -> t
 (** Evaluate the whole circuit symbolically (default heuristic:
     {!Ordering.Natural}). *)
 
+val build_lazy : ?heuristic:Ordering.heuristic -> Circuit.t -> t
+(** Like {!build}, but constructs no good functions up front: each net's
+    BDD is elaborated on first demand ({!force} / {!node_function}),
+    building exactly the net's input cone.  A worker that only analyzes
+    faults in one region of the circuit never pays for the rest. *)
+
+val force : t -> int -> unit
+(** Ensure a net's good function (and its whole input cone) is built.
+    Idempotent; a no-op on eager instances. *)
+
 val circuit : t -> Circuit.t
 val manager : t -> Bdd.manager
 
 val node_function : t -> int -> Bdd.t
-(** Good function of a net. *)
+(** Good function of a net; on lazy instances, builds it on demand. *)
+
+val node_array : t -> Bdd.t array
+(** The live good-function array, indexed by gate.  Registered with the
+    manager as a {!Bdd.collect} root set, so entries survive collections
+    and are remapped in place.  Entries of nets never {!force}d on a
+    lazy instance are placeholders — consult {!node_function} instead
+    unless the net is known built. *)
+
+val built_count : t -> int
+(** Number of nets whose good functions exist (laziness metric). *)
 
 val output_functions : t -> Bdd.t array
 (** Good functions of the primary outputs, in declaration order. *)

@@ -1,18 +1,28 @@
 type t = {
   base : Circuit.t;
   heuristic : Ordering.heuristic;
+  lazily : bool; (* good functions built on demand (worker engines) *)
   fanouts : int array array;
   output_mark : bool array; (* net -> is a primary output *)
   cone : int list -> int array; (* reusable selective-trace walker *)
   mutable sym : Symbolic.t;
-  mutable good : Bdd.t array; (* cached good functions, one per net *)
   mutable delta_scratch : Bdd.t array; (* zero outside the cone in flight *)
+  (* One-entry memo: a fault's cone is walked once and shared by
+     [propagate] and [pos_fed] (and both s-a-v polarities of a line,
+     since the key is the site list).  Pure circuit topology, so it
+     survives rebuilds and collections. *)
+  mutable cone_memo : (int list * int array) option;
   mutable generation : int;
   mutable rebuild_hooks : (unit -> unit) list;
+  (* GC accounting, read by the sweep statistics. *)
+  mutable gc_time : float;
+  mutable gc_runs : int;
 }
 
-let create ?(heuristic = Ordering.Natural) base =
-  let sym = Symbolic.build ~heuristic base in
+let create ?(heuristic = Ordering.Natural) ?(lazily = false) base =
+  let sym =
+    (if lazily then Symbolic.build_lazy else Symbolic.build) ~heuristic base
+  in
   let n = Circuit.num_gates base in
   let fanouts = Circuit.fanouts base in
   let output_mark = Array.make n false in
@@ -20,14 +30,17 @@ let create ?(heuristic = Ordering.Natural) base =
   {
     base;
     heuristic;
+    lazily;
     fanouts;
     output_mark;
     cone = Circuit.cone_walker base ~fanouts;
     sym;
-    good = Array.init n (Symbolic.node_function sym);
     delta_scratch = Array.make n (Bdd.zero (Symbolic.manager sym));
+    cone_memo = None;
     generation = 0;
     rebuild_hooks = [];
+    gc_time = 0.0;
+    gc_runs = 0;
   }
 
 let circuit t = t.base
@@ -36,10 +49,15 @@ let symbolic t = t.sym
 let generation t = t.generation
 let on_rebuild t hook = t.rebuild_hooks <- hook :: t.rebuild_hooks
 
+(* Good function of a net; forces it on lazy instances. *)
+let node t g = Symbolic.node_function t.sym g
+
 let rebuild t =
-  let sym = Symbolic.build ~heuristic:t.heuristic t.base in
+  let sym =
+    (if t.lazily then Symbolic.build_lazy else Symbolic.build)
+      ~heuristic:t.heuristic t.base
+  in
   t.sym <- sym;
-  t.good <- Array.init (Circuit.num_gates t.base) (Symbolic.node_function sym);
   (* Old handles are meaningless in the fresh manager. *)
   Array.fill t.delta_scratch 0
     (Array.length t.delta_scratch)
@@ -47,10 +65,49 @@ let rebuild t =
   t.generation <- t.generation + 1;
   List.iter (fun hook -> hook ()) t.rebuild_hooks
 
+let collect t =
+  let t0 = Unix.gettimeofday () in
+  (* The good-function array is registered with the manager by
+     [Symbolic]; the delta scratch rides along as extra roots (all zero
+     between faults, but cheap insurance).  Handles are renumbered, so
+     externally this is a generation change exactly like [rebuild]. *)
+  Bdd.collect ~roots:[ t.delta_scratch ] (manager t);
+  t.gc_time <- t.gc_time +. (Unix.gettimeofday () -. t0);
+  t.gc_runs <- t.gc_runs + 1;
+  t.generation <- t.generation + 1;
+  List.iter (fun hook -> hook ()) t.rebuild_hooks
+
+let cone_of_sites t sites =
+  match t.cone_memo with
+  | Some (s, cone) when s = sites -> cone
+  | _ ->
+    let cone = t.cone sites in
+    t.cone_memo <- Some (sites, cone);
+    cone
+
+(* Build everything a fault's analysis will read — the sites' good
+   functions and those of every cone gate's fanins — so that on a lazy
+   engine the elaboration happens here, *outside* any per-fault budget
+   window, mirroring the eager engine's cost accounting.  Exceptions are
+   swallowed: a malformed fault must crash inside the protected analysis
+   (where it is contained), not here. *)
+let prepare t fault =
+  match Fault.sites fault with
+  | exception _ -> ()
+  | sites -> (
+    try
+      List.iter (Symbolic.force t.sym) sites;
+      Array.iter
+        (fun g ->
+          Array.iter (Symbolic.force t.sym)
+            t.base.Circuit.gates.(g).Circuit.fanins)
+        (cone_of_sites t sites)
+    with _ -> ())
+
 (* Initial difference functions at the fault sites: (net, delta) pairs. *)
 let initial_deltas t fault =
   let m = manager t in
-  let f net = t.good.(net) in
+  let f net = node t net in
   let against_constant good value =
     if value then Bdd.bnot m good else good
   in
@@ -95,7 +152,7 @@ let propagate t fault k =
   let zero = Bdd.zero m in
   let deltas = t.delta_scratch in
   let sites = initial_deltas t fault in
-  let cone = t.cone (List.map fst sites) in
+  let cone = cone_of_sites t (List.map fst sites) in
   (* Every scratch write happens inside the protected region (the cone
      contains the sites), so a crash or a blown BDD budget anywhere in
      the walk cannot leave stale deltas behind for the next fault. *)
@@ -112,7 +169,7 @@ let propagate t fault k =
             if
               Array.exists (fun f -> not (Bdd.is_zero m deltas.(f))) fanins
             then
-              let good = Array.map (fun f -> t.good.(f)) fanins in
+              let good = Array.map (fun f -> node t f) fanins in
               let delta = Array.map (fun f -> deltas.(f)) fanins in
               deltas.(g) <- Rules.delta m gate.Circuit.kind ~good ~delta
           end)
@@ -152,7 +209,7 @@ type result = {
 
 let upper_bound t fault =
   let m = manager t in
-  let f net = t.good.(net) in
+  let f net = node t net in
   match fault with
   | Fault.Stuck { Sa_fault.line; value } ->
     let stem = Sa_fault.stem_of_line line in
@@ -173,7 +230,7 @@ let upper_bound t fault =
 
 let wired_support t fault =
   let m = manager t in
-  let f net = t.good.(net) in
+  let f net = node t net in
   match fault with
   | Fault.Stuck _ | Fault.Multi_stuck _ -> None
   | Fault.Bridged { Bridge.a; b; kind } ->
@@ -185,7 +242,7 @@ let wired_support t fault =
     Some (List.length (Bdd.support m wired))
 
 let pos_fed t fault =
-  let cone = t.cone (Fault.sites fault) in
+  let cone = cone_of_sites t (Fault.sites fault) in
   Array.fold_left
     (fun acc g -> if t.output_mark.(g) then acc + 1 else acc)
     0 cone
@@ -199,7 +256,9 @@ let analyze t fault =
   {
     fault;
     detectability;
-    test_count = Bdd.sat_count m union;
+    (* |test set| = detectability * 2^n — same float product
+       [Bdd.sat_count] computes, without re-walking the BDD. *)
+    test_count = detectability *. Float.pow 2.0 (float_of_int (Bdd.num_vars m));
     detectable = not (Bdd.is_zero m union);
     pos_fed = pos_fed t fault;
     pos_observed =
@@ -274,6 +333,7 @@ let rec retry_outcome t fault ~fault_budget ~attempt ~max_retries outcome =
       (* No fresh state to retry on; keep the more informative original. *)
       outcome
     | Ok () ->
+      prepare t fault;
       let budget =
         Option.map (fun b -> b lsl (attempt + 1)) fault_budget
       in
@@ -282,18 +342,199 @@ let rec retry_outcome t fault ~fault_budget ~attempt ~max_retries outcome =
            ~max_retries)
   | Budget_exceeded _ | Crashed _ -> outcome
 
-let analyze_outcomes_seq ~node_budget ~fault_budget ~max_retries t faults =
-  List.map
-    (fun fault ->
-      if Bdd.allocated_nodes (manager t) > node_budget then rebuild t;
-      analyze_protected ?fault_budget t fault
-      |> retry_outcome t fault ~fault_budget ~attempt:0 ~max_retries)
-    faults
+let analyze_one ~node_budget ~fault_budget ~max_retries t fault =
+  (* Reclaim garbage in place instead of throwing the arena away: the
+     good functions (and their memoised statistics) survive, only the
+     dead intermediate results of earlier faults go. *)
+  if Bdd.allocated_nodes (manager t) > node_budget then collect t;
+  prepare t fault;
+  analyze_protected ?fault_budget t fault
+  |> retry_outcome t fault ~fault_budget ~attempt:0 ~max_retries
 
-let analyze_all ?(node_budget = default_node_budget) ?fault_budget
-    ?(max_retries = default_max_retries) ?(domains = 1) t faults =
-  if domains <= 1 then
-    analyze_outcomes_seq ~node_budget ~fault_budget ~max_retries t faults
+let analyze_outcomes_seq ~node_budget ~fault_budget ~max_retries t faults =
+  List.map (analyze_one ~node_budget ~fault_budget ~max_retries t) faults
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                          *)
+
+type scheduler = Static | Stealing
+
+let scheduler_to_string = function
+  | Static -> "static"
+  | Stealing -> "stealing"
+
+type sweep_stats = {
+  scheduler : scheduler;
+  domains : int;
+  batch_count : int;
+  build_seconds : float;
+  analysis_seconds : float;
+  gc_seconds : float;
+  gc_collections : int;
+  good_functions_built : int;
+}
+
+(* Cross-domain accumulator for the per-stage timings; workers report
+   under the lock when they finish a unit of work. *)
+type stats_acc = {
+  lock : Mutex.t;
+  mutable acc_build : float;
+  mutable acc_analysis : float;
+  mutable acc_gc : float;
+  mutable acc_collections : int;
+  mutable acc_built : int;
+}
+
+let fresh_acc () =
+  {
+    lock = Mutex.create ();
+    acc_build = 0.0;
+    acc_analysis = 0.0;
+    acc_gc = 0.0;
+    acc_collections = 0;
+    acc_built = 0;
+  }
+
+let with_acc acc f =
+  match acc with
+  | None -> ()
+  | Some a ->
+    Mutex.lock a.lock;
+    (match f a with () -> Mutex.unlock a.lock | exception exn ->
+      Mutex.unlock a.lock;
+      raise exn)
+
+(* Group faults sharing a site list (both polarities of a line, both
+   bridge orientations of a pair), keep groups in first-appearance
+   order — fault enumeration follows gate order, so this preserves the
+   cone locality (and cache evolution) of the sequential sweep — and
+   pack whole groups into batches sized for roughly [domains * 8]
+   steals. *)
+let site_batches ~domains faults =
+  let tbl = Hashtbl.create 97 in
+  List.iteri
+    (fun i fault ->
+      let key = Fault.sites fault in
+      let prev = try Hashtbl.find tbl key with Not_found -> [] in
+      Hashtbl.replace tbl key ((i, fault) :: prev))
+    faults;
+  let groups =
+    Hashtbl.fold (fun key members acc -> (key, List.rev members) :: acc) tbl []
+  in
+  let groups =
+    (* Deterministic: sort by the index of each group's first member. *)
+    List.sort
+      (fun (_, a) (_, b) -> compare (fst (List.hd a)) (fst (List.hd b)))
+      groups
+  in
+  let n = List.length faults in
+  let target = max 1 (n / (max 1 domains * 8)) in
+  let batches = ref [] and cur = ref [] and cur_n = ref 0 in
+  let flush () =
+    if !cur <> [] then begin
+      batches := Array.of_list (List.rev !cur) :: !batches;
+      cur := [];
+      cur_n := 0
+    end
+  in
+  List.iter
+    (fun (_, members) ->
+      List.iter (fun p -> cur := p :: !cur) members;
+      cur_n := !cur_n + List.length members;
+      if !cur_n >= target then flush ())
+    groups;
+  flush ();
+  Array.of_list (List.rev !batches)
+
+let now = Unix.gettimeofday
+
+let analyze_stealing ?acc ~node_budget ~fault_budget ~max_retries ~domains t
+    faults =
+  let batches = site_batches ~domains faults in
+  let domains = min domains (max 1 (Array.length batches)) in
+  let workers = ref [] in
+  let init () =
+    let worker =
+      if domains = 1 then
+        (* Steal on the calling engine, exactly like the static
+           sequential path: no worker build, no spawn — only the batch
+           order differs (and the merge restores it). *)
+        t
+      else begin
+        let t0 = now () in
+        let w = create ~heuristic:t.heuristic ~lazily:true t.base in
+        with_acc acc (fun a -> a.acc_build <- a.acc_build +. (now () -. t0));
+        w
+      end
+    in
+    with_acc acc (fun _acc -> workers := worker :: !workers);
+    worker
+  in
+  let process worker batch =
+    let t0 = now () in
+    let gc0 = worker.gc_time and n0 = worker.gc_runs in
+    let out =
+      Array.map
+        (fun (i, fault) ->
+          (i, analyze_one ~node_budget ~fault_budget ~max_retries worker fault))
+        batch
+    in
+    let gc = worker.gc_time -. gc0 in
+    with_acc acc (fun a ->
+        a.acc_analysis <- a.acc_analysis +. (now () -. t0) -. gc;
+        a.acc_gc <- a.acc_gc +. gc;
+        a.acc_collections <- a.acc_collections + (worker.gc_runs - n0));
+    out
+  in
+  let results = Parallel.steal_batches ~domains ~init ~process batches in
+  with_acc acc (fun a ->
+      List.iter
+        (fun w -> a.acc_built <- a.acc_built + Symbolic.built_count w.sym)
+        !workers);
+  (* Order-preserving merge: every outcome carries its input index.  A
+     batch contained as [Error] (its worker died outside the per-fault
+     isolation) is requeued on a fresh engine, mirroring the static
+     path's shard supervision. *)
+  let requeue exn batch =
+    match create ~heuristic:t.heuristic t.base with
+    | worker ->
+      Array.map
+        (fun (i, fault) ->
+          (i, analyze_one ~node_budget ~fault_budget ~max_retries worker fault))
+        batch
+    | exception _ ->
+      let message = Printexc.to_string exn in
+      Array.map (fun (i, fault) -> (i, Crashed { fault; message })) batch
+  in
+  let merged = Array.make (List.length faults) None in
+  Array.iteri
+    (fun b res ->
+      let outcomes =
+        match res with Ok out -> out | Error exn -> requeue exn batches.(b)
+      in
+      Array.iter (fun (i, o) -> merged.(i) <- Some o) outcomes)
+    results;
+  Array.to_list merged
+  |> List.map (function
+       | Some o -> o
+       | None -> invalid_arg "Engine.analyze_stealing: lost outcome")
+
+let analyze_static ?acc ~node_budget ~fault_budget ~max_retries ~domains t
+    faults =
+  if domains <= 1 then begin
+    let t0 = now () in
+    let gc0 = t.gc_time and n0 = t.gc_runs in
+    let outcomes =
+      analyze_outcomes_seq ~node_budget ~fault_budget ~max_retries t faults
+    in
+    let gc = t.gc_time -. gc0 in
+    with_acc acc (fun a ->
+        a.acc_analysis <- a.acc_analysis +. (now () -. t0) -. gc;
+        a.acc_gc <- a.acc_gc +. gc;
+        a.acc_collections <- a.acc_collections + (t.gc_runs - n0);
+        a.acc_built <- a.acc_built + Symbolic.built_count t.sym);
+    outcomes
+  end
   else
     (* The hash-consing arena is single-threaded mutable state, so every
        worker domain builds its own Symbolic/Bdd manager and analyses
@@ -306,9 +547,20 @@ let analyze_all ?(node_budget = default_node_budget) ?fault_budget
        keep their results. *)
     Parallel.map_chunked_outcomes ~domains
       (fun shard ->
+        let t0 = now () in
         let worker = create ~heuristic:t.heuristic t.base in
-        analyze_outcomes_seq ~node_budget ~fault_budget ~max_retries worker
-          shard)
+        let t1 = now () in
+        let outcomes =
+          analyze_outcomes_seq ~node_budget ~fault_budget ~max_retries worker
+            shard
+        in
+        with_acc acc (fun a ->
+            a.acc_build <- a.acc_build +. (t1 -. t0);
+            a.acc_analysis <- a.acc_analysis +. (now () -. t1) -. worker.gc_time;
+            a.acc_gc <- a.acc_gc +. worker.gc_time;
+            a.acc_collections <- a.acc_collections + worker.gc_runs;
+            a.acc_built <- a.acc_built + Symbolic.built_count worker.sym);
+        outcomes)
       faults
     |> List.concat_map (fun (shard, res) ->
            match res with
@@ -322,8 +574,50 @@ let analyze_all ?(node_budget = default_node_budget) ?fault_budget
                let message = Printexc.to_string exn in
                List.map (fun fault -> Crashed { fault; message }) shard))
 
-let analyze_exact ?node_budget ?domains t faults =
-  analyze_all ?node_budget ?domains t faults
+let analyze_all_impl ?acc ?(node_budget = default_node_budget) ?fault_budget
+    ?(max_retries = default_max_retries) ?(domains = 1)
+    ?(scheduler = Static) t faults =
+  let domains = max 1 domains in
+  match (scheduler, faults) with
+  | _, [] -> []
+  | Static, _ ->
+    analyze_static ?acc ~node_budget ~fault_budget ~max_retries ~domains t
+      faults
+  | Stealing, _ ->
+    analyze_stealing ?acc ~node_budget ~fault_budget ~max_retries ~domains t
+      faults
+
+let analyze_all ?node_budget ?fault_budget ?max_retries ?domains ?scheduler t
+    faults =
+  analyze_all_impl ?node_budget ?fault_budget ?max_retries ?domains ?scheduler
+    t faults
+
+let analyze_all_stats ?node_budget ?fault_budget ?max_retries
+    ?(domains = 1) ?(scheduler = Static) t faults =
+  let acc = fresh_acc () in
+  let outcomes =
+    analyze_all_impl ~acc ?node_budget ?fault_budget ?max_retries ~domains
+      ~scheduler t faults
+  in
+  let batch_count =
+    match scheduler with
+    | Static -> min (max 1 domains) (max 1 (List.length faults))
+    | Stealing -> Array.length (site_batches ~domains:(max 1 domains) faults)
+  in
+  ( outcomes,
+    {
+      scheduler;
+      domains = max 1 domains;
+      batch_count;
+      build_seconds = acc.acc_build;
+      analysis_seconds = acc.acc_analysis;
+      gc_seconds = acc.acc_gc;
+      gc_collections = acc.acc_collections;
+      good_functions_built = acc.acc_built;
+    } )
+
+let analyze_exact ?node_budget ?domains ?scheduler t faults =
+  analyze_all ?node_budget ?domains ?scheduler t faults
   |> List.map (function
        | Exact r -> r
        | (Budget_exceeded _ | Crashed _) as o ->

@@ -10,20 +10,36 @@
 
 type t
 
-val create : ?heuristic:Ordering.heuristic -> Circuit.t -> t
+val create : ?heuristic:Ordering.heuristic -> ?lazily:bool -> Circuit.t -> t
+(** [lazily] (default false) defers good-function construction: each
+    net's BDD is elaborated on first use, so an engine that only ever
+    analyses faults in one region of the circuit never builds the rest.
+    Sweep workers of the {!Stealing} scheduler are created this way. *)
+
 val circuit : t -> Circuit.t
 val manager : t -> Bdd.manager
 val symbolic : t -> Symbolic.t
 
 val generation : t -> int
-(** Number of symbolic rebuilds so far.  BDD handles obtained from
+(** Number of handle-invalidating events (symbolic rebuilds and
+    {!collect} cycles) so far.  BDD handles obtained from
     {!manager}/{!symbolic} are only valid while the generation is
-    unchanged; {!result} values are plain data and survive rebuilds. *)
+    unchanged; {!result} values are plain data and survive both. *)
 
 val on_rebuild : t -> (unit -> unit) -> unit
-(** Register a hook run after every symbolic rebuild (budget-triggered
-    rebuilds during {!analyze_all} included) — the place to invalidate
-    external caches holding BDD handles from this engine. *)
+(** Register a hook run after every handle-invalidating event — budget
+    triggered rebuilds and garbage collections during {!analyze_all}
+    included — the place to invalidate external caches holding BDD
+    handles from this engine. *)
+
+val collect : t -> unit
+(** Mark-sweep the engine's BDD arena: the good functions (with their
+    memoised statistics) and any in-flight scratch survive, the dead
+    intermediates of earlier faults are reclaimed, and the arena is
+    compacted in place — the cheap alternative to a full {!rebuild}
+    when the arena outgrows the sweep's node budget.  Handles are
+    renumbered, so this bumps {!generation} and fires {!on_rebuild}
+    hooks exactly like a rebuild. *)
 
 (** {1 Test sets} *)
 
@@ -103,22 +119,54 @@ val analyze_protected : ?fault_budget:int -> t -> Fault.t -> outcome
     engine survives either way (scratch state is restored, the arena
     stays consistent). *)
 
+(** {1 Sweep scheduling} *)
+
+type scheduler =
+  | Static
+      (** contiguous fault shards, one per domain, fixed up front — the
+          conservative default; at [domains = 1] this is the plain
+          sequential sweep *)
+  | Stealing
+      (** faults grouped into cone-local batches that idle domains pull
+          off a shared queue — balances wildly uneven fault costs and
+          lets lazy workers build only the circuit regions their
+          batches touch *)
+
+val scheduler_to_string : scheduler -> string
+
+type sweep_stats = {
+  scheduler : scheduler;
+  domains : int;
+  batch_count : int;  (** work units handed to the scheduler *)
+  build_seconds : float;
+      (** engine construction across workers (summed over domains) *)
+  analysis_seconds : float;
+      (** fault analysis proper, GC time excluded (summed over domains) *)
+  gc_seconds : float;  (** {!collect} cycles (summed over domains) *)
+  gc_collections : int;
+  good_functions_built : int;
+      (** good functions elaborated across all engines — on lazy
+          workers, a measure of how much circuit the sweep touched *)
+}
+
 val analyze_all :
   ?node_budget:int ->
   ?fault_budget:int ->
   ?max_retries:int ->
   ?domains:int ->
+  ?scheduler:scheduler ->
   t ->
   Fault.t list ->
   outcome list
 (** Analyse a fault list, returning one outcome per fault in input
     order — the sweep completes whatever individual faults do.
 
-    The engine's BDD arena only grows, so after [node_budget] allocated
-    nodes (default 3 million) the symbolic state is rebuilt from
-    scratch; results are unaffected.  [fault_budget] (default: none)
-    additionally caps the fresh allocations of each single fault's
-    analysis.
+    The engine's BDD arena only grows during a sweep, so once it passes
+    [node_budget] allocated nodes (default 3 million) it is garbage
+    collected in place ({!collect}): good functions and their memoised
+    statistics survive, dead intermediates go.  [fault_budget]
+    (default: none) additionally caps the fresh allocations of each
+    single fault's analysis.
 
     Failed faults are retried with an escalating policy: up to
     [max_retries] (default 2) re-runs, each on a freshly rebuilt
@@ -126,22 +174,46 @@ val analyze_all :
     — a fault that only blew its budget through bad luck or a tight cap
     recovers to [Exact]; a deterministic crash stays [Crashed].
 
-    [domains] (default 1) shards the list into contiguous chunks
-    analysed on that many OCaml domains.  Each worker builds its own
-    Symbolic/Bdd manager (the arena is single-threaded) with the same
-    ordering heuristic and applies the budgets independently; the
-    engine passed in is left untouched.  Workers are supervised: a
-    shard that dies wholesale is requeued through the sequential retry
-    path, surviving shards keep their results, and every spawned domain
-    is joined.  Outcomes merge back in input order; every [Exact]
-    outcome is bit-identical to a sequential run — ROBDDs are canonical
-    under a fixed variable order, so every statistic is
+    [domains] (default 1) fans the sweep out over that many OCaml
+    domains under the chosen [scheduler] (default {!Static}).  Each
+    worker builds its own Symbolic/Bdd manager (the arena is
+    single-threaded) with the same ordering heuristic and applies the
+    budgets independently; the engine passed in is left untouched
+    whenever more than one domain runs.  {!Static} shards the list into
+    contiguous chunks fixed up front; {!Stealing} groups faults by
+    fault-site cone into batches that idle domains steal from a shared
+    queue, with lazily-built workers that only elaborate the good
+    functions their batches touch.  Workers are supervised either way: a
+    shard or batch that dies wholesale is requeued through the
+    sequential retry path, surviving work keeps its results, and every
+    spawned domain is joined.  Outcomes merge back in input order; every
+    [Exact] outcome is bit-identical to a sequential run — ROBDDs are
+    canonical under a fixed variable order, so every statistic is
     manager-independent.  (Whether a {e borderline} fault degrades can
-    depend on arena history and hence on sharding; the exact statistics
-    never do.) *)
+    depend on arena history and hence on scheduling; the exact
+    statistics never do.) *)
+
+val analyze_all_stats :
+  ?node_budget:int ->
+  ?fault_budget:int ->
+  ?max_retries:int ->
+  ?domains:int ->
+  ?scheduler:scheduler ->
+  t ->
+  Fault.t list ->
+  outcome list * sweep_stats
+(** {!analyze_all} plus per-stage accounting: where the time went
+    (engine build vs analysis vs GC, each summed across domains — wall
+    clock is the caller's to measure), how many batches the scheduler
+    served, and how much of the circuit the workers elaborated. *)
 
 val analyze_exact :
-  ?node_budget:int -> ?domains:int -> t -> Fault.t list -> result list
+  ?node_budget:int ->
+  ?domains:int ->
+  ?scheduler:scheduler ->
+  t ->
+  Fault.t list ->
+  result list
 (** {!analyze_all} for callers that require every fault exact: unwraps
     the results and raises [Failure] on the first degraded outcome.
     With no [fault_budget] and healthy fault descriptions this is the

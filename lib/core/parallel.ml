@@ -4,34 +4,34 @@
    module *chunk* functions that build their own per-domain state (one
    Symbolic/Bdd manager per worker) rather than sharing an engine.
    Chunks are contiguous and results are concatenated, so output order
-   equals input order. *)
+   equals input order.
+
+   Two scheduling shapes are offered: static contiguous shards
+   ([map_chunked_outcomes]) and a work-stealing batch queue
+   ([steal_batches]) where idle domains pull the next batch off a shared
+   atomic counter — the remedy for shards of wildly imbalanced fault
+   costs. *)
 
 let available_domains () = Domain.recommended_domain_count ()
 
-let chunk ~pieces items =
+let chunk_array ~pieces items =
   if pieces < 1 then invalid_arg "Parallel.chunk: pieces < 1";
-  let n = List.length items in
+  let n = Array.length items in
   let pieces = min pieces n in
-  if pieces <= 1 then if items = [] then [] else [ items ]
-  else begin
-    (* Contiguous chunks whose sizes differ by at most one. *)
+  if pieces = 0 then [||]
+  else
     let base = n / pieces and extra = n mod pieces in
-    let rec take k xs acc =
-      if k = 0 then (List.rev acc, xs)
-      else
-        match xs with
-        | [] -> (List.rev acc, [])
-        | x :: rest -> take (k - 1) rest (x :: acc)
-    in
-    let rec split i xs =
-      if i >= pieces then []
-      else
+    (* Contiguous slices whose sizes differ by at most one; the first
+       [extra] slices carry the remainder. *)
+    Array.init pieces (fun i ->
+        let start = (i * base) + min i extra in
         let size = base + if i < extra then 1 else 0 in
-        let piece, rest = take size xs [] in
-        piece :: split (i + 1) rest
-    in
-    split 0 items
-  end
+        Array.sub items start size)
+
+let chunk ~pieces items =
+  chunk_array ~pieces (Array.of_list items)
+  |> Array.to_list
+  |> List.map Array.to_list
 
 let map_chunked_outcomes ?domains f items =
   let pieces =
@@ -60,3 +60,50 @@ let map_chunked ?domains f items =
     shards
 
 let map ?domains f items = map_chunked ?domains (List.map f) items
+
+let steal_batches ?domains ~init ~process batches =
+  let n = Array.length batches in
+  let domains =
+    match domains with Some d -> max 1 d | None -> available_domains ()
+  in
+  let domains = min domains (max 1 n) in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* Each domain builds its own state once, then drains the queue:
+       fetch_and_add hands out each batch index exactly once, and
+       writing distinct slots from distinct domains is race-free.  A
+       batch whose processing raises is contained as [Error] in its
+       slot; the worker keeps stealing. *)
+    let run () =
+      let state = init () in
+      let rec drain () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <-
+            Some (try Ok (process state batches.(i)) with exn -> Error exn);
+          drain ()
+        end
+      in
+      drain ()
+    in
+    if domains = 1 then run ()
+    else begin
+      (* A spawned worker whose [init] fails exits quietly — the queue
+         is shared, so survivors absorb its share.  The calling domain's
+         own [init] failure is re-raised, after every join. *)
+      let spawned =
+        List.init (domains - 1) (fun _ ->
+            Domain.spawn (fun () -> try run () with _ -> ()))
+      in
+      let caller = (try run (); None with exn -> Some exn) in
+      List.iter Domain.join spawned;
+      match caller with Some exn -> raise exn | None -> ()
+    end;
+    Array.map
+      (function
+        | Some r -> r
+        | None -> Error (Failure "Parallel.steal_batches: batch never ran"))
+      results
+  end

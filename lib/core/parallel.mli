@@ -15,6 +15,28 @@ val chunk : pieces:int -> 'a list -> 'a list list
     chunks come back when the list is shorter than [pieces]; the empty
     list yields no chunks.  @raise Invalid_argument when [pieces < 1]. *)
 
+val chunk_array : pieces:int -> 'a array -> 'a array array
+(** Array form of {!chunk}: contiguous O(n) slicing, no list surgery. *)
+
+val steal_batches :
+  ?domains:int ->
+  init:(unit -> 'w) ->
+  process:('w -> 'a -> 'b) ->
+  'a array ->
+  ('b, exn) result array
+(** Work-stealing fan-out: every domain builds its own worker state with
+    [init] (inside that domain), then repeatedly steals the next
+    unclaimed batch off a shared atomic counter and runs [process] on
+    it.  The result array is index-aligned with the input batches, so a
+    caller flattening it in order gets exactly the sequential order —
+    whichever domain processed what.  A batch whose [process] raises is
+    contained as [Error] in its slot while the worker keeps stealing; a
+    spawned worker whose [init] fails exits quietly (the shared queue
+    lets survivors absorb its share), and the calling domain's [init]
+    failure is re-raised after all spawned domains have joined.
+    [domains] defaults to {!available_domains} and is capped by the
+    batch count; [1] steals on the calling domain with no spawn. *)
+
 val map_chunked_outcomes :
   ?domains:int ->
   ('a list -> 'b list) ->

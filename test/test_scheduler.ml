@@ -1,0 +1,302 @@
+(* Tests for the work-stealing scheduler and the BDD mark-sweep
+   collector: steal_batches/chunk_array algebra, bit-identical
+   equivalence of stealing and sequential sweeps (property-tested over
+   random circuits, fault mixes and domain counts), and Bdd.collect
+   preserving the semantics of registered roots while reclaiming
+   garbage. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* chunk_array and steal_batches                                       *)
+
+let test_chunk_array_partitions () =
+  let items = Array.init 23 Fun.id in
+  List.iter
+    (fun pieces ->
+      let chunks = Parallel.chunk_array ~pieces items in
+      check bool_t "concatenation restores input" true
+        (Array.concat (Array.to_list chunks) = items);
+      check bool_t "chunk count bounded" true (Array.length chunks <= pieces);
+      let sizes = Array.map Array.length chunks in
+      let mn = Array.fold_left min max_int sizes in
+      let mx = Array.fold_left max 0 sizes in
+      check bool_t "balanced within one" true (mx - mn <= 1))
+    [ 1; 2; 3; 7; 23; 100 ];
+  check bool_t "empty input, no chunks" true
+    (Parallel.chunk_array ~pieces:4 [||] = [||]);
+  check bool_t "agrees with list chunking" true
+    (Parallel.chunk ~pieces:5 (Array.to_list items)
+    = (Parallel.chunk_array ~pieces:5 items
+      |> Array.to_list |> List.map Array.to_list))
+
+let test_steal_batches_aligned () =
+  List.iter
+    (fun domains ->
+      let batches = [| [| 1; 2 |]; [| 3 |]; [| 4; 5; 6 |]; [||]; [| 7 |] |] in
+      let results =
+        Parallel.steal_batches ~domains
+          ~init:(fun () -> ref 0)
+          ~process:(fun acc batch ->
+            Array.iter (fun x -> acc := !acc + x) batch;
+            Array.fold_left ( + ) 0 batch)
+          batches
+      in
+      check bool_t
+        (Printf.sprintf "results index-aligned at %d domains" domains)
+        true
+        (results = [| Ok 3; Ok 3; Ok 15; Ok 0; Ok 7 |]))
+    [ 1; 2; 4 ]
+
+let test_steal_batches_contains_errors () =
+  let batches = [| [| 1 |]; [| 0 |]; [| 2 |] |] in
+  let results =
+    Parallel.steal_batches ~domains:2
+      ~init:(fun () -> ())
+      ~process:(fun () batch ->
+        if batch.(0) = 0 then failwith "poison" else batch.(0) * 10)
+      batches
+  in
+  check bool_t "good batches survive a poisoned one" true
+    (results.(0) = Ok 10 && results.(2) = Ok 20);
+  check bool_t "poisoned batch contained as Error" true
+    (match results.(1) with
+    | Error (Failure msg) -> msg = "poison"
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Stealing is bit-identical to the sequential sweep                   *)
+
+let mixed_faults rng c =
+  let n = Circuit.num_gates c in
+  let stucks =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+  in
+  let bridges =
+    Bridge.enumerate c
+    |> List.filteri (fun i _ -> i mod 5 = Prng.int rng 5)
+    |> List.map (fun b -> Fault.Bridged b)
+  in
+  let multis =
+    List.init 3 (fun _ ->
+        let a = Prng.int rng n in
+        let b = (a + 1 + Prng.int rng (n - 1)) mod n in
+        Fault.multi [ (a, Prng.bool rng); (b, Prng.bool rng) ])
+  in
+  stucks @ bridges @ multis
+
+let prop_stealing_equals_sequential =
+  let test seed =
+    let rng = Prng.create ~seed:(seed + 4000) in
+    let c =
+      Generate.random ~seed:(seed + 1) ~inputs:(5 + Prng.int rng 3)
+        ~gates:(10 + Prng.int rng 20)
+        ~outputs:(1 + Prng.int rng 3)
+    in
+    let faults = mixed_faults rng c in
+    let domains = 1 + Prng.int rng 5 in
+    let sequential = Engine.analyze_all ~domains:1 (Engine.create c) faults in
+    let stealing =
+      Engine.analyze_all ~scheduler:Engine.Stealing ~domains
+        (Engine.create c) faults
+    in
+    (* Polymorphic equality compares every float bit for bit, fault
+       order included. *)
+    sequential = stealing
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40
+       ~name:"stealing = sequential on random circuits, faults and domains"
+       QCheck.small_nat test)
+
+let test_stealing_benchmarks () =
+  List.iter
+    (fun name ->
+      let c = Bench_suite.find name in
+      let faults =
+        List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+        @ List.map (fun b -> Fault.Bridged b) (Bridge.enumerate c)
+      in
+      let sequential =
+        Engine.analyze_all ~domains:1 (Engine.create c) faults
+      in
+      List.iter
+        (fun domains ->
+          let stealing =
+            Engine.analyze_all ~scheduler:Engine.Stealing ~domains
+              (Engine.create c) faults
+          in
+          check bool_t
+            (Printf.sprintf "%s bit-identical at %d domains" name domains)
+            true (sequential = stealing))
+        [ 1; 3 ])
+    [ "c17"; "fulladder"; "c95" ]
+
+let test_stealing_under_gc_pressure () =
+  (* A tiny node budget forces a collection before almost every fault;
+     results must still match the unconstrained sequential run. *)
+  let c = Bench_suite.find "c95" in
+  let faults =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+  in
+  let sequential = Engine.analyze_all (Engine.create c) faults in
+  List.iter
+    (fun domains ->
+      let stealing =
+        Engine.analyze_all ~node_budget:1 ~scheduler:Engine.Stealing ~domains
+          (Engine.create c) faults
+      in
+      check bool_t
+        (Printf.sprintf "identical under GC pressure at %d domains" domains)
+        true (sequential = stealing))
+    [ 1; 3 ]
+
+let test_lazy_engine_matches_eager () =
+  let c = Bench_suite.find "c95" in
+  let faults =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+    |> List.filteri (fun i _ -> i mod 3 = 0)
+  in
+  let eager = Engine.analyze_all (Engine.create c) faults in
+  let lazy_engine = Engine.create ~lazily:true c in
+  let lazy_run = Engine.analyze_all lazy_engine faults in
+  check bool_t "lazy engine reproduces the eager sweep" true
+    (eager = lazy_run)
+
+(* ------------------------------------------------------------------ *)
+(* Bdd.collect: semantics preserved, garbage reclaimed                 *)
+
+(* A random function as a XOR/AND/OR mix over literals (as in the
+   Table 1 property test). *)
+let random_bdd rng m vars =
+  let literal () =
+    let v = Prng.int rng vars in
+    if Prng.bool rng then Bdd.var m v else Bdd.nvar m v
+  in
+  let rec build depth =
+    if depth = 0 then literal ()
+    else
+      let a = build (depth - 1) and b = build (depth - 1) in
+      match Prng.int rng 3 with
+      | 0 -> Bdd.band m a b
+      | 1 -> Bdd.bor m a b
+      | _ -> Bdd.bxor m a b
+  in
+  build 4
+
+let prop_collect_preserves_roots =
+  let test seed =
+    let rng = Prng.create ~seed:(seed + 9000) in
+    let vars = 5 + Prng.int rng 4 in
+    let m = Bdd.create vars in
+    let roots = Array.init (2 + Prng.int rng 4) (fun _ -> random_bdd rng m vars) in
+    let reg = Bdd.register m roots in
+    (* Garbage: unreferenced intermediates bloat the arena. *)
+    for _ = 1 to 5 do
+      ignore (random_bdd rng m vars : Bdd.t)
+    done;
+    let assignments =
+      List.init 4 (fun _ -> Array.init vars (fun _ -> Prng.bool rng))
+    in
+    let snapshot () =
+      Array.map
+        (fun f ->
+          ( Bdd.sat_fraction m f,
+            Bdd.size m f,
+            Bdd.support m f,
+            List.map (fun a -> Bdd.eval m f (fun v -> a.(v))) assignments ))
+        roots
+    in
+    let before = snapshot () in
+    let nodes_before = Bdd.allocated_nodes m in
+    Bdd.collect m;
+    let ok =
+      snapshot () = before
+      && Bdd.allocated_nodes m <= nodes_before
+      && Array.for_all (fun f -> Bdd.check_invariants m f) roots
+    in
+    (* Collecting again with nothing registered reclaims everything but
+       the terminals. *)
+    Bdd.unregister m reg;
+    Bdd.collect m;
+    ok && Bdd.allocated_nodes m = 2
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60
+       ~name:"collect preserves registered roots, reclaims garbage"
+       QCheck.small_nat test)
+
+let test_collect_extra_roots () =
+  let m = Bdd.create 6 in
+  let rng = Prng.create ~seed:11 in
+  let keep = [| random_bdd rng m 6 |] in
+  let frac = Bdd.sat_fraction m keep.(0) in
+  for _ = 1 to 4 do
+    ignore (random_bdd rng m 6 : Bdd.t)
+  done;
+  (* Not registered: passed as a one-off root instead. *)
+  Bdd.collect ~roots:[ keep ] m;
+  check (Alcotest.float 0.0) "one-off root survives with its semantics" frac
+    (Bdd.sat_fraction m keep.(0));
+  check bool_t "invariants hold on the compacted arena" true
+    (Bdd.check_invariants m keep.(0))
+
+let test_engine_collect_statistics_stable () =
+  (* A sweep, a collection, and the same sweep again must agree with a
+     fresh engine bit for bit — GC only renumbers, never re-derives. *)
+  let c = Bench_suite.find "c95" in
+  let faults =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+  in
+  let fresh = Engine.analyze_all (Engine.create c) faults in
+  let engine = Engine.create c in
+  let first = Engine.analyze_all engine faults in
+  let nodes_before = Bdd.allocated_nodes (Engine.manager engine) in
+  let gen_before = Engine.generation engine in
+  let fired = ref 0 in
+  Engine.on_rebuild engine (fun () -> incr fired);
+  Engine.collect engine;
+  check bool_t "collect never grows the arena" true
+    (Bdd.allocated_nodes (Engine.manager engine) <= nodes_before);
+  check int_t "collect bumps the generation" (gen_before + 1)
+    (Engine.generation engine);
+  check int_t "collect fires the rebuild hooks" 1 !fired;
+  let again = Engine.analyze_all engine faults in
+  check bool_t "pre-collect sweep matches a fresh engine" true (fresh = first);
+  check bool_t "post-collect sweep matches a fresh engine" true (fresh = again)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "scheduler"
+    [
+      ( "stealing primitives",
+        [
+          Alcotest.test_case "chunk_array partitions" `Quick
+            test_chunk_array_partitions;
+          Alcotest.test_case "steal_batches results index-aligned" `Quick
+            test_steal_batches_aligned;
+          Alcotest.test_case "steal_batches contains batch errors" `Quick
+            test_steal_batches_contains_errors;
+        ] );
+      ( "stealing = sequential",
+        [
+          prop_stealing_equals_sequential;
+          Alcotest.test_case "benchmark circuits, mixed fault sets" `Slow
+            test_stealing_benchmarks;
+          Alcotest.test_case "identical under GC pressure" `Quick
+            test_stealing_under_gc_pressure;
+          Alcotest.test_case "lazy engine matches eager" `Quick
+            test_lazy_engine_matches_eager;
+        ] );
+      ( "mark-sweep collection",
+        [
+          prop_collect_preserves_roots;
+          Alcotest.test_case "one-off roots survive" `Quick
+            test_collect_extra_roots;
+          Alcotest.test_case "engine statistics stable across collect" `Quick
+            test_engine_collect_statistics_stable;
+        ] );
+    ]
