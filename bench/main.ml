@@ -781,6 +781,75 @@ let perf () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Hostile sweep: every collapsed fault under a per-attempt node budget
+   AND wall-clock deadline tight enough that many analyses cannot finish
+   exactly.  The point is the degradation ladder — exact on the first
+   try, exact after escalating retries, bounded estimate — and its
+   terminal guarantee: zero crashed faults, a numeric answer for all. *)
+let hostile_budget = ref 20_000
+let hostile_deadline_ms = ref 50.0
+let hostile_circuits = ref [ "c1908" ]
+
+let hostile () =
+  section "hostile"
+    "degradation ladder under per-fault budget + deadline caps";
+  note
+    (Printf.sprintf "per-attempt caps: %d BDD nodes, %.0f ms (2x/4x on retry)"
+       !hostile_budget !hostile_deadline_ms);
+  Format.fprintf fmt
+    "  %-10s %7s %11s %9s %9s %9s %9s %11s %11s %8s@." "circuit" "faults"
+    "exact@try0" "by-retry" "bounded" "unbnded" "crashed" "mean-width"
+    "worst-width" "secs";
+  List.iter
+    (fun name ->
+      let c = Bench_suite.find name in
+      let faults =
+        List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+      in
+      let n = List.length faults in
+      let sweep max_retries =
+        Engine.analyze_all ~fault_budget:!hostile_budget
+          ~deadline_ms:!hostile_deadline_ms ~max_retries
+          ~domains:(Parallel.available_domains ())
+          ~scheduler:Engine.Stealing (Engine.create c) faults
+      in
+      let first_try, _ = elapsed (fun () -> sweep 0) in
+      let final, dt = elapsed (fun () -> sweep 2) in
+      let count p l = List.length (List.filter p l) in
+      let exact0 = count Engine.is_exact first_try in
+      let exact2 = count Engine.is_exact final in
+      let bounded =
+        count (function Engine.Bounded _ -> true | _ -> false) final
+      in
+      let crashed =
+        count (function Engine.Crashed _ -> true | _ -> false) final
+      in
+      let unbounded = n - exact2 - bounded - crashed in
+      let widths =
+        List.filter_map
+          (fun o ->
+            match o with
+            | Engine.Bounded _ ->
+              Option.map (fun (lo, up) -> up -. lo) (Engine.outcome_bounds o)
+            | _ -> None)
+          final
+      in
+      let mean_width =
+        if widths = [] then 0.0
+        else
+          List.fold_left ( +. ) 0.0 widths /. float_of_int (List.length widths)
+      in
+      let worst_width = List.fold_left Float.max 0.0 widths in
+      Format.fprintf fmt
+        "  %-10s %7d %11d %9d %9d %9d %9d %11.6f %11.6f %8.2f@." name n
+        exact0
+        (max 0 (exact2 - exact0))
+        bounded unbounded crashed mean_width worst_width dt;
+      note
+        (Printf.sprintf "%s: every fault answered numerically: %s" name
+           (if crashed = 0 && unbounded = 0 then "YES" else "NO")))
+    !hostile_circuits
+
 let artifacts =
   [
     ("table1", table1);
@@ -806,14 +875,17 @@ let artifacts =
     ("micro", micro);
   ]
 
-(* [perf] is dispatchable by name but deliberately not part of [all]:
-   it is a timing measurement, not a paper artifact. *)
-let commands = artifacts @ [ ("perf", perf) ]
+(* [perf] and [hostile] are dispatchable by name but deliberately not
+   part of [all]: one is a timing measurement, the other a stress
+   experiment, not paper artifacts. *)
+let commands = artifacts @ [ ("perf", perf); ("hostile", hostile) ]
 
 let usage () =
   Format.fprintf fmt
     "usage: main.exe [-sample N] [-seed N] [-perf-circuits A,B,..] \
-     [-perf-domains 1,2,..] [-perf-out FILE] [all | perf | %s]...@."
+     [-perf-domains 1,2,..] [-perf-out FILE] [-hostile-budget N] \
+     [-hostile-deadline-ms F] [-hostile-circuits A,B,..] \
+     [all | perf | hostile | %s]...@."
     (String.concat " | " (List.map fst artifacts))
 
 let () =
@@ -835,6 +907,15 @@ let () =
       parse acc rest
     | "-perf-out" :: path :: rest ->
       perf_out := path;
+      parse acc rest
+    | "-hostile-budget" :: n :: rest ->
+      hostile_budget := int_of_string n;
+      parse acc rest
+    | "-hostile-deadline-ms" :: f :: rest ->
+      hostile_deadline_ms := float_of_string f;
+      parse acc rest
+    | "-hostile-circuits" :: names :: rest ->
+      hostile_circuits := String.split_on_char ',' names;
       parse acc rest
     | "all" :: rest -> parse (acc @ List.map fst artifacts) rest
     | name :: rest -> parse (acc @ [ name ]) rest

@@ -137,6 +137,188 @@ let scheduler_arg =
         Engine.Static
     & info [ "scheduler" ] ~docv:"MODE" ~doc)
 
+(* Sweep mode: every collapsed stuck-at fault, an outcome for each,
+   optionally journaled for kill-and-resume.  Exit code 0 means every
+   fault got a numeric answer (exact or bounded); 1 means some fault
+   crashed or was left degraded without bounds; 2 is a usage or input
+   error (including a stale journal). *)
+let run_sweep c ~fault_budget ~deadline_ms ~max_retries ~bounds ~samples
+    ~checkpoint ~resume ~escalate ~json ~domains ~scheduler =
+  let faults =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+  in
+  let n = List.length faults in
+  let faults_arr = Array.of_list faults in
+  let digest = Journal.digest c faults in
+  (* Checkpointing needs byte-identical resume, which only the
+     canonical-arena deterministic mode guarantees. *)
+  let deterministic = checkpoint <> None in
+  let table, sink =
+    match checkpoint with
+    | None -> (Hashtbl.create 1, None)
+    | Some path ->
+      if resume && Sys.file_exists path then begin
+        match Journal.load ~path ~digest ~faults:faults_arr with
+        | Ok table ->
+          Format.printf "resuming: %d of %d outcomes journaled in %s@."
+            (Hashtbl.length table) n path;
+          (table, Some (Journal.reopen ~path ()))
+        | Error msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 2
+      end
+      else (Hashtbl.create 1, Some (Journal.create ~path ~digest ~faults:n ()))
+  in
+  let journal = Journal.engine_journal ?sink table in
+  let outcomes =
+    Engine.analyze_all ?fault_budget ?deadline_ms ~max_retries ~bounds
+      ~bound_samples:samples ~deterministic ~journal ~domains ~scheduler
+      (Engine.create c) faults
+  in
+  let outcomes =
+    if not escalate then outcomes
+    else begin
+      (* Opt-in second pass: degraded faults get one more go with the
+         whole retry ladder shifted up (2x budget and deadline); a fresh
+         Exact replaces the journaled estimate. *)
+      let degraded =
+        List.filteri (fun _ (_, o) -> not (Engine.is_exact o))
+          (List.mapi (fun i o -> (i, o)) outcomes)
+      in
+      if degraded = [] then outcomes
+      else begin
+        let retried =
+          Engine.analyze_all
+            ?fault_budget:(Option.map (fun b -> 2 * b) fault_budget)
+            ?deadline_ms:(Option.map (fun d -> 2.0 *. d) deadline_ms)
+            ~max_retries ~bounds ~bound_samples:samples ~deterministic
+            ~domains ~scheduler (Engine.create c)
+            (List.map (fun (i, _) -> faults_arr.(i)) degraded)
+        in
+        let improved = Hashtbl.create 16 in
+        List.iter2
+          (fun (i, _) fresh ->
+            if Engine.is_exact fresh then begin
+              Hashtbl.replace improved i fresh;
+              Option.iter (fun s -> Journal.append s i fresh) sink
+            end)
+          degraded retried;
+        List.mapi
+          (fun i o -> Option.value (Hashtbl.find_opt improved i) ~default:o)
+          outcomes
+      end
+    end
+  in
+  Option.iter Journal.close sink;
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc (Journal.header_line ~digest ~faults:n);
+      output_char oc '\n';
+      List.iteri
+        (fun i o ->
+          output_string oc (Journal.outcome_line i o);
+          output_char oc '\n')
+        outcomes;
+      close_out oc)
+    json;
+  let count p = List.length (List.filter p outcomes) in
+  let exact = count Engine.is_exact in
+  let bounded =
+    count (function Engine.Bounded _ -> true | _ -> false)
+  in
+  let unbounded =
+    count (function
+      | Engine.Budget_exceeded _ | Engine.Deadline_exceeded _ -> true
+      | _ -> false)
+  in
+  let crashed = count (function Engine.Crashed _ -> true | _ -> false) in
+  Format.printf
+    "swept %d collapsed stuck-at faults: %d exact, %d bounded, %d degraded \
+     without bounds, %d crashed@."
+    n exact bounded unbounded crashed;
+  if bounded > 0 then begin
+    let widths =
+      List.filter_map
+        (fun o ->
+          match o with
+          | Engine.Bounded _ ->
+            Option.map (fun (lo, up) -> up -. lo) (Engine.outcome_bounds o)
+          | _ -> None)
+        outcomes
+    in
+    let worst = List.fold_left Float.max 0.0 widths in
+    let mean =
+      List.fold_left ( +. ) 0.0 widths /. float_of_int (List.length widths)
+    in
+    Format.printf "bound widths: mean %.6f, worst %.6f@." mean worst
+  end;
+  List.iteri
+    (fun i o ->
+      if not (Engine.is_exact o) then
+        Format.printf "  [%d] %s@." i (Engine.outcome_to_string c o))
+    outcomes;
+  if crashed > 0 || unbounded > 0 then exit 1 else exit 0
+
+let run_single c fault ~cubes ~fault_budget ~deadline_ms ~max_retries ~bounds
+    ~samples ~scheduler =
+  Format.printf "fault: %s@." (Fault.to_string c fault);
+  let engine = Engine.create c in
+  let r =
+    match
+      Engine.analyze_all ?fault_budget ?deadline_ms ~max_retries ~bounds
+        ~bound_samples:samples ~scheduler engine [ fault ]
+    with
+    | [ Engine.Exact r ] -> r
+    | [ Engine.Bounded { lower; upper; syndrome_bound; samples; reason; _ } ]
+      ->
+      (* Degraded but numerically answered: that is a success. *)
+      Format.printf
+        "detectability in [%.6f, %.6f] (Wilson interval, %d random \
+         vectors)@."
+        lower
+        (Float.min upper syndrome_bound)
+        samples;
+      Format.printf "syndrome upper bound: %.6f@." syndrome_bound;
+      Format.printf "exact analysis degraded: %s@."
+        (Engine.degrade_reason_to_string reason);
+      exit 0
+    | [ (Engine.Budget_exceeded _ | Engine.Deadline_exceeded _) as o ] ->
+      Format.printf "DEGRADED after %d retries — %s@." max_retries
+        (Engine.outcome_to_string c o);
+      exit 1
+    | [ (Engine.Crashed _ as o) ] ->
+      Format.printf "CRASHED — %s@." (Engine.outcome_to_string c o);
+      exit 1
+    | _ -> assert false
+  in
+  Format.printf "detectability: %.6f (%g test vectors of 2^%d)@."
+    r.Engine.detectability r.Engine.test_count (Circuit.num_inputs c);
+  Format.printf "upper bound: %.6f  adherence: %s@." r.Engine.upper_bound
+    (match r.Engine.adherence with
+    | Some a -> Printf.sprintf "%.6f" a
+    | None -> "n/a");
+  Format.printf "POs fed: %d  POs observing: %d@." r.Engine.pos_fed
+    r.Engine.pos_observed;
+  (match r.Engine.wired_support with
+  | Some n ->
+    Format.printf "wired-function support: %d variable(s)%s@." n
+      (if n = 0 then " — degenerates to stuck-at behaviour" else "")
+  | None -> ());
+  if r.Engine.detectable then begin
+    Format.printf "test cubes (input=value, unlisted are don't-care):@.";
+    List.iter
+      (fun cube ->
+        let literal (pos, value) =
+          Printf.sprintf "%s=%d"
+            (Circuit.gate c c.Circuit.inputs.(pos)).Circuit.name
+            (Bool.to_int value)
+        in
+        Format.printf "  %s@." (String.concat " " (List.map literal cube)))
+      (Engine.test_cubes ~limit:cubes engine fault)
+  end
+  else Format.printf "fault is undetectable (redundant)@."
+
 let analyze_cmd =
   let stuck =
     let doc = "Stuck-at fault as NET:VALUE (e.g. G10:0)." in
@@ -145,6 +327,14 @@ let analyze_cmd =
   let bridge =
     let doc = "Bridging fault as NETA,NETB:KIND with KIND and|or." in
     Arg.(value & opt (some string) None & info [ "bridge" ] ~docv:"SPEC" ~doc)
+  in
+  let all =
+    let doc =
+      "Sweep every collapsed stuck-at fault instead of analysing one \
+       fault.  Implied by $(b,--checkpoint), $(b,--resume) and \
+       $(b,--json)."
+    in
+    Arg.(value & flag & info [ "all" ] ~doc)
   in
   let cubes =
     let doc = "Print up to $(docv) test cubes." in
@@ -161,70 +351,123 @@ let analyze_cmd =
       & opt (some int) None
       & info [ "fault-budget" ] ~docv:"NODES" ~doc)
   in
+  let deadline_ms =
+    let doc =
+      "Cap each analysis attempt at $(docv) wall-clock milliseconds; an \
+       expired deadline degrades the fault instead of wedging the sweep."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
   let max_retries =
     let doc =
       "Re-run a failed analysis up to $(docv) times, each on a fresh \
-       manager with the budget doubled (2x, 4x, ...)."
+       manager with the budget and deadline doubled (2x, 4x, ...)."
     in
     Arg.(value & opt int 2 & info [ "max-retries" ] ~docv:"N" ~doc)
   in
-  let run spec stuck bridge cubes fault_budget max_retries scheduler =
+  let no_bounds =
+    let doc =
+      "Leave budget- and deadline-degraded faults as raw degradations \
+       instead of estimating bounded detectability for them (and exit \
+       nonzero when any fault degrades)."
+    in
+    Arg.(value & flag & info [ "no-bounds" ] ~doc)
+  in
+  let samples =
+    let doc =
+      "Random vectors per bounded-detectability estimate (rounded up to \
+       whole 64-pattern words)."
+    in
+    Arg.(
+      value
+      & opt int Engine.default_bound_samples
+      & info [ "samples" ] ~docv:"N" ~doc)
+  in
+  let checkpoint =
+    let doc =
+      "Append every outcome to the JSON-lines journal $(docv) as the \
+       sweep runs (fsync'd in batches), so a killed sweep can continue \
+       with $(b,--resume).  Implies the deterministic sweep mode: the \
+       BDD arena is compacted to its canonical form before every fault, \
+       making outcomes independent of scheduling and of where a previous \
+       run was killed."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let resume =
+    let doc =
+      "Reuse outcomes journaled in the $(b,--checkpoint) file by an \
+       earlier (killed) run instead of recomputing them.  A journal \
+       written for a different circuit or fault list is rejected.  The \
+       completed sweep's report is byte-identical to an uninterrupted \
+       run."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let escalate =
+    let doc =
+      "After the sweep, re-attempt every non-exact fault once more with \
+       the whole retry ladder shifted up (double budget and deadline); \
+       fresh exact results replace the bounded estimates."
+    in
+    Arg.(value & flag & info [ "escalate" ] ~doc)
+  in
+  let json =
+    let doc =
+      "Write the final outcome of every fault to $(docv) in the journal's \
+       JSON-lines format, in fault-index order."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let domains =
+    let doc = "Worker domains for a sweep." in
+    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
+  in
+  let run spec stuck bridge all cubes fault_budget deadline_ms max_retries
+      no_bounds samples checkpoint resume escalate json domains scheduler =
     let c = load_circuit spec in
-    let fault =
-      match (stuck, bridge) with
-      | Some s, None -> parse_stuck c s
-      | None, Some b -> parse_bridge c b
-      | Some _, Some _ | None, None ->
-        Printf.eprintf "give exactly one of --fault or --bridge\n";
+    let bounds = not no_bounds in
+    let sweep_mode =
+      all || checkpoint <> None || resume || json <> None
+    in
+    if resume && checkpoint = None then begin
+      Printf.eprintf "--resume needs --checkpoint FILE to name the journal\n";
+      exit 2
+    end;
+    if sweep_mode then begin
+      if stuck <> None || bridge <> None then begin
+        Printf.eprintf
+          "--all sweeps the collapsed stuck-at faults; drop --fault/--bridge\n";
         exit 2
-    in
-    let engine = Engine.create c in
-    let r =
-      match
-        Engine.analyze_all ?fault_budget ~max_retries ~scheduler engine
-          [ fault ]
-      with
-      | [ Engine.Exact r ] -> r
-      | [ (Engine.Budget_exceeded _ | Engine.Crashed _) as o ] ->
-        Format.printf "fault: %s@." (Fault.to_string c fault);
-        Format.printf "DEGRADED after %d retries — %s@." max_retries
-          (Engine.outcome_to_string c o);
-        exit 1
-      | _ -> assert false
-    in
-    Format.printf "fault: %s@." (Fault.to_string c fault);
-    Format.printf "detectability: %.6f (%g test vectors of 2^%d)@."
-      r.Engine.detectability r.Engine.test_count (Circuit.num_inputs c);
-    Format.printf "upper bound: %.6f  adherence: %s@." r.Engine.upper_bound
-      (match r.Engine.adherence with
-      | Some a -> Printf.sprintf "%.6f" a
-      | None -> "n/a");
-    Format.printf "POs fed: %d  POs observing: %d@." r.Engine.pos_fed
-      r.Engine.pos_observed;
-    (match r.Engine.wired_support with
-    | Some n ->
-      Format.printf "wired-function support: %d variable(s)%s@." n
-        (if n = 0 then " — degenerates to stuck-at behaviour" else "")
-    | None -> ());
-    if r.Engine.detectable then begin
-      Format.printf "test cubes (input=value, unlisted are don't-care):@.";
-      List.iter
-        (fun cube ->
-          let literal (pos, value) =
-            Printf.sprintf "%s=%d"
-              (Circuit.gate c c.Circuit.inputs.(pos)).Circuit.name
-              (Bool.to_int value)
-          in
-          Format.printf "  %s@." (String.concat " " (List.map literal cube)))
-        (Engine.test_cubes ~limit:cubes engine fault)
+      end;
+      run_sweep c ~fault_budget ~deadline_ms ~max_retries ~bounds ~samples
+        ~checkpoint ~resume ~escalate ~json ~domains ~scheduler
     end
-    else Format.printf "fault is undetectable (redundant)@."
+    else
+      let fault =
+        match (stuck, bridge) with
+        | Some s, None -> parse_stuck c s
+        | None, Some b -> parse_bridge c b
+        | Some _, Some _ | None, None ->
+          Printf.eprintf "give exactly one of --fault or --bridge (or --all)\n";
+          exit 2
+      in
+      run_single c fault ~cubes ~fault_budget ~deadline_ms ~max_retries
+        ~bounds ~samples ~scheduler
   in
   Cmd.v
-    (Cmd.info "analyze" ~doc:"Exact analysis of a single fault")
+    (Cmd.info "analyze"
+       ~doc:
+         "Exact analysis of a single fault, or a deadline-supervised sweep \
+          of every collapsed fault with checkpoint/resume")
     Term.(
-      const run $ circuit_arg $ stuck $ bridge $ cubes $ fault_budget
-      $ max_retries $ scheduler_arg)
+      const run $ circuit_arg $ stuck $ bridge $ all $ cubes $ fault_budget
+      $ deadline_ms $ max_retries $ no_bounds $ samples $ checkpoint $ resume
+      $ escalate $ json $ domains $ scheduler_arg)
 
 let profile_cmd =
   let bins =

@@ -18,12 +18,18 @@ type config = {
   scheduler : Engine.scheduler;
       (** how the sweep is fanned out; exact results are bit-identical
           under either scheduler *)
+  fault_budget : int option;
+      (** per-attempt BDD node cap handed to {!Engine.analyze_all};
+          [None] (the default) analyses every fault exactly *)
+  deadline_ms : float option;
+      (** per-attempt wall-clock cap handed to {!Engine.analyze_all};
+          [None] (the default) never times a fault out *)
 }
 
 val default : config
 (** 150 sampled pairs, theta 0.25, seed 42, 10 bins, as many domains as
-    {!Parallel.available_domains} suggests, and the work-stealing
-    scheduler. *)
+    {!Parallel.available_domains} suggests, the work-stealing scheduler,
+    and no per-fault resource caps. *)
 
 (** {1 Cached per-circuit analysis} *)
 

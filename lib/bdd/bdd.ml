@@ -49,6 +49,15 @@ type manager = {
      blown budget. *)
   mutable budget_limit : int;
   mutable budget_used : int;
+  (* wall-clock deadline for the current computation window: [mk] polls
+     the clock every [deadline_poll_mask + 1] calls while a window is
+     open ([deadline_at] < infinity) and raises once it has passed.
+     Like the budget, the raise happens before any allocation, so the
+     arena stays consistent. *)
+  mutable deadline_at : float; (* absolute target; infinity = no window *)
+  mutable deadline_started : float;
+  mutable deadline_window_ms : float;
+  mutable deadline_poll : int;
   (* handle arrays owned by clients (good-function tables, scratch
      deltas): [collect] treats every entry as a GC root and rewrites it
      in place with the node's post-compaction index. *)
@@ -59,6 +68,8 @@ type manager = {
 exception Variable_out_of_range of int
 
 exception Budget_exceeded of { nodes : int; budget : int }
+
+exception Deadline_exceeded of { elapsed_ms : float; deadline_ms : float }
 
 let terminal_level = max_int
 let op_and = 2
@@ -118,6 +129,10 @@ let create ?order n_vars =
     stat_gen = 0;
     budget_limit = max_int;
     budget_used = 0;
+    deadline_at = infinity;
+    deadline_started = 0.0;
+    deadline_window_ms = 0.0;
+    deadline_poll = 0;
     registered = [];
     next_registration = 0;
   }
@@ -149,6 +164,49 @@ let with_budget m ~budget f =
       let inner = m.budget_used in
       m.budget_limit <- saved_limit;
       m.budget_used <- saved_used + inner)
+    f
+
+(* How many [mk] calls between clock reads while a deadline window is
+   open.  Small enough that a wedged apply is interrupted within
+   microseconds of work, large enough that gettimeofday stays invisible
+   in the hot loop. *)
+let deadline_poll_mask = 255
+
+let check_deadline m =
+  if m.deadline_at < infinity then begin
+    m.deadline_poll <- m.deadline_poll + 1;
+    if m.deadline_poll land deadline_poll_mask = 0 then begin
+      let now = Unix.gettimeofday () in
+      if now >= m.deadline_at then
+        raise
+          (Deadline_exceeded
+             {
+               elapsed_ms = (now -. m.deadline_started) *. 1000.0;
+               deadline_ms = m.deadline_window_ms;
+             })
+    end
+  end
+
+let with_deadline m ~deadline_ms f =
+  if not (deadline_ms > 0.0) then
+    invalid_arg "Bdd.with_deadline: non-positive deadline";
+  let saved_at = m.deadline_at
+  and saved_started = m.deadline_started
+  and saved_ms = m.deadline_window_ms in
+  let now = Unix.gettimeofday () in
+  let target = now +. (deadline_ms /. 1000.0) in
+  (* An inner window can only tighten the enclosing one; when the outer
+     deadline is nearer, the raise keeps reporting the outer window. *)
+  if target < m.deadline_at then begin
+    m.deadline_at <- target;
+    m.deadline_started <- now;
+    m.deadline_window_ms <- deadline_ms
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      m.deadline_at <- saved_at;
+      m.deadline_started <- saved_started;
+      m.deadline_window_ms <- saved_ms)
     f
 
 let zero _ = 0
@@ -200,6 +258,7 @@ and insert_node m n =
 let mk m lvl lo hi =
   if lo = hi then lo
   else begin
+    check_deadline m;
     let mask = m.table_mask in
     let rec probe i =
       let n = m.table.(i) in

@@ -24,6 +24,12 @@ exception Budget_exceeded of { nodes : int; budget : int }
     {e before} the offending allocation, so the arena is left consistent
     and the manager (and every existing handle) remains fully usable. *)
 
+exception Deadline_exceeded of { elapsed_ms : float; deadline_ms : float }
+(** Raised by any BDD operation running inside {!with_deadline} once the
+    window's wall-clock budget has passed.  Like {!Budget_exceeded}, the
+    raise happens in the node-construction hot path before any
+    allocation, so the arena stays consistent and fully usable. *)
+
 (** {1 Managers} *)
 
 val create : ?order:int array -> int -> manager
@@ -56,6 +62,20 @@ val with_budget : manager -> budget:int -> (unit -> 'a) -> 'a
     Nodes found in the unique table or operation caches are free — the
     budget prices growth, not work.  @raise Invalid_argument on a
     negative budget. *)
+
+val with_deadline : manager -> deadline_ms:float -> (unit -> 'a) -> 'a
+(** [with_deadline m ~deadline_ms f] runs [f] under a wall-clock cap:
+    once [deadline_ms] milliseconds have elapsed, the next node
+    construction raises {!Deadline_exceeded} instead of letting a
+    pathological apply chain wedge the caller.  The clock is polled
+    every few hundred constructions, so overshoot is bounded by
+    microseconds of BDD work (purely cache-hit computations between
+    constructions are not interrupted).  Windows nest: an inner window
+    can only tighten the enclosing one, and the raise reports whichever
+    window actually expired.  The previous deadline state is restored on
+    exit (normal or exceptional).  Unlike {!with_budget}, expiry is
+    wall-clock-dependent and therefore not reproducible run to run.
+    @raise Invalid_argument on a non-positive deadline. *)
 
 (** {1 Garbage collection} *)
 

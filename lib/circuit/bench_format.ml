@@ -36,6 +36,24 @@ let split_call line s =
 
 let parse ~title text =
   let inputs = ref [] and outputs = ref [] and defs = ref [] in
+  (* Net name -> line of its driving definition (INPUT or gate): the
+     second driver of a net is a user error worth a precise diagnostic,
+     not whatever Circuit.create makes of the collision downstream. *)
+  let defined = Hashtbl.create 64 in
+  let define lineno net =
+    match Hashtbl.find_opt defined net with
+    | Some first ->
+      error lineno "duplicate definition of net %S (first defined at line %d)"
+        net first
+    | None -> Hashtbl.add defined net lineno
+  in
+  (* Net name -> line of its first use as a fanin or OUTPUT, in
+     encounter order.  Forward references are legal in .bench, so
+     undriven nets are only diagnosable after the whole file is read. *)
+  let used = ref [] in
+  let use lineno net =
+    used := (lineno, net) :: !used
+  in
   let lines = String.split_on_char '\n' text in
   List.iteri
     (fun i raw ->
@@ -52,7 +70,10 @@ let parse ~title text =
           let kind_name, args = split_call lineno rhs in
           (match Gate.of_name kind_name with
           | Some Gate.Input -> error lineno "INPUT used as a gate"
-          | Some kind -> defs := (net, kind, args) :: !defs
+          | Some kind ->
+            define lineno net;
+            List.iter (use lineno) args;
+            defs := (net, kind, args) :: !defs
           | None ->
             if String.uppercase_ascii kind_name = "DFF" then
               error lineno "sequential element DFF is not supported"
@@ -60,12 +81,21 @@ let parse ~title text =
         | None ->
           let head, args = split_call lineno line in
           (match (String.uppercase_ascii head, args) with
-          | "INPUT", [ name ] -> inputs := name :: !inputs
-          | "OUTPUT", [ name ] -> outputs := name :: !outputs
+          | "INPUT", [ name ] ->
+            define lineno name;
+            inputs := name :: !inputs
+          | "OUTPUT", [ name ] ->
+            use lineno name;
+            outputs := name :: !outputs
           | ("INPUT" | "OUTPUT"), _ ->
             error lineno "%s takes exactly one net name" head
           | _ -> error lineno "unrecognised directive %S" head))
     lines;
+  List.iter
+    (fun (lineno, net) ->
+      if not (Hashtbl.mem defined net) then
+        error lineno "net %S is used but never driven" net)
+    (List.rev !used);
   Circuit.create ~title ~inputs:(List.rev !inputs) ~outputs:(List.rev !outputs)
     (List.rev !defs)
 

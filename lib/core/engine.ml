@@ -275,23 +275,54 @@ let analyze t fault =
 let default_node_budget = 3_000_000
 let default_max_retries = 2
 
+type degrade_reason =
+  | Over_budget of { nodes : int; budget : int }
+  | Over_deadline of { deadline_ms : float }
+
 type outcome =
   | Exact of result
+  | Bounded of {
+      fault : Fault.t;
+      lower : float;
+      upper : float;
+      syndrome_bound : float;
+      samples : int;
+      reason : degrade_reason;
+    }
   | Budget_exceeded of { fault : Fault.t; nodes : int; budget : int }
+  | Deadline_exceeded of {
+      fault : Fault.t;
+      elapsed_ms : float;
+      deadline_ms : float;
+    }
   | Crashed of { fault : Fault.t; message : string }
 
 let outcome_fault = function
   | Exact r -> r.fault
-  | Budget_exceeded { fault; _ } | Crashed { fault; _ } -> fault
+  | Bounded { fault; _ }
+  | Budget_exceeded { fault; _ }
+  | Deadline_exceeded { fault; _ }
+  | Crashed { fault; _ } ->
+    fault
 
-let is_exact = function
-  | Exact _ -> true
-  | Budget_exceeded _ | Crashed _ -> false
+let is_exact = function Exact _ -> true | _ -> false
 
 let exact_results outcomes =
   List.filter_map (function Exact r -> Some r | _ -> None) outcomes
 
 let degraded outcomes = List.filter (fun o -> not (is_exact o)) outcomes
+
+let outcome_bounds = function
+  | Exact r -> Some (r.detectability, r.detectability)
+  | Bounded { lower; upper; syndrome_bound; _ } ->
+    Some (lower, Float.min upper syndrome_bound)
+  | Budget_exceeded _ | Deadline_exceeded _ | Crashed _ -> None
+
+let degrade_reason_to_string = function
+  | Over_budget { nodes; budget } ->
+    Printf.sprintf "budget %d blown at %d nodes" budget nodes
+  | Over_deadline { deadline_ms } ->
+    Printf.sprintf "deadline %g ms" deadline_ms
 
 let outcome_to_string c outcome =
   let fault_text fault =
@@ -301,58 +332,212 @@ let outcome_to_string c outcome =
   in
   match outcome with
   | Exact r -> Printf.sprintf "%s: exact" (fault_text r.fault)
+  | Bounded { fault; lower; upper; syndrome_bound; samples; reason } ->
+    Printf.sprintf
+      "%s: bounded detectability [%.6f, %.6f] (syndrome bound %.6f, %d \
+       samples; %s)"
+      (fault_text fault) lower
+      (Float.min upper syndrome_bound)
+      syndrome_bound samples
+      (degrade_reason_to_string reason)
   | Budget_exceeded { fault; nodes; budget } ->
     Printf.sprintf "%s: BDD budget exceeded (%d nodes allocated, budget %d)"
       (fault_text fault) nodes budget
+  | Deadline_exceeded { fault; elapsed_ms; deadline_ms } ->
+    Printf.sprintf "%s: deadline exceeded (%.1f ms elapsed, deadline %g ms)"
+      (fault_text fault) elapsed_ms deadline_ms
   | Crashed { fault; message } ->
     Printf.sprintf "%s: crashed (%s)" (fault_text fault) message
 
-let analyze_protected ?fault_budget t fault =
-  match fault_budget with
-  | None -> (
-    try Exact (analyze t fault)
-    with exn -> Crashed { fault; message = Printexc.to_string exn })
-  | Some budget -> (
-    try
-      Exact (Bdd.with_budget (manager t) ~budget (fun () -> analyze t fault))
+(* ------------------------------------------------------------------ *)
+(* Bounded degradation                                                 *)
+
+let wilson_interval ~z hits samples =
+  if hits < 0 || samples < hits then
+    invalid_arg "Engine.wilson_interval: hits outside [0, samples]";
+  if samples <= 0 then (0.0, 1.0)
+  else begin
+    let n = float_of_int samples and h = float_of_int hits in
+    let p = h /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let centre = (p +. (z2 /. (2.0 *. n))) /. denom in
+    let half =
+      z /. denom *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+    in
+    (* Zero hits certify nothing below zero and centre-half is only zero
+       up to rounding, so pin the endpoints where the sample is one-sided
+       — the interval must stay sound, not merely approximate. *)
+    let lower = if hits = 0 then 0.0 else Float.max 0.0 (centre -. half) in
+    let upper =
+      if hits = samples then 1.0 else Float.min 1.0 (centre +. half)
+    in
+    (lower, upper)
+  end
+
+(* z = 5 sigma: the interval misses the true detectability with
+   probability ~6e-7, so "lower <= exact <= upper" holds for every fault
+   of every sweep in practice while the interval stays usefully tight
+   (half-width ~5 / (2 sqrt n)). *)
+let bound_z = 5.0
+let default_bound_samples = 4096
+
+(* Cap on the syndrome-bound probe: the bound itself can be the
+   explosion (a bridge's [bxor] of two good functions), so it must not
+   re-wedge a fault that already degraded. *)
+let bound_probe_budget = 1_000_000
+
+(* Deterministic per-fault seed: [Hashtbl.hash] is stable on these
+   structural values, so the sampled interval of a fault is identical
+   across runs, domains and resume points. *)
+let fault_seed fault = Hashtbl.hash fault land 0x3FFFFFFF
+
+let bounded_fallback ~samples t outcome =
+  let build fault reason =
+    let syndrome_bound =
+      try
+        Bdd.with_budget (manager t) ~budget:bound_probe_budget (fun () ->
+            upper_bound t fault)
+      with _ -> 1.0 (* unbounded, but still sound *)
+    in
+    match
+      Fault_sim.sample_detections ~seed:(fault_seed fault) ~patterns:samples
+        t.base fault
     with
-    | Bdd.Budget_exceeded { nodes; budget } ->
-      Budget_exceeded { fault; nodes; budget }
-    | exn -> Crashed { fault; message = Printexc.to_string exn })
+    | exception _ -> None (* the simulator rejects this fault too *)
+    | hits, applied ->
+      let lower, upper = wilson_interval ~z:bound_z hits applied in
+      Some
+        (Bounded { fault; lower; upper; syndrome_bound; samples = applied; reason })
+  in
+  match outcome with
+  | Exact _ | Bounded _ | Crashed _ -> outcome
+  | Budget_exceeded { fault; nodes; budget } -> (
+    match build fault (Over_budget { nodes; budget }) with
+    | Some b -> b
+    | None -> outcome)
+  | Deadline_exceeded { fault; deadline_ms; _ } -> (
+    (* elapsed_ms is dropped on purpose: the Bounded payload must stay
+       wall-clock-free so checkpointed sweeps serialize identically. *)
+    match build fault (Over_deadline { deadline_ms }) with
+    | Some b -> b
+    | None -> outcome)
+
+(* ------------------------------------------------------------------ *)
+(* Protected per-fault analysis                                        *)
+
+let analyze_protected ?fault_budget ?deadline_ms t fault =
+  let with_deadline k =
+    match deadline_ms with
+    | None -> k ()
+    | Some d -> Bdd.with_deadline (manager t) ~deadline_ms:d k
+  in
+  let with_budget k =
+    match fault_budget with
+    | None -> k ()
+    | Some budget -> Bdd.with_budget (manager t) ~budget k
+  in
+  try Exact (with_budget (fun () -> with_deadline (fun () -> analyze t fault)))
+  with
+  | Bdd.Budget_exceeded { nodes; budget } ->
+    Budget_exceeded { fault; nodes; budget }
+  | Bdd.Deadline_exceeded { elapsed_ms; deadline_ms } ->
+    Deadline_exceeded { fault; elapsed_ms; deadline_ms }
+  | exn -> Crashed { fault; message = Printexc.to_string exn }
 
 (* Escalating retry: each attempt runs on a freshly rebuilt manager (a
    crash may be a symptom of arena-history effects, and a fresh arena
    makes the allocation count of the retry deterministic) with the
-   per-fault budget doubled every round — 2x, 4x, ... the original. *)
-let rec retry_outcome t fault ~fault_budget ~attempt ~max_retries outcome =
+   per-fault budget and deadline doubled every round — 2x, 4x, ... the
+   original. *)
+let rec retry_outcome t fault ~fault_budget ~deadline_ms ~attempt ~max_retries
+    outcome =
   match outcome with
-  | Exact _ -> outcome
-  | Budget_exceeded _ | Crashed _ when attempt < max_retries -> (
+  | Exact _ | Bounded _ -> outcome
+  | (Budget_exceeded _ | Deadline_exceeded _ | Crashed _)
+    when attempt < max_retries -> (
     match (try Ok (rebuild t) with exn -> Error exn) with
     | Error _ ->
       (* No fresh state to retry on; keep the more informative original. *)
       outcome
     | Ok () ->
       prepare t fault;
-      let budget =
-        Option.map (fun b -> b lsl (attempt + 1)) fault_budget
+      let scale = 1 lsl (attempt + 1) in
+      let budget = Option.map (fun b -> b * scale) fault_budget in
+      let deadline =
+        Option.map (fun d -> d *. float_of_int scale) deadline_ms
       in
-      analyze_protected ?fault_budget:budget t fault
-      |> retry_outcome t fault ~fault_budget ~attempt:(attempt + 1)
-           ~max_retries)
-  | Budget_exceeded _ | Crashed _ -> outcome
+      analyze_protected ?fault_budget:budget ?deadline_ms:deadline t fault
+      |> retry_outcome t fault ~fault_budget ~deadline_ms
+           ~attempt:(attempt + 1) ~max_retries)
+  | Budget_exceeded _ | Deadline_exceeded _ | Crashed _ -> outcome
 
-let analyze_one ~node_budget ~fault_budget ~max_retries t fault =
-  (* Reclaim garbage in place instead of throwing the arena away: the
-     good functions (and their memoised statistics) survive, only the
-     dead intermediate results of earlier faults go. *)
-  if Bdd.allocated_nodes (manager t) > node_budget then collect t;
+(* ------------------------------------------------------------------ *)
+(* Sweeps                                                              *)
+
+type policy = {
+  p_node_budget : int;
+  p_fault_budget : int option;
+  p_deadline_ms : float option;
+  p_max_retries : int;
+  p_bounds : bool;
+  p_bound_samples : int;
+  p_deterministic : bool;
+}
+
+type journal = {
+  skip : int -> outcome option;
+  record : int -> outcome -> unit;
+}
+
+let force_all t =
+  if t.lazily then
+    for g = 0 to Circuit.num_gates t.base - 1 do
+      Symbolic.force t.sym g
+    done
+
+let analyze_one ~policy t fault =
+  if policy.p_deterministic then begin
+    (* Canonical arena: with every good function built (in gate order —
+       eagerly and via [force_all] the construction sequence is the
+       same) and everything else collected away, the ascending-order
+       compaction yields one arena — node numbering, unique-table
+       layout, empty op caches — whatever faults ran before on whichever
+       engine.  Budget classification, and hence the whole outcome, is
+       then reproducible across schedulers, domain counts and resume
+       points.  (Deadline classification is wall-clock and stays
+       nondeterministic by nature.) *)
+    force_all t;
+    collect t
+  end
+  else if
+    (* Reclaim garbage in place instead of throwing the arena away: the
+       good functions (and their memoised statistics) survive, only the
+       dead intermediate results of earlier faults go. *)
+    Bdd.allocated_nodes (manager t) > policy.p_node_budget
+  then collect t;
   prepare t fault;
-  analyze_protected ?fault_budget t fault
-  |> retry_outcome t fault ~fault_budget ~attempt:0 ~max_retries
+  let outcome =
+    analyze_protected ?fault_budget:policy.p_fault_budget
+      ?deadline_ms:policy.p_deadline_ms t fault
+    |> retry_outcome t fault ~fault_budget:policy.p_fault_budget
+         ~deadline_ms:policy.p_deadline_ms ~attempt:0
+         ~max_retries:policy.p_max_retries
+  in
+  if policy.p_bounds then
+    bounded_fallback ~samples:policy.p_bound_samples t outcome
+  else outcome
 
-let analyze_outcomes_seq ~node_budget ~fault_budget ~max_retries t faults =
-  List.map (analyze_one ~node_budget ~fault_budget ~max_retries t) faults
+(* Indexed sweep bodies: every fault travels with its input-list index,
+   so completions can be journaled ([record]) the moment they exist and
+   the final merge restores input order whatever the schedule was. *)
+let analyze_indexed_seq ~policy ~record t pairs =
+  List.map
+    (fun (i, fault) ->
+      let o = analyze_one ~policy t fault in
+      record i o;
+      (i, o))
+    pairs
 
 (* ------------------------------------------------------------------ *)
 (* Scheduling                                                          *)
@@ -400,7 +585,9 @@ let with_acc acc f =
   | None -> ()
   | Some a ->
     Mutex.lock a.lock;
-    (match f a with () -> Mutex.unlock a.lock | exception exn ->
+    (match f a with
+    | () -> Mutex.unlock a.lock
+    | exception exn ->
       Mutex.unlock a.lock;
       raise exn)
 
@@ -410,14 +597,14 @@ let with_acc acc f =
    cone locality (and cache evolution) of the sequential sweep — and
    pack whole groups into batches sized for roughly [domains * 8]
    steals. *)
-let site_batches ~domains faults =
+let site_batches ~domains indexed =
   let tbl = Hashtbl.create 97 in
-  List.iteri
-    (fun i fault ->
+  List.iter
+    (fun (i, fault) ->
       let key = Fault.sites fault in
       let prev = try Hashtbl.find tbl key with Not_found -> [] in
       Hashtbl.replace tbl key ((i, fault) :: prev))
-    faults;
+    indexed;
   let groups =
     Hashtbl.fold (fun key members acc -> (key, List.rev members) :: acc) tbl []
   in
@@ -427,7 +614,7 @@ let site_batches ~domains faults =
       (fun (_, a) (_, b) -> compare (fst (List.hd a)) (fst (List.hd b)))
       groups
   in
-  let n = List.length faults in
+  let n = List.length indexed in
   let target = max 1 (n / (max 1 domains * 8)) in
   let batches = ref [] and cur = ref [] and cur_n = ref 0 in
   let flush () =
@@ -448,9 +635,8 @@ let site_batches ~domains faults =
 
 let now = Unix.gettimeofday
 
-let analyze_stealing ?acc ~node_budget ~fault_budget ~max_retries ~domains t
-    faults =
-  let batches = site_batches ~domains faults in
+let analyze_stealing ?acc ~policy ~record ~domains t indexed =
+  let batches = site_batches ~domains indexed in
   let domains = min domains (max 1 (Array.length batches)) in
   let workers = ref [] in
   let init () =
@@ -462,7 +648,12 @@ let analyze_stealing ?acc ~node_budget ~fault_budget ~max_retries ~domains t
         t
       else begin
         let t0 = now () in
-        let w = create ~heuristic:t.heuristic ~lazily:true t.base in
+        (* Deterministic sweeps build every good function anyway (the
+           canonical collect), so laziness would only add noise. *)
+        let w =
+          create ~heuristic:t.heuristic ~lazily:(not policy.p_deterministic)
+            t.base
+        in
         with_acc acc (fun a -> a.acc_build <- a.acc_build +. (now () -. t0));
         w
       end
@@ -476,7 +667,9 @@ let analyze_stealing ?acc ~node_budget ~fault_budget ~max_retries ~domains t
     let out =
       Array.map
         (fun (i, fault) ->
-          (i, analyze_one ~node_budget ~fault_budget ~max_retries worker fault))
+          let o = analyze_one ~policy worker fault in
+          record i o;
+          (i, o))
         batch
     in
     let gc = worker.gc_time -. gc0 in
@@ -486,13 +679,32 @@ let analyze_stealing ?acc ~node_budget ~fault_budget ~max_retries ~domains t
         a.acc_collections <- a.acc_collections + (worker.gc_runs - n0));
     out
   in
-  let results = Parallel.steal_batches ~domains ~init ~process batches in
+  (* Per-batch watchdog, derived from the per-fault deadline: room for
+     the whole escalation ladder (1 + 2 + ... <= 2^(retries+1) times the
+     base deadline) on every fault, doubled again for GC/build/bounds
+     overhead, plus a constant floor.  The watchdog is for wedges, not
+     pacing — a healthy overrun merely gets duplicated, and the CAS
+     publish keeps the first result. *)
+  let batch_deadline =
+    match policy.p_deadline_ms with
+    | None -> None
+    | Some d ->
+      let per_fault =
+        d /. 1000.0 *. float_of_int (4 lsl policy.p_max_retries)
+      in
+      Some
+        (fun (batch : (int * Fault.t) array) ->
+          1.0 +. (per_fault *. float_of_int (Array.length batch)))
+  in
+  let results =
+    Parallel.steal_batches_supervised ~domains ?batch_deadline ~init ~process
+      batches
+  in
   with_acc acc (fun a ->
       List.iter
         (fun w -> a.acc_built <- a.acc_built + Symbolic.built_count w.sym)
         !workers);
-  (* Order-preserving merge: every outcome carries its input index.  A
-     batch contained as [Error] (its worker died outside the per-fault
+  (* A batch contained as [Error] (its worker died outside the per-fault
      isolation) is requeued on a fresh engine, mirroring the static
      path's shard supervision. *)
   let requeue exn batch =
@@ -500,33 +712,34 @@ let analyze_stealing ?acc ~node_budget ~fault_budget ~max_retries ~domains t
     | worker ->
       Array.map
         (fun (i, fault) ->
-          (i, analyze_one ~node_budget ~fault_budget ~max_retries worker fault))
+          let o = analyze_one ~policy worker fault in
+          record i o;
+          (i, o))
         batch
     | exception _ ->
       let message = Printexc.to_string exn in
-      Array.map (fun (i, fault) -> (i, Crashed { fault; message })) batch
+      Array.map
+        (fun (i, fault) ->
+          let o = Crashed { fault; message } in
+          record i o;
+          (i, o))
+        batch
   in
-  let merged = Array.make (List.length faults) None in
-  Array.iteri
-    (fun b res ->
-      let outcomes =
-        match res with Ok out -> out | Error exn -> requeue exn batches.(b)
-      in
-      Array.iter (fun (i, o) -> merged.(i) <- Some o) outcomes)
-    results;
-  Array.to_list merged
-  |> List.map (function
-       | Some o -> o
-       | None -> invalid_arg "Engine.analyze_stealing: lost outcome")
+  Array.to_list
+    (Array.concat
+       (Array.to_list
+          (Array.mapi
+             (fun b res ->
+               match res with
+               | Ok out -> out
+               | Error exn -> requeue exn batches.(b))
+             results)))
 
-let analyze_static ?acc ~node_budget ~fault_budget ~max_retries ~domains t
-    faults =
+let analyze_static ?acc ~policy ~record ~domains t indexed =
   if domains <= 1 then begin
     let t0 = now () in
     let gc0 = t.gc_time and n0 = t.gc_runs in
-    let outcomes =
-      analyze_outcomes_seq ~node_budget ~fault_budget ~max_retries t faults
-    in
+    let outcomes = analyze_indexed_seq ~policy ~record t indexed in
     let gc = t.gc_time -. gc0 in
     with_acc acc (fun a ->
         a.acc_analysis <- a.acc_analysis +. (now () -. t0) -. gc;
@@ -550,59 +763,105 @@ let analyze_static ?acc ~node_budget ~fault_budget ~max_retries ~domains t
         let t0 = now () in
         let worker = create ~heuristic:t.heuristic t.base in
         let t1 = now () in
-        let outcomes =
-          analyze_outcomes_seq ~node_budget ~fault_budget ~max_retries worker
-            shard
-        in
+        let outcomes = analyze_indexed_seq ~policy ~record worker shard in
         with_acc acc (fun a ->
             a.acc_build <- a.acc_build +. (t1 -. t0);
-            a.acc_analysis <- a.acc_analysis +. (now () -. t1) -. worker.gc_time;
+            a.acc_analysis <-
+              a.acc_analysis +. (now () -. t1) -. worker.gc_time;
             a.acc_gc <- a.acc_gc +. worker.gc_time;
             a.acc_collections <- a.acc_collections + worker.gc_runs;
             a.acc_built <- a.acc_built + Symbolic.built_count worker.sym);
         outcomes)
-      faults
+      indexed
     |> List.concat_map (fun (shard, res) ->
            match res with
            | Ok outcomes -> outcomes
            | Error exn -> (
              match create ~heuristic:t.heuristic t.base with
-             | worker ->
-               analyze_outcomes_seq ~node_budget ~fault_budget ~max_retries
-                 worker shard
+             | worker -> analyze_indexed_seq ~policy ~record worker shard
              | exception _ ->
                let message = Printexc.to_string exn in
-               List.map (fun fault -> Crashed { fault; message }) shard))
+               List.map
+                 (fun (i, fault) ->
+                   let o = Crashed { fault; message } in
+                   record i o;
+                   (i, o))
+                 shard))
 
 let analyze_all_impl ?acc ?(node_budget = default_node_budget) ?fault_budget
-    ?(max_retries = default_max_retries) ?(domains = 1)
-    ?(scheduler = Static) t faults =
-  let domains = max 1 domains in
-  match (scheduler, faults) with
-  | _, [] -> []
-  | Static, _ ->
-    analyze_static ?acc ~node_budget ~fault_budget ~max_retries ~domains t
-      faults
-  | Stealing, _ ->
-    analyze_stealing ?acc ~node_budget ~fault_budget ~max_retries ~domains t
-      faults
-
-let analyze_all ?node_budget ?fault_budget ?max_retries ?domains ?scheduler t
-    faults =
-  analyze_all_impl ?node_budget ?fault_budget ?max_retries ?domains ?scheduler
-    t faults
-
-let analyze_all_stats ?node_budget ?fault_budget ?max_retries
+    ?deadline_ms ?(max_retries = default_max_retries) ?(bounds = true)
+    ?(bound_samples = default_bound_samples) ?(deterministic = false) ?journal
     ?(domains = 1) ?(scheduler = Static) t faults =
+  let domains = max 1 domains in
+  let policy =
+    {
+      p_node_budget = node_budget;
+      p_fault_budget = fault_budget;
+      p_deadline_ms = deadline_ms;
+      p_max_retries = max_retries;
+      p_bounds = bounds;
+      p_bound_samples = bound_samples;
+      p_deterministic = deterministic;
+    }
+  in
+  let n = List.length faults in
+  if n = 0 then []
+  else begin
+    let indexed = List.mapi (fun i f -> (i, f)) faults in
+    (* Resume: already-journaled faults are never re-analysed — their
+       outcomes merge back verbatim, so a resumed sweep matches the
+       uninterrupted one bit for bit (in deterministic mode). *)
+    let skipped, todo =
+      match journal with
+      | None -> ([], indexed)
+      | Some j ->
+        List.partition_map
+          (fun (i, f) ->
+            match j.skip i with
+            | Some o -> Either.Left (i, o)
+            | None -> Either.Right (i, f))
+          indexed
+    in
+    let record =
+      match journal with None -> fun _ _ -> () | Some j -> j.record
+    in
+    let computed =
+      match (scheduler, todo) with
+      | _, [] -> []
+      | Static, _ -> analyze_static ?acc ~policy ~record ~domains t todo
+      | Stealing, _ -> analyze_stealing ?acc ~policy ~record ~domains t todo
+    in
+    let merged = Array.make n None in
+    List.iter (fun (i, o) -> merged.(i) <- Some o) skipped;
+    List.iter (fun (i, o) -> merged.(i) <- Some o) computed;
+    Array.to_list merged
+    |> List.map (function
+         | Some o -> o
+         | None -> invalid_arg "Engine.analyze_all: lost outcome")
+  end
+
+let analyze_all ?node_budget ?fault_budget ?deadline_ms ?max_retries ?bounds
+    ?bound_samples ?deterministic ?journal ?domains ?scheduler t faults =
+  analyze_all_impl ?node_budget ?fault_budget ?deadline_ms ?max_retries
+    ?bounds ?bound_samples ?deterministic ?journal ?domains ?scheduler t
+    faults
+
+let analyze_all_stats ?node_budget ?fault_budget ?deadline_ms ?max_retries
+    ?bounds ?bound_samples ?deterministic ?journal ?(domains = 1)
+    ?(scheduler = Static) t faults =
   let acc = fresh_acc () in
   let outcomes =
-    analyze_all_impl ~acc ?node_budget ?fault_budget ?max_retries ~domains
-      ~scheduler t faults
+    analyze_all_impl ~acc ?node_budget ?fault_budget ?deadline_ms ?max_retries
+      ?bounds ?bound_samples ?deterministic ?journal ~domains ~scheduler t
+      faults
   in
   let batch_count =
     match scheduler with
     | Static -> min (max 1 domains) (max 1 (List.length faults))
-    | Stealing -> Array.length (site_batches ~domains:(max 1 domains) faults)
+    | Stealing ->
+      Array.length
+        (site_batches ~domains:(max 1 domains)
+           (List.mapi (fun i f -> (i, f)) faults))
   in
   ( outcomes,
     {
@@ -617,10 +876,11 @@ let analyze_all_stats ?node_budget ?fault_budget ?max_retries
     } )
 
 let analyze_exact ?node_budget ?domains ?scheduler t faults =
-  analyze_all ?node_budget ?domains ?scheduler t faults
+  analyze_all ?node_budget ~bounds:false ?domains ?scheduler t faults
   |> List.map (function
        | Exact r -> r
-       | (Budget_exceeded _ | Crashed _) as o ->
+       | (Bounded _ | Budget_exceeded _ | Deadline_exceeded _ | Crashed _) as o
+         ->
          failwith
            ("Engine.analyze_exact: degraded fault: "
            ^ outcome_to_string t.base o))

@@ -86,14 +86,48 @@ val analyze : t -> Fault.t -> result
     A sweep over thousands of faults must survive the one fault whose
     difference BDD explodes (or whose description is malformed): one bad
     fault may not abort the run and discard every finished result.
-    Every fault therefore comes back as a structured {!outcome}. *)
+    Every fault therefore comes back as a structured {!outcome}, and the
+    degradation ladder is {e exact -> retry -> bounded}: a fault that
+    exhausts its budget/deadline and its escalated retries still gets a
+    numeric answer — sound detectability bounds — instead of a bare
+    failure marker. *)
 
-type outcome =
-  | Exact of result  (** the analysis completed; statistics are exact *)
-  | Budget_exceeded of { fault : Fault.t; nodes : int; budget : int }
+type degrade_reason =
+  | Over_budget of { nodes : int; budget : int }
       (** the per-fault BDD allocation budget blew mid-apply, after
           [nodes] fresh nodes against a cap of [budget] (the cap of the
           final, escalated attempt) *)
+  | Over_deadline of { deadline_ms : float }
+      (** the per-fault wall-clock deadline (of the final, escalated
+          attempt) expired mid-apply; no elapsed time is recorded so the
+          payload stays reproducible *)
+
+type outcome =
+  | Exact of result  (** the analysis completed; statistics are exact *)
+  | Bounded of {
+      fault : Fault.t;
+      lower : float;  (** Wilson lower confidence bound (z = 5) *)
+      upper : float;  (** Wilson upper confidence bound (z = 5) *)
+      syndrome_bound : float;
+          (** the paper's excitation upper bound, computed exactly on
+              the cached good functions (1.0 when even that blew a
+              probe budget) *)
+      samples : int;  (** random vectors simulated for the interval *)
+      reason : degrade_reason;
+    }
+      (** exact analysis degraded, but the fault still has a numeric
+          answer: the true detectability lies in
+          [lower, min upper syndrome_bound] (up to the ~6e-7 Wilson
+          miss probability; [syndrome_bound] is unconditionally sound) *)
+  | Budget_exceeded of { fault : Fault.t; nodes : int; budget : int }
+      (** budget blown and bounded estimation disabled or impossible *)
+  | Deadline_exceeded of {
+      fault : Fault.t;
+      elapsed_ms : float;
+      deadline_ms : float;
+    }
+      (** deadline expired and bounded estimation disabled or
+          impossible *)
   | Crashed of { fault : Fault.t; message : string }
       (** the analysis raised; [message] is the printed exception *)
 
@@ -107,17 +141,58 @@ val exact_results : outcome list -> result list
 val degraded : outcome list -> outcome list
 (** The non-[Exact] outcomes, input order kept. *)
 
+val outcome_bounds : outcome -> (float * float) option
+(** Detectability interval an outcome certifies: exact point for
+    [Exact], [lower, min upper syndrome_bound] for [Bounded], [None]
+    when the outcome carries no numeric answer. *)
+
 val outcome_to_string : Circuit.t -> outcome -> string
 (** One-line description for logs and summaries.  Never raises, even on
     faults naming nonexistent nets. *)
 
-val analyze_protected : ?fault_budget:int -> t -> Fault.t -> outcome
+val degrade_reason_to_string : degrade_reason -> string
+(** One-line description of why an exact analysis was abandoned. *)
+
+val wilson_interval : z:float -> int -> int -> float * float
+(** [wilson_interval ~z hits samples] is the Wilson score confidence
+    interval for a binomial proportion, clamped to [0, 1]; the endpoints
+    are pinned to exactly 0 / 1 when the sample is one-sided.
+    [(0, 1)] when [samples = 0].
+    @raise Invalid_argument unless [0 <= hits <= samples]. *)
+
+val default_bound_samples : int
+(** Random vectors drawn per bounded-degradation estimate (4096) when
+    [?bound_samples] is left to default. *)
+
+val analyze_protected :
+  ?fault_budget:int -> ?deadline_ms:float -> t -> Fault.t -> outcome
 (** {!analyze} with per-fault isolation: an exception becomes [Crashed]
-    and, when [fault_budget] is given, the analysis runs inside
-    {!Bdd.with_budget} so a blown budget is caught {e mid-apply} as
-    [Budget_exceeded] instead of growing the arena unboundedly.  The
-    engine survives either way (scratch state is restored, the arena
-    stays consistent). *)
+    and, when [fault_budget] / [deadline_ms] are given, the analysis
+    runs inside {!Bdd.with_budget} / {!Bdd.with_deadline} so a blown
+    budget or expired deadline is caught {e mid-apply} as
+    [Budget_exceeded] / [Deadline_exceeded] instead of growing the
+    arena unboundedly or wedging the caller.  The engine survives either
+    way (scratch state is restored, the arena stays consistent).  No
+    retries and no bounded fallback — this is one bare attempt. *)
+
+(** {1 Checkpoint journaling}
+
+    {!analyze_all} accepts a journal interface so long sweeps survive
+    kills: every completed outcome is reported through [record] the
+    moment it exists (from whichever domain computed it — implementations
+    must synchronize), and faults whose index [skip] answers are never
+    re-analysed, their outcomes merging back verbatim.  See the
+    [Journal] module for the JSON-lines file implementation. *)
+
+type journal = {
+  skip : int -> outcome option;
+      (** [skip i] = the journaled outcome of fault [i], or [None] to
+          analyse it *)
+  record : int -> outcome -> unit;
+      (** called once per computed fault, in completion order; may be
+          called from worker domains concurrently, and more than once
+          for a fault the watchdog re-executed (last call wins) *)
+}
 
 (** {1 Sweep scheduling} *)
 
@@ -152,7 +227,12 @@ type sweep_stats = {
 val analyze_all :
   ?node_budget:int ->
   ?fault_budget:int ->
+  ?deadline_ms:float ->
   ?max_retries:int ->
+  ?bounds:bool ->
+  ?bound_samples:int ->
+  ?deterministic:bool ->
+  ?journal:journal ->
   ?domains:int ->
   ?scheduler:scheduler ->
   t ->
@@ -166,13 +246,36 @@ val analyze_all :
     collected in place ({!collect}): good functions and their memoised
     statistics survive, dead intermediates go.  [fault_budget]
     (default: none) additionally caps the fresh allocations of each
-    single fault's analysis.
+    single fault's analysis, and [deadline_ms] (default: none) caps its
+    wall-clock time — the cooperative in-apply deadline that keeps one
+    pathological cone from wedging a worker.
 
     Failed faults are retried with an escalating policy: up to
     [max_retries] (default 2) re-runs, each on a freshly rebuilt
-    manager, with the per-fault budget doubled every round (2x, 4x, ...)
-    — a fault that only blew its budget through bad luck or a tight cap
-    recovers to [Exact]; a deterministic crash stays [Crashed].
+    manager, with the per-fault budget and deadline doubled every round
+    (2x, 4x, ...) — a fault that only blew a tight cap recovers to
+    [Exact]; a deterministic crash stays [Crashed].  When the ladder is
+    exhausted and [bounds] is true (the default), the fault degrades to
+    {!Bounded} instead: the paper's syndrome upper bound is computed on
+    the cached good functions (under a probe budget — 1.0 if even that
+    blows) and a Wilson interval is estimated from [bound_samples]
+    (default 4096) random simulation vectors with a per-fault
+    deterministic seed, so every fault of every sweep gets a numeric
+    answer.  [~bounds:false] restores the bare
+    [Budget_exceeded]/[Deadline_exceeded] markers.
+
+    [deterministic] (default false) makes degradation {e classification}
+    reproducible: before every fault, all good functions are forced and
+    the arena is collected down to its canonical form, so whether a
+    borderline fault blows its budget no longer depends on arena
+    history — outcomes become bit-identical across schedulers, domain
+    counts and {!journal} resume points (the property checkpoint/resume
+    relies on).  Costs one collection per fault; deadline expiry remains
+    wall-clock-dependent.
+
+    [journal] (default: none) is the checkpoint hook: journaled faults
+    are skipped and merged verbatim, fresh completions are reported as
+    they happen (see {!journal}).
 
     [domains] (default 1) fans the sweep out over that many OCaml
     domains under the chosen [scheduler] (default {!Static}).  Each
@@ -183,20 +286,30 @@ val analyze_all :
     contiguous chunks fixed up front; {!Stealing} groups faults by
     fault-site cone into batches that idle domains steal from a shared
     queue, with lazily-built workers that only elaborate the good
-    functions their batches touch.  Workers are supervised either way: a
-    shard or batch that dies wholesale is requeued through the
+    functions their batches touch.  Workers are supervised either way —
+    a shard or batch that dies wholesale is requeued through the
     sequential retry path, surviving work keeps its results, and every
-    spawned domain is joined.  Outcomes merge back in input order; every
-    [Exact] outcome is bit-identical to a sequential run — ROBDDs are
-    canonical under a fixed variable order, so every statistic is
-    manager-independent.  (Whether a {e borderline} fault degrades can
-    depend on arena history and hence on scheduling; the exact
+    spawned domain is joined — and with [deadline_ms] set the stealing
+    queue additionally runs a watchdog: a batch held past its wall-clock
+    allowance (the full escalation ladder plus slack) is re-executed on
+    an idle survivor, first published result winning, so the sweep
+    drains even while one domain is stuck in a pathological cone.
+    Outcomes merge back in input order; every [Exact] outcome is
+    bit-identical to a sequential run — ROBDDs are canonical under a
+    fixed variable order, so every statistic is manager-independent.
+    (Whether a {e borderline} fault degrades can depend on arena history
+    and hence on scheduling — unless [deterministic] is set; the exact
     statistics never do.) *)
 
 val analyze_all_stats :
   ?node_budget:int ->
   ?fault_budget:int ->
+  ?deadline_ms:float ->
   ?max_retries:int ->
+  ?bounds:bool ->
+  ?bound_samples:int ->
+  ?deterministic:bool ->
+  ?journal:journal ->
   ?domains:int ->
   ?scheduler:scheduler ->
   t ->

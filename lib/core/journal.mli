@@ -1,0 +1,86 @@
+(** JSON-lines sweep checkpoints: crash-durable {!Engine.outcome}
+    journals keyed by a circuit + fault-list digest.
+
+    A journal file is one header line
+
+    {v {"journal":"dpa-sweep","version":1,"digest":"<md5hex>","faults":N} v}
+
+    followed by one flat JSON object per completed fault, appended in
+    completion order and fsync'd in batches.  Files are append-only, so
+    a SIGKILL mid-sweep can at worst tear the final line; {!load}
+    tolerates exactly that (it stops at the first unparseable line and
+    keeps everything before it) while rejecting journals written for a
+    different circuit or fault list.  Floats are serialized as ["%h"]
+    hex-float strings, which [float_of_string] restores bit-exactly —
+    the property that makes a killed-and-resumed sweep's final report
+    byte-identical to an uninterrupted one. *)
+
+val digest : Circuit.t -> Fault.t list -> string
+(** MD5 hex digest of the circuit's canonical [.bench] rendering plus a
+    structural key per fault, in list order.  Two sweeps share a digest
+    exactly when they analyze the same fault list on the same circuit —
+    index [i] then refers to the same fault in both, which is what makes
+    journaled outcomes safe to reuse. *)
+
+(** {1 Writing} *)
+
+type sink
+(** An open journal being appended to.  Appends are mutex-protected, so
+    worker domains may record outcomes concurrently. *)
+
+val create :
+  ?sync_every:int -> path:string -> digest:string -> faults:int -> unit -> sink
+(** Truncate [path], write the header line, fsync, and return a sink for
+    appending.  [sync_every] (default 32) is the number of appended
+    outcomes between [fsync] batches — smaller is more crash-durable,
+    larger is cheaper. *)
+
+val reopen : ?sync_every:int -> path:string -> unit -> sink
+(** Open an existing journal for appending (resume).  The caller is
+    expected to have validated the file with {!load} first; no header is
+    written. *)
+
+val append : sink -> int -> Engine.outcome -> unit
+(** Append one outcome line for fault index [i].  Thread-safe; flushed
+    and fsync'd every [sync_every] appends.  Appending the same index
+    twice is legal — {!load} keeps the later entry (watchdog
+    re-executions under the stealing scheduler can record twice). *)
+
+val close : sink -> unit
+(** Flush, fsync, and close. *)
+
+(** {1 Reading} *)
+
+val load :
+  path:string ->
+  digest:string ->
+  faults:Fault.t array ->
+  ((int, Engine.outcome) Hashtbl.t, string) result
+(** Parse a journal back into an index → outcome table.
+    [Error reason] when the file is unreadable, its header is corrupt,
+    its version is unsupported, or its digest / fault count disagree
+    with [digest] / [faults] — a stale journal is never silently
+    reused.  Entry lines after the header are absorbed in order with
+    last-entry-wins; the first unparseable entry line is treated as the
+    torn tail of a kill and loading stops there, keeping every line
+    before it. *)
+
+val engine_journal :
+  ?sink:sink -> (int, Engine.outcome) Hashtbl.t -> Engine.journal
+(** Bridge to {!Engine.analyze_all}'s [?journal] hook: [skip] consults
+    the table, [record] appends to [sink] (or does nothing when [sink]
+    is absent — useful for replay without rewriting). *)
+
+(** {1 Line format} *)
+
+val header_line : digest:string -> faults:int -> string
+(** The header object (no trailing newline). *)
+
+val outcome_line : int -> Engine.outcome -> string
+(** One outcome as its journal line (no trailing newline) — also the
+    per-fault record format of [dpa analyze --json]. *)
+
+val outcome_of_line :
+  faults:Fault.t array -> string -> (int * Engine.outcome) option
+(** Parse one entry line; [None] on a torn or foreign line.  The fault
+    payload of the outcome is reconstructed from [faults.(i)]. *)

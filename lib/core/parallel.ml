@@ -107,3 +107,89 @@ let steal_batches ?domains ~init ~process batches =
         | None -> Error (Failure "Parallel.steal_batches: batch never ran"))
       results
   end
+
+(* Work stealing with a watchdog.  OCaml domains cannot be killed, so
+   supervision is by *duplication*, not preemption: every batch records
+   the wall-clock instant it was claimed, and a worker that finds the
+   queue empty patrols the claim table instead of exiting — a batch
+   whose claimant has held it longer than its per-batch deadline is
+   re-executed on the idle worker, first published result wins (CAS), so
+   a worker wedged in one pathological batch can no longer stall the
+   rest of the sweep.  The wedged domain itself must still come home
+   before the join returns — callers bound that with a cooperative
+   in-computation deadline (e.g. [Bdd.with_deadline]); the rescue only
+   stops its victim's remaining work from waiting on it. *)
+let steal_batches_supervised ?domains ?batch_deadline ~init ~process batches =
+  match batch_deadline with
+  | None -> steal_batches ?domains ~init ~process batches
+  | Some deadline_of ->
+    let n = Array.length batches in
+    let domains =
+      match domains with Some d -> max 1 d | None -> available_domains ()
+    in
+    let domains = min domains (max 1 n) in
+    if n = 0 then [||]
+    else begin
+      let results = Array.init n (fun _ -> Atomic.make None) in
+      (* neg_infinity = never claimed (the counter will hand it out). *)
+      let claimed_at = Array.init n (fun _ -> Atomic.make neg_infinity) in
+      let next = Atomic.make 0 in
+      let completed = Atomic.make 0 in
+      let attempt state i =
+        Atomic.set claimed_at.(i) (Unix.gettimeofday ());
+        let r = try Ok (process state batches.(i)) with exn -> Error exn in
+        if Atomic.compare_and_set results.(i) None (Some r) then
+          ignore (Atomic.fetch_and_add completed 1)
+      in
+      let run () =
+        let state = init () in
+        let rec drain () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            attempt state i;
+            drain ()
+          end
+          else patrol ()
+        and patrol () =
+          if Atomic.get completed < n then begin
+            let now = Unix.gettimeofday () in
+            let rescued = ref false in
+            for i = 0 to n - 1 do
+              if (not !rescued) && Option.is_none (Atomic.get results.(i))
+              then begin
+                let t0 = Atomic.get claimed_at.(i) in
+                if
+                  t0 > neg_infinity
+                  && now -. t0 > deadline_of batches.(i)
+                  (* The CAS both elects one rescuer and restarts the
+                     batch's clock, so rescuers don't pile on. *)
+                  && Atomic.compare_and_set claimed_at.(i) t0 now
+                then begin
+                  rescued := true;
+                  attempt state i
+                end
+              end
+            done;
+            if not !rescued then Unix.sleepf 0.002;
+            patrol ()
+          end
+        in
+        drain ()
+      in
+      (if domains = 1 then run ()
+       else begin
+         let spawned =
+           List.init (domains - 1) (fun _ ->
+               Domain.spawn (fun () -> try run () with _ -> ()))
+         in
+         let caller = (try run (); None with exn -> Some exn) in
+         List.iter Domain.join spawned;
+         match caller with Some exn -> raise exn | None -> ()
+       end);
+      Array.map
+        (fun cell ->
+          match Atomic.get cell with
+          | Some r -> r
+          | None -> Error (Failure "Parallel.steal_batches: batch never ran"))
+        results
+    end

@@ -37,6 +37,26 @@ val steal_batches :
     [domains] defaults to {!available_domains} and is capped by the
     batch count; [1] steals on the calling domain with no spawn. *)
 
+val steal_batches_supervised :
+  ?domains:int ->
+  ?batch_deadline:('a -> float) ->
+  init:(unit -> 'w) ->
+  process:('w -> 'a -> 'b) ->
+  'a array ->
+  ('b, exn) result array
+(** {!steal_batches} with a watchdog.  [batch_deadline batch] is the
+    wall-clock seconds the batch may be held by one worker; a worker
+    that finds the queue empty patrols the claim table instead of
+    exiting, and re-executes any unfinished batch held past its deadline
+    — the first published result wins, duplicates are discarded, so the
+    result array is filled even while one domain is wedged in a
+    pathological batch.  Duplication, not preemption: OCaml domains
+    cannot be killed, so the overdue claimant keeps running and the
+    final join still waits for it to come home — bound the wedge itself
+    with a cooperative deadline inside [process] (see
+    [Bdd.with_deadline]).  Without [batch_deadline] this is exactly
+    {!steal_batches}. *)
+
 val map_chunked_outcomes :
   ?domains:int ->
   ('a list -> 'b list) ->

@@ -55,8 +55,8 @@ let exhaustive_test_set c fault =
       collect 0 acc)
   |> List.rev
 
-let estimated_detectability ~seed ~patterns c fault =
-  if patterns <= 0 then invalid_arg "Fault_sim.estimated_detectability";
+let sample_detections ~seed ~patterns c fault =
+  if patterns <= 0 then invalid_arg "Fault_sim.sample_detections";
   let rng = Prng.create ~seed in
   let n = Circuit.num_inputs c in
   let words = (patterns + 63) / 64 in
@@ -65,7 +65,11 @@ let estimated_detectability ~seed ~patterns c fault =
     let inputs = Array.init n (fun _ -> Prng.word rng) in
     hits := !hits + Logic_sim.popcount (Logic_sim.detect_word c fault inputs)
   done;
-  float_of_int !hits /. float_of_int (words * 64)
+  (!hits, words * 64)
+
+let estimated_detectability ~seed ~patterns c fault =
+  let hits, applied = sample_detections ~seed ~patterns c fault in
+  float_of_int hits /. float_of_int applied
 
 type coverage_point = {
   patterns_applied : int;

@@ -16,6 +16,14 @@ val exhaustive_detectability : Circuit.t -> Fault.t -> float
 val exhaustive_test_set : Circuit.t -> Fault.t -> bool array list
 (** Every detecting vector, in pattern-number order. *)
 
+val sample_detections :
+  seed:int -> patterns:int -> Circuit.t -> Fault.t -> int * int
+(** [(hits, applied)] from simulating [patterns] uniform random vectors
+    (rounded up to whole 64-pattern words — [applied] is the rounded
+    count).  Vectors are drawn independently with replacement, so [hits]
+    is a binomial sample of the true detectability — the raw material
+    for confidence intervals.  Deterministic in [seed]. *)
+
 val estimated_detectability :
   seed:int -> patterns:int -> Circuit.t -> Fault.t -> float
 (** Monte-Carlo estimate of detectability from uniform random patterns

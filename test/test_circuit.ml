@@ -162,6 +162,50 @@ let test_parse_errors () =
   check bool_t "two args to INPUT" true (expect_parse_error "INPUT(a, b)\n");
   check bool_t "input as gate" true (expect_parse_error "x = INPUT(a)\n")
 
+let parse_error_at text =
+  try
+    ignore (Bench_format.parse ~title:"bad" text);
+    None
+  with Bench_format.Parse_error (line, msg) -> Some (line, msg)
+
+let test_duplicate_definition_diagnosed () =
+  (* The second driver is the error, and the diagnostic names the line
+     of the first so the user can pick which to keep. *)
+  (match
+     parse_error_at "INPUT(a)\nINPUT(b)\ng1 = AND(a, b)\ng1 = OR(a, b)\nOUTPUT(g1)\n"
+   with
+  | Some (4, msg) ->
+    check bool_t "message names the net and first line" true
+      (msg = "duplicate definition of net \"g1\" (first defined at line 3)")
+  | Some (line, msg) ->
+    Alcotest.fail (Printf.sprintf "wrong diagnostic %d: %s" line msg)
+  | None -> Alcotest.fail "duplicate gate definition accepted");
+  (* INPUT repeated, and INPUT colliding with a gate, are the same bug. *)
+  check bool_t "duplicate INPUT rejected" true
+    (parse_error_at "INPUT(a)\nINPUT(a)\ny = NOT(a)\nOUTPUT(y)\n"
+    = Some (2, "duplicate definition of net \"a\" (first defined at line 1)"));
+  check bool_t "gate redefining an INPUT rejected" true
+    (parse_error_at "INPUT(a)\na = NOT(a)\nOUTPUT(a)\n"
+    = Some (2, "duplicate definition of net \"a\" (first defined at line 1)"))
+
+let test_undriven_net_diagnosed () =
+  (* A fanin that nothing drives, reported at its first use. *)
+  (match parse_error_at "INPUT(a)\ng1 = AND(a, phantom)\nOUTPUT(g1)\n" with
+  | Some (2, msg) ->
+    check bool_t "message names the net" true
+      (msg = "net \"phantom\" is used but never driven")
+  | Some (line, msg) ->
+    Alcotest.fail (Printf.sprintf "wrong diagnostic %d: %s" line msg)
+  | None -> Alcotest.fail "undriven fanin accepted");
+  (* An OUTPUT that nothing drives. *)
+  check bool_t "undriven OUTPUT rejected" true
+    (parse_error_at "INPUT(a)\nOUTPUT(ghost)\ny = NOT(a)\n"
+    = Some (2, "net \"ghost\" is used but never driven"));
+  (* Forward references stay legal: a net may be used before the line
+     that drives it. *)
+  check bool_t "forward reference still parses" true
+    (parse_error_at "INPUT(a)\ny = NOT(z)\nz = NOT(a)\nOUTPUT(y)\n" = None)
+
 let test_parse_aliases_and_comments () =
   let c =
     Bench_format.parse ~title:"alias"
@@ -547,6 +591,10 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_parse_print_roundtrip;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "duplicate definitions diagnosed with lines"
+            `Quick test_duplicate_definition_diagnosed;
+          Alcotest.test_case "undriven nets diagnosed with lines" `Quick
+            test_undriven_net_diagnosed;
           Alcotest.test_case "aliases and comments" `Quick
             test_parse_aliases_and_comments;
         ] );

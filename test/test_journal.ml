@@ -1,0 +1,314 @@
+(* Checkpoint/resume: JSON-lines journal round trips every outcome
+   variant bit-exactly, stale journals are rejected, torn tails are
+   tolerated, and — the acceptance property — a sweep killed at any
+   point and resumed from its journal produces outcomes bit-identical
+   to an uninterrupted run, whatever scheduler or domain count either
+   side used. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+let with_temp_file f =
+  let path = Filename.temp_file "dpa-journal" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with _ -> ()) (fun () -> f path)
+
+(* ------------------------------------------------------------------ *)
+(* Line round trip                                                     *)
+
+let awkward = 0.1 +. (1.0 /. 3.0)
+
+let sample_result fault =
+  {
+    Engine.fault;
+    detectability = awkward;
+    test_count = 12345678.0;
+    detectable = true;
+    pos_fed = 3;
+    pos_observed = 2;
+    upper_bound = 0.7;
+    adherence = Some (awkward /. 7.0);
+    wired_support = None;
+    test_set_nodes = 41;
+  }
+
+let test_roundtrip_all_variants () =
+  let c = Bench_suite.find "c17" in
+  let faults =
+    Array.of_list
+      (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
+  in
+  let outcomes =
+    [
+      Engine.Exact (sample_result faults.(0));
+      Engine.Exact
+        {
+          (sample_result faults.(1)) with
+          Engine.detectable = false;
+          adherence = None;
+          wired_support = Some 2;
+        };
+      Engine.Bounded
+        {
+          fault = faults.(2);
+          lower = 0.0;
+          upper = Float.succ 0.25 (* not representable in decimal *);
+          syndrome_bound = 0.5;
+          samples = 4096;
+          reason = Engine.Over_budget { nodes = 17; budget = 16 };
+        };
+      Engine.Bounded
+        {
+          fault = faults.(3);
+          lower = awkward /. 11.0;
+          upper = 1.0;
+          syndrome_bound = 1.0;
+          samples = 64;
+          reason = Engine.Over_deadline { deadline_ms = 12.5 };
+        };
+      Engine.Budget_exceeded { fault = faults.(4); nodes = 9; budget = 8 };
+      Engine.Deadline_exceeded
+        { fault = faults.(5); elapsed_ms = 3.25; deadline_ms = 3.0 };
+      Engine.Crashed
+        { fault = faults.(6); message = "quotes \" and\nnewlines\tand \\" };
+    ]
+  in
+  List.iteri
+    (fun i o ->
+      let line = Journal.outcome_line i o in
+      match Journal.outcome_of_line ~faults line with
+      | Some (i', o') ->
+        check Alcotest.int "index survives" i i';
+        check bool_t "outcome bit-identical after round trip" true (o = o')
+      | None -> Alcotest.fail ("line did not parse back: " ^ line))
+    outcomes
+
+(* ------------------------------------------------------------------ *)
+(* Journal validation                                                  *)
+
+let stuck_faults c =
+  List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+
+let test_stale_journal_rejected () =
+  let c17 = Bench_suite.find "c17" and c95 = Bench_suite.find "c95" in
+  let f17 = stuck_faults c17 and f95 = stuck_faults c95 in
+  with_temp_file (fun path ->
+      let sink =
+        Journal.create ~path ~digest:(Journal.digest c17 f17)
+          ~faults:(List.length f17) ()
+      in
+      Journal.append sink 0
+        (Engine.Crashed { fault = List.hd f17; message = "x" });
+      Journal.close sink;
+      (* Same file, same fault count requested, different circuit. *)
+      (match
+         Journal.load ~path ~digest:(Journal.digest c95 f95)
+           ~faults:(Array.of_list f17)
+       with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "digest mismatch accepted");
+      (* Right digest, wrong fault count. *)
+      (match
+         Journal.load ~path ~digest:(Journal.digest c17 f17)
+           ~faults:(Array.of_list (List.tl f17))
+       with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "fault-count mismatch accepted");
+      (* The honest load works and holds the entry. *)
+      match
+        Journal.load ~path ~digest:(Journal.digest c17 f17)
+          ~faults:(Array.of_list f17)
+      with
+      | Ok table -> check Alcotest.int "one entry" 1 (Hashtbl.length table)
+      | Error msg -> Alcotest.fail msg)
+
+let test_corrupt_header_rejected () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc "not json at all\n";
+      close_out oc;
+      match Journal.load ~path ~digest:"d" ~faults:[||] with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "corrupt header accepted")
+
+let test_torn_tail_and_duplicates () =
+  let c = Bench_suite.find "c17" in
+  let faults = stuck_faults c in
+  let arr = Array.of_list faults in
+  let digest = Journal.digest c faults in
+  let wrong = Engine.Crashed { fault = arr.(0); message = "superseded" } in
+  let right = Engine.Exact (sample_result arr.(0)) in
+  with_temp_file (fun path ->
+      let sink =
+        Journal.create ~path ~digest ~faults:(List.length faults) ()
+      in
+      Journal.append sink 0 wrong;
+      Journal.append sink 0 right;
+      Journal.append sink 1 (Engine.Exact (sample_result arr.(1)));
+      Journal.close sink;
+      (* Tear the file mid-way through the final line, as SIGKILL under
+         a buffered writer would. *)
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let cut = String.length text - 25 in
+      let oc = open_out_bin path in
+      output_string oc (String.sub text 0 cut);
+      close_out oc;
+      match Journal.load ~path ~digest ~faults:arr with
+      | Error msg -> Alcotest.fail msg
+      | Ok table ->
+        check bool_t "index 1's torn line dropped" true
+          (not (Hashtbl.mem table 1));
+        check bool_t "later duplicate wins for index 0" true
+          (Hashtbl.find_opt table 0 = Some right))
+
+(* ------------------------------------------------------------------ *)
+(* Kill-and-resume bit-identity                                        *)
+
+(* Stuck + bridge + multiple faults, as the scheduler tests use. *)
+let mixed_faults rng c =
+  let n = Circuit.num_gates c in
+  let stucks = stuck_faults c in
+  let bridges =
+    Bridge.enumerate c
+    |> List.filteri (fun i _ -> i mod 7 = Prng.int rng 7)
+    |> List.map (fun b -> Fault.Bridged b)
+  in
+  let multis =
+    List.init 2 (fun _ ->
+        let a = Prng.int rng n in
+        let b = (a + 1 + Prng.int rng (n - 1)) mod n in
+        Fault.multi [ (a, Prng.bool rng); (b, Prng.bool rng) ])
+  in
+  stucks @ bridges @ multis
+
+let scheduler_of rng =
+  if Prng.bool rng then Engine.Static else Engine.Stealing
+
+(* Reference sweep, then a "killed" journal holding an arbitrary subset
+   of its outcomes (plus a torn line), then a resumed sweep under a
+   different scheduler/domain draw.  Deterministic mode pins budget
+   classification to the canonical arena, so the merged outcome list
+   must equal the reference bit for bit. *)
+let kill_resume_prop seed =
+  let rng = Prng.create ~seed:(seed + 9000) in
+  let c =
+    Generate.random ~seed:(seed + 1) ~inputs:(5 + Prng.int rng 3)
+      ~gates:(10 + Prng.int rng 15)
+      ~outputs:(1 + Prng.int rng 3)
+  in
+  let faults = mixed_faults rng c in
+  let n = List.length faults in
+  let arr = Array.of_list faults in
+  let digest = Journal.digest c faults in
+  let fault_budget = 40 + Prng.int rng 150 in
+  let sweep ?journal () =
+    Engine.analyze_all ~fault_budget ~max_retries:1 ~deterministic:true
+      ?journal
+      ~scheduler:(scheduler_of rng)
+      ~domains:(1 + Prng.int rng 3)
+      (Engine.create c) faults
+  in
+  let reference = sweep () in
+  let cut = Prng.int rng (n + 1) in
+  with_temp_file (fun path ->
+      let sink = Journal.create ~path ~digest ~faults:n () in
+      List.iteri
+        (fun i o -> if i < cut then Journal.append sink i o)
+        reference;
+      Journal.close sink;
+      (* Torn tail: half of the next outcome's line. *)
+      if cut < n then begin
+        let line = Journal.outcome_line cut (List.nth reference cut) in
+        let oc =
+          open_out_gen [ Open_append; Open_wronly ] 0o644 path
+        in
+        output_string oc (String.sub line 0 (String.length line / 2));
+        close_out oc
+      end;
+      match Journal.load ~path ~digest ~faults:arr with
+      | Error msg -> Alcotest.fail msg
+      | Ok table ->
+        let resumed = sweep ~journal:(Journal.engine_journal table) () in
+        resumed = reference)
+
+let prop_kill_resume_bit_identical =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:15
+       ~name:
+         "journal kill-and-resume = uninterrupted sweep (random circuits, \
+          fault mixes, schedulers, cut points)"
+       QCheck.small_nat kill_resume_prop)
+
+(* The same end to end through the file-recording path: a journaled c17
+   sweep, the file truncated at an arbitrary byte past the header, a
+   resumed journaled sweep — outcome lists bit-identical. *)
+let test_file_truncation_resume () =
+  let c = Bench_suite.find "c17" in
+  let faults = stuck_faults c in
+  let arr = Array.of_list faults in
+  let digest = Journal.digest c faults in
+  let n = List.length faults in
+  with_temp_file (fun path ->
+      let run ~resume_table =
+        let sink =
+          match resume_table with
+          | None -> Journal.create ~path ~digest ~faults:n ()
+          | Some _ -> Journal.reopen ~path ()
+        in
+        let table =
+          Option.value resume_table ~default:(Hashtbl.create 1)
+        in
+        let outcomes =
+          Engine.analyze_all ~fault_budget:60 ~max_retries:0
+            ~deterministic:true
+            ~journal:(Journal.engine_journal ~sink table)
+            (Engine.create c) faults
+        in
+        Journal.close sink;
+        outcomes
+      in
+      let reference = run ~resume_table:None in
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let header_len = String.index text '\n' + 1 in
+      let cut = header_len + ((String.length text - header_len) * 3 / 5) in
+      let oc = open_out_bin path in
+      output_string oc (String.sub text 0 cut);
+      close_out oc;
+      match Journal.load ~path ~digest ~faults:arr with
+      | Error msg -> Alcotest.fail msg
+      | Ok table ->
+        check bool_t "truncation left a proper subset" true
+          (Hashtbl.length table < n);
+        let resumed = run ~resume_table:(Some table) in
+        check bool_t "resumed sweep bit-identical to uninterrupted" true
+          (resumed = reference))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "journal"
+    [
+      ( "line format",
+        [
+          Alcotest.test_case "every outcome variant round trips bit-exactly"
+            `Quick test_roundtrip_all_variants;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "stale digest / fault count rejected" `Quick
+            test_stale_journal_rejected;
+          Alcotest.test_case "corrupt header rejected" `Quick
+            test_corrupt_header_rejected;
+          Alcotest.test_case "torn tail tolerated, duplicates last-wins"
+            `Quick test_torn_tail_and_duplicates;
+        ] );
+      ( "kill and resume",
+        [
+          prop_kill_resume_bit_identical;
+          Alcotest.test_case "file truncation resume (c17, journaled)"
+            `Quick test_file_truncation_resume;
+        ] );
+    ]

@@ -64,6 +64,113 @@ let test_budget_windows_nest () =
     outer_blew
 
 (* ------------------------------------------------------------------ *)
+(* Bdd.with_deadline                                                   *)
+
+(* Keep rebuilding until the polling check in [mk] trips — bounded
+   iterations so a broken deadline can't hang the suite. *)
+let test_deadline_raises_mid_apply () =
+  let m = Bdd.create 24 in
+  let blown =
+    try
+      Bdd.with_deadline m ~deadline_ms:20.0 (fun () ->
+          for _ = 1 to 1_000_000 do
+            ignore (build_xor_chain m 24);
+            Bdd.clear_caches m
+          done;
+          None)
+    with Bdd.Deadline_exceeded { elapsed_ms; deadline_ms } ->
+      Some (elapsed_ms, deadline_ms)
+  in
+  (match blown with
+  | None -> Alcotest.fail "20ms deadline did not fire in a hot loop"
+  | Some (elapsed_ms, deadline_ms) ->
+    check bool_t "deadline field" true (deadline_ms = 20.0);
+    check bool_t "elapsed covers the window" true (elapsed_ms >= 20.0));
+  (* The window is closed again: plenty of work completes untimed. *)
+  let f = build_xor_chain m 24 in
+  check bool_t "manager usable after expired deadline" true
+    (Bdd.check_invariants m f)
+
+let test_deadline_windows_nest () =
+  let m = Bdd.create 24 in
+  (* An inner window can only tighten the outer one; when the tiny inner
+     window blows, the generous outer window must survive it. *)
+  let survived =
+    Bdd.with_deadline m ~deadline_ms:60_000.0 (fun () ->
+        (try
+           Bdd.with_deadline m ~deadline_ms:10.0 (fun () ->
+               for _ = 1 to 1_000_000 do
+                 ignore (build_xor_chain m 24);
+                 Bdd.clear_caches m
+               done)
+         with Bdd.Deadline_exceeded { deadline_ms; _ } ->
+           check bool_t "inner window reported" true (deadline_ms = 10.0));
+        ignore (build_xor_chain m 24);
+        true)
+  in
+  check bool_t "outer window survives an inner expiry" true survived
+
+let test_deadline_rejects_nonpositive () =
+  let m = Bdd.create 4 in
+  check bool_t "non-positive deadline rejected" true
+    (try
+       ignore (Bdd.with_deadline m ~deadline_ms:0.0 (fun () -> 0));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Bdd.collect inside budget / deadline windows                        *)
+
+let test_collect_inside_budget_window () =
+  let m = Bdd.create 16 in
+  let blown =
+    try
+      Bdd.with_budget m ~budget:200 (fun () ->
+          let f = build_xor_chain m 16 in
+          let syndrome = Bdd.sat_fraction m f in
+          let used = Bdd.allocated_nodes m in
+          (* Compaction rebuilds every survivor with [insert_node], not
+             [mk]: it must charge nothing against the open window... *)
+          Bdd.collect ~roots:[ [| f |] ] m;
+          check bool_t "collect charges no budget" true
+            (Bdd.allocated_nodes m <= used);
+          (* ...and the permanent sat memo survives the renumbering. *)
+          check bool_t "sat memo survives compaction" true
+            (Bdd.sat_fraction m f = syndrome);
+          (* The window's accounting is still armed: fresh allocation
+             after the collect still trips the original cap. *)
+          for _ = 1 to 1_000 do
+            ignore (build_xor_chain m 16);
+            Bdd.clear_caches m;
+            Bdd.collect m
+          done;
+          None)
+    with Bdd.Budget_exceeded { nodes; budget } -> Some (nodes, budget)
+  in
+  match blown with
+  | None -> Alcotest.fail "budget window disarmed by collect"
+  | Some (nodes, budget) ->
+    check int_t "original cap still enforced" 200 budget;
+    check int_t "raised exactly at the cap" budget nodes
+
+let test_collect_inside_deadline_window () =
+  let m = Bdd.create 16 in
+  let blown =
+    try
+      Bdd.with_deadline m ~deadline_ms:20.0 (fun () ->
+          for _ = 1 to 1_000_000 do
+            let f = build_xor_chain m 16 in
+            (* Collecting mid-window must neither raise nor disarm the
+               deadline for the allocations that follow it. *)
+            Bdd.collect ~roots:[ [| f |] ] m;
+            Bdd.clear_caches m
+          done;
+          false)
+    with Bdd.Deadline_exceeded _ -> true
+  in
+  check bool_t "deadline still armed across collects" true blown
+
+(* ------------------------------------------------------------------ *)
 (* Engine: budget degradation and escalating-retry recovery            *)
 
 let some_fault c =
@@ -84,7 +191,10 @@ let test_budget_degrades_not_crashes () =
   check bool_t "fault is expensive enough to test budgets" true (used >= 8);
   let budget = (used + 3) / 4 in
   let engine = Engine.create c in
-  match Engine.analyze_all ~fault_budget:budget ~max_retries:0 engine [ fault ] with
+  match
+    Engine.analyze_all ~fault_budget:budget ~max_retries:0 ~bounds:false
+      engine [ fault ]
+  with
   | [ Engine.Budget_exceeded { nodes; budget = b; fault = f } ] ->
     check int_t "reported budget" budget b;
     check int_t "blown exactly at the cap" budget nodes;
@@ -111,6 +221,65 @@ let test_retry_recovers_to_exact () =
     Alcotest.fail ("escalating retry failed to recover: "
                    ^ Engine.outcome_to_string c o)
   | _ -> Alcotest.fail "expected exactly one outcome"
+
+(* ------------------------------------------------------------------ *)
+(* Engine: bounded degradation soundness                               *)
+
+(* Every collapsed c95 fault under a budget too small for exact
+   analysis: each Bounded outcome's interval must contain the true
+   detectability computed by an uncapped run, and must respect the
+   syndrome upper bound. *)
+let test_bounded_encloses_exact () =
+  let c = Bench_suite.find "c95" in
+  let faults =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+  in
+  let exact = Engine.analyze_all (Engine.create c) faults in
+  let capped =
+    Engine.analyze_all ~fault_budget:60 ~max_retries:0 (Engine.create c)
+      faults
+  in
+  let bounded = ref 0 in
+  List.iter2
+    (fun e o ->
+      match (e, o) with
+      | Engine.Exact r, Engine.Bounded { syndrome_bound; samples; _ } ->
+        incr bounded;
+        check bool_t "syndrome bound itself is sound" true
+          (r.Engine.detectability <= syndrome_bound +. 1e-12);
+        check bool_t "samples reported" true (samples > 0);
+        (match Engine.outcome_bounds o with
+        | Some (lower, upper) ->
+          check bool_t
+            (Printf.sprintf "lower <= exact (%s)"
+               (Fault.to_string c r.Engine.fault))
+            true
+            (lower <= r.Engine.detectability);
+          check bool_t
+            (Printf.sprintf "exact <= upper (%s)"
+               (Fault.to_string c r.Engine.fault))
+            true
+            (r.Engine.detectability <= upper)
+        | None -> Alcotest.fail "Bounded outcome without bounds")
+      | Engine.Exact _, (Engine.Exact _ | Engine.Crashed _) -> ()
+      | Engine.Exact _, _ ->
+        Alcotest.fail "raw degradation escaped the bounds fallback"
+      | _ -> Alcotest.fail "uncapped sweep failed to be exact")
+    exact capped;
+  check bool_t "the tiny budget actually produced Bounded outcomes" true
+    (!bounded > 10)
+
+(* Undetectable faults are the soundness edge: their exact
+   detectability is 0.0, so the pinned Wilson lower endpoint must be
+   exactly 0.0 — any positive rounding would break [lower <= exact]. *)
+let test_bounded_pins_undetectable () =
+  check bool_t "0 hits pins lower to exactly 0" true
+    (fst (Engine.wilson_interval ~z:5.0 0 4096) = 0.0);
+  check bool_t "all hits pin upper to exactly 1" true
+    (snd (Engine.wilson_interval ~z:5.0 4096 4096) = 1.0);
+  let lo, up = Engine.wilson_interval ~z:5.0 2048 4096 in
+  check bool_t "two-sided interval is proper" true
+    (0.0 < lo && lo < 0.5 && 0.5 < up && up < 1.0)
 
 (* ------------------------------------------------------------------ *)
 (* Engine: crash isolation                                             *)
@@ -176,8 +345,8 @@ let test_hostile_sweep_completes () =
   let pos = List.length faults / 2 in
   let hostile = insert pos (crash_fault c) faults in
   let sweep domains =
-    Engine.analyze_all ~fault_budget:budget ~max_retries:0 ~domains
-      (Engine.create c) hostile
+    Engine.analyze_all ~fault_budget:budget ~max_retries:0 ~bounds:false
+      ~domains (Engine.create c) hostile
   in
   let baseline = sweep 1 in
   check int_t "an outcome for every fault" (List.length hostile)
@@ -268,12 +437,33 @@ let () =
           Alcotest.test_case "windows nest and charge outward" `Quick
             test_budget_windows_nest;
         ] );
+      ( "bdd deadline",
+        [
+          Alcotest.test_case "deadline raises mid-apply, window restored"
+            `Quick test_deadline_raises_mid_apply;
+          Alcotest.test_case "windows nest, inner only tightens" `Quick
+            test_deadline_windows_nest;
+          Alcotest.test_case "non-positive deadline rejected" `Quick
+            test_deadline_rejects_nonpositive;
+        ] );
+      ( "collect in window",
+        [
+          Alcotest.test_case
+            "collect charges no budget, memos survive, cap stays armed"
+            `Quick test_collect_inside_budget_window;
+          Alcotest.test_case "deadline stays armed across collects" `Quick
+            test_collect_inside_deadline_window;
+        ] );
       ( "engine degradation",
         [
           Alcotest.test_case "tiny fault budget degrades, not crashes"
             `Quick test_budget_degrades_not_crashes;
           Alcotest.test_case "2x/4x retry recovers to Exact" `Quick
             test_retry_recovers_to_exact;
+          Alcotest.test_case "Bounded intervals enclose the exact answer"
+            `Quick test_bounded_encloses_exact;
+          Alcotest.test_case "Wilson endpoints pinned for one-sided samples"
+            `Quick test_bounded_pins_undetectable;
         ] );
       ( "crash isolation",
         [
