@@ -875,17 +875,49 @@ let artifacts =
     ("micro", micro);
   ]
 
-(* [perf] and [hostile] are dispatchable by name but deliberately not
-   part of [all]: one is a timing measurement, the other a stress
+(* The linter's pitch is that topology is nearly free: time the static
+   pass (all rules, no exact cross-check) against the same pass with
+   every redundancy claim countersigned by the engine, per circuit. *)
+let lint_bench () =
+  section "lint" "static testability lint: cost of the static pass";
+  Format.fprintf fmt
+    "  %-10s %8s %8s %12s %12s@." "circuit" "findings" "claims"
+    "static (s)" "verified (s)";
+  List.iter
+    (fun c ->
+      let static_cfg = { Lint.default_config with Lint.verify = false } in
+      let diags, static_t =
+        elapsed (fun () -> Lint.run ~config:static_cfg c)
+      in
+      let claims =
+        List.fold_left
+          (fun n d -> n + List.length d.Diagnostic.claims)
+          0 diags
+      in
+      let verified_t =
+        if claims = 0 then static_t
+        else snd (elapsed (fun () -> Lint.run c))
+      in
+      Format.fprintf fmt "  %-10s %8d %8d %12.4f %12.4f@."
+        c.Circuit.title (List.length diags) claims static_t verified_t)
+    (Bench_suite.all ());
+  note
+    "static column: all ten rules including the budgeted BDD tier; \
+     verified column adds the exact engine countersigning every \
+     redundancy claim"
+
+(* [perf], [hostile] and [lint] are dispatchable by name but
+   deliberately not part of [all]: timing measurements and a stress
    experiment, not paper artifacts. *)
-let commands = artifacts @ [ ("perf", perf); ("hostile", hostile) ]
+let commands =
+  artifacts @ [ ("perf", perf); ("hostile", hostile); ("lint", lint_bench) ]
 
 let usage () =
   Format.fprintf fmt
     "usage: main.exe [-sample N] [-seed N] [-perf-circuits A,B,..] \
      [-perf-domains 1,2,..] [-perf-out FILE] [-hostile-budget N] \
      [-hostile-deadline-ms F] [-hostile-circuits A,B,..] \
-     [all | perf | hostile | %s]...@."
+     [all | perf | hostile | lint | %s]...@."
     (String.concat " | " (List.map fst artifacts))
 
 let () =

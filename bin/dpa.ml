@@ -5,6 +5,7 @@
      dpa faults c95                        fault-universe summary
      dpa analyze c17 --fault G3:0          one stuck-at fault in detail
      dpa analyze c17 --bridge G10,G19:and  one bridging fault in detail
+     dpa lint c432 --format sarif          static testability diagnostics
      dpa profile c95                       detectability profile
      dpa atpg alu74181                     PODEM test generation
      dpa analyze file.bench --fault n1:1   analyse a user netlist *)
@@ -16,8 +17,9 @@ let load_circuit spec =
     (* Malformed netlists are user input, not internal errors: a
        one-line file:line: diagnostic, never an exception backtrace. *)
     try Bench_format.parse_file spec with
-    | Bench_format.Parse_error (line, msg) ->
-      Printf.eprintf "%s:%d: %s\n" spec line msg;
+    | Bench_format.Parse_error (span, msg) ->
+      Printf.eprintf "%s:%d:%d: %s\n" spec span.Bench_format.line
+        span.Bench_format.start_col msg;
       exit 2
     | Circuit.Malformed msg | Seq_circuit.Malformed msg ->
       Printf.eprintf "%s: %s\n" spec msg;
@@ -607,6 +609,184 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Graphviz rendering of a netlist or a net's OBDD")
     Term.(const run $ circuit_arg $ net $ fault)
 
+(* ------------------------------------------------------------------ *)
+
+(* dpa lint — static testability analysis.  Exit-code contract (same
+   shape as dpa analyze): 0 = clean at the --fail-on threshold, 1 =
+   findings at or above it, 2 = usage error or unparseable input. *)
+let lint_cmd =
+  let format_arg =
+    let doc = "Output format: $(b,text), $(b,json) or $(b,sarif) (2.1.0)." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let rules_arg =
+    let doc =
+      "Comma-separated rule ids to run (e.g. $(b,DP001,DP008)); default: all."
+    in
+    Arg.(
+      value
+      & opt (some (list ~sep:',' string)) None
+      & info [ "rules" ] ~docv:"IDS" ~doc)
+  in
+  let fail_on =
+    let doc =
+      "Exit 1 when any finding at or above this severity survives the \
+       baseline: $(b,error), $(b,warning), $(b,info), or $(b,never)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("error", Some Diagnostic.Error);
+               ("warning", Some Diagnostic.Warning);
+               ("info", Some Diagnostic.Info);
+               ("never", None);
+             ])
+          (Some Diagnostic.Error)
+      & info [ "fail-on" ] ~docv:"SEV" ~doc)
+  in
+  let baseline_arg =
+    let doc =
+      "Suppress findings whose fingerprints appear in this baseline file."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let write_baseline =
+    let doc =
+      "Write the surviving findings' fingerprints to $(docv) (freezing \
+       them for future --baseline runs) and exit 0."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-baseline" ] ~docv:"FILE" ~doc)
+  in
+  let no_verify =
+    let doc =
+      "Skip the exact Difference Propagation confirmation of \
+       \"definitely redundant\" verdicts (structure-only proofs)."
+    in
+    Arg.(value & flag & info [ "no-verify" ] ~doc)
+  in
+  let bdd_budget =
+    let doc =
+      "Node budget of the BDD constancy tier of DP008; 0 disables it."
+    in
+    Arg.(
+      value
+      & opt int Lint.default_config.Lint.bdd_budget
+      & info [ "bdd-budget" ] ~docv:"NODES" ~doc)
+  in
+  let list_rules =
+    let doc = "List the rule registry and exit." in
+    Arg.(value & flag & info [ "list-rules" ] ~doc)
+  in
+  let lint_circuit_arg =
+    let doc = "Benchmark name (see $(b,dpa circuits)) or .bench file path." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+  in
+  let run spec format rules fail_on baseline write_baseline no_verify
+      bdd_budget list_rules =
+    if list_rules then begin
+      List.iter
+        (fun (r : Lint.rule) ->
+          Format.printf "%s  %-20s %-8s %-15s %s@." r.Lint.id r.Lint.name
+            (Diagnostic.severity_to_string r.Lint.default_severity)
+            (Lint.tier_to_string r.Lint.tier)
+            r.Lint.summary)
+        Lint.rules;
+      exit 0
+    end;
+    let spec =
+      match spec with
+      | Some s -> s
+      | None ->
+        Printf.eprintf "dpa lint: a CIRCUIT argument is required\n";
+        exit 2
+    in
+    let config =
+      { Lint.default_config with Lint.rules; verify = not no_verify; bdd_budget }
+    in
+    let diags, uri =
+      try
+        if Sys.file_exists spec then
+          let diags, _ = Lint.run_file ~config spec in
+          (diags, spec)
+        else
+          let c =
+            try Bench_suite.find spec
+            with Not_found ->
+              Printf.eprintf
+                "unknown circuit %S (not a benchmark name or a readable \
+                 file)\n"
+                spec;
+              exit 2
+          in
+          (Lint.run ~config c, spec ^ ".bench")
+      with
+      | Bench_format.Parse_error (span, msg) ->
+        Printf.eprintf "%s:%d:%d: %s\n" spec span.Bench_format.line
+          span.Bench_format.start_col msg;
+        exit 2
+      | Lint.Unknown_rule id ->
+        Printf.eprintf "unknown lint rule %S (see dpa lint --list-rules)\n" id;
+        exit 2
+    in
+    let diags =
+      match baseline with
+      | None -> diags
+      | Some path ->
+        (try Baseline.filter (Baseline.load path) diags with
+        | Baseline.Malformed msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 2
+        | Sys_error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2)
+    in
+    (match write_baseline with
+    | Some path ->
+      Baseline.save path diags;
+      Format.printf "baseline: froze %d finding(s) into %s@."
+        (List.length diags) path;
+      exit 0
+    | None -> ());
+    (match format with
+    | `Text ->
+      List.iter (fun d -> Format.printf "%a@." Diagnostic.pp d) diags;
+      let count sev =
+        List.length (List.filter (fun d -> d.Diagnostic.severity = sev) diags)
+      in
+      Format.printf "%d error(s), %d warning(s), %d info@."
+        (count Diagnostic.Error) (count Diagnostic.Warning)
+        (count Diagnostic.Info)
+    | `Json -> print_endline (Sarif.render_json ~uri diags)
+    | `Sarif -> print_endline (Sarif.render ~uri diags));
+    match fail_on with
+    | Some threshold
+      when List.exists
+             (fun d ->
+               Diagnostic.severity_rank d.Diagnostic.severity
+               >= Diagnostic.severity_rank threshold)
+             diags ->
+      exit 1
+    | _ -> exit 0
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static testability analysis: structural, testability and \
+          bridge-topology rules with exact-engine-confirmed redundancy \
+          verdicts")
+    Term.(
+      const run $ lint_circuit_arg $ format_arg $ rules_arg $ fail_on
+      $ baseline_arg $ write_baseline $ no_verify $ bdd_budget $ list_rules)
+
 let main =
   let doc = "exact fault analysis by Difference Propagation (DAC 1990)" in
   let info = Cmd.info "dpa" ~version:"1.0.0" ~doc in
@@ -616,6 +796,7 @@ let main =
       stats_cmd;
       faults_cmd;
       analyze_cmd;
+      lint_cmd;
       profile_cmd;
       atpg_cmd;
       equiv_cmd;

@@ -1,113 +1,212 @@
-exception Parse_error of int * string
+type span = { line : int; start_col : int; end_col : int }
 
-let error line fmt =
-  Printf.ksprintf (fun s -> raise (Parse_error (line, s))) fmt
+exception Parse_error of span * string
+
+let line_span line = { line; start_col = 1; end_col = 1 }
+
+let error span fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (span, s))) fmt
+
+let pp_span fmt { line; start_col; _ } =
+  Format.fprintf fmt "%d:%d" line start_col
 
 let is_space ch = ch = ' ' || ch = '\t' || ch = '\r'
 
-let strip s =
-  let n = String.length s in
-  let b = ref 0 and e = ref n in
-  while !b < n && is_space s.[!b] do incr b done;
-  while !e > !b && is_space s.[!e - 1] do decr e done;
-  String.sub s !b (!e - !b)
+(* Shrink the half-open char range [lo, hi) of [s] to its non-blank
+   core.  Every token's span derives from one of these ranges, so
+   columns always point at the name itself, not at surrounding blanks. *)
+let trim_range s lo hi =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi && is_space s.[!lo] do incr lo done;
+  while !hi > !lo && is_space s.[!hi - 1] do decr hi done;
+  (!lo, !hi)
 
-let strip_comment s =
-  match String.index_opt s '#' with
-  | None -> s
-  | Some i -> String.sub s 0 i
+let token lineno s lo hi =
+  let lo, hi = trim_range s lo hi in
+  ( String.sub s lo (hi - lo),
+    { line = lineno; start_col = lo + 1; end_col = hi + 1 } )
 
-(* "KIND(a, b)" -> (KIND, [a; b]); raises on malformed parentheses. *)
-let split_call line s =
-  match String.index_opt s '(' with
-  | None -> error line "expected '(' in %S" s
+let index_in s ch lo hi =
+  match String.index_from_opt s lo ch with
+  | Some i when i < hi -> Some i
+  | _ -> None
+
+(* "KIND(a, b)" in s.[lo..hi) -> ((KIND, span), [(a, span); (b, span)]). *)
+let split_call lineno s lo hi =
+  let whole_span () =
+    let lo', hi' = trim_range s lo hi in
+    { line = lineno; start_col = lo' + 1; end_col = hi' + 1 }
+  in
+  match index_in s '(' lo hi with
+  | None -> error (whole_span ()) "expected '(' in %S" (String.sub s lo (hi - lo))
   | Some open_paren ->
-    if s.[String.length s - 1] <> ')' then error line "expected ')' in %S" s;
-    let head = strip (String.sub s 0 open_paren) in
-    let inner =
-      String.sub s (open_paren + 1) (String.length s - open_paren - 2)
-    in
-    let args =
-      String.split_on_char ',' inner
-      |> List.map strip
-      |> List.filter (fun a -> a <> "")
-    in
-    (head, args)
+    if hi = lo || s.[hi - 1] <> ')' then
+      error (whole_span ()) "expected ')' in %S" (String.sub s lo (hi - lo));
+    let head = token lineno s lo open_paren in
+    let args = ref [] in
+    let pos = ref (open_paren + 1) in
+    let stop = hi - 1 in
+    while !pos <= stop do
+      let comma =
+        match index_in s ',' !pos stop with Some i -> i | None -> stop
+      in
+      let arg, sp = token lineno s !pos comma in
+      if arg <> "" then args := (arg, sp) :: !args;
+      pos := comma + 1
+    done;
+    (head, List.rev !args)
 
-let parse ~title text =
-  let inputs = ref [] and outputs = ref [] and defs = ref [] in
-  (* Net name -> line of its driving definition (INPUT or gate): the
-     second driver of a net is a user error worth a precise diagnostic,
-     not whatever Circuit.create makes of the collision downstream. *)
-  let defined = Hashtbl.create 64 in
-  let define lineno net =
-    match Hashtbl.find_opt defined net with
-    | Some first ->
-      error lineno "duplicate definition of net %S (first defined at line %d)"
-        net first
-    | None -> Hashtbl.add defined net lineno
-  in
-  (* Net name -> line of its first use as a fanin or OUTPUT, in
-     encounter order.  Forward references are legal in .bench, so
-     undriven nets are only diagnosable after the whole file is read. *)
-  let used = ref [] in
-  let use lineno net =
-    used := (lineno, net) :: !used
-  in
+type raw_gate = {
+  g_net : string;
+  g_span : span;
+  g_kind : Gate.kind;
+  g_fanins : (string * span) list;
+}
+
+type raw = {
+  r_title : string;
+  r_inputs : (string * span) list;
+  r_outputs : (string * span) list;
+  r_gates : raw_gate list;
+}
+
+(* Syntax-level parse: shapes every statement but tolerates semantic
+   trouble (duplicate drivers, undriven nets, combinational cycles),
+   which the strict {!parse} and the lint pass diagnose — the linter
+   with rule codes instead of a first-error exception. *)
+let parse_raw ~title text =
+  let inputs = ref [] and outputs = ref [] and gates = ref [] in
   let lines = String.split_on_char '\n' text in
   List.iteri
     (fun i raw ->
       let lineno = i + 1 in
-      let line = strip (strip_comment raw) in
-      if line <> "" then
-        match String.index_opt line '=' with
+      let hi =
+        match String.index_opt raw '#' with
+        | Some cut -> cut
+        | None -> String.length raw
+      in
+      let lo, hi = trim_range raw 0 hi in
+      if lo < hi then
+        match index_in raw '=' lo hi with
         | Some eq ->
-          let net = strip (String.sub line 0 eq) in
-          let rhs =
-            strip (String.sub line (eq + 1) (String.length line - eq - 1))
-          in
-          if net = "" then error lineno "missing net name";
-          let kind_name, args = split_call lineno rhs in
+          let net, net_span = token lineno raw lo eq in
+          if net = "" then error (line_span lineno) "missing net name";
+          let (kind_name, kind_span), args = split_call lineno raw (eq + 1) hi in
           (match Gate.of_name kind_name with
-          | Some Gate.Input -> error lineno "INPUT used as a gate"
+          | Some Gate.Input -> error kind_span "INPUT used as a gate"
           | Some kind ->
-            define lineno net;
-            List.iter (use lineno) args;
-            defs := (net, kind, args) :: !defs
+            gates :=
+              { g_net = net; g_span = net_span; g_kind = kind; g_fanins = args }
+              :: !gates
           | None ->
             if String.uppercase_ascii kind_name = "DFF" then
-              error lineno "sequential element DFF is not supported"
-            else error lineno "unknown gate kind %S" kind_name)
+              error kind_span "sequential element DFF is not supported"
+            else error kind_span "unknown gate kind %S" kind_name)
         | None ->
-          let head, args = split_call lineno line in
-          (match (String.uppercase_ascii head, args) with
-          | "INPUT", [ name ] ->
-            define lineno name;
-            inputs := name :: !inputs
-          | "OUTPUT", [ name ] ->
-            use lineno name;
-            outputs := name :: !outputs
+          let (head_name, head_span), args = split_call lineno raw lo hi in
+          (match (String.uppercase_ascii head_name, args) with
+          | "INPUT", [ name ] -> inputs := name :: !inputs
+          | "OUTPUT", [ name ] -> outputs := name :: !outputs
           | ("INPUT" | "OUTPUT"), _ ->
-            error lineno "%s takes exactly one net name" head
-          | _ -> error lineno "unrecognised directive %S" head))
+            error head_span "%s takes exactly one net name" head_name
+          | _ -> error head_span "unrecognised directive %S" head_name))
     lines;
-  List.iter
-    (fun (lineno, net) ->
-      if not (Hashtbl.mem defined net) then
-        error lineno "net %S is used but never driven" net)
-    (List.rev !used);
-  Circuit.create ~title ~inputs:(List.rev !inputs) ~outputs:(List.rev !outputs)
-    (List.rev !defs)
+  {
+    r_title = title;
+    r_inputs = List.rev !inputs;
+    r_outputs = List.rev !outputs;
+    r_gates = List.rev !gates;
+  }
 
-let parse_file path =
+(* The raw record keeps inputs, outputs and gates apart; diagnostics
+   want file order back, which the spans reconstruct exactly. *)
+let by_position items =
+  List.stable_sort
+    (fun (_, a) (_, b) ->
+      Stdlib.compare (a.line, a.start_col) (b.line, b.start_col))
+    items
+
+let definitions raw =
+  by_position (raw.r_inputs @ List.map (fun g -> (g.g_net, g.g_span)) raw.r_gates)
+
+let uses raw =
+  by_position (List.concat_map (fun g -> g.g_fanins) raw.r_gates @ raw.r_outputs)
+
+let definition_spans raw =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (name, sp) ->
+      if not (Hashtbl.mem table name) then Hashtbl.add table name sp)
+    (definitions raw);
+  table
+
+(* Combinational cycles at the name level, each reported at the span of
+   its first-defined member.  Circuit.create would reject them too, but
+   without source positions. *)
+let cycles raw =
+  let defs = Array.of_list (definitions raw) in
+  let index = Hashtbl.create (Array.length defs * 2) in
+  Array.iteri
+    (fun i (name, _) ->
+      if not (Hashtbl.mem index name) then Hashtbl.add index name i)
+    defs;
+  let succ = Array.make (Array.length defs) [||] in
+  List.iter
+    (fun g ->
+      match Hashtbl.find_opt index g.g_net with
+      | None -> ()
+      | Some i ->
+        succ.(i) <-
+          Array.of_list
+            (List.filter_map
+               (fun (fanin, _) -> Hashtbl.find_opt index fanin)
+               g.g_fanins))
+    raw.r_gates;
+  Scc.cyclic succ
+  |> List.map (fun comp -> Array.map (fun i -> defs.(i)) comp)
+
+let elaborate raw =
+  (* Semantic checks the raw parse deferred, each with a precise span:
+     the second driver of a net is the user's error, not whatever
+     Circuit.create makes of the collision downstream. *)
+  let defined = Hashtbl.create 64 in
+  List.iter
+    (fun (net, sp) ->
+      match Hashtbl.find_opt defined net with
+      | Some (first : span) ->
+        error sp "duplicate definition of net %S (first defined at line %d)"
+          net first.line
+      | None -> Hashtbl.add defined net sp)
+    (definitions raw);
+  List.iter
+    (fun (net, sp) ->
+      if not (Hashtbl.mem defined net) then
+        error sp "net %S is used but never driven" net)
+    (uses raw);
+  (match cycles raw with
+  | [] -> ()
+  | comp :: _ ->
+    let name, sp = comp.(0) in
+    error sp "combinational cycle through %S (%d nets involved)" name
+      (Array.length comp));
+  Circuit.create ~title:raw.r_title
+    ~inputs:(List.map fst raw.r_inputs)
+    ~outputs:(List.map fst raw.r_outputs)
+    (List.map (fun g -> (g.g_net, g.g_kind, List.map fst g.g_fanins)) raw.r_gates)
+
+let parse ~title text = elaborate (parse_raw ~title text)
+
+let read_file path =
   let ic = open_in path in
-  let text =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  let title = Filename.remove_extension (Filename.basename path) in
-  parse ~title text
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let title_of_path path = Filename.remove_extension (Filename.basename path)
+
+let parse_file path = parse ~title:(title_of_path path) (read_file path)
+
+let parse_raw_file path = parse_raw ~title:(title_of_path path) (read_file path)
 
 let print c =
   let buf = Buffer.create 4096 in

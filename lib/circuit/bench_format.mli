@@ -8,14 +8,75 @@
     f = NAND(a, b)
     v}
     Gate mnemonics are case-insensitive; [INV] and [BUFF] are aliases for
-    [NOT] and [BUF].  [DFF] is rejected with a clear error. *)
+    [NOT] and [BUF].  [DFF] is rejected with a clear error.
 
-exception Parse_error of int * string
-(** Line number (1-based) and message. *)
+    Parsing is two-layered.  {!parse_raw} is syntax-only and
+    span-preserving: it keeps the line/column of every net name so
+    diagnostics (parse errors and the lint pass alike) can point at the
+    offending token, and it {e tolerates} semantic trouble — duplicate
+    drivers, undriven nets, combinational cycles — so a linter can
+    report all of them with rule codes instead of dying on the first.
+    {!parse} = {!parse_raw} + {!elaborate}, the strict path that turns
+    any such defect into a spanned {!Parse_error}. *)
+
+type span = { line : int; start_col : int; end_col : int }
+(** Source position of one token: 1-based line, 1-based columns,
+    [end_col] exclusive (SARIF region convention). *)
+
+exception Parse_error of span * string
+
+val pp_span : Format.formatter -> span -> unit
+(** ["line:start_col"], the conventional diagnostic prefix tail. *)
+
+(** {1 Raw (tolerant, span-preserving) layer} *)
+
+type raw_gate = {
+  g_net : string;
+  g_span : span;  (** span of the defined net's name *)
+  g_kind : Gate.kind;
+  g_fanins : (string * span) list;
+}
+
+type raw = {
+  r_title : string;
+  r_inputs : (string * span) list;  (** declaration order *)
+  r_outputs : (string * span) list;
+  r_gates : raw_gate list;  (** file order *)
+}
+
+val parse_raw : title:string -> string -> raw
+(** Syntax-level parse.  @raise Parse_error only on malformed syntax
+    (bad parentheses, unknown gate kinds, DFF, INPUT used as a gate,
+    malformed directives); semantic defects are preserved in the
+    result for {!elaborate} or the lint pass to judge. *)
+
+val parse_raw_file : string -> raw
+
+val definitions : raw -> (string * span) list
+(** Every driving definition — INPUT declarations then gate left-hand
+    sides — in file order, duplicates included. *)
+
+val uses : raw -> (string * span) list
+(** Every net use — gate fanins then OUTPUT declarations. *)
+
+val definition_spans : raw -> (string, span) Hashtbl.t
+(** Net name -> span of its {e first} driving definition. *)
+
+val cycles : raw -> (string * span) array list
+(** Name-level combinational cycles (SCC components of the definition
+    graph that contain a cycle), each member with its defining span. *)
+
+(** {1 Strict layer} *)
+
+val elaborate : raw -> Circuit.t
+(** @raise Parse_error with a precise span on duplicate definitions,
+    undriven nets and combinational cycles;
+    @raise Circuit.Malformed on remaining semantic errors (arity
+    violations, outputs naming undefined nets). *)
 
 val parse : title:string -> string -> Circuit.t
-(** Parse netlist text.  @raise Parse_error on syntax errors and
-    @raise Circuit.Malformed on semantic errors. *)
+(** Parse netlist text.  @raise Parse_error on syntax and spanned
+    semantic errors and @raise Circuit.Malformed on the rest. *)
 
 val parse_file : string -> Circuit.t
 (** Parse a [.bench] file; the title is the basename without extension. *)

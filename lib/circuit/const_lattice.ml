@@ -1,0 +1,85 @@
+(* Constant-propagation lattice via structurally hashed AND-inverter
+   literals.  Every net is abstracted to an AIG literal (2*node +
+   complement bit, with node 0 reserved for the constant); two nets with
+   the same literal are provably equal, literals differing in the low
+   bit are provably complementary, and the constant literals prove a net
+   stuck at 0 or 1 for every input vector.  All rewrite rules are plain
+   Boolean identities, so every verdict is sound; the abstraction is
+   incomplete (a functionally constant net may keep a non-constant
+   literal), which is exactly the division of labour the linter wants:
+   lattice first, BDD only where structure is inconclusive. *)
+
+let false_lit = 0
+let true_lit = 1
+let lnot l = l lxor 1
+let is_const l = l < 2
+
+type t = { lits : int array }
+
+let compute c =
+  let n = Circuit.num_gates c in
+  (* Hash-consed AND nodes over literals; (a, b) with a <= b. *)
+  let table = Hashtbl.create (4 * n) in
+  let next = ref 1 in
+  let fresh () =
+    let id = !next in
+    incr next;
+    2 * id
+  in
+  let mk_and a b =
+    let a, b = if a <= b then (a, b) else (b, a) in
+    if a = false_lit then false_lit
+    else if a = true_lit then b
+    else if a = b then a
+    else if a = lnot b then false_lit
+    else
+      match Hashtbl.find_opt table (a, b) with
+      | Some l -> l
+      | None ->
+        let l = fresh () in
+        Hashtbl.add table (a, b) l;
+        l
+  in
+  let mk_or a b = lnot (mk_and (lnot a) (lnot b)) in
+  let mk_xor a b =
+    if is_const a then (if a = true_lit then lnot b else b)
+    else if is_const b then (if b = true_lit then lnot a else a)
+    else if a = b then false_lit
+    else if a = lnot b then true_lit
+    else mk_or (mk_and a (lnot b)) (mk_and (lnot a) b)
+  in
+  let fold1 op seed = function
+    | [] -> seed
+    | l :: ls -> List.fold_left op l ls
+  in
+  let lits = Array.make n false_lit in
+  Array.iteri
+    (fun g (gate : Circuit.gate) ->
+      let fanins = Array.to_list (Array.map (fun f -> lits.(f)) gate.fanins) in
+      lits.(g) <-
+        (match gate.kind with
+        | Gate.Input -> fresh ()
+        | Gate.Const0 -> false_lit
+        | Gate.Const1 -> true_lit
+        | Gate.Buf -> List.hd fanins
+        | Gate.Not -> lnot (List.hd fanins)
+        | Gate.And -> fold1 mk_and true_lit fanins
+        | Gate.Nand -> lnot (fold1 mk_and true_lit fanins)
+        | Gate.Or -> fold1 mk_or false_lit fanins
+        | Gate.Nor -> lnot (fold1 mk_or false_lit fanins)
+        | Gate.Xor -> fold1 mk_xor false_lit fanins
+        | Gate.Xnor -> lnot (fold1 mk_xor false_lit fanins)))
+    c.Circuit.gates;
+  { lits }
+
+let constant t net =
+  let l = t.lits.(net) in
+  if l = false_lit then Some false
+  else if l = true_lit then Some true
+  else None
+
+let equivalent t a b = t.lits.(a) = t.lits.(b)
+
+let complementary t a b = t.lits.(a) = lnot t.lits.(b)
+
+let literal t net = t.lits.(net)

@@ -1,0 +1,31 @@
+(** Structural constant propagation over a netlist.
+
+    Abstracts every net to a structurally hashed AND-inverter literal
+    and propagates Boolean identities (controlling constants, [x AND
+    NOT x = 0], [x XOR x = 0], duplicate-fanin absorption, double
+    negation) in one topological sweep.  A net whose literal collapses
+    to a constant [v] provably carries [v] under {e every} input
+    vector — its syndrome is exactly 0 or 1 — so the stuck-at-[v] fault
+    on it is redundant (it can never be excited).  Verdicts are sound
+    but incomplete: functionally constant nets whose constancy needs
+    non-structural reasoning keep symbolic literals, and are left to
+    the BDD tier of the linter. *)
+
+type t
+
+val compute : Circuit.t -> t
+(** Linear in circuit size. *)
+
+val constant : t -> int -> bool option
+(** [constant t net] is [Some v] when the net provably carries [v]
+    under every input assignment. *)
+
+val equivalent : t -> int -> int -> bool
+(** Provably equal nets (same literal).  Sound, incomplete. *)
+
+val complementary : t -> int -> int -> bool
+(** Provably complementary nets.  Sound, incomplete. *)
+
+val literal : t -> int -> int
+(** The raw AIG literal of a net (2*node + complement bit); equal
+    literals mean provably equal functions. *)

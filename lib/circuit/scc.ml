@@ -1,0 +1,63 @@
+(* Tarjan's strongly connected components, iterative so pathological
+   netlists (a single thousand-gate cycle, say) cannot blow the OCaml
+   stack inside a diagnostic pass. *)
+
+let compute succ =
+  let n = Array.length succ in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let components = ref [] in
+  (* Explicit DFS frames: (vertex, next successor position to visit). *)
+  let frames = Stack.create () in
+  let start v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    Stack.push v stack;
+    on_stack.(v) <- true;
+    Stack.push (v, ref 0) frames
+  in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      start root;
+      while not (Stack.is_empty frames) do
+        let v, pos = Stack.top frames in
+        if !pos < Array.length succ.(v) then begin
+          let w = succ.(v).(!pos) in
+          incr pos;
+          if index.(w) < 0 then start w
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+        end
+        else begin
+          ignore (Stack.pop frames);
+          if lowlink.(v) = index.(v) then begin
+            let comp = ref [] in
+            let continue = ref true in
+            while !continue do
+              let w = Stack.pop stack in
+              on_stack.(w) <- false;
+              comp := w :: !comp;
+              if w = v then continue := false
+            done;
+            let comp = Array.of_list !comp in
+            Array.sort Stdlib.compare comp;
+            components := comp :: !components
+          end;
+          match Stack.top_opt frames with
+          | Some (parent, _) ->
+            lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          | None -> ()
+        end
+      done
+    end
+  done;
+  List.rev !components
+
+let cyclic succ =
+  compute succ
+  |> List.filter (fun comp ->
+         Array.length comp > 1
+         || Array.exists (fun w -> w = comp.(0)) succ.(comp.(0)))

@@ -1,0 +1,15 @@
+(** Strongly connected components (Tarjan, iterative).
+
+    {!Circuit.t} is acyclic by construction, so this operates on plain
+    adjacency arrays: the lint pass runs it over the {e name-level}
+    definition graph of a raw netlist, where combinational cycles are
+    still representable and must be diagnosed rather than crashed on. *)
+
+val compute : int array array -> int array list
+(** [compute succ] partitions the vertices [0 .. Array.length succ - 1]
+    into strongly connected components, each in ascending vertex order,
+    listed in reverse topological order of the condensation. *)
+
+val cyclic : int array array -> int array list
+(** The components that contain a cycle: size above one, or a single
+    vertex with a self-loop. *)

@@ -186,6 +186,8 @@ let test_set t fault =
 
 let test_cubes ?limit t fault = Bdd.sat_cubes (manager t) ?limit (test_set t fault)
 
+let redundant t fault = Bdd.is_zero (manager t) (test_set t fault)
+
 let test_vector t fault =
   match Bdd.any_sat (manager t) (test_set t fault) with
   | None -> None

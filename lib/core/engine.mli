@@ -57,6 +57,13 @@ val test_cubes : ?limit:int -> t -> Fault.t -> (int * bool) list list
 val test_vector : t -> Fault.t -> bool array option
 (** One full test vector, or [None] for an undetectable fault. *)
 
+val redundant : t -> Fault.t -> bool
+(** Whether the complete test set is empty — the fault is untestable
+    and the line it sits on is redundant logic.  This is the exact
+    cross-check behind every "definitely redundant" verdict of the
+    static lint pass: structure proposes, Difference Propagation
+    confirms. *)
+
 (** {1 Exact fault statistics} *)
 
 type result = {

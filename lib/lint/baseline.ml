@@ -1,0 +1,62 @@
+(* Baseline suppression: adopt the linter on a legacy netlist by
+   freezing today's findings and failing only on what is new.  The file
+   stores one fingerprint per line — rule code plus the nets involved,
+   never messages or line numbers — so reformatting the netlist or
+   rewording a diagnostic does not unsuppress anything. *)
+
+let magic = "# dpa-lint baseline v1"
+
+type t = (string, unit) Hashtbl.t
+
+let empty () : t = Hashtbl.create 8
+
+let of_diagnostics diags : t =
+  let t = Hashtbl.create (List.length diags * 2) in
+  List.iter (fun d -> Hashtbl.replace t (Diagnostic.fingerprint d) ()) diags;
+  t
+
+exception Malformed of string
+
+let load path : t =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let t = Hashtbl.create 32 in
+      let first = ref true in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if !first then begin
+             first := false;
+             if line <> magic then
+               raise
+                 (Malformed
+                    (Printf.sprintf "expected %S header, got %S" magic line))
+           end
+           else if line <> "" && line.[0] <> '#' then Hashtbl.replace t line ()
+         done
+       with End_of_file -> ());
+      if !first then raise (Malformed "empty baseline file");
+      t)
+
+let save path diags =
+  let fingerprints =
+    List.map Diagnostic.fingerprint diags
+    |> List.sort_uniq String.compare
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      output_char oc '\n';
+      List.iter
+        (fun fp ->
+          output_string oc fp;
+          output_char oc '\n')
+        fingerprints)
+
+let mem (t : t) d = Hashtbl.mem t (Diagnostic.fingerprint d)
+
+let filter (t : t) diags = List.filter (fun d -> not (mem t d)) diags

@@ -1,0 +1,28 @@
+(** Baseline suppression files.
+
+    A baseline freezes the current findings of a netlist so the linter
+    can gate on {e new} findings only.  The format is one
+    {!Diagnostic.fingerprint} per line under a versioned header;
+    fingerprints name rules and nets, not messages or positions, so
+    they survive reformatting.  ['#'] lines and blanks are ignored. *)
+
+type t
+
+exception Malformed of string
+
+val empty : unit -> t
+val of_diagnostics : Diagnostic.t list -> t
+
+val load : string -> t
+(** @raise Malformed on a missing or wrong header.
+    @raise Sys_error when unreadable. *)
+
+val save : string -> Diagnostic.t list -> unit
+(** Write the fingerprints of the given diagnostics, sorted and
+    deduplicated. *)
+
+val mem : t -> Diagnostic.t -> bool
+
+val filter : t -> Diagnostic.t list -> Diagnostic.t list
+(** The diagnostics whose fingerprints the baseline does {e not}
+    suppress. *)

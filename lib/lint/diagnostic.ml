@@ -1,0 +1,86 @@
+type severity = Error | Warning | Info
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" | "note" -> Some Info
+  | _ -> None
+
+type location = {
+  file : string option;
+  net : string option;
+  span : Bench_format.span option;
+}
+
+let no_location = { file = None; net = None; span = None }
+
+type t = {
+  rule : string;
+  severity : severity;
+  message : string;
+  location : location;
+  claims : (string * bool) list;
+  verified : bool option;
+}
+
+let make ?(location = no_location) ?(claims = []) ?verified ~rule ~severity
+    message =
+  { rule; severity; message; location; claims; verified }
+
+(* Stable identity for baseline suppression: rule plus the nets and
+   fault polarities involved — never the message text or the source
+   position, both of which shift under harmless reformatting. *)
+let fingerprint d =
+  let net = match d.location.net with Some n -> "net=" ^ n | None -> "-" in
+  let claims =
+    match d.claims with
+    | [] -> ""
+    | cs ->
+      " "
+      ^ String.concat ","
+          (List.map
+             (fun (n, v) -> Printf.sprintf "%s/sa%d" n (Bool.to_int v))
+             cs)
+  in
+  Printf.sprintf "%s %s%s" d.rule net claims
+
+let compare_position a b =
+  match (a.location.span, b.location.span) with
+  | Some sa, Some sb ->
+    Stdlib.compare
+      (sa.Bench_format.line, sa.Bench_format.start_col)
+      (sb.Bench_format.line, sb.Bench_format.start_col)
+  | Some _, None -> -1
+  | None, Some _ -> 1
+  | None, None -> 0
+
+(* Report order: errors first, then by source position, then rule. *)
+let compare a b =
+  let c = Stdlib.compare (severity_rank b.severity) (severity_rank a.severity) in
+  if c <> 0 then c
+  else
+    let c = compare_position a b in
+    if c <> 0 then c else Stdlib.compare (a.rule, a.message) (b.rule, b.message)
+
+let pp fmt d =
+  let file = Option.value d.location.file ~default:"<netlist>" in
+  (match d.location.span with
+  | Some sp ->
+    Format.fprintf fmt "%s:%d:%d: " file sp.Bench_format.line
+      sp.Bench_format.start_col
+  | None -> Format.fprintf fmt "%s: " file);
+  Format.fprintf fmt "%s: [%s] %s" (severity_to_string d.severity) d.rule
+    d.message;
+  match d.verified with
+  | Some true -> Format.fprintf fmt " (confirmed by exact analysis)"
+  | Some false -> Format.fprintf fmt " (REFUTED by exact analysis)"
+  | None -> ()
+
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,54 @@
+(** Lint diagnostics: rule code, severity, message, net-level source
+    location, and — for the testability rules — the machine-readable
+    redundancy claims the exact engine can confirm. *)
+
+type severity = Error | Warning | Info
+
+val severity_rank : severity -> int
+(** [Info] 0, [Warning] 1, [Error] 2 — for [--fail-on] comparisons. *)
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+(** Accepts ["note"] (the SARIF spelling) as [Info]. *)
+
+type location = {
+  file : string option;  (** source file, when linting a file *)
+  net : string option;  (** offending net's name *)
+  span : Bench_format.span option;  (** its definition site *)
+}
+
+val no_location : location
+
+type t = {
+  rule : string;  (** rule code, ["DP001"] .. *)
+  severity : severity;
+  message : string;
+  location : location;
+  claims : (string * bool) list;
+      (** "definitely redundant" stuck-at verdicts this diagnostic
+          makes: net name and stuck value, each provably untestable *)
+  verified : bool option;
+      (** [Some true] once the exact Difference Propagation engine has
+          confirmed every claim; [None] when unchecked *)
+}
+
+val make :
+  ?location:location ->
+  ?claims:(string * bool) list ->
+  ?verified:bool ->
+  rule:string ->
+  severity:severity ->
+  string ->
+  t
+
+val fingerprint : t -> string
+(** Stable identity for baseline suppression: rule, nets and claim
+    polarities — independent of message wording and source position. *)
+
+val compare : t -> t -> int
+(** Errors first, then source position, then rule code. *)
+
+val pp : Format.formatter -> t -> unit
+(** One [file:line:col: severity: [rule] message] line. *)
+
+val to_string : t -> string

@@ -1,0 +1,556 @@
+(* The static testability linter.  Structure proposes, the exact engine
+   confirms: every "definitely redundant" stuck-at verdict a rule emits
+   is a claim the Difference Propagation engine can check by building
+   the fault's complete test set, and [verify] (on by default) does
+   exactly that before the diagnostics leave this module. *)
+
+type tier = Structural | Testability | Bridge_topology
+
+let tier_to_string = function
+  | Structural -> "structural"
+  | Testability -> "testability"
+  | Bridge_topology -> "bridge-topology"
+
+type rule = {
+  id : string;
+  name : string;
+  tier : tier;
+  default_severity : Diagnostic.severity;
+  summary : string;
+}
+
+let rules =
+  [
+    {
+      id = "DP001";
+      name = "combinational-cycle";
+      tier = Structural;
+      default_severity = Diagnostic.Error;
+      summary = "the netlist's definition graph contains a cycle";
+    };
+    {
+      id = "DP002";
+      name = "undriven-net";
+      tier = Structural;
+      default_severity = Diagnostic.Error;
+      summary = "a net is used as a fanin or OUTPUT but nothing drives it";
+    };
+    {
+      id = "DP003";
+      name = "duplicate-driver";
+      tier = Structural;
+      default_severity = Diagnostic.Error;
+      summary = "a net has more than one driving definition";
+    };
+    {
+      id = "DP004";
+      name = "arity-violation";
+      tier = Structural;
+      default_severity = Diagnostic.Error;
+      summary = "a gate has an impossible fanin count for its kind";
+    };
+    {
+      id = "DP005";
+      name = "floating-net";
+      tier = Structural;
+      default_severity = Diagnostic.Warning;
+      summary = "a driven net feeds nothing and is not a primary output";
+    };
+    {
+      id = "DP006";
+      name = "ffr-audit";
+      tier = Structural;
+      default_severity = Diagnostic.Info;
+      summary =
+        "a fanout-free region is large: one checkpoint gates many faults";
+    };
+    {
+      id = "DP007";
+      name = "scoap-extreme";
+      tier = Testability;
+      default_severity = Diagnostic.Warning;
+      summary =
+        "SCOAP extremes: unobservable nets (untestable faults) and \
+         hardest-to-test nets";
+    };
+    {
+      id = "DP008";
+      name = "redundant-constant";
+      tier = Testability;
+      default_severity = Diagnostic.Warning;
+      summary =
+        "a net is provably constant, so one stuck-at polarity is \
+         untestable (redundant logic)";
+    };
+    {
+      id = "DP009";
+      name = "reconvergent-fanout";
+      tier = Testability;
+      default_severity = Diagnostic.Info;
+      summary = "a fanout stem reconverges deep downstream";
+    };
+    {
+      id = "DP010";
+      name = "feedback-bridge";
+      tier = Bridge_topology;
+      default_severity = Diagnostic.Info;
+      summary =
+        "bridge-universe topology: feedback pairs excluded by the \
+         non-feedback fault model";
+    };
+  ]
+
+let find_rule id = List.find_opt (fun r -> String.equal r.id id) rules
+
+type config = {
+  rules : string list option;
+  verify : bool;
+  bdd_budget : int;
+  ffr_min_size : int;
+  reconv_min_depth : int;
+  scoap_floor : int;
+  scoap_report : int;
+  bridge_max_nets : int;
+  max_per_rule : int;
+}
+
+let default_config =
+  {
+    rules = None;
+    verify = true;
+    bdd_budget = 1_000_000;
+    ffr_min_size = 10;
+    reconv_min_depth = 10;
+    scoap_floor = 200;
+    scoap_report = 3;
+    bridge_max_nets = 2500;
+    max_per_rule = 25;
+  }
+
+exception Unknown_rule of string
+
+let enabled cfg id =
+  match cfg.rules with
+  | None -> true
+  | Some ids -> List.exists (fun r -> String.equal (String.uppercase_ascii r) id) ids
+
+let validate_rule_selection cfg =
+  match cfg.rules with
+  | None -> ()
+  | Some ids ->
+    List.iter
+      (fun id ->
+        if find_rule (String.uppercase_ascii id) = None then
+          raise (Unknown_rule id))
+      ids
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+
+let location ?file ?net ?span () = { Diagnostic.file; net; span }
+
+let net_location ~file ~spans c g =
+  let name = (Circuit.gate c g).Circuit.name in
+  let span =
+    match spans with
+    | None -> None
+    | Some table -> Hashtbl.find_opt table name
+  in
+  location ?file ~net:name ?span ()
+
+let cap cfg diags =
+  let n = List.length diags in
+  if n <= cfg.max_per_rule then diags
+  else
+    match List.filteri (fun i _ -> i < cfg.max_per_rule) diags with
+    | [] -> []
+    | kept ->
+      let last = List.nth kept (List.length kept - 1) in
+      kept
+      @ [
+          Diagnostic.make ~rule:last.Diagnostic.rule
+            ~severity:Diagnostic.Info
+            ~location:
+              {
+                Diagnostic.no_location with
+                Diagnostic.file = last.Diagnostic.location.Diagnostic.file;
+              }
+            (Printf.sprintf "%d further %s findings suppressed (cap %d)"
+               (n - cfg.max_per_rule) last.Diagnostic.rule cfg.max_per_rule);
+        ]
+
+(* ------------------------------------------------------------------ *)
+(* Structural tier over the raw (pre-elaboration) netlist              *)
+
+let rule_cycles ~file raw =
+  Bench_format.cycles raw
+  |> List.map (fun comp ->
+         let name, span = comp.(0) in
+         let members =
+           Array.to_list comp |> List.map fst |> String.concat ", "
+         in
+         Diagnostic.make ~rule:"DP001" ~severity:Diagnostic.Error
+           ~location:(location ?file ~net:name ~span ())
+           (Printf.sprintf
+              "combinational cycle through %d net(s): %s — no topological \
+               order exists, the netlist is not combinational"
+              (Array.length comp) members))
+
+let rule_undriven ~file raw =
+  let defined = Hashtbl.create 64 in
+  List.iter
+    (fun (name, _) -> Hashtbl.replace defined name ())
+    (Bench_format.definitions raw);
+  let reported = Hashtbl.create 8 in
+  Bench_format.uses raw
+  |> List.filter_map (fun (name, span) ->
+         if Hashtbl.mem defined name || Hashtbl.mem reported name then None
+         else begin
+           Hashtbl.add reported name ();
+           Some
+             (Diagnostic.make ~rule:"DP002" ~severity:Diagnostic.Error
+                ~location:(location ?file ~net:name ~span ())
+                (Printf.sprintf
+                   "net %S is used but never driven (first use here)" name))
+         end)
+
+let rule_duplicates ~file raw =
+  let first = Hashtbl.create 64 in
+  Bench_format.definitions raw
+  |> List.filter_map (fun (name, span) ->
+         match Hashtbl.find_opt first name with
+         | None ->
+           Hashtbl.add first name span;
+           None
+         | Some (first_span : Bench_format.span) ->
+           Some
+             (Diagnostic.make ~rule:"DP003" ~severity:Diagnostic.Error
+                ~location:(location ?file ~net:name ~span ())
+                (Printf.sprintf
+                   "duplicate driver for net %S (first defined at line %d)"
+                   name first_span.Bench_format.line)))
+
+let rule_arity ~file raw =
+  raw.Bench_format.r_gates
+  |> List.filter_map (fun (g : Bench_format.raw_gate) ->
+         let n = List.length g.g_fanins in
+         if Gate.arity_ok g.g_kind n then None
+         else
+           Some
+             (Diagnostic.make ~rule:"DP004" ~severity:Diagnostic.Error
+                ~location:(location ?file ~net:g.g_net ~span:g.g_span ())
+                (Printf.sprintf "%s gate %S with %d fanin(s)"
+                   (Gate.name g.g_kind) g.g_net n)))
+
+(* ------------------------------------------------------------------ *)
+(* Structural tier over an elaborated circuit                          *)
+
+let rule_floating ~file ~spans cfg c =
+  let counts = Circuit.fanout_count c in
+  let diags = ref [] in
+  for g = Circuit.num_gates c - 1 downto 0 do
+    if counts.(g) = 0 && not (Circuit.is_output c g) then begin
+      let what =
+        if Circuit.is_input c g then "primary input" else "gate output"
+      in
+      diags :=
+        Diagnostic.make ~rule:"DP005" ~severity:Diagnostic.Warning
+          ~location:(net_location ~file ~spans c g)
+          (Printf.sprintf
+             "%s %S drives nothing and is not a primary output (dead logic)"
+             what (Circuit.gate c g).Circuit.name)
+        :: !diags
+    end
+  done;
+  cap cfg !diags
+
+let rule_ffr_audit ~file ~spans cfg c =
+  let n = Circuit.num_gates c in
+  let counts = Circuit.fanout_count c in
+  let fanouts = Circuit.fanouts c in
+  (* Reverse topological sweep: a net with a single reader belongs to
+     its reader's fanout-free region; everything else heads its own. *)
+  let head = Array.init n (fun g -> g) in
+  for g = n - 1 downto 0 do
+    if counts.(g) = 1 && not (Circuit.is_output c g) then
+      head.(g) <- head.(fanouts.(g).(0))
+  done;
+  let size = Array.make n 0 in
+  Array.iter (fun h -> size.(h) <- size.(h) + 1) head;
+  let diags = ref [] in
+  for g = n - 1 downto 0 do
+    if size.(g) >= cfg.ffr_min_size then
+      diags :=
+        Diagnostic.make ~rule:"DP006" ~severity:Diagnostic.Info
+          ~location:(net_location ~file ~spans c g)
+          (Printf.sprintf
+             "fanout-free region of %d nets converges on %S: one checkpoint \
+              region — its observability gates every fault inside"
+             size.(g) (Circuit.gate c g).Circuit.name)
+        :: !diags
+  done;
+  cap cfg !diags
+
+(* ------------------------------------------------------------------ *)
+(* Testability tier                                                    *)
+
+let rule_scoap ~file ~spans cfg c =
+  let m = Scoap.compute c in
+  let unobservable = ref [] in
+  let hard = ref [] in
+  for g = Circuit.num_gates c - 1 downto 0 do
+    let co = Scoap.observability m g in
+    if co = max_int then begin
+      let name = (Circuit.gate c g).Circuit.name in
+      unobservable :=
+        Diagnostic.make ~rule:"DP007" ~severity:Diagnostic.Warning
+          ~location:(net_location ~file ~spans c g)
+          ~claims:[ (name, false); (name, true) ]
+          (Printf.sprintf
+             "net %S reaches no primary output: both stuck-at faults on it \
+              are untestable" name)
+        :: !unobservable
+    end
+    else begin
+      let difficulty =
+        co
+        + min
+            (Scoap.controllability m ~net:g ~value:false)
+            (Scoap.controllability m ~net:g ~value:true)
+      in
+      if difficulty >= cfg.scoap_floor then hard := (difficulty, g) :: !hard
+    end
+  done;
+  let hardest =
+    List.sort (fun (a, _) (b, _) -> Stdlib.compare b a) !hard
+    |> List.filteri (fun i _ -> i < cfg.scoap_report)
+    |> List.map (fun (difficulty, g) ->
+           Diagnostic.make ~rule:"DP007" ~severity:Diagnostic.Info
+             ~location:(net_location ~file ~spans c g)
+             (Printf.sprintf
+                "net %S is the circuit's hardest to test (SCOAP \
+                 controllability+observability %d >= %d): a prime DFT \
+                 candidate for a test or observation point"
+                (Circuit.gate c g).Circuit.name difficulty cfg.scoap_floor))
+  in
+  cap cfg !unobservable @ hardest
+
+let rule_constants ~file ~spans cfg c =
+  let lattice = Const_lattice.compute c in
+  let claim ~proof g v =
+    let name = (Circuit.gate c g).Circuit.name in
+    Diagnostic.make ~rule:"DP008" ~severity:Diagnostic.Warning
+      ~location:(net_location ~file ~spans c g)
+      ~claims:[ (name, v) ]
+      (Printf.sprintf
+         "net %S is provably constant %d (%s): stuck-at-%d on it can never \
+          be excited — redundant logic"
+         name (Bool.to_int v) proof (Bool.to_int v))
+  in
+  let structural = ref [] and resolved = Array.make (Circuit.num_gates c) false in
+  for g = Circuit.num_gates c - 1 downto 0 do
+    match Const_lattice.constant lattice g with
+    | Some v ->
+      resolved.(g) <- true;
+      structural := claim ~proof:"constant lattice" g v :: !structural
+    | None -> ()
+  done;
+  (* BDD tier: where the lattice is inconclusive, a budgeted symbolic
+     build settles functional constancy exactly — cheap on everything
+     the lattice already simplified, abandoned mid-apply if the circuit
+     is hostile. *)
+  let bdd = ref [] in
+  if cfg.bdd_budget > 0 then begin
+    let sym = Symbolic.build_lazy c in
+    let m = Symbolic.manager sym in
+    (try
+       Bdd.with_budget m ~budget:cfg.bdd_budget (fun () ->
+           for g = 0 to Circuit.num_gates c - 1 do
+             if (not resolved.(g)) && not (Circuit.is_input c g) then begin
+               Symbolic.force sym g;
+               let f = Symbolic.node_function sym g in
+               if Bdd.is_zero m f then bdd := claim ~proof:"BDD" g false :: !bdd
+               else if Bdd.is_one m f then
+                 bdd := claim ~proof:"BDD" g true :: !bdd
+             end
+           done)
+     with Bdd.Budget_exceeded { nodes; budget } ->
+       bdd :=
+         Diagnostic.make ~rule:"DP008" ~severity:Diagnostic.Info
+           ~location:(location ?file ())
+           (Printf.sprintf
+              "BDD constancy tier stopped at its node budget (%d of %d \
+               nodes): remaining nets checked structurally only" nodes budget)
+         :: !bdd);
+    ()
+  end;
+  cap cfg (!structural @ List.rev !bdd)
+
+let rule_reconvergence ~file ~spans cfg c =
+  let n = Circuit.num_gates c in
+  let counts = Circuit.fanout_count c in
+  let levels = Circuit.levels c in
+  let diags = ref [] in
+  for s = 0 to n - 1 do
+    if counts.(s) >= 2 then begin
+      let cone = Circuit.fanout_cone c [ s ] in
+      (* First gate joining two cone paths = the earliest reconvergence. *)
+      let first = ref None in
+      let points = ref 0 in
+      for g = s + 1 to n - 1 do
+        if cone.(g) then begin
+          let in_cone_fanins = ref 0 in
+          let seen_fanins = Hashtbl.create 4 in
+          Array.iter
+            (fun f ->
+              if cone.(f) && not (Hashtbl.mem seen_fanins f) then begin
+                Hashtbl.add seen_fanins f ();
+                incr in_cone_fanins
+              end)
+            (Circuit.gate c g).Circuit.fanins;
+          if !in_cone_fanins >= 2 then begin
+            incr points;
+            if !first = None then first := Some g
+          end
+        end
+      done;
+      match !first with
+      | Some g when levels.(g) - levels.(s) >= cfg.reconv_min_depth ->
+        diags :=
+          Diagnostic.make ~rule:"DP009" ~severity:Diagnostic.Info
+            ~location:(net_location ~file ~spans c s)
+            (Printf.sprintf
+               "fanout of %S first reconverges %d levels downstream at %S \
+                (%d reconvergence points in its cone): long correlated \
+                paths, the classic source of hard and untestable faults"
+               (Circuit.gate c s).Circuit.name
+               (levels.(g) - levels.(s))
+               (Circuit.gate c g).Circuit.name !points)
+          :: !diags
+      | _ -> ()
+    end
+  done;
+  cap cfg (List.rev !diags)
+
+(* ------------------------------------------------------------------ *)
+(* Bridge-topology tier                                                *)
+
+let rule_bridges ~file cfg c =
+  let n = Circuit.num_gates c in
+  if n > cfg.bridge_max_nets then
+    [
+      Diagnostic.make ~rule:"DP010" ~severity:Diagnostic.Info
+        ~location:(location ?file ())
+        (Printf.sprintf
+           "bridge-topology audit skipped: %d nets exceeds the quadratic \
+            budget (%d)" n cfg.bridge_max_nets);
+    ]
+  else begin
+    let anc = Bridge.ancestors c in
+    let pairs = n * (n - 1) / 2 in
+    let feedback = ref 0 in
+    for a = 0 to n - 1 do
+      for b = a + 1 to n - 1 do
+        if Bridge.is_feedback anc a b then incr feedback
+      done
+    done;
+    let nfbf = Bridge.count c in
+    [
+      Diagnostic.make ~rule:"DP010" ~severity:Diagnostic.Info
+        ~location:(location ?file ())
+        (Printf.sprintf
+           "bridge universe: %d net pairs, %d feedback (%.1f%% — outside \
+            the engine's non-feedback fault model, excluded statically), \
+            %d potentially detectable non-feedback bridge faults"
+           pairs !feedback
+           (100.0 *. float_of_int !feedback /. float_of_int (max 1 pairs))
+           nfbf);
+    ]
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exact cross-validation                                              *)
+
+let verify_claims c diags =
+  let claimed =
+    List.exists (fun d -> d.Diagnostic.claims <> []) diags
+  in
+  if not claimed then diags
+  else begin
+    let engine = Engine.create c in
+    List.map
+      (fun d ->
+        if d.Diagnostic.claims = [] then d
+        else begin
+          let confirmed =
+            List.for_all
+              (fun (name, v) ->
+                match Circuit.index_of_name c name with
+                | None -> false
+                | Some g ->
+                  Engine.redundant engine
+                    (Fault.Stuck
+                       { Sa_fault.line = Sa_fault.Stem g; value = v }))
+              d.Diagnostic.claims
+          in
+          if confirmed then { d with Diagnostic.verified = Some true }
+          else
+            (* A refuted claim is a soundness bug in this linter, never
+               a property of the circuit: surface it as loudly as the
+               diagnostic system allows. *)
+            {
+              d with
+              Diagnostic.verified = Some false;
+              severity = Diagnostic.Error;
+              message =
+                d.Diagnostic.message
+                ^ " [INTERNAL: exact difference propagation refutes this \
+                   verdict — please report]";
+            }
+        end)
+      diags
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Drivers                                                             *)
+
+let circuit_rules ?(config = default_config) ?file ?spans c =
+  validate_rule_selection config;
+  let run_if id f = if enabled config id then f () else [] in
+  let diags =
+    run_if "DP005" (fun () -> rule_floating ~file ~spans config c)
+    @ run_if "DP006" (fun () -> rule_ffr_audit ~file ~spans config c)
+    @ run_if "DP007" (fun () -> rule_scoap ~file ~spans config c)
+    @ run_if "DP008" (fun () -> rule_constants ~file ~spans config c)
+    @ run_if "DP009" (fun () -> rule_reconvergence ~file ~spans config c)
+    @ run_if "DP010" (fun () -> rule_bridges ~file config c)
+  in
+  let diags = if config.verify then verify_claims c diags else diags in
+  List.sort Diagnostic.compare diags
+
+let run ?config ?file c = circuit_rules ?config ?file ?spans:None c
+
+let run_raw ?(config = default_config) ?file raw =
+  validate_rule_selection config;
+  let run_if id f = if enabled config id then f () else [] in
+  let structural =
+    run_if "DP001" (fun () -> rule_cycles ~file raw)
+    @ run_if "DP002" (fun () -> rule_undriven ~file raw)
+    @ run_if "DP003" (fun () -> rule_duplicates ~file raw)
+    @ run_if "DP004" (fun () -> rule_arity ~file raw)
+  in
+  (* The circuit-level rules need a well-formed netlist; any structural
+     defect at all (enabled or not) makes elaboration unsafe, so probe
+     it under a catch-all rather than second-guess which rule fired. *)
+  match Bench_format.elaborate raw with
+  | c ->
+    let spans = Bench_format.definition_spans raw in
+    (structural @ circuit_rules ~config ?file ~spans c, Some c)
+  | exception (Bench_format.Parse_error _ | Circuit.Malformed _) ->
+    (List.sort Diagnostic.compare structural, None)
+
+let run_source ?config ?file ~title text =
+  run_raw ?config ?file (Bench_format.parse_raw ~title text)
+
+let run_file ?config path =
+  run_raw ?config ~file:path (Bench_format.parse_raw_file path)

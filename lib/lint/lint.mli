@@ -1,0 +1,95 @@
+(** Static testability linter over gate-level netlists.
+
+    Operationalises the paper's "Implications to Test and Testable
+    Design": topology alone predicts much of fault behaviour, so a
+    cheap static pass can diagnose a netlist — flag redundant stuck-at
+    candidates, unobservable and hardest-to-test nets, oversized
+    fanout-free regions, deep reconvergence, and the feedback share of
+    the bridge universe — before any exact analysis runs.  Three proof
+    tiers back the verdicts: pure structure (SCC, fanout, SCOAP), a
+    constant-propagation lattice ({!Const_lattice}), and budgeted BDD
+    checks where structure is inconclusive; with {!config.verify} on
+    (the default), every "definitely redundant" claim is additionally
+    confirmed by the exact Difference Propagation engine
+    ({!Engine.redundant}) before it is reported. *)
+
+type tier = Structural | Testability | Bridge_topology
+
+val tier_to_string : tier -> string
+
+type rule = {
+  id : string;  (** ["DP001"] .. ["DP010"] *)
+  name : string;  (** kebab-case, e.g. ["combinational-cycle"] *)
+  tier : tier;
+  default_severity : Diagnostic.severity;
+  summary : string;
+}
+
+val rules : rule list
+(** The full registry, in rule-code order:
+
+    - [DP001] combinational-cycle (error) — name-level SCC
+    - [DP002] undriven-net (error)
+    - [DP003] duplicate-driver (error)
+    - [DP004] arity-violation (error)
+    - [DP005] floating-net (warning)
+    - [DP006] ffr-audit (info) — oversized fanout-free regions
+    - [DP007] scoap-extreme (warning/info) — unobservable nets (with
+      redundancy claims) and hardest-to-test nets
+    - [DP008] redundant-constant (warning) — lattice- or BDD-provable
+      constant nets, one untestable stuck-at polarity each
+    - [DP009] reconvergent-fanout (info) — deep first reconvergence
+    - [DP010] feedback-bridge (info) — feedback share of the
+      two-line bridge universe *)
+
+val find_rule : string -> rule option
+
+type config = {
+  rules : string list option;
+      (** enable only these rule ids (case-insensitive); [None] = all *)
+  verify : bool;
+      (** confirm every redundancy claim with the exact engine
+          (default true); a refuted claim — a linter soundness bug —
+          is escalated to an error-severity diagnostic *)
+  bdd_budget : int;
+      (** node budget of the DP008 BDD tier; [0] disables it *)
+  ffr_min_size : int;  (** DP006 threshold (nets per region) *)
+  reconv_min_depth : int;  (** DP009 threshold (levels) *)
+  scoap_floor : int;  (** DP007 minimum reported difficulty *)
+  scoap_report : int;  (** DP007 hardest-net count *)
+  bridge_max_nets : int;  (** DP010 quadratic-audit cutoff *)
+  max_per_rule : int;  (** per-rule diagnostic cap (overflow noted) *)
+}
+
+val default_config : config
+
+exception Unknown_rule of string
+(** Raised by the drivers when {!config.rules} names an unknown id. *)
+
+val run : ?config:config -> ?file:string -> Circuit.t -> Diagnostic.t list
+(** Circuit-level rules (DP005–DP010) on an already-elaborated circuit.
+    No source spans are available on this path; diagnostics carry net
+    names only.  Sorted with {!Diagnostic.compare}. *)
+
+val run_raw :
+  ?config:config ->
+  ?file:string ->
+  Bench_format.raw ->
+  Diagnostic.t list * Circuit.t option
+(** The full pipeline on a span-preserving raw netlist: structural
+    rules (DP001–DP004) first; if the netlist elaborates, the
+    circuit-level rules run too with definition spans attached, and
+    the elaborated circuit is returned for reuse. *)
+
+val run_source :
+  ?config:config ->
+  ?file:string ->
+  title:string ->
+  string ->
+  Diagnostic.t list * Circuit.t option
+(** [run_raw] over parsed text.  @raise Bench_format.Parse_error on
+    {e syntax} errors only (semantic defects become diagnostics). *)
+
+val run_file :
+  ?config:config -> string -> Diagnostic.t list * Circuit.t option
+(** [run_source] over a [.bench] file, with [file] set to its path. *)

@@ -1,0 +1,16 @@
+(** SARIF 2.1.0 and plain-JSON renderers for lint diagnostics.
+
+    Both renderers are deterministic (stable key order, caller-sorted
+    diagnostics), so their output is golden-file- and diff-stable. *)
+
+val render : ?tool_version:string -> uri:string -> Diagnostic.t list -> string
+(** A complete single-run SARIF 2.1.0 log: tool driver with the full
+    rule registry ({!Lint.rules}), one [result] per diagnostic with a
+    physical location ([uri] when the diagnostic names no file),
+    stable [partialFingerprints], and the redundancy claims under
+    [properties.redundantFaults]. *)
+
+val render_json : uri:string -> Diagnostic.t list -> string
+(** Flat JSON array, one object per diagnostic: [rule], [severity],
+    [message], [file], and where known [net], [line], [column],
+    [claims], [verified]. *)

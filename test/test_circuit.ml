@@ -166,7 +166,8 @@ let parse_error_at text =
   try
     ignore (Bench_format.parse ~title:"bad" text);
     None
-  with Bench_format.Parse_error (line, msg) -> Some (line, msg)
+  with Bench_format.Parse_error (span, msg) ->
+    Some (span.Bench_format.line, msg)
 
 let test_duplicate_definition_diagnosed () =
   (* The second driver is the error, and the diagnostic names the line
@@ -187,6 +188,27 @@ let test_duplicate_definition_diagnosed () =
   check bool_t "gate redefining an INPUT rejected" true
     (parse_error_at "INPUT(a)\na = NOT(a)\nOUTPUT(a)\n"
     = Some (2, "duplicate definition of net \"a\" (first defined at line 1)"))
+
+let test_parse_error_columns () =
+  (* Spans point at the offending token itself, not at the line start:
+     "phantom" starts at the 13th character of its line. *)
+  (try
+     ignore
+       (Bench_format.parse ~title:"bad" "INPUT(a)\ng1 = AND(a, phantom)\nOUTPUT(g1)\n");
+     Alcotest.fail "undriven fanin accepted"
+   with Bench_format.Parse_error (span, _) ->
+     check int_t "line" 2 span.Bench_format.line;
+     check int_t "start col" 13 span.Bench_format.start_col;
+     check int_t "end col" 20 span.Bench_format.end_col);
+  (* The tolerant raw layer keeps every span for the linter. *)
+  let raw =
+    Bench_format.parse_raw ~title:"raw" "INPUT(a)\n  y = NOT(a)\nOUTPUT(y)\n"
+  in
+  match raw.Bench_format.r_gates with
+  | [ g ] ->
+    check int_t "gate line" 2 g.Bench_format.g_span.Bench_format.line;
+    check int_t "gate col" 3 g.Bench_format.g_span.Bench_format.start_col
+  | _ -> Alcotest.fail "one gate expected"
 
 let test_undriven_net_diagnosed () =
   (* A fanin that nothing drives, reported at its first use. *)
@@ -595,6 +617,8 @@ let () =
             `Quick test_duplicate_definition_diagnosed;
           Alcotest.test_case "undriven nets diagnosed with lines" `Quick
             test_undriven_net_diagnosed;
+          Alcotest.test_case "spans carry columns" `Quick
+            test_parse_error_columns;
           Alcotest.test_case "aliases and comments" `Quick
             test_parse_aliases_and_comments;
         ] );
