@@ -624,14 +624,29 @@ let micro () =
   note "DP's advantage grows exponentially with input count (paper §1, §3)"
 
 (* ------------------------------------------------------------------ *)
-(* Parallel-throughput benchmark (BENCH_dp.json)                       *)
+(* Parallel-throughput regression harness.  One [perf] invocation
+   produces three artifacts: BENCH_dp.json (the full latest-run matrix,
+   rewritten after every circuit), BENCH_history.csv (one appended row
+   per configuration per run — the cross-run memory that the regression
+   gate reads), and, via the [trend] command, bench_trend.html — a
+   self-contained page of per-configuration sparklines over history.   *)
 
 let perf_domain_counts = ref [ 1; 2; 4; 8 ]
-
-let perf_circuits =
-  ref [ "alu74181"; "c432"; "c499"; "c1355"; "c1908" ]
-
+let perf_circuits = ref Bench_suite.names
 let perf_out = ref "BENCH_dp.json"
+let perf_history = ref "BENCH_history.csv"
+let perf_trend_out = ref "bench_trend.html"
+let perf_gate = ref false
+let perf_schedulers = ref [ Engine.Snapshot ]
+
+let scheduler_of_string = function
+  | "static" -> Engine.Static
+  | "stealing" -> Engine.Stealing
+  | "snapshot" -> Engine.Snapshot
+  | s ->
+    Format.eprintf "perf: unknown scheduler %S (static|stealing|snapshot)@."
+      s;
+    exit 2
 
 type perf_run = {
   scheduler : Engine.scheduler;
@@ -660,16 +675,24 @@ let write_perf_json path rows =
             "%s\n      { \"scheduler\": %S, \"domains\": %d, \
              \"seconds\": %.6f, \"faults_per_sec\": %.3f, \
              \"matches_sequential\": %b, \"degraded\": %d, \
-             \"build_seconds\": %.6f, \"analysis_seconds\": %.6f, \
+             \"build_seconds\": %.6f, \"snapshot_seconds\": %.6f, \
+             \"analysis_wall_seconds\": %.6f, \
+             \"analysis_cpu_seconds\": %.6f, \
              \"gc_seconds\": %.6f, \"gc_collections\": %d, \
-             \"batches\": %d, \"good_functions_built\": %d }"
+             \"batches\": %d, \"good_functions_built\": %d, \
+             \"scratch_peak_nodes\": %d, \"apply_steps\": %d, \
+             \"nodes_allocated\": %d, \"hardware_domains\": %d }"
             (if j = 0 then "" else ",")
             (Engine.scheduler_to_string r.scheduler)
             r.domains r.seconds r.faults_per_sec r.matches_sequential
             r.degraded r.stats.Engine.build_seconds
-            r.stats.Engine.analysis_seconds r.stats.Engine.gc_seconds
+            r.stats.Engine.snapshot_seconds
+            r.stats.Engine.analysis_wall_seconds
+            r.stats.Engine.analysis_cpu_seconds r.stats.Engine.gc_seconds
             r.stats.Engine.gc_collections r.stats.Engine.batch_count
-            r.stats.Engine.good_functions_built)
+            r.stats.Engine.good_functions_built
+            r.stats.Engine.scratch_peak_nodes r.stats.Engine.apply_steps
+            r.stats.Engine.nodes_allocated r.stats.Engine.hardware_domains)
         runs;
       Printf.bprintf buf "\n    ] }%s\n"
         (if i = List.length rows - 1 then "" else ","))
@@ -679,13 +702,181 @@ let write_perf_json path rows =
   output_string oc (Buffer.contents buf);
   close_out oc
 
+(* ------------------------------------------------------------------ *)
+(* Bench history: one CSV row per configuration per [perf] run.  The
+   file is append-only, so successive runs (and CI jobs restoring it
+   from an artifact cache) accumulate the trajectory the cross-run
+   regression gate and the trend page both read.                       *)
+
+let history_columns =
+  [
+    "ts"; "circuit"; "faults"; "scheduler"; "domains"; "seconds";
+    "faults_per_sec"; "matches_sequential"; "degraded"; "build_seconds";
+    "snapshot_seconds"; "analysis_wall_seconds"; "analysis_cpu_seconds";
+    "gc_seconds"; "gc_collections"; "batches"; "good_functions_built";
+    "scratch_peak_nodes"; "apply_steps"; "nodes_allocated";
+    "hardware_domains";
+  ]
+
+let history_row ts name faults r =
+  Printf.sprintf
+    "%.0f,%s,%d,%s,%d,%.6f,%.3f,%b,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%d"
+    ts name faults
+    (Engine.scheduler_to_string r.scheduler)
+    r.domains r.seconds r.faults_per_sec r.matches_sequential r.degraded
+    r.stats.Engine.build_seconds r.stats.Engine.snapshot_seconds
+    r.stats.Engine.analysis_wall_seconds r.stats.Engine.analysis_cpu_seconds
+    r.stats.Engine.gc_seconds r.stats.Engine.gc_collections
+    r.stats.Engine.batch_count r.stats.Engine.good_functions_built
+    r.stats.Engine.scratch_peak_nodes r.stats.Engine.apply_steps
+    r.stats.Engine.nodes_allocated r.stats.Engine.hardware_domains
+
+let append_history path ts name faults runs =
+  let fresh = not (Sys.file_exists path) in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  if fresh then output_string oc (String.concat "," history_columns ^ "\n");
+  List.iter
+    (fun r -> output_string oc (history_row ts name faults r ^ "\n"))
+    runs;
+  close_out oc
+
+(* Parsed history rows, oldest first.  Rows with the wrong column count
+   (a past or future schema) are skipped, not fatal: the history file
+   outlives any one layout. *)
+let read_history path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rows = ref [] in
+    (try
+       ignore (input_line ic);
+       while true do
+         let cells =
+           String.split_on_char ',' (input_line ic) |> Array.of_list
+         in
+         if Array.length cells = List.length history_columns then
+           rows := cells :: !rows
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !rows
+  end
+
+(* A value series as an inline SVG polyline — no external assets, so the
+   trend page is a single self-contained file CI can publish as-is. *)
+let sparkline values =
+  let w = 220 and h = 40 in
+  match values with
+  | [] | [ _ ] ->
+    Printf.sprintf
+      "<svg width=\"%d\" height=\"%d\"><text x=\"4\" y=\"%d\" \
+       font-size=\"11\" fill=\"#888\">not enough runs</text></svg>"
+      w h ((h / 2) + 4)
+  | vs ->
+    let lo = List.fold_left Float.min infinity vs in
+    let hi = List.fold_left Float.max neg_infinity vs in
+    let span = if hi -. lo < 1e-12 then 1.0 else hi -. lo in
+    let n = List.length vs in
+    let pts =
+      List.mapi
+        (fun i v ->
+          let x =
+            4.0
+            +. float_of_int i /. float_of_int (n - 1) *. float_of_int (w - 8)
+          in
+          let y =
+            4.0 +. ((1.0 -. ((v -. lo) /. span)) *. float_of_int (h - 8))
+          in
+          Printf.sprintf "%.1f,%.1f" x y)
+        vs
+    in
+    Printf.sprintf
+      "<svg width=\"%d\" height=\"%d\"><polyline points=\"%s\" \
+       fill=\"none\" stroke=\"#2a6e4e\" stroke-width=\"1.5\"/></svg>"
+      w h (String.concat " " pts)
+
+let trend () =
+  section "trend" "bench trend page (BENCH_history.csv -> bench_trend.html)";
+  let rows = read_history !perf_history in
+  if rows = [] then
+    note
+      (Printf.sprintf "%s: no history yet; run [perf] first" !perf_history)
+  else begin
+    (* Group rows by (circuit, scheduler, domains) preserving first-seen
+       order; each group is one time series, oldest first. *)
+    let keys = ref [] in
+    let tbl = Hashtbl.create 32 in
+    List.iter
+      (fun (c : string array) ->
+        let key = (c.(1), c.(3), c.(4)) in
+        if not (Hashtbl.mem tbl key) then begin
+          keys := key :: !keys;
+          Hashtbl.add tbl key (ref [])
+        end;
+        let cell = Hashtbl.find tbl key in
+        cell := c :: !cell)
+      rows;
+    let keys = List.rev !keys in
+    let buf = Buffer.create 8192 in
+    Buffer.add_string buf
+      "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n\
+       <title>bench trend</title>\n\
+       <style>body{font-family:sans-serif;margin:2em}\
+       table{border-collapse:collapse}\
+       td,th{border:1px solid #ccc;padding:4px 10px;text-align:right}\
+       th{background:#f4f4f4}td.l,th.l{text-align:left}</style>\
+       </head><body>\n";
+    Printf.bprintf buf
+      "<h1>Fault-sweep throughput over %d recorded runs</h1>\n\
+       <p>Source: <code>%s</code>.  Sparklines read left (oldest) to \
+       right (newest).  <code>apply_steps</code> is the deterministic \
+       work metric — machine-independent, the signal the cross-run \
+       regression gate watches; <code>faults/s</code> is wall-clock \
+       throughput on whatever hardware each run happened to use.</p>\n"
+      (List.length rows) !perf_history;
+    Buffer.add_string buf
+      "<table><tr><th class=\"l\">circuit</th>\
+       <th class=\"l\">scheduler</th><th>domains</th><th>runs</th>\
+       <th>latest faults/s</th><th>faults/s trend</th>\
+       <th>latest apply_steps</th><th>apply_steps trend</th></tr>\n";
+    List.iter
+      (fun ((circuit, sched, domains) as key) ->
+        let series = List.rev !(Hashtbl.find tbl key) in
+        let fps = List.map (fun c -> float_of_string c.(6)) series in
+        let steps = List.map (fun c -> float_of_string c.(18)) series in
+        let last l = List.nth l (List.length l - 1) in
+        Printf.bprintf buf
+          "<tr><td class=\"l\">%s</td><td class=\"l\">%s</td><td>%s</td>\
+           <td>%d</td><td>%.1f</td><td>%s</td><td>%.0f</td><td>%s</td>\
+           </tr>\n"
+          circuit sched domains (List.length series) (last fps)
+          (sparkline fps) (last steps) (sparkline steps))
+      keys;
+    Buffer.add_string buf "</table></body></html>\n";
+    let oc = open_out !perf_trend_out in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    note
+      (Printf.sprintf "%s written (%d series)" !perf_trend_out
+         (List.length keys))
+  end
+
 let perf () =
   section "perf"
-    "fault-sweep throughput: static shards vs work-stealing batches";
+    "fault-sweep throughput: shared-snapshot sweeps vs the sequential \
+     reference";
+  let ts = Unix.time () in
+  (* Prior history is read before this run appends anything: the
+     cross-run gate compares against what was on disk at start. *)
+  let prior = read_history !perf_history in
+  let failures = ref [] in
+  let fail fmt_str =
+    Printf.ksprintf (fun m -> failures := m :: !failures) fmt_str
+  in
   Format.fprintf fmt
-    "  %-12s %8s %-9s %7s %9s %12s %8s %8s %7s %7s %8s@." "circuit" "faults"
-    "sched" "domains" "seconds" "faults/sec" "build(s)" "sweep(s)" "gc(s)"
-    "gc#" "agree";
+    "  %-10s %7s %-9s %4s %8s %11s %7s %7s %7s %7s %5s %10s %6s@." "circuit"
+    "faults" "sched" "dom" "seconds" "faults/sec" "build" "snap" "wall"
+    "cpu" "gc#" "steps" "agree";
   let rows = ref [] in
   List.iter
     (fun name ->
@@ -723,12 +914,14 @@ let perf () =
           let degraded = List.length (Engine.degraded results) in
           let faults_per_sec = float_of_int n /. dt in
           Format.fprintf fmt
-            "  %-12s %8d %-9s %7d %9.2f %12.1f %8.2f %8.2f %7.2f %7d %8s@."
+            "  %-10s %7d %-9s %4d %8.2f %11.1f %7.2f %7.2f %7.2f %7.2f \
+             %5d %10d %6s@."
             name n
             (Engine.scheduler_to_string scheduler)
             d dt faults_per_sec stats.Engine.build_seconds
-            stats.Engine.analysis_seconds stats.Engine.gc_seconds
-            stats.Engine.gc_collections
+            stats.Engine.snapshot_seconds stats.Engine.analysis_wall_seconds
+            stats.Engine.analysis_cpu_seconds stats.Engine.gc_collections
+            stats.Engine.apply_steps
             (if matches_sequential then "yes" else "NO");
           {
             scheduler;
@@ -745,39 +938,121 @@ let perf () =
            (Bound first — [::] would evaluate its right side first.) *)
         let reference = measure Engine.Static 1 in
         let runs =
-          reference :: List.map (measure Engine.Stealing) !perf_domain_counts
+          reference
+          :: List.concat_map
+               (fun s -> List.map (measure s) !perf_domain_counts)
+               !perf_schedulers
         in
-        let seconds_of pred =
-          match List.find_opt pred runs with
-          | Some r -> r.seconds
-          | None -> Float.nan
+        (* Within-run gates: bit-identity everywhere, no inverted
+           scaling, and one snapshot build per sweep regardless of the
+           domain count. *)
+        List.iter
+          (fun r ->
+            if not r.matches_sequential then
+              fail "%s: %s@%d does not match the sequential reference" name
+                (Engine.scheduler_to_string r.scheduler)
+                r.domains)
+          runs;
+        let hw = Parallel.available_domains () in
+        let snapshot_at d =
+          List.find_opt
+            (fun r -> r.scheduler = Engine.Snapshot && r.domains = d)
+            runs
         in
-        let static1 = seconds_of (fun r -> r.scheduler = Engine.Static) in
-        let stealing_at d =
-          seconds_of (fun r -> r.scheduler = Engine.Stealing && r.domains = d)
+        (* Scaling can only be demanded of domain counts the hardware
+           can actually run in parallel; oversubscribed points are
+           reported but not gated. *)
+        (match List.filter (fun d -> d <= hw) !perf_domain_counts with
+        | [] | [ _ ] -> ()
+        | usable -> (
+          let lo = List.fold_left min max_int usable in
+          let hi = List.fold_left max 0 usable in
+          match (snapshot_at lo, snapshot_at hi) with
+          | Some a, Some b when b.faults_per_sec < 0.9 *. a.faults_per_sec
+            ->
+            fail
+              "%s: inverted scaling — snapshot@%d %.1f faults/s < 0.9x \
+               snapshot@%d %.1f faults/s"
+              name hi b.faults_per_sec lo a.faults_per_sec
+          | _ -> ()));
+        let built_counts =
+          List.filter_map
+            (fun r ->
+              if r.scheduler = Engine.Snapshot then
+                Some r.stats.Engine.good_functions_built
+              else None)
+            runs
+        in
+        let built_uniform =
+          match built_counts with
+          | [] -> true
+          | b :: rest -> List.for_all (( = ) b) rest
+        in
+        if not built_uniform then
+          fail
+            "%s: good_functions_built varies across snapshot domain counts"
+            name;
+        (* Cross-run gate on the deterministic work metric: against the
+           latest prior static@1 row for the same circuit and fault
+           count, the sweep must not have grown >10%% more expensive. *)
+        let prior_steps =
+          List.fold_left
+            (fun acc (cells : string array) ->
+              if
+                cells.(1) = name
+                && cells.(3) = "static"
+                && cells.(4) = "1"
+                && int_of_string cells.(2) = n
+              then Some (int_of_string cells.(18))
+              else acc)
+            None prior
+        in
+        (match prior_steps with
+        | Some p
+          when p > 0
+               && float_of_int reference.stats.Engine.apply_steps
+                  > 1.10 *. float_of_int p ->
+          fail
+            "%s: apply_steps regression — static@1 now %d, last recorded \
+             %d (>10%% more work per sweep)"
+            name reference.stats.Engine.apply_steps p
+        | _ -> ());
+        let best_speedup =
+          List.fold_left
+            (fun acc r ->
+              if r.scheduler = Engine.Snapshot then
+                Float.max acc (reference.seconds /. r.seconds)
+              else acc)
+            0.0 runs
         in
         note
           (Printf.sprintf
-             "%s: stealing@1 overhead %+.1f%% vs static@1; best stealing \
-              speedup %.2fx"
-             name
-             ((stealing_at 1 /. static1 -. 1.0) *. 100.0)
-             (List.fold_left
-                (fun acc r ->
-                  if r.scheduler = Engine.Stealing then
-                    Float.max acc (static1 /. r.seconds)
-                  else acc)
-                0.0 runs));
+             "%s: best snapshot speedup %.2fx vs static@1; good functions \
+              built once per sweep: %s"
+             name best_speedup
+             (if built_uniform then "yes" else "NO"));
         rows := !rows @ [ (name, n, runs) ];
         (* Rewritten after every circuit, so a truncated run still
-           leaves a well-formed trajectory on disk. *)
-        write_perf_json !perf_out !rows)
+           leaves a well-formed trajectory on disk; history rows append
+           as each circuit completes for the same reason. *)
+        write_perf_json !perf_out !rows;
+        append_history !perf_history ts name n runs)
     !perf_circuits;
   note
     (Printf.sprintf
-       "%s written (hardware domains available here: %d)"
-       !perf_out
-       (Parallel.available_domains ()))
+       "%s written; history appended to %s (hardware domains available \
+        here: %d)"
+       !perf_out !perf_history
+       (Parallel.available_domains ()));
+  if !perf_gate then
+    match List.rev !failures with
+    | [] -> note "perf gate: PASS"
+    | fails ->
+      List.iter
+        (fun m -> Format.fprintf fmt "  GATE FAILURE: %s@." m)
+        fails;
+      Format.fprintf fmt "@.";
+      exit 1
 
 (* ------------------------------------------------------------------ *)
 
@@ -906,18 +1181,24 @@ let lint_bench () =
      verified column adds the exact engine countersigning every \
      redundancy claim"
 
-(* [perf], [hostile] and [lint] are dispatchable by name but
+(* [perf], [trend], [hostile] and [lint] are dispatchable by name but
    deliberately not part of [all]: timing measurements and a stress
    experiment, not paper artifacts. *)
 let commands =
-  artifacts @ [ ("perf", perf); ("hostile", hostile); ("lint", lint_bench) ]
+  artifacts
+  @ [
+      ("perf", perf); ("trend", trend); ("hostile", hostile);
+      ("lint", lint_bench);
+    ]
 
 let usage () =
   Format.fprintf fmt
     "usage: main.exe [-sample N] [-seed N] [-perf-circuits A,B,..] \
-     [-perf-domains 1,2,..] [-perf-out FILE] [-hostile-budget N] \
-     [-hostile-deadline-ms F] [-hostile-circuits A,B,..] \
-     [all | perf | hostile | lint | %s]...@."
+     [-perf-domains 1,2,..] [-perf-schedulers snapshot,stealing,..] \
+     [-perf-out FILE] [-perf-history FILE] [-perf-trend-out FILE] \
+     [-perf-gate] [-hostile-budget N] [-hostile-deadline-ms F] \
+     [-hostile-circuits A,B,..] \
+     [all | perf | trend | hostile | lint | %s]...@."
     (String.concat " | " (List.map fst artifacts))
 
 let () =
@@ -937,8 +1218,21 @@ let () =
       perf_domain_counts :=
         String.split_on_char ',' counts |> List.map int_of_string;
       parse acc rest
+    | "-perf-schedulers" :: names :: rest ->
+      perf_schedulers :=
+        String.split_on_char ',' names |> List.map scheduler_of_string;
+      parse acc rest
     | "-perf-out" :: path :: rest ->
       perf_out := path;
+      parse acc rest
+    | "-perf-history" :: path :: rest ->
+      perf_history := path;
+      parse acc rest
+    | "-perf-trend-out" :: path :: rest ->
+      perf_trend_out := path;
+      parse acc rest
+    | "-perf-gate" :: rest ->
+      perf_gate := true;
       parse acc rest
     | "-hostile-budget" :: n :: rest ->
       hostile_budget := int_of_string n;

@@ -127,16 +127,24 @@ let parse_bridge c spec =
     Printf.eprintf "expected NETA,NETB:KIND, got %S\n" spec;
     exit 2
 
-let scheduler_arg =
+let scheduler_arg ?(default = Engine.Static) () =
   let doc =
     "Sweep scheduler: $(b,static) fixes contiguous fault shards up front, \
      $(b,stealing) has idle domains pull cone-grouped batches off a shared \
-     queue.  Exact results are bit-identical either way."
+     queue (each with a private manager), $(b,snapshot) builds the good \
+     functions once, seals the arena, and forks it read-only per domain.  \
+     Exact results are bit-identical in every mode."
   in
   Arg.(
     value
-    & opt (enum [ ("static", Engine.Static); ("stealing", Engine.Stealing) ])
-        Engine.Static
+    & opt
+        (enum
+           [
+             ("static", Engine.Static);
+             ("stealing", Engine.Stealing);
+             ("snapshot", Engine.Snapshot);
+           ])
+        default
     & info [ "scheduler" ] ~docv:"MODE" ~doc)
 
 (* Sweep mode: every collapsed stuck-at fault, an outcome for each,
@@ -469,7 +477,7 @@ let analyze_cmd =
     Term.(
       const run $ circuit_arg $ stuck $ bridge $ all $ cubes $ fault_budget
       $ deadline_ms $ max_retries $ no_bounds $ samples $ checkpoint $ resume
-      $ escalate $ json $ domains $ scheduler_arg)
+      $ escalate $ json $ domains $ scheduler_arg ())
 
 let profile_cmd =
   let bins =
@@ -489,10 +497,22 @@ let profile_cmd =
   let run spec bins domains scheduler =
     let c = load_circuit spec in
     let engine = Engine.create c in
-    let outcomes =
-      Engine.analyze_all ~domains ~scheduler engine
+    let outcomes, stats =
+      Engine.analyze_all_stats ~domains ~scheduler engine
         (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
     in
+    Format.printf
+      "sweep: %s scheduler, %d domain%s (%d in hardware)@.\
+       good functions built: %d@.snapshot build: %.3fs (symbolic build \
+       %.3fs)@.per-domain scratch arena peak: %d nodes@.analysis: %.3fs \
+       wall, %.3fs cpu across domains@."
+      (Engine.scheduler_to_string stats.Engine.scheduler)
+      stats.Engine.domains
+      (if stats.Engine.domains = 1 then "" else "s")
+      stats.Engine.hardware_domains stats.Engine.good_functions_built
+      stats.Engine.snapshot_seconds stats.Engine.build_seconds
+      stats.Engine.scratch_peak_nodes stats.Engine.analysis_wall_seconds
+      stats.Engine.analysis_cpu_seconds;
     let results = Engine.exact_results outcomes in
     (match Engine.degraded outcomes with
     | [] -> ()
@@ -514,7 +534,9 @@ let profile_cmd =
   in
   Cmd.v
     (Cmd.info "profile" ~doc:"Stuck-at detectability profile of a circuit")
-    Term.(const run $ circuit_arg $ bins $ domains $ scheduler_arg)
+    Term.(
+      const run $ circuit_arg $ bins $ domains
+      $ scheduler_arg ~default:Engine.Snapshot ())
 
 let atpg_cmd =
   let run spec =

@@ -16,7 +16,7 @@ let default =
     seed = 42;
     bins = 10;
     domains = Parallel.available_domains ();
-    scheduler = Engine.Stealing;
+    scheduler = Engine.Snapshot;
     (* No per-fault resource caps: the paper's figures want every fault
        exact.  The hostile-sweep experiment overrides both. *)
     fault_budget = None;

@@ -17,7 +17,7 @@ type config = {
           results are bit-identical at any count *)
   scheduler : Engine.scheduler;
       (** how the sweep is fanned out; exact results are bit-identical
-          under either scheduler *)
+          under every scheduler *)
   fault_budget : int option;
       (** per-attempt BDD node cap handed to {!Engine.analyze_all};
           [None] (the default) analyses every fault exactly *)
@@ -28,8 +28,8 @@ type config = {
 
 val default : config
 (** 150 sampled pairs, theta 0.25, seed 42, 10 bins, as many domains as
-    {!Parallel.available_domains} suggests, the work-stealing scheduler,
-    and no per-fault resource caps. *)
+    {!Parallel.available_domains} suggests, the shared-snapshot
+    scheduler, and no per-fault resource caps. *)
 
 (** {1 Cached per-circuit analysis} *)
 

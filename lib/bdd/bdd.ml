@@ -1,16 +1,28 @@
 (* Reduced ordered BDDs with a hash-consing arena per manager.
 
    Node 0 is the zero terminal, node 1 the one terminal.  Internal nodes
-   live in three parallel int arrays (level, low, high).  Reduction
-   invariants are enforced by [mk]: no node with low = high is created,
-   and the unique table guarantees sharing, so handle equality is
-   function equality.
+   live in parallel int arrays (level, low, high).  Reduction invariants
+   are enforced by [mk]: no node with low = high is created, and the
+   unique table guarantees sharing, so handle equality is function
+   equality.
+
+   The arena has two tiers.  Handles below [frozen] live in the *frozen*
+   tier: immutable parallel arrays plus a read-only unique table and a
+   fully precomputed SAT-fraction memo, shared by reference across
+   domains ([seal] / [fork]).  Handles at or above [frozen] live in the
+   *scratch* tier — the ordinary mutable arena, indexed relative to
+   [frozen] — which is private to one domain.  A freshly created manager
+   simply has [frozen = 0], so the scratch tier is the whole arena and
+   nothing below pays for the split beyond one branch in the accessors.
 
    Performance notes: the unique table is a custom open-addressing hash
    table over packed (level, low, high) triples — exact, resized at 2/3
-   load.  The binary-operation and negation caches are direct-mapped and
-   lossy (collisions overwrite), which bounds memory and keeps lookups
-   branch-cheap; a lost entry only costs recomputation. *)
+   load.  The frozen tier gets its own open-addressing table built once
+   at [seal] (load <= 1/2, probed first by [mk] whenever both children
+   are frozen — frozen nodes have frozen children, so the probe is
+   exact).  The binary-operation and negation caches are direct-mapped
+   and lossy (collisions overwrite), which bounds memory and keeps
+   lookups branch-cheap; a lost entry only costs recomputation. *)
 
 type t = int
 
@@ -18,11 +30,24 @@ type manager = {
   n_vars : int;
   level_var : int array; (* level -> variable *)
   var_level : int array; (* variable -> level *)
+  (* frozen tier: immutable after [seal]; shared by reference across
+     [fork]ed managers, so nothing here may ever be written in place —
+     [seal] replaces the arrays wholesale instead. *)
+  mutable frozen : int; (* handles < frozen are frozen; 0 = no snapshot *)
+  mutable fz_level : int array;
+  mutable fz_low : int array;
+  mutable fz_high : int array;
+  mutable fz_sat : float array; (* precomputed for every frozen node *)
+  mutable fz_table : int array; (* open addressing, -1 = empty *)
+  mutable fz_mask : int;
+  mutable sealed : bool; (* sealed managers refuse fresh allocations *)
+  (* scratch tier: arrays indexed by [handle - frozen] *)
   mutable level : int array; (* node -> level (terminals: max_int) *)
   mutable low : int array;
   mutable high : int array;
-  mutable next : int; (* next free node index *)
-  (* unique table: open addressing, slot stores node index or -1 *)
+  mutable next : int; (* next free *absolute* node index *)
+  (* scratch unique table: open addressing, slot stores an absolute
+     handle or -1 *)
   mutable table : int array;
   mutable table_mask : int;
   mutable table_count : int;
@@ -34,10 +59,12 @@ type manager = {
   ite_key2 : int array;
   ite_key3 : int array;
   ite_result : int array;
-  (* manager-resident statistics memos, node-indexed and grown with the
-     arena.  A node's function never changes, so its SAT fraction is
-     memoised permanently (NaN = unset); size/support walks stamp nodes
-     with a generation counter instead of allocating a visited table. *)
+  (* manager-resident statistics memos.  A node's function never
+     changes, so its SAT fraction is memoised permanently (NaN = unset;
+     scratch-relative index, the frozen tier has [fz_sat]); size/support
+     walks stamp nodes with a generation counter instead of allocating a
+     visited table.  [visit_stamp] is absolute-indexed and spans both
+     tiers (length >= frozen + scratch capacity). *)
   mutable sat_memo : float array;
   mutable visit_stamp : int array;
   level_stamp : int array;
@@ -63,6 +90,15 @@ type manager = {
      in place with the node's post-compaction index. *)
   mutable registered : (int * int array) list;
   mutable next_registration : int;
+  (* instrumentation: [steps] counts [mk] entries (cache misses of the
+     apply layer — a deterministic, cachegrind-style work metric for a
+     fixed operation sequence), [allocated_total] counts fresh node
+     allocations over the manager's whole life (collections do not
+     subtract), [scratch_peak] the high-water mark of live scratch
+     nodes. *)
+  mutable steps : int;
+  mutable allocated_total : int;
+  mutable scratch_peak : int;
 }
 
 exception Variable_out_of_range of int
@@ -70,6 +106,8 @@ exception Variable_out_of_range of int
 exception Budget_exceeded of { nodes : int; budget : int }
 
 exception Deadline_exceeded of { elapsed_ms : float; deadline_ms : float }
+
+exception Sealed_manager
 
 let terminal_level = max_int
 let op_and = 2
@@ -81,6 +119,8 @@ let op_cache_bits = 18
 let op_cache_size = 1 lsl op_cache_bits
 let ite_cache_bits = 14
 let ite_cache_size = 1 lsl ite_cache_bits
+
+let scratch_cap = 1024
 
 let create ?order n_vars =
   if n_vars < 0 then invalid_arg "Bdd.create: negative variable count";
@@ -101,7 +141,7 @@ let create ?order n_vars =
   in
   let var_level = Array.make (max n_vars 1) 0 in
   Array.iteri (fun lvl v -> var_level.(v) <- lvl) level_var;
-  let cap = 1024 in
+  let cap = scratch_cap in
   let level = Array.make cap 0 in
   level.(0) <- terminal_level;
   level.(1) <- terminal_level;
@@ -109,6 +149,14 @@ let create ?order n_vars =
     n_vars;
     level_var;
     var_level;
+    frozen = 0;
+    fz_level = [||];
+    fz_low = [||];
+    fz_high = [||];
+    fz_sat = [||];
+    fz_table = [| -1 |];
+    fz_mask = 0;
+    sealed = false;
     level;
     low = Array.make cap 0;
     high = Array.make cap 0;
@@ -135,6 +183,9 @@ let create ?order n_vars =
     deadline_poll = 0;
     registered = [];
     next_registration = 0;
+    steps = 0;
+    allocated_total = 0;
+    scratch_peak = 0;
   }
 
 let num_vars m = m.n_vars
@@ -148,6 +199,22 @@ let var_at_level m lvl =
   m.level_var.(lvl)
 
 let allocated_nodes m = m.next
+let frozen_nodes m = m.frozen
+let scratch_nodes m = m.next - m.frozen
+let scratch_peak m = max m.scratch_peak (m.next - m.frozen)
+let apply_steps m = m.steps
+let nodes_allocated m = m.allocated_total
+let is_sealed m = m.sealed
+
+(* Tier-dispatching node accessors — the only way node fields are read. *)
+let[@inline] node_level m n =
+  if n < m.frozen then m.fz_level.(n) else m.level.(n - m.frozen)
+
+let[@inline] node_low m n =
+  if n < m.frozen then m.fz_low.(n) else m.low.(n - m.frozen)
+
+let[@inline] node_high m n =
+  if n < m.frozen then m.fz_high.(n) else m.high.(n - m.frozen)
 
 let clear_caches m =
   Array.fill m.op_key1 0 op_cache_size (-1);
@@ -231,6 +298,7 @@ let grow_nodes m =
   m.low <- copy m.low;
   m.high <- copy m.high;
   m.sat_memo <- Array.append m.sat_memo (Array.make cap Float.nan);
+  (* visit stamps are absolute-indexed; keep length = frozen + capacity *)
   m.visit_stamp <- copy m.visit_stamp
 
 let rec rehash m =
@@ -243,7 +311,8 @@ let rec rehash m =
 
 and insert_node m n =
   let mask = m.table_mask in
-  let h = triple_hash m.level.(n) m.low.(n) m.high.(n) land mask in
+  let s = n - m.frozen in
+  let h = triple_hash m.level.(s) m.low.(s) m.high.(s) land mask in
   let rec probe i =
     if m.table.(i) < 0 then begin
       m.table.(i) <- n;
@@ -254,50 +323,75 @@ and insert_node m n =
   probe h;
   if m.table_count * 3 > (mask + 1) * 2 then rehash m
 
-(* Hash-consing constructor; the single place nodes come to exist. *)
+let scratch_mk m lvl lo hi =
+  let mask = m.table_mask in
+  let rec probe i =
+    let n = m.table.(i) in
+    if n < 0 then begin
+      if m.sealed then raise Sealed_manager;
+      if m.budget_used >= m.budget_limit then
+        raise
+          (Budget_exceeded { nodes = m.budget_used; budget = m.budget_limit });
+      m.budget_used <- m.budget_used + 1;
+      if m.next - m.frozen >= Array.length m.level then grow_nodes m;
+      let fresh = m.next in
+      m.next <- fresh + 1;
+      m.allocated_total <- m.allocated_total + 1;
+      let s = fresh - m.frozen in
+      m.level.(s) <- lvl;
+      m.low.(s) <- lo;
+      m.high.(s) <- hi;
+      m.table.(i) <- fresh;
+      m.table_count <- m.table_count + 1;
+      if m.table_count * 3 > (mask + 1) * 2 then rehash m;
+      fresh
+    end
+    else
+      let s = n - m.frozen in
+      if m.level.(s) = lvl && m.low.(s) = lo && m.high.(s) = hi then n
+      else probe ((i + 1) land mask)
+  in
+  probe (triple_hash lvl lo hi land mask)
+
+(* Hash-consing constructor; the single place nodes come to exist.  A
+   frozen node's children are themselves frozen, so the shared frozen
+   table is consulted exactly when both children are frozen — a miss
+   there proves the node is scratch's to find or make. *)
 let mk m lvl lo hi =
   if lo = hi then lo
   else begin
     check_deadline m;
-    let mask = m.table_mask in
-    let rec probe i =
-      let n = m.table.(i) in
-      if n < 0 then begin
-        if m.budget_used >= m.budget_limit then
-          raise
-            (Budget_exceeded { nodes = m.budget_used; budget = m.budget_limit });
-        m.budget_used <- m.budget_used + 1;
-        if m.next >= Array.length m.level then grow_nodes m;
-        let fresh = m.next in
-        m.next <- fresh + 1;
-        m.level.(fresh) <- lvl;
-        m.low.(fresh) <- lo;
-        m.high.(fresh) <- hi;
-        m.table.(i) <- fresh;
-        m.table_count <- m.table_count + 1;
-        if m.table_count * 3 > (mask + 1) * 2 then rehash m;
-        fresh
-      end
-      else if m.level.(n) = lvl && m.low.(n) = lo && m.high.(n) = hi then n
-      else probe ((i + 1) land mask)
-    in
-    probe (triple_hash lvl lo hi land mask)
+    m.steps <- m.steps + 1;
+    if lo < m.frozen && hi < m.frozen then begin
+      let mask = m.fz_mask in
+      let rec fprobe i =
+        let n = m.fz_table.(i) in
+        if n < 0 then scratch_mk m lvl lo hi
+        else if m.fz_level.(n) = lvl && m.fz_low.(n) = lo && m.fz_high.(n) = hi
+        then n
+        else fprobe ((i + 1) land mask)
+      in
+      fprobe (triple_hash lvl lo hi land mask)
+    end
+    else scratch_mk m lvl lo hi
   end
 
 (* ------------------------------------------------------------------ *)
 (* Mark-sweep garbage collection.
 
-   The arena only ever grows during apply chains, and most of that
-   growth is intermediate results nobody holds anymore.  [collect]
+   The scratch tier only ever grows during apply chains, and most of
+   that growth is intermediate results nobody holds anymore.  [collect]
    reclaims it without invalidating the client's world: every handle
    stored in a registered array (plus any [roots] arrays passed to the
-   call) is treated as live, the survivors are compacted to a dense
-   prefix (children keep smaller indices than parents, so one ascending
-   pass suffices), and the registered arrays are rewritten in place with
-   the new indices.  The unique table is rebuilt over the survivors and
-   the lossy op/ite caches are flushed (they hold pre-compaction
-   indices).  SAT-fraction memos move with their nodes — a collection
-   never forgets a computed statistic of a surviving function. *)
+   call) is treated as live, the scratch survivors are compacted to a
+   dense prefix (children keep smaller indices than parents, so one
+   ascending pass suffices), and the registered arrays are rewritten in
+   place with the new indices.  Frozen nodes are immortal and never
+   move, so only handles >= [frozen] are remapped.  The scratch unique
+   table is rebuilt over the survivors and the lossy op/ite caches are
+   flushed (they hold pre-compaction indices).  SAT-fraction memos move
+   with their nodes — a collection never forgets a computed statistic of
+   a surviving function. *)
 
 type registration = int
 
@@ -311,16 +405,24 @@ let unregister m id =
   m.registered <- List.filter (fun (i, _) -> i <> id) m.registered
 
 let collect ?(roots = []) m =
+  let base = m.frozen in
   let root_arrays = roots @ List.map snd m.registered in
-  let next = m.next in
-  let live = Array.make next false in
-  live.(0) <- true;
-  live.(1) <- true;
-  (* Mark: explicit stack, no recursion on deep diagrams. *)
+  let scratch_n = m.next - base in
+  m.scratch_peak <- max m.scratch_peak scratch_n;
+  let live = Array.make (max scratch_n 1) false in
+  (* Terminals sit in scratch only while no snapshot exists. *)
+  if base = 0 then begin
+    live.(0) <- true;
+    live.(1) <- true
+  end;
+  (* Mark: explicit stack, no recursion on deep diagrams.  Frozen
+     handles are implicitly live; the walk stops at the tier boundary
+     because frozen nodes only have frozen children. *)
   let stack = ref [] in
+  let floor = max base 2 in
   let visit n =
-    if n >= 2 && not live.(n) then begin
-      live.(n) <- true;
+    if n >= floor && not live.(n - base) then begin
+      live.(n - base) <- true;
       stack := n :: !stack
     end
   in
@@ -330,44 +432,168 @@ let collect ?(roots = []) m =
     | [] -> ()
     | n :: rest ->
       stack := rest;
-      visit m.low.(n);
-      visit m.high.(n);
+      let s = n - base in
+      visit m.low.(s);
+      visit m.high.(s);
       drain ()
   in
   drain ();
   (* Compact: survivors slide down to a dense prefix in ascending index
      order.  A node's children were hash-consed before it, so their
      (smaller) indices are already remapped when the parent moves. *)
-  let remap = Array.make next (-1) in
-  remap.(0) <- 0;
-  remap.(1) <- 1;
-  let count = ref 2 in
-  for n = 2 to next - 1 do
-    if live.(n) then begin
+  let remap = Array.make (max scratch_n 1) (-1) in
+  let start = if base = 0 then 2 else 0 in
+  if base = 0 then begin
+    remap.(0) <- 0;
+    remap.(1) <- 1
+  end;
+  let count = ref start in
+  for s = start to scratch_n - 1 do
+    if live.(s) then begin
       let fresh = !count in
       count := fresh + 1;
-      remap.(n) <- fresh;
-      m.level.(fresh) <- m.level.(n);
-      m.low.(fresh) <- remap.(m.low.(n));
-      m.high.(fresh) <- remap.(m.high.(n));
-      m.sat_memo.(fresh) <- m.sat_memo.(n)
+      remap.(s) <- fresh;
+      let child c = if c < base then c else base + remap.(c - base) in
+      m.level.(fresh) <- m.level.(s);
+      m.low.(fresh) <- child m.low.(s);
+      m.high.(fresh) <- child m.high.(s);
+      m.sat_memo.(fresh) <- m.sat_memo.(s)
     end
   done;
-  m.next <- !count;
+  m.next <- base + !count;
   (* Slots above the live prefix must read as unset for their next
      occupants; stale visit stamps are harmless (generations only move
      forward, so an old stamp never equals a fresh one). *)
   Array.fill m.sat_memo !count (Array.length m.sat_memo - !count) Float.nan;
   Array.fill m.table 0 (Array.length m.table) (-1);
   m.table_count <- 0;
-  for n = 2 to !count - 1 do
-    insert_node m n
+  for s = start to !count - 1 do
+    insert_node m (base + s)
   done;
   clear_caches m;
   List.iter
     (fun a ->
-      Array.iteri (fun i h -> if h >= 2 then a.(i) <- remap.(h)) a)
+      Array.iteri
+        (fun i h -> if h >= floor then a.(i) <- base + remap.(h - base))
+        a)
     root_arrays
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: seal / fork / unseal.
+
+   [seal] migrates every live scratch node into the frozen tier and
+   marks the manager sealed; [fork] then clones the manager record with
+   a fresh, empty, private scratch tier while sharing the frozen arrays
+   by reference.  Forked managers read the snapshot without any
+   synchronisation: nothing writes the frozen arrays after the seal
+   (SAT fractions are precomputed for every frozen node at seal time
+   precisely so no lazy memo write hits shared memory), and
+   [Domain.spawn] provides the happens-before edge that makes the
+   pre-spawn seal visible to worker domains. *)
+
+let seal m =
+  if m.sealed then invalid_arg "Bdd.seal: manager is already sealed";
+  (* Compaction first: registered arrays end up holding the final
+     absolute handles, which the migration below preserves. *)
+  collect m;
+  let base = m.frozen in
+  let nf = m.next in
+  if nf > base || base = 0 then begin
+    let fz_level = Array.make nf 0 in
+    let fz_low = Array.make nf 0 in
+    let fz_high = Array.make nf 0 in
+    let fz_sat = Array.make nf 0.0 in
+    Array.blit m.fz_level 0 fz_level 0 base;
+    Array.blit m.fz_low 0 fz_low 0 base;
+    Array.blit m.fz_high 0 fz_high 0 base;
+    Array.blit m.fz_sat 0 fz_sat 0 base;
+    for n = base to nf - 1 do
+      let s = n - base in
+      fz_level.(n) <- m.level.(s);
+      fz_low.(n) <- m.low.(s);
+      fz_high.(n) <- m.high.(s)
+    done;
+    fz_sat.(0) <- 0.0;
+    if nf > 1 then fz_sat.(1) <- 1.0;
+    (* One ascending pass computes every frozen SAT fraction: children
+       have smaller handles, and the arithmetic is [sat_fraction]'s own,
+       so the precomputed values are bit-identical to what the lazy memo
+       would have produced. *)
+    for n = max base 2 to nf - 1 do
+      fz_sat.(n) <- 0.5 *. (fz_sat.(fz_low.(n)) +. fz_sat.(fz_high.(n)))
+    done;
+    let size = ref 16 in
+    while !size < 3 * nf do
+      size := !size * 2
+    done;
+    let fz_table = Array.make !size (-1) in
+    let fz_mask = !size - 1 in
+    for n = 2 to nf - 1 do
+      let h = ref (triple_hash fz_level.(n) fz_low.(n) fz_high.(n) land fz_mask) in
+      while fz_table.(!h) >= 0 do
+        h := (!h + 1) land fz_mask
+      done;
+      fz_table.(!h) <- n
+    done;
+    m.fz_level <- fz_level;
+    m.fz_low <- fz_low;
+    m.fz_high <- fz_high;
+    m.fz_sat <- fz_sat;
+    m.fz_table <- fz_table;
+    m.fz_mask <- fz_mask;
+    m.frozen <- nf;
+    let cap = scratch_cap in
+    m.level <- Array.make cap 0;
+    m.low <- Array.make cap 0;
+    m.high <- Array.make cap 0;
+    m.sat_memo <- Array.make cap Float.nan;
+    m.visit_stamp <- Array.make (nf + cap) 0;
+    m.next <- nf;
+    m.table <- Array.make 4096 (-1);
+    m.table_mask <- 4095;
+    m.table_count <- 0;
+    clear_caches m
+  end;
+  m.sealed <- true
+
+let unseal m = m.sealed <- false
+
+let fork m =
+  if not m.sealed then invalid_arg "Bdd.fork: manager is not sealed";
+  let cap = scratch_cap in
+  {
+    m with
+    sealed = false;
+    level = Array.make cap 0;
+    low = Array.make cap 0;
+    high = Array.make cap 0;
+    next = m.frozen;
+    table = Array.make 4096 (-1);
+    table_mask = 4095;
+    table_count = 0;
+    op_key1 = Array.make op_cache_size (-1);
+    op_key2 = Array.make op_cache_size (-1);
+    op_result = Array.make op_cache_size (-1);
+    ite_key1 = Array.make ite_cache_size (-1);
+    ite_key2 = Array.make ite_cache_size (-1);
+    ite_key3 = Array.make ite_cache_size (-1);
+    ite_result = Array.make ite_cache_size (-1);
+    sat_memo = Array.make cap Float.nan;
+    visit_stamp = Array.make (m.frozen + cap) 0;
+    level_stamp = Array.make (max m.n_vars 1) 0;
+    stat_gen = 0;
+    budget_limit = max_int;
+    budget_used = 0;
+    deadline_at = infinity;
+    deadline_started = 0.0;
+    deadline_window_ms = 0.0;
+    deadline_poll = 0;
+    registered = [];
+    next_registration = 0;
+    steps = 0;
+    allocated_total = 0;
+    scratch_peak = 0;
+  }
 
 let var m v =
   let lvl = level_of_var m v in
@@ -387,7 +613,9 @@ let rec bnot m f =
     if m.op_key1.(slot) = (f lsl 3) lor op_not && m.op_key2.(slot) = 0 then
       m.op_result.(slot)
     else begin
-      let r = mk m m.level.(f) (bnot m m.low.(f)) (bnot m m.high.(f)) in
+      let r =
+        mk m (node_level m f) (bnot m (node_low m f)) (bnot m (node_high m f))
+      in
       m.op_key1.(slot) <- (f lsl 3) lor op_not;
       m.op_key2.(slot) <- 0;
       m.op_result.(slot) <- r;
@@ -426,10 +654,14 @@ let rec apply m op a b =
     if m.op_key1.(slot) = (a lsl 3) lor op && m.op_key2.(slot) = b then
       m.op_result.(slot)
     else begin
-      let la = m.level.(a) and lb = m.level.(b) in
+      let la = node_level m a and lb = node_level m b in
       let lvl = if la < lb then la else lb in
-      let a0, a1 = if la = lvl then (m.low.(a), m.high.(a)) else (a, a) in
-      let b0, b1 = if lb = lvl then (m.low.(b), m.high.(b)) else (b, b) in
+      let a0, a1 =
+        if la = lvl then (node_low m a, node_high m a) else (a, a)
+      in
+      let b0, b1 =
+        if lb = lvl then (node_low m b, node_high m b) else (b, b)
+      in
       let r = mk m lvl (apply m op a0 b0) (apply m op a1 b1) in
       m.op_key1.(slot) <- (a lsl 3) lor op;
       m.op_key2.(slot) <- b;
@@ -458,9 +690,13 @@ let rec ite m f g h =
       m.ite_key1.(slot) = f && m.ite_key2.(slot) = g && m.ite_key3.(slot) = h
     then m.ite_result.(slot)
     else begin
-      let lf = m.level.(f) and lg = m.level.(g) and lh = m.level.(h) in
+      let lf = node_level m f
+      and lg = node_level m g
+      and lh = node_level m h in
       let lvl = min lf (min lg lh) in
-      let split x lx = if lx = lvl then (m.low.(x), m.high.(x)) else (x, x) in
+      let split x lx =
+        if lx = lvl then (node_low m x, node_high m x) else (x, x)
+      in
       let f0, f1 = split f lf in
       let g0, g1 = split g lg in
       let h0, h1 = split h lh in
@@ -477,20 +713,21 @@ let band_list m = List.fold_left (band m) 1
 let bor_list m = List.fold_left (bor m) 0
 let bxor_list m = List.fold_left (bxor m) 0
 
-let top_var m f = if f < 2 then None else Some m.level_var.(m.level.(f))
+let top_var m f = if f < 2 then None else Some m.level_var.(node_level m f)
 
 let restrict m f ~var ~value =
   let lvl = level_of_var m var in
   let memo = Hashtbl.create 64 in
   let rec go f =
-    if f < 2 || m.level.(f) > lvl then f
+    if f < 2 || node_level m f > lvl then f
     else
       match Hashtbl.find_opt memo f with
       | Some r -> r
       | None ->
         let r =
-          if m.level.(f) = lvl then (if value then m.high.(f) else m.low.(f))
-          else mk m m.level.(f) (go m.low.(f)) (go m.high.(f))
+          if node_level m f = lvl then
+            if value then node_high m f else node_low m f
+          else mk m (node_level m f) (go (node_low m f)) (go (node_high m f))
         in
         Hashtbl.add memo f r;
         r
@@ -527,9 +764,9 @@ let support m f =
   let rec go f =
     if f >= 2 && m.visit_stamp.(f) <> gen then begin
       m.visit_stamp.(f) <- gen;
-      m.level_stamp.(m.level.(f)) <- gen;
-      go m.low.(f);
-      go m.high.(f)
+      m.level_stamp.(node_level m f) <- gen;
+      go (node_low m f);
+      go (node_high m f)
     end
   in
   go f;
@@ -546,22 +783,28 @@ let size m f =
     if f >= 2 && m.visit_stamp.(f) <> gen then begin
       m.visit_stamp.(f) <- gen;
       incr count;
-      go m.low.(f);
-      go m.high.(f)
+      go (node_low m f);
+      go (node_high m f)
     end
   in
   go f;
   !count
 
-(* Permanent memo: fractions are in [0, 1], so NaN is a free "unset". *)
+(* Permanent memo: fractions are in [0, 1], so NaN is a free "unset".
+   Frozen nodes were all precomputed at [seal] — the lookup there is a
+   pure read, which is what makes concurrent forked readers safe. *)
 let rec sat_fraction m f =
-  if f = 0 then 0.0
+  if f < m.frozen then m.fz_sat.(f)
+  else if f = 0 then 0.0
   else if f = 1 then 1.0
   else
-    let cached = m.sat_memo.(f) in
+    let s = f - m.frozen in
+    let cached = m.sat_memo.(s) in
     if Float.is_nan cached then begin
-      let p = 0.5 *. (sat_fraction m m.low.(f) +. sat_fraction m m.high.(f)) in
-      m.sat_memo.(f) <- p;
+      let p =
+        0.5 *. (sat_fraction m (node_low m f) +. sat_fraction m (node_high m f))
+      in
+      m.sat_memo.(s) <- p;
       p
     end
     else cached
@@ -574,9 +817,9 @@ let any_sat m f =
     let rec go f acc =
       if f = 1 then acc
       else
-        let v = m.level_var.(m.level.(f)) in
-        if m.high.(f) <> 0 then go m.high.(f) ((v, true) :: acc)
-        else go m.low.(f) ((v, false) :: acc)
+        let v = m.level_var.(node_level m f) in
+        if node_high m f <> 0 then go (node_high m f) ((v, true) :: acc)
+        else go (node_low m f) ((v, false) :: acc)
     in
     Some (List.rev (go f []))
 
@@ -592,9 +835,9 @@ let sat_cubes m ?limit f =
       incr count
     end
     else if f <> 0 then begin
-      let v = m.level_var.(m.level.(f)) in
-      go m.low.(f) ((v, false) :: acc);
-      go m.high.(f) ((v, true) :: acc)
+      let v = m.level_var.(node_level m f) in
+      go (node_low m f) ((v, false) :: acc);
+      go (node_high m f) ((v, true) :: acc)
     end
   in
   (try go f [] with Done -> ());
@@ -604,8 +847,8 @@ let eval m f assign =
   let rec go f =
     if f = 0 then false
     else if f = 1 then true
-    else if assign m.level_var.(m.level.(f)) then go m.high.(f)
-    else go m.low.(f)
+    else if assign m.level_var.(node_level m f) then go (node_high m f)
+    else go (node_low m f)
   in
   go f
 
@@ -643,9 +886,9 @@ let rebuild ~src ~dst f =
       match Hashtbl.find_opt memo f with
       | Some r -> r
       | None ->
-        let v = src.level_var.(src.level.(f)) in
-        let lo = go src.low.(f) in
-        let hi = go src.high.(f) in
+        let v = src.level_var.(node_level src f) in
+        let lo = go (node_low src f) in
+        let hi = go (node_high src f) in
         let r = ite dst (var dst v) hi lo in
         Hashtbl.add memo f r;
         r
@@ -658,10 +901,10 @@ let check_invariants m f =
   let rec go f =
     if f >= 2 && not (Hashtbl.mem seen f) then begin
       Hashtbl.add seen f ();
-      let lo = m.low.(f) and hi = m.high.(f) in
+      let lo = node_low m f and hi = node_high m f in
       if lo = hi then ok := false;
-      if lo >= 2 && m.level.(lo) <= m.level.(f) then ok := false;
-      if hi >= 2 && m.level.(hi) <= m.level.(f) then ok := false;
+      if lo >= 2 && node_level m lo <= node_level m f then ok := false;
+      if hi >= 2 && node_level m hi <= node_level m f then ok := false;
       go lo;
       go hi
     end
@@ -675,8 +918,8 @@ let pp m fmt f =
     else if f = 1 then Format.fprintf fmt "T"
     else
       Format.fprintf fmt "@[<hv 1>(x%d?%a:%a)@]"
-        m.level_var.(m.level.(f))
-        go m.high.(f) go m.low.(f)
+        m.level_var.(node_level m f)
+        go (node_high m f) go (node_low m f)
   in
   go fmt f
 
@@ -696,14 +939,14 @@ let to_dot m ?var_name ?(title = "bdd") root =
   let rec visit f =
     if f >= 2 && not (Hashtbl.mem seen f) then begin
       Hashtbl.add seen f ();
-      let lvl = m.level.(f) in
+      let lvl = node_level m f in
       Hashtbl.replace by_level lvl
         (f :: Option.value (Hashtbl.find_opt by_level lvl) ~default:[]);
       line "  n%d [label=%S, shape=circle];" f (name m.level_var.(lvl));
-      line "  n%d -> %s [style=dashed];" f (node_id m.low.(f));
-      line "  n%d -> %s;" f (node_id m.high.(f));
-      visit m.low.(f);
-      visit m.high.(f)
+      line "  n%d -> %s [style=dashed];" f (node_id (node_low m f));
+      line "  n%d -> %s;" f (node_id (node_high m f));
+      visit (node_low m f);
+      visit (node_high m f)
     end
   in
   visit root;

@@ -30,6 +30,13 @@ exception Deadline_exceeded of { elapsed_ms : float; deadline_ms : float }
     raise happens in the node-construction hot path before any
     allocation, so the arena stays consistent and fully usable. *)
 
+exception Sealed_manager
+(** Raised by any BDD operation on a {!seal}ed manager the moment it
+    would have to allocate a fresh node.  Operations whose result
+    already exists in the frozen snapshot (including every read-only
+    query) succeed normally.  The raise happens before any allocation,
+    so the manager stays consistent. *)
+
 (** {1 Managers} *)
 
 val create : ?order:int array -> int -> manager
@@ -48,7 +55,8 @@ val var_at_level : manager -> int -> int
 (** Inverse of {!level_of_var}. *)
 
 val allocated_nodes : manager -> int
-(** Total nodes ever hash-consed (terminals included); a growth metric. *)
+(** Current arena size in nodes, terminals and frozen snapshot included
+    (collections shrink it; contrast {!nodes_allocated}). *)
 
 val clear_caches : manager -> unit
 (** Drop all operation caches (unique table is kept, handles stay valid). *)
@@ -103,7 +111,78 @@ val collect : ?roots:t array list -> manager -> unit
     flushed; memoised statistics ({!sat_fraction}) of surviving nodes
     are preserved.  {!allocated_nodes} never increases across a
     collection.  Allocation-free, so safe inside a {!with_budget}
-    window. *)
+    window.  With a frozen snapshot in place ({!seal}), only scratch
+    nodes are examined and remapped — frozen nodes are immortal and
+    their handles never change. *)
+
+(** {1 Frozen snapshots}
+
+    The shared-read-only substrate for multicore sweeps.  After a
+    single-threaded build phase, {!seal} migrates every live node into
+    an immutable {e frozen} tier — node arrays, a dedicated unique
+    table, and a fully precomputed SAT-fraction memo — and the manager
+    refuses further allocation.  {!fork} then produces sibling managers
+    that reference the frozen arrays and own a small private {e scratch}
+    arena for apply intermediates.  Handles are absolute and stable
+    across the seal, so frozen handles mean the same function in every
+    fork.  No fork ever writes shared memory: a forked manager may be
+    used freely from its own domain with no locks. *)
+
+val seal : manager -> unit
+(** Runs a {!collect} (registered arrays are remapped as usual), then
+    freezes every surviving node: the live arena becomes the immutable
+    snapshot shared by subsequent {!fork}s, the scratch tier is reset to
+    empty, and the manager is marked sealed — any operation that would
+    allocate raises {!Sealed_manager} until {!unseal}.  Surviving
+    handles keep their values.  Idempotent-unfriendly: sealing an
+    already-sealed manager raises [Invalid_argument].  Re-sealing after
+    an {!unseal} extends the snapshot with whatever live scratch nodes
+    accumulated in between; earlier forks remain valid because the old
+    frozen arrays are replaced wholesale, never mutated. *)
+
+val unseal : manager -> unit
+(** Re-enable allocation on a sealed manager (the frozen tier stays in
+    place and keeps being probed first).  Only safe once every domain
+    holding a {!fork} of the snapshot has been joined. *)
+
+val fork : manager -> manager
+(** A sibling manager sharing the frozen snapshot by reference, with a
+    fresh empty scratch arena, empty operation caches, fresh budget /
+    deadline / registration / instrumentation state, and allocation
+    enabled.  Frozen handles are valid and identical in both managers;
+    scratch handles are private to the manager that made them.  The fork
+    is cheap (a few small array allocations) and must only be used from
+    one domain at a time.  @raise Invalid_argument if [m] is not
+    sealed. *)
+
+val is_sealed : manager -> bool
+
+val frozen_nodes : manager -> int
+(** Size of the frozen snapshot (0 before the first {!seal}). *)
+
+val scratch_nodes : manager -> int
+(** Nodes currently live in the private scratch tier — the quantity a
+    GC trigger should watch once a snapshot exists, since frozen nodes
+    are immortal. *)
+
+val scratch_peak : manager -> int
+(** High-water mark of {!scratch_nodes} over the manager's life
+    (sampled at every {!collect} and at the current instant). *)
+
+(** {1 Work metrics}
+
+    Deterministic, cachegrind-style counters for benchmarking: for a
+    fixed operation sequence they are bit-identical run to run,
+    independent of clock and machine. *)
+
+val apply_steps : manager -> int
+(** Node-construction attempts ([mk] entries after the trivial
+    low-equals-high short circuit) — the work the operation caches
+    could not absorb. *)
+
+val nodes_allocated : manager -> int
+(** Fresh nodes ever hash-consed into existence in this manager
+    (monotone: collections do not subtract; forks start at 0). *)
 
 (** {1 Constants, variables and tests} *)
 

@@ -61,6 +61,23 @@ let make ~lazily ?(heuristic = Ordering.Natural) circuit =
 
 let build ?heuristic circuit = make ~lazily:false ?heuristic circuit
 let build_lazy ?heuristic circuit = make ~lazily:true ?heuristic circuit
+
+let seal t =
+  for g = 0 to Circuit.num_gates t.circuit - 1 do
+    force t g
+  done;
+  Bdd.seal t.manager
+
+let fork t =
+  if not (Bdd.is_sealed t.manager) then
+    invalid_arg "Symbolic.fork: manager is not sealed";
+  if not (Array.for_all Fun.id t.built) then
+    invalid_arg "Symbolic.fork: not every good function is built";
+  (* The node and built arrays are shared read-only: every entry is
+     built and every handle frozen, so no fork ever writes them (force
+     is a no-op) and none registers them — frozen nodes are immortal, so
+     a fork-local [Bdd.collect] needs no roots to keep them alive. *)
+  { t with manager = Bdd.fork t.manager }
 let circuit t = t.circuit
 let manager t = t.manager
 

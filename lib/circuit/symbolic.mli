@@ -19,6 +19,19 @@ val force : t -> int -> unit
 (** Ensure a net's good function (and its whole input cone) is built.
     Idempotent; a no-op on eager instances. *)
 
+val seal : t -> unit
+(** Force every net's good function, then {!Bdd.seal} the manager: the
+    complete set of good functions becomes an immutable snapshot that
+    {!fork}s share read-only.  See {!Bdd.seal} for the sealing
+    contract. *)
+
+val fork : t -> t
+(** A sibling instance over a {!Bdd.fork} of the (sealed) manager.  The
+    good-function table is shared by reference — every handle in it is
+    frozen, so forks read it without synchronisation and never write it.
+    Use one fork per domain.  @raise Invalid_argument if the manager is
+    not sealed or some net was never built. *)
+
 val circuit : t -> Circuit.t
 val manager : t -> Bdd.manager
 

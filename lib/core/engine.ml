@@ -77,6 +77,44 @@ let collect t =
   t.generation <- t.generation + 1;
   List.iter (fun hook -> hook ()) t.rebuild_hooks
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot lifecycle: build good functions once, share them read-only
+   across worker domains.  [seal] forces every net and freezes the
+   arena; [fork] clones the engine around a [Bdd.fork] — shared frozen
+   snapshot, private scratch arena, private cone walker (the walker
+   closes over mutable visit stamps and must never cross domains). *)
+
+let seal t =
+  Symbolic.seal t.sym;
+  (* [Bdd.seal] ran a collect, so scratch handles were renumbered before
+     freezing — externally this is a generation change exactly like
+     [collect].  (The delta scratch is all-zero between faults and the
+     zero terminal is pinned, so it needs no remapping.) *)
+  t.generation <- t.generation + 1;
+  List.iter (fun hook -> hook ()) t.rebuild_hooks
+
+let sealed t = Bdd.is_sealed (Symbolic.manager t.sym)
+let unseal t = Bdd.unseal (Symbolic.manager t.sym)
+
+let fork t =
+  let sym = Symbolic.fork t.sym in
+  {
+    base = t.base;
+    heuristic = t.heuristic;
+    lazily = t.lazily;
+    fanouts = t.fanouts;
+    output_mark = t.output_mark;
+    cone = Circuit.cone_walker t.base ~fanouts:t.fanouts;
+    sym;
+    delta_scratch =
+      Array.make (Circuit.num_gates t.base) (Bdd.zero (Symbolic.manager sym));
+    cone_memo = None;
+    generation = 0;
+    rebuild_hooks = [];
+    gc_time = 0.0;
+    gc_runs = 0;
+  }
+
 let cone_of_sites t sites =
   match t.cone_memo with
   | Some (s, cone) when s = sites -> cone
@@ -515,8 +553,11 @@ let analyze_one ~policy t fault =
   else if
     (* Reclaim garbage in place instead of throwing the arena away: the
        good functions (and their memoised statistics) survive, only the
-       dead intermediate results of earlier faults go. *)
-    Bdd.allocated_nodes (manager t) > policy.p_node_budget
+       dead intermediate results of earlier faults go.  Scratch nodes
+       are what a collection can reclaim — a frozen snapshot is immortal
+       and must not count against the trigger, or every fault on a
+       forked worker would collect. *)
+    Bdd.scratch_nodes (manager t) > policy.p_node_budget
   then collect t;
   prepare t fault;
   let outcome =
@@ -544,21 +585,28 @@ let analyze_indexed_seq ~policy ~record t pairs =
 (* ------------------------------------------------------------------ *)
 (* Scheduling                                                          *)
 
-type scheduler = Static | Stealing
+type scheduler = Static | Stealing | Snapshot
 
 let scheduler_to_string = function
   | Static -> "static"
   | Stealing -> "stealing"
+  | Snapshot -> "snapshot"
 
 type sweep_stats = {
   scheduler : scheduler;
   domains : int;
+  hardware_domains : int;
   batch_count : int;
   build_seconds : float;
-  analysis_seconds : float;
+  snapshot_seconds : float;
+  analysis_wall_seconds : float;
+  analysis_cpu_seconds : float;
   gc_seconds : float;
   gc_collections : int;
   good_functions_built : int;
+  scratch_peak_nodes : int;
+  apply_steps : int;
+  nodes_allocated : int;
 }
 
 (* Cross-domain accumulator for the per-stage timings; workers report
@@ -566,20 +614,32 @@ type sweep_stats = {
 type stats_acc = {
   lock : Mutex.t;
   mutable acc_build : float;
+  mutable acc_snapshot : float;
+  mutable acc_wall : float;
   mutable acc_analysis : float;
   mutable acc_gc : float;
   mutable acc_collections : int;
   mutable acc_built : int;
+  mutable acc_batches : int;
+  mutable acc_scratch_peak : int;
+  mutable acc_steps : int;
+  mutable acc_allocs : int;
 }
 
 let fresh_acc () =
   {
     lock = Mutex.create ();
     acc_build = 0.0;
+    acc_snapshot = 0.0;
+    acc_wall = 0.0;
     acc_analysis = 0.0;
     acc_gc = 0.0;
     acc_collections = 0;
     acc_built = 0;
+    acc_batches = 0;
+    acc_scratch_peak = 0;
+    acc_steps = 0;
+    acc_allocs = 0;
   }
 
 let with_acc acc f =
@@ -594,12 +654,10 @@ let with_acc acc f =
       raise exn)
 
 (* Group faults sharing a site list (both polarities of a line, both
-   bridge orientations of a pair), keep groups in first-appearance
-   order — fault enumeration follows gate order, so this preserves the
-   cone locality (and cache evolution) of the sequential sweep — and
-   pack whole groups into batches sized for roughly [domains * 8]
-   steals. *)
-let site_batches ~domains indexed =
+   bridge orientations of a pair), in first-appearance order — fault
+   enumeration follows gate order, so this preserves the cone locality
+   (and cache evolution) of the sequential sweep. *)
+let site_groups indexed =
   let tbl = Hashtbl.create 97 in
   List.iter
     (fun (i, fault) ->
@@ -610,12 +668,15 @@ let site_batches ~domains indexed =
   let groups =
     Hashtbl.fold (fun key members acc -> (key, List.rev members) :: acc) tbl []
   in
-  let groups =
-    (* Deterministic: sort by the index of each group's first member. *)
-    List.sort
-      (fun (_, a) (_, b) -> compare (fst (List.hd a)) (fst (List.hd b)))
-      groups
-  in
+  (* Deterministic: sort by the index of each group's first member. *)
+  List.sort
+    (fun (_, a) (_, b) -> compare (fst (List.hd a)) (fst (List.hd b)))
+    groups
+
+(* Pack whole site groups into batches sized for roughly [domains * 8]
+   steals. *)
+let site_batches ~domains indexed =
+  let groups = site_groups indexed in
   let n = List.length indexed in
   let target = max 1 (n / (max 1 domains * 8)) in
   let batches = ref [] and cur = ref [] and cur_n = ref 0 in
@@ -635,6 +696,70 @@ let site_batches ~domains indexed =
   flush ();
   Array.of_list (List.rev !batches)
 
+(* Cone-ownership batch formation for the snapshot scheduler: site
+   groups are packed by *marginal cone cost*.  A group whose fanout cone
+   is already (mostly) covered by the current batch adds only its fault
+   count, so faults with overlapping cones land in the same batch and
+   batch size adapts to the measured overlap instead of a fixed
+   faults-per-batch split — a region of heavily shared cones becomes one
+   dense batch, scattered cones spread over many.  A member cap keeps at
+   least ~[domains] batches so every domain gets work even when one cone
+   dominates the whole circuit. *)
+let cone_batches ~domains t indexed =
+  let groups = site_groups indexed in
+  let n = List.length indexed in
+  let domains = max 1 domains in
+  let stamp = Array.make (max 1 (Circuit.num_gates t.base)) (-1) in
+  let cone_of sites =
+    (* A malformed fault (out-of-range net) must crash inside the
+       protected per-fault analysis, not during batch formation. *)
+    try t.cone sites with _ -> [||]
+  in
+  let with_cones =
+    List.map (fun (sites, members) -> (cone_of sites, members)) groups
+  in
+  (* Cost target per batch, from the no-overlap total: overlap discounts
+     only ever pack batches denser than the target predicts. *)
+  let total =
+    List.fold_left
+      (fun acc (cone, members) -> acc + Array.length cone + List.length members)
+      0 with_cones
+  in
+  let target = max 8 (total / (domains * 4)) in
+  let member_cap = max 1 ((n + domains - 1) / domains) in
+  let batches = ref []
+  and cur = ref []
+  and cur_cost = ref 0
+  and cur_members = ref 0
+  and batch_id = ref 0 in
+  let flush () =
+    if !cur <> [] then begin
+      batches := Array.of_list (List.rev !cur) :: !batches;
+      cur := [];
+      cur_cost := 0;
+      cur_members := 0;
+      incr batch_id
+    end
+  in
+  List.iter
+    (fun (cone, members) ->
+      let fresh = ref 0 in
+      Array.iter
+        (fun g ->
+          if stamp.(g) <> !batch_id then begin
+            stamp.(g) <- !batch_id;
+            incr fresh
+          end)
+        cone;
+      List.iter (fun p -> cur := p :: !cur) members;
+      let k = List.length members in
+      cur_cost := !cur_cost + !fresh + k;
+      cur_members := !cur_members + k;
+      if !cur_cost >= target || !cur_members >= member_cap then flush ())
+    with_cones;
+  flush ();
+  Array.of_list (List.rev !batches)
+
 let now = Unix.gettimeofday
 
 let analyze_stealing ?acc ~policy ~record ~domains t indexed =
@@ -642,12 +767,15 @@ let analyze_stealing ?acc ~policy ~record ~domains t indexed =
   let domains = min domains (max 1 (Array.length batches)) in
   let workers = ref [] in
   let init () =
-    let worker =
+    let worker, steps0, allocs0 =
       if domains = 1 then
         (* Steal on the calling engine, exactly like the static
            sequential path: no worker build, no spawn — only the batch
-           order differs (and the merge restores it). *)
-        t
+           order differs (and the merge restores it).  The engine may
+           have a history, so its work counters are read as deltas. *)
+        ( t,
+          Bdd.apply_steps (Symbolic.manager t.sym),
+          Bdd.nodes_allocated (Symbolic.manager t.sym) )
       else begin
         let t0 = now () in
         (* Deterministic sweeps build every good function anyway (the
@@ -657,10 +785,10 @@ let analyze_stealing ?acc ~policy ~record ~domains t indexed =
             t.base
         in
         with_acc acc (fun a -> a.acc_build <- a.acc_build +. (now () -. t0));
-        w
+        (w, 0, 0)
       end
     in
-    with_acc acc (fun _acc -> workers := worker :: !workers);
+    with_acc acc (fun _acc -> workers := (worker, steps0, allocs0) :: !workers);
     worker
   in
   let process worker batch =
@@ -698,13 +826,21 @@ let analyze_stealing ?acc ~policy ~record ~domains t indexed =
         (fun (batch : (int * Fault.t) array) ->
           1.0 +. (per_fault *. float_of_int (Array.length batch)))
   in
+  let wall0 = now () in
   let results =
     Parallel.steal_batches_supervised ~domains ?batch_deadline ~init ~process
       batches
   in
   with_acc acc (fun a ->
+      a.acc_wall <- a.acc_wall +. (now () -. wall0);
+      a.acc_batches <- a.acc_batches + Array.length batches;
       List.iter
-        (fun w -> a.acc_built <- a.acc_built + Symbolic.built_count w.sym)
+        (fun (w, steps0, allocs0) ->
+          let m = Symbolic.manager w.sym in
+          a.acc_built <- a.acc_built + Symbolic.built_count w.sym;
+          a.acc_scratch_peak <- max a.acc_scratch_peak (Bdd.scratch_peak m);
+          a.acc_steps <- a.acc_steps + (Bdd.apply_steps m - steps0);
+          a.acc_allocs <- a.acc_allocs + (Bdd.nodes_allocated m - allocs0))
         !workers);
   (* A batch contained as [Error] (its worker died outside the per-fault
      isolation) is requeued on a fresh engine, mirroring the static
@@ -737,17 +873,135 @@ let analyze_stealing ?acc ~policy ~record ~domains t indexed =
                | Error exn -> requeue exn batches.(b))
              results)))
 
+(* Shared-snapshot sweep: good functions are built *once*, on the
+   calling engine, and frozen ([seal]); every worker — the calling
+   domain included — is a [fork] over the snapshot with a private
+   scratch arena.  No worker ever re-elaborates a cone, so
+   [good_functions_built] is the circuit's gate count whatever the
+   domain count, and the only per-domain memory is apply intermediates.
+   Batches come from [cone_batches]; workers drain them through the
+   supervised stealing queue. *)
+let analyze_snapshot ?acc ~policy ~record ~domains t indexed =
+  let m = Symbolic.manager t.sym in
+  let steps0 = Bdd.apply_steps m and allocs0 = Bdd.nodes_allocated m in
+  let t0 = now () in
+  let was_sealed = sealed t in
+  if not was_sealed then seal t;
+  with_acc acc (fun a -> a.acc_snapshot <- a.acc_snapshot +. (now () -. t0));
+  Fun.protect
+    ~finally:(fun () ->
+      (* Leave the engine as we found it: callers keep using it for
+         sequential work after the sweep. *)
+      if not was_sealed then unseal t)
+    (fun () ->
+      let batches = cone_batches ~domains t indexed in
+      let domains = min domains (max 1 (Array.length batches)) in
+      let workers = ref [] in
+      let init () =
+        let t1 = now () in
+        let w = fork t in
+        with_acc acc (fun a ->
+            a.acc_build <- a.acc_build +. (now () -. t1);
+            workers := w :: !workers);
+        w
+      in
+      let process worker batch =
+        let t2 = now () in
+        let gc0 = worker.gc_time and n0 = worker.gc_runs in
+        let out =
+          Array.map
+            (fun (i, fault) ->
+              let o = analyze_one ~policy worker fault in
+              record i o;
+              (i, o))
+            batch
+        in
+        let gc = worker.gc_time -. gc0 in
+        with_acc acc (fun a ->
+            a.acc_analysis <- a.acc_analysis +. (now () -. t2) -. gc;
+            a.acc_gc <- a.acc_gc +. gc;
+            a.acc_collections <- a.acc_collections + (worker.gc_runs - n0));
+        out
+      in
+      let batch_deadline =
+        match policy.p_deadline_ms with
+        | None -> None
+        | Some d ->
+          let per_fault =
+            d /. 1000.0 *. float_of_int (4 lsl policy.p_max_retries)
+          in
+          Some
+            (fun (batch : (int * Fault.t) array) ->
+              1.0 +. (per_fault *. float_of_int (Array.length batch)))
+      in
+      let wall0 = now () in
+      let results =
+        Parallel.steal_batches_supervised ~domains ?batch_deadline ~init
+          ~process batches
+      in
+      with_acc acc (fun a ->
+          a.acc_wall <- a.acc_wall +. (now () -. wall0);
+          a.acc_batches <- a.acc_batches + Array.length batches;
+          (* Built once, on the shared snapshot — not per worker. *)
+          a.acc_built <- a.acc_built + Symbolic.built_count t.sym;
+          a.acc_steps <- a.acc_steps + (Bdd.apply_steps m - steps0);
+          a.acc_allocs <- a.acc_allocs + (Bdd.nodes_allocated m - allocs0);
+          List.iter
+            (fun w ->
+              let wm = Symbolic.manager w.sym in
+              a.acc_scratch_peak <-
+                max a.acc_scratch_peak (Bdd.scratch_peak wm);
+              a.acc_steps <- a.acc_steps + Bdd.apply_steps wm;
+              a.acc_allocs <- a.acc_allocs + Bdd.nodes_allocated wm)
+            !workers);
+      (* A batch contained as [Error] is requeued on a fresh fork — the
+         snapshot is still sealed here, so forking stays valid. *)
+      let requeue exn batch =
+        match fork t with
+        | worker ->
+          Array.map
+            (fun (i, fault) ->
+              let o = analyze_one ~policy worker fault in
+              record i o;
+              (i, o))
+            batch
+        | exception _ ->
+          let message = Printexc.to_string exn in
+          Array.map
+            (fun (i, fault) ->
+              let o = Crashed { fault; message } in
+              record i o;
+              (i, o))
+            batch
+      in
+      Array.to_list
+        (Array.concat
+           (Array.to_list
+              (Array.mapi
+                 (fun b res ->
+                   match res with
+                   | Ok out -> out
+                   | Error exn -> requeue exn batches.(b))
+                 results))))
+
 let analyze_static ?acc ~policy ~record ~domains t indexed =
   if domains <= 1 then begin
+    let m = Symbolic.manager t.sym in
     let t0 = now () in
     let gc0 = t.gc_time and n0 = t.gc_runs in
+    let steps0 = Bdd.apply_steps m and allocs0 = Bdd.nodes_allocated m in
     let outcomes = analyze_indexed_seq ~policy ~record t indexed in
     let gc = t.gc_time -. gc0 in
     with_acc acc (fun a ->
         a.acc_analysis <- a.acc_analysis +. (now () -. t0) -. gc;
+        a.acc_wall <- a.acc_wall +. (now () -. t0);
         a.acc_gc <- a.acc_gc +. gc;
         a.acc_collections <- a.acc_collections + (t.gc_runs - n0);
-        a.acc_built <- a.acc_built + Symbolic.built_count t.sym);
+        a.acc_built <- a.acc_built + Symbolic.built_count t.sym;
+        a.acc_batches <- a.acc_batches + 1;
+        a.acc_scratch_peak <- max a.acc_scratch_peak (Bdd.scratch_peak m);
+        a.acc_steps <- a.acc_steps + (Bdd.apply_steps m - steps0);
+        a.acc_allocs <- a.acc_allocs + (Bdd.nodes_allocated m - allocs0));
     outcomes
   end
   else
@@ -760,21 +1014,35 @@ let analyze_static ?acc ~policy ~record ~domains t indexed =
        before producing outcomes (its engine failed to build) is
        requeued through the sequential retry path, and surviving shards
        keep their results. *)
-    Parallel.map_chunked_outcomes ~domains
-      (fun shard ->
-        let t0 = now () in
-        let worker = create ~heuristic:t.heuristic t.base in
-        let t1 = now () in
-        let outcomes = analyze_indexed_seq ~policy ~record worker shard in
-        with_acc acc (fun a ->
-            a.acc_build <- a.acc_build +. (t1 -. t0);
-            a.acc_analysis <-
-              a.acc_analysis +. (now () -. t1) -. worker.gc_time;
-            a.acc_gc <- a.acc_gc +. worker.gc_time;
-            a.acc_collections <- a.acc_collections + worker.gc_runs;
-            a.acc_built <- a.acc_built + Symbolic.built_count worker.sym);
-        outcomes)
-      indexed
+    let wall0 = now () in
+    let shards =
+      Parallel.map_chunked_outcomes ~domains
+        (fun shard ->
+          let t0 = now () in
+          let worker = create ~heuristic:t.heuristic t.base in
+          let t1 = now () in
+          let outcomes = analyze_indexed_seq ~policy ~record worker shard in
+          let m = Symbolic.manager worker.sym in
+          with_acc acc (fun a ->
+              a.acc_build <- a.acc_build +. (t1 -. t0);
+              a.acc_analysis <-
+                a.acc_analysis +. (now () -. t1) -. worker.gc_time;
+              a.acc_gc <- a.acc_gc +. worker.gc_time;
+              a.acc_collections <- a.acc_collections + worker.gc_runs;
+              a.acc_built <- a.acc_built + Symbolic.built_count worker.sym;
+              a.acc_scratch_peak <- max a.acc_scratch_peak (Bdd.scratch_peak m);
+              (* Counted from zero: the worker's build is part of the
+                 shard's work — that re-elaboration is exactly what the
+                 metric should expose. *)
+              a.acc_steps <- a.acc_steps + Bdd.apply_steps m;
+              a.acc_allocs <- a.acc_allocs + Bdd.nodes_allocated m);
+          outcomes)
+        indexed
+    in
+    with_acc acc (fun a ->
+        a.acc_wall <- a.acc_wall +. (now () -. wall0);
+        a.acc_batches <- a.acc_batches + List.length shards);
+    shards
     |> List.concat_map (fun (shard, res) ->
            match res with
            | Ok outcomes -> outcomes
@@ -832,6 +1100,7 @@ let analyze_all_impl ?acc ?(node_budget = default_node_budget) ?fault_budget
       | _, [] -> []
       | Static, _ -> analyze_static ?acc ~policy ~record ~domains t todo
       | Stealing, _ -> analyze_stealing ?acc ~policy ~record ~domains t todo
+      | Snapshot, _ -> analyze_snapshot ?acc ~policy ~record ~domains t todo
     in
     let merged = Array.make n None in
     List.iter (fun (i, o) -> merged.(i) <- Some o) skipped;
@@ -857,24 +1126,22 @@ let analyze_all_stats ?node_budget ?fault_budget ?deadline_ms ?max_retries
       ?bounds ?bound_samples ?deterministic ?journal ~domains ~scheduler t
       faults
   in
-  let batch_count =
-    match scheduler with
-    | Static -> min (max 1 domains) (max 1 (List.length faults))
-    | Stealing ->
-      Array.length
-        (site_batches ~domains:(max 1 domains)
-           (List.mapi (fun i f -> (i, f)) faults))
-  in
   ( outcomes,
     {
       scheduler;
       domains = max 1 domains;
-      batch_count;
+      hardware_domains = Parallel.available_domains ();
+      batch_count = acc.acc_batches;
       build_seconds = acc.acc_build;
-      analysis_seconds = acc.acc_analysis;
+      snapshot_seconds = acc.acc_snapshot;
+      analysis_wall_seconds = acc.acc_wall;
+      analysis_cpu_seconds = acc.acc_analysis;
       gc_seconds = acc.acc_gc;
       gc_collections = acc.acc_collections;
       good_functions_built = acc.acc_built;
+      scratch_peak_nodes = acc.acc_scratch_peak;
+      apply_steps = acc.acc_steps;
+      nodes_allocated = acc.acc_allocs;
     } )
 
 let analyze_exact ?node_budget ?domains ?scheduler t faults =

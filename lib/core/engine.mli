@@ -39,7 +39,36 @@ val collect : t -> unit
     compacted in place — the cheap alternative to a full {!rebuild}
     when the arena outgrows the sweep's node budget.  Handles are
     renumbered, so this bumps {!generation} and fires {!on_rebuild}
-    hooks exactly like a rebuild. *)
+    hooks exactly like a rebuild.  With a frozen snapshot in place
+    ({!seal}), only the private scratch tier is collected. *)
+
+(** {1 Shared snapshots}
+
+    The substrate of the {!Snapshot} scheduler, exposed for direct use:
+    build the good functions once, freeze them, and hand each worker
+    domain a cheap fork that reads the snapshot without locks. *)
+
+val seal : t -> unit
+(** Force {e every} net's good function (even on a lazy engine), then
+    {!Bdd.seal} the arena: the complete good-function set becomes an
+    immutable snapshot shared by subsequent {!fork}s, and operations
+    that would allocate fresh nodes raise {!Bdd.Sealed_manager} until
+    {!unseal}.  Runs a collection, so it bumps {!generation} and fires
+    {!on_rebuild} hooks.  @raise Invalid_argument if already sealed. *)
+
+val unseal : t -> unit
+(** Re-enable allocation after a {!seal} (the snapshot stays in place
+    and keeps being shared).  Only safe once every domain holding a
+    {!fork} has been joined. *)
+
+val sealed : t -> bool
+
+val fork : t -> t
+(** A worker engine over the sealed snapshot: shares the circuit,
+    fanouts and the frozen good functions by reference; owns a private
+    scratch arena, cone walker and delta scratch.  Safe to use from one
+    other domain while the parent stays sealed — forks never write
+    shared state.  @raise Invalid_argument unless {!sealed}. *)
 
 (** {1 Test sets} *)
 
@@ -212,23 +241,58 @@ type scheduler =
       (** faults grouped into cone-local batches that idle domains pull
           off a shared queue — balances wildly uneven fault costs and
           lets lazy workers build only the circuit regions their
-          batches touch *)
+          batches touch; every worker still owns a full private manager *)
+  | Snapshot
+      (** good functions built {e once} on the calling engine, sealed
+          into an immutable snapshot ({!seal}) and shared read-only by
+          {!fork}ed workers with private scratch arenas — no per-worker
+          rebuild, no locks on the hot path.  Batches are cone-owned:
+          faults with overlapping fanout cones share a batch, sized
+          adaptively from measured cone overlap.  The scheduler of
+          choice for multicore sweeps. *)
 
 val scheduler_to_string : scheduler -> string
 
 type sweep_stats = {
   scheduler : scheduler;
-  domains : int;
+  domains : int;  (** domains requested for the sweep *)
+  hardware_domains : int;
+      (** {!Parallel.available_domains} at run time — the hardware
+          actually available, without which throughput numbers across
+          machines are uninterpretable *)
   batch_count : int;  (** work units handed to the scheduler *)
   build_seconds : float;
-      (** engine construction across workers (summed over domains) *)
-  analysis_seconds : float;
-      (** fault analysis proper, GC time excluded (summed over domains) *)
+      (** per-worker engine/fork construction (summed over domains) *)
+  snapshot_seconds : float;
+      (** {!Snapshot} only: forcing and sealing the shared good
+          functions, single-threaded, before workers start *)
+  analysis_wall_seconds : float;
+      (** wall clock of the parallel region, as one observer saw it —
+          what throughput is computed from *)
+  analysis_cpu_seconds : float;
+      (** fault analysis proper, GC time excluded, {e summed over
+          domains} — compare against [analysis_wall_seconds] to see
+          parallel efficiency; a sum far above wall x domains means
+          duplicated work.  Each domain's share is its busy wall-clock
+          window, so when domains exceed hardware cores the sum also
+          counts time spent descheduled. *)
   gc_seconds : float;  (** {!collect} cycles (summed over domains) *)
   gc_collections : int;
   good_functions_built : int;
-      (** good functions elaborated across all engines — on lazy
-          workers, a measure of how much circuit the sweep touched *)
+      (** good functions elaborated across all engines — under
+          {!Snapshot} exactly the circuit's gate count whatever the
+          domain count; under per-worker managers a measure of
+          re-elaboration *)
+  scratch_peak_nodes : int;
+      (** maximum private-arena occupancy any worker reached (under
+          {!Snapshot}, scratch excludes the immortal frozen tier) *)
+  apply_steps : int;
+      (** node-construction attempts across all managers involved — a
+          deterministic, machine-independent work metric
+          ({!Bdd.apply_steps}) *)
+  nodes_allocated : int;
+      (** fresh BDD nodes hash-consed across all managers involved
+          ({!Bdd.nodes_allocated}) *)
 }
 
 val analyze_all :
@@ -293,7 +357,11 @@ val analyze_all :
     contiguous chunks fixed up front; {!Stealing} groups faults by
     fault-site cone into batches that idle domains steal from a shared
     queue, with lazily-built workers that only elaborate the good
-    functions their batches touch.  Workers are supervised either way —
+    functions their batches touch; {!Snapshot} builds the good functions
+    once on the calling engine, {!seal}s them and hands every domain a
+    {!fork} over the shared snapshot (the engine is sealed for the
+    duration of the sweep and unsealed — usable as before — on return).
+    Workers are supervised under every scheduler —
     a shard or batch that dies wholesale is requeued through the
     sequential retry path, surviving work keeps its results, and every
     spawned domain is joined — and with [deadline_ms] set the stealing
@@ -323,9 +391,11 @@ val analyze_all_stats :
   Fault.t list ->
   outcome list * sweep_stats
 (** {!analyze_all} plus per-stage accounting: where the time went
-    (engine build vs analysis vs GC, each summed across domains — wall
-    clock is the caller's to measure), how many batches the scheduler
-    served, and how much of the circuit the workers elaborated. *)
+    (snapshot build, per-worker build, analysis CPU summed across
+    domains, the parallel region's wall clock, GC), how many batches the
+    scheduler served, how much of the circuit the workers elaborated,
+    and the deterministic work metrics the bench regression gate
+    compares across runs. *)
 
 val analyze_exact :
   ?node_budget:int ->

@@ -1,10 +1,11 @@
 (* Domain-sharded fan-out over fault lists (OCaml 5 stdlib only).
 
-   The BDD arena is single-threaded mutable state, so callers hand this
-   module *chunk* functions that build their own per-domain state (one
-   Symbolic/Bdd manager per worker) rather than sharing an engine.
-   Chunks are contiguous and results are concatenated, so output order
-   equals input order.
+   The mutable half of a BDD arena is single-threaded, so callers hand
+   this module *chunk* functions that build their own per-domain state —
+   a full private Symbolic/Bdd manager, or (the cheap option) a
+   [Bdd.fork] over a sealed shared snapshot — rather than sharing one
+   engine.  Chunks are contiguous and results are concatenated, so
+   output order equals input order.
 
    Two scheduling shapes are offered: static contiguous shards
    ([map_chunked_outcomes]) and a work-stealing batch queue

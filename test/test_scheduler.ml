@@ -1,9 +1,11 @@
-(* Tests for the work-stealing scheduler and the BDD mark-sweep
+(* Tests for the parallel sweep schedulers and the BDD mark-sweep
    collector: steal_batches/chunk_array algebra, bit-identical
-   equivalence of stealing and sequential sweeps (property-tested over
-   random circuits, fault mixes and domain counts), and Bdd.collect
-   preserving the semantics of registered roots while reclaiming
-   garbage. *)
+   equivalence of the stealing and shared-snapshot sweeps with the
+   sequential one (property-tested over random circuits, fault mixes,
+   domain counts and schedulers), frozen-snapshot semantics (sealed
+   managers reject mutation, forks share the frozen tier read-only,
+   concurrent readers agree), and Bdd.collect preserving the semantics
+   of registered roots while reclaiming garbage. *)
 
 let check = Alcotest.check
 let bool_t = Alcotest.bool
@@ -67,7 +69,7 @@ let test_steal_batches_contains_errors () =
     | _ -> false)
 
 (* ------------------------------------------------------------------ *)
-(* Stealing is bit-identical to the sequential sweep                   *)
+(* Every parallel scheduler is bit-identical to the sequential sweep   *)
 
 let mixed_faults rng c =
   let n = Circuit.num_gates c in
@@ -87,7 +89,7 @@ let mixed_faults rng c =
   in
   stucks @ bridges @ multis
 
-let prop_stealing_equals_sequential =
+let prop_parallel_equals_sequential =
   let test seed =
     let rng = Prng.create ~seed:(seed + 4000) in
     let c =
@@ -98,20 +100,22 @@ let prop_stealing_equals_sequential =
     let faults = mixed_faults rng c in
     let domains = 1 + Prng.int rng 5 in
     let sequential = Engine.analyze_all ~domains:1 (Engine.create c) faults in
-    let stealing =
-      Engine.analyze_all ~scheduler:Engine.Stealing ~domains
-        (Engine.create c) faults
-    in
     (* Polymorphic equality compares every float bit for bit, fault
        order included. *)
-    sequential = stealing
+    List.for_all
+      (fun scheduler ->
+        Engine.analyze_all ~scheduler ~domains (Engine.create c) faults
+        = sequential)
+      [ Engine.Stealing; Engine.Snapshot ]
   in
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count:40
-       ~name:"stealing = sequential on random circuits, faults and domains"
+       ~name:
+         "stealing and snapshot = sequential on random circuits, faults \
+          and domains"
        QCheck.small_nat test)
 
-let test_stealing_benchmarks () =
+let parallel_benchmarks scheduler () =
   List.iter
     (fun name ->
       let c = Bench_suite.find name in
@@ -124,17 +128,16 @@ let test_stealing_benchmarks () =
       in
       List.iter
         (fun domains ->
-          let stealing =
-            Engine.analyze_all ~scheduler:Engine.Stealing ~domains
-              (Engine.create c) faults
+          let parallel =
+            Engine.analyze_all ~scheduler ~domains (Engine.create c) faults
           in
           check bool_t
             (Printf.sprintf "%s bit-identical at %d domains" name domains)
-            true (sequential = stealing))
+            true (sequential = parallel))
         [ 1; 3 ])
     [ "c17"; "fulladder"; "c95" ]
 
-let test_stealing_under_gc_pressure () =
+let parallel_under_gc_pressure scheduler () =
   (* A tiny node budget forces a collection before almost every fault;
      results must still match the unconstrained sequential run. *)
   let c = Bench_suite.find "c95" in
@@ -144,13 +147,13 @@ let test_stealing_under_gc_pressure () =
   let sequential = Engine.analyze_all (Engine.create c) faults in
   List.iter
     (fun domains ->
-      let stealing =
-        Engine.analyze_all ~node_budget:1 ~scheduler:Engine.Stealing ~domains
+      let parallel =
+        Engine.analyze_all ~node_budget:1 ~scheduler ~domains
           (Engine.create c) faults
       in
       check bool_t
         (Printf.sprintf "identical under GC pressure at %d domains" domains)
-        true (sequential = stealing))
+        true (sequential = parallel))
     [ 1; 3 ]
 
 let test_lazy_engine_matches_eager () =
@@ -166,7 +169,30 @@ let test_lazy_engine_matches_eager () =
     (eager = lazy_run)
 
 (* ------------------------------------------------------------------ *)
-(* Bdd.collect: semantics preserved, garbage reclaimed                 *)
+(* Frozen snapshots: seal/fork semantics and the snapshot scheduler    *)
+
+let test_sealed_rejects_mutation () =
+  let m = Bdd.create 2 in
+  (* The standalone x0 node is registered too: it is not a subgraph of
+     x0∧x1, so the seal's collect would otherwise reclaim it. *)
+  let roots = [| Bdd.band m (Bdd.var m 0) (Bdd.var m 1); Bdd.var m 0 |] in
+  ignore (Bdd.register m roots : Bdd.registration);
+  Bdd.seal m;
+  (* The seal collects, so registered roots were remapped in place. *)
+  let f = roots.(0) in
+  check bool_t "manager reports sealed" true (Bdd.is_sealed m);
+  check (Alcotest.float 0.0) "reads still served" 0.25
+    (Bdd.sat_fraction m f);
+  check bool_t "allocation-free operations still work" true
+    (Bdd.band m f f = f && Bdd.var m 0 = roots.(1));
+  check bool_t "fresh allocation raises Sealed_manager" true
+    (match Bdd.bxor m f roots.(1) with
+    | exception Bdd.Sealed_manager -> true
+    | (_ : Bdd.t) -> false);
+  Bdd.unseal m;
+  let g = Bdd.bxor m f roots.(1) in
+  check bool_t "unsealing restores allocation" true
+    (Bdd.check_invariants m g)
 
 (* A random function as a XOR/AND/OR mix over literals (as in the
    Table 1 property test). *)
@@ -185,6 +211,108 @@ let random_bdd rng m vars =
       | _ -> Bdd.bxor m a b
   in
   build 4
+
+let test_fork_reads_match () =
+  let m = Bdd.create 4 in
+  let rng = Prng.create ~seed:77 in
+  let roots = Array.init 3 (fun _ -> random_bdd rng m 4) in
+  ignore (Bdd.register m roots : Bdd.registration);
+  Bdd.seal m;
+  let w = Bdd.fork m in
+  Array.iter
+    (fun f ->
+      check (Alcotest.float 0.0) "sat fraction agrees across the fork"
+        (Bdd.sat_fraction m f) (Bdd.sat_fraction w f);
+      check int_t "size agrees across the fork" (Bdd.size m f)
+        (Bdd.size w f))
+    roots;
+  (* Scratch growth in the fork never touches the shared frozen tier. *)
+  let frozen = Bdd.frozen_nodes m in
+  let g = Bdd.bxor w roots.(0) roots.(1) in
+  check bool_t "the fork can allocate" true (Bdd.check_invariants w g);
+  check int_t "parent frozen tier unmoved" frozen (Bdd.frozen_nodes m);
+  check bool_t "parent still sealed" true (Bdd.is_sealed m);
+  Bdd.unseal m
+
+let test_snapshot_concurrent_readers () =
+  (* Several domains read one sealed snapshot at once, each through its
+     own fork, doing real per-fault analyses.  The TSan CI lane runs
+     this test: any write to the shared frozen tier would trip it. *)
+  let c = Bench_suite.find "c95" in
+  let faults =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+    |> List.filteri (fun i _ -> i < 12)
+  in
+  let t = Engine.create c in
+  Engine.seal t;
+  let work () =
+    let w = Engine.fork t in
+    List.map (Engine.analyze w) faults
+  in
+  let spawned = List.init 4 (fun _ -> Domain.spawn work) in
+  let local = work () in
+  let others = List.map Domain.join spawned in
+  Engine.unseal t;
+  let reference =
+    Engine.exact_results (Engine.analyze_all (Engine.create c) faults)
+  in
+  check bool_t "caller's fork matches sequential" true (local = reference);
+  List.iteri
+    (fun i r ->
+      check bool_t
+        (Printf.sprintf "spawned reader %d matches sequential" i)
+        true (r = reference))
+    others
+
+let test_snapshot_builds_good_functions_once () =
+  (* The whole point of the snapshot scheduler: the good functions are
+     elaborated exactly once per sweep, not once per worker, so the
+     count cannot depend on the domain count. *)
+  let c = Bench_suite.find "c95" in
+  let faults =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+  in
+  let runs =
+    List.map
+      (fun domains ->
+        Engine.analyze_all_stats ~scheduler:Engine.Snapshot ~domains
+          (Engine.create c) faults)
+      [ 1; 2; 4 ]
+  in
+  match runs with
+  | (o0, s0) :: rest ->
+    check int_t "good functions = gate count"
+      (Circuit.num_gates c)
+      s0.Engine.good_functions_built;
+    List.iter
+      (fun (o, s) ->
+        check int_t "good_functions_built independent of domain count"
+          s0.Engine.good_functions_built s.Engine.good_functions_built;
+        check bool_t "outcomes independent of domain count" true (o = o0))
+      rest
+  | [] -> assert false
+
+let test_snapshot_then_sequential_reuse () =
+  (* A snapshot sweep seals and then unseals the engine: the same
+     engine must remain fully usable for an ordinary sequential sweep
+     afterwards, and both must match a fresh engine bit for bit. *)
+  let c = Bench_suite.find "fulladder" in
+  let faults =
+    List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+  in
+  let t = Engine.create c in
+  let snap =
+    Engine.analyze_all ~scheduler:Engine.Snapshot ~domains:3 t faults
+  in
+  check bool_t "engine is unsealed after the sweep" false (Engine.sealed t);
+  let sequential = Engine.analyze_all t faults in
+  let fresh = Engine.analyze_all (Engine.create c) faults in
+  check bool_t "snapshot sweep matches fresh sequential" true (snap = fresh);
+  check bool_t "post-snapshot sequential reuse matches" true
+    (sequential = fresh)
+
+(* ------------------------------------------------------------------ *)
+(* Bdd.collect: semantics preserved, garbage reclaimed                 *)
 
 let prop_collect_preserves_roots =
   let test seed =
@@ -281,15 +409,34 @@ let () =
           Alcotest.test_case "steal_batches contains batch errors" `Quick
             test_steal_batches_contains_errors;
         ] );
-      ( "stealing = sequential",
+      ( "parallel = sequential",
         [
-          prop_stealing_equals_sequential;
-          Alcotest.test_case "benchmark circuits, mixed fault sets" `Slow
-            test_stealing_benchmarks;
-          Alcotest.test_case "identical under GC pressure" `Quick
-            test_stealing_under_gc_pressure;
+          prop_parallel_equals_sequential;
+          Alcotest.test_case "stealing: benchmark circuits, mixed faults"
+            `Slow
+            (parallel_benchmarks Engine.Stealing);
+          Alcotest.test_case "snapshot: benchmark circuits, mixed faults"
+            `Slow
+            (parallel_benchmarks Engine.Snapshot);
+          Alcotest.test_case "stealing identical under GC pressure" `Quick
+            (parallel_under_gc_pressure Engine.Stealing);
+          Alcotest.test_case "snapshot identical under GC pressure" `Quick
+            (parallel_under_gc_pressure Engine.Snapshot);
           Alcotest.test_case "lazy engine matches eager" `Quick
             test_lazy_engine_matches_eager;
+        ] );
+      ( "frozen snapshots",
+        [
+          Alcotest.test_case "sealed manager rejects mutation" `Quick
+            test_sealed_rejects_mutation;
+          Alcotest.test_case "fork reads match the parent" `Quick
+            test_fork_reads_match;
+          Alcotest.test_case "concurrent readers over one snapshot" `Quick
+            test_snapshot_concurrent_readers;
+          Alcotest.test_case "good functions built once per sweep" `Quick
+            test_snapshot_builds_good_functions_once;
+          Alcotest.test_case "engine reusable after snapshot sweep" `Quick
+            test_snapshot_then_sequential_reuse;
         ] );
       ( "mark-sweep collection",
         [
