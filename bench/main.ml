@@ -681,7 +681,8 @@ let write_perf_json path rows =
              \"gc_seconds\": %.6f, \"gc_collections\": %d, \
              \"batches\": %d, \"good_functions_built\": %d, \
              \"scratch_peak_nodes\": %d, \"apply_steps\": %d, \
-             \"nodes_allocated\": %d, \"hardware_domains\": %d }"
+             \"nodes_allocated\": %d, \"rescued_faults\": %d, \
+             \"sift_seconds\": %.6f, \"hardware_domains\": %d }"
             (if j = 0 then "" else ",")
             (Engine.scheduler_to_string r.scheduler)
             r.domains r.seconds r.faults_per_sec r.matches_sequential
@@ -692,7 +693,8 @@ let write_perf_json path rows =
             r.stats.Engine.gc_collections r.stats.Engine.batch_count
             r.stats.Engine.good_functions_built
             r.stats.Engine.scratch_peak_nodes r.stats.Engine.apply_steps
-            r.stats.Engine.nodes_allocated r.stats.Engine.hardware_domains)
+            r.stats.Engine.nodes_allocated r.stats.Engine.rescued_faults
+            r.stats.Engine.sift_seconds r.stats.Engine.hardware_domains)
         runs;
       Printf.bprintf buf "\n    ] }%s\n"
         (if i = List.length rows - 1 then "" else ","))
@@ -718,11 +720,15 @@ let history_columns =
     "hardware_domains";
   ]
 
-let history_row ts name faults r =
+(* [?scheduler_name] overrides the scheduler cell: the hostile stress
+   lane records its rows under the pseudo-scheduler "hostile" so its
+   degraded-count baseline can never be confused with a perf series. *)
+let history_row ?scheduler_name ts name faults r =
   Printf.sprintf
     "%.0f,%s,%d,%s,%d,%.6f,%.3f,%b,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%d"
     ts name faults
-    (Engine.scheduler_to_string r.scheduler)
+    (Option.value scheduler_name
+       ~default:(Engine.scheduler_to_string r.scheduler))
     r.domains r.seconds r.faults_per_sec r.matches_sequential r.degraded
     r.stats.Engine.build_seconds r.stats.Engine.snapshot_seconds
     r.stats.Engine.analysis_wall_seconds r.stats.Engine.analysis_cpu_seconds
@@ -731,12 +737,13 @@ let history_row ts name faults r =
     r.stats.Engine.scratch_peak_nodes r.stats.Engine.apply_steps
     r.stats.Engine.nodes_allocated r.stats.Engine.hardware_domains
 
-let append_history path ts name faults runs =
+let append_history ?scheduler_name path ts name faults runs =
   let fresh = not (Sys.file_exists path) in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   if fresh then output_string oc (String.concat "," history_columns ^ "\n");
   List.iter
-    (fun r -> output_string oc (history_row ts name faults r ^ "\n"))
+    (fun r ->
+      output_string oc (history_row ?scheduler_name ts name faults r ^ "\n"))
     runs;
   close_out oc
 
@@ -1064,17 +1071,38 @@ let perf () =
 let hostile_budget = ref 20_000
 let hostile_deadline_ms = ref 50.0
 let hostile_circuits = ref [ "c1908" ]
+let hostile_reorder = ref true
+let hostile_gate = ref false
 
 let hostile () =
   section "hostile"
     "degradation ladder under per-fault budget + deadline caps";
+  (* A non-positive deadline disables the wall-clock cap entirely: the
+     gated CI lane wants budget-only degradation, which is a
+     deterministic node count and therefore machine-independent, where a
+     wall-clock deadline would degrade more faults on slower runners. *)
+  let deadline_ms =
+    if !hostile_deadline_ms > 0.0 then Some !hostile_deadline_ms else None
+  in
+  let gate = !hostile_gate in
   note
-    (Printf.sprintf "per-attempt caps: %d BDD nodes, %.0f ms (2x/4x on retry)"
-       !hostile_budget !hostile_deadline_ms);
+    (Printf.sprintf
+       "per-attempt caps: %d BDD nodes, %s (2x/4x on retry); reorder \
+        rescue %s%s"
+       !hostile_budget
+       (match deadline_ms with
+       | Some d -> Printf.sprintf "%.0f ms" d
+       | None -> "no deadline")
+       (if !hostile_reorder then "on" else "off")
+       (if gate then "; deterministic sweep (gate mode)" else ""));
+  let ts = Unix.time () in
+  (* Baselines are read before this run appends its own rows. *)
+  let prior = if gate then read_history !perf_history else [] in
+  let failures = ref [] in
   Format.fprintf fmt
-    "  %-10s %7s %11s %9s %9s %9s %9s %11s %11s %8s@." "circuit" "faults"
-    "exact@try0" "by-retry" "bounded" "unbnded" "crashed" "mean-width"
-    "worst-width" "secs";
+    "  %-10s %7s %11s %9s %9s %9s %9s %9s %8s %11s %11s %8s@." "circuit"
+    "faults" "exact@try0" "by-retry" "rescued" "bounded" "unbnded" "crashed"
+    "sift(s)" "mean-width" "worst-width" "secs";
   List.iter
     (fun name ->
       let c = Bench_suite.find name in
@@ -1082,17 +1110,23 @@ let hostile () =
         List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
       in
       let n = List.length faults in
-      let sweep max_retries =
-        Engine.analyze_all ~fault_budget:!hostile_budget
-          ~deadline_ms:!hostile_deadline_ms ~max_retries
-          ~domains:(Parallel.available_domains ())
+      let domains = Parallel.available_domains () in
+      (* Gate mode runs deterministically (canonical arena per fault),
+         so the degraded count is a function of the circuit and budget
+         alone — comparable across machines and runs. *)
+      let sweep ~reorder max_retries =
+        Engine.analyze_all_stats ~fault_budget:!hostile_budget ?deadline_ms
+          ~max_retries ~reorder ~deterministic:gate ~domains
           ~scheduler:Engine.Stealing (Engine.create c) faults
       in
-      let first_try, _ = elapsed (fun () -> sweep 0) in
-      let final, dt = elapsed (fun () -> sweep 2) in
+      let (first_try, _), _ = elapsed (fun () -> sweep ~reorder:false 0) in
+      let (final, stats), dt =
+        elapsed (fun () -> sweep ~reorder:!hostile_reorder 2)
+      in
       let count p l = List.length (List.filter p l) in
       let exact0 = count Engine.is_exact first_try in
       let exact2 = count Engine.is_exact final in
+      let rescued = stats.Engine.rescued_faults in
       let bounded =
         count (function Engine.Bounded _ -> true | _ -> false) final
       in
@@ -1116,14 +1150,79 @@ let hostile () =
       in
       let worst_width = List.fold_left Float.max 0.0 widths in
       Format.fprintf fmt
-        "  %-10s %7d %11d %9d %9d %9d %9d %11.6f %11.6f %8.2f@." name n
-        exact0
-        (max 0 (exact2 - exact0))
-        bounded unbounded crashed mean_width worst_width dt;
+        "  %-10s %7d %11d %9d %9d %9d %9d %9d %8.2f %11.6f %11.6f %8.2f@."
+        name n exact0
+        (max 0 (exact2 - exact0 - rescued))
+        rescued bounded unbounded crashed stats.Engine.sift_seconds
+        mean_width worst_width dt;
       note
         (Printf.sprintf "%s: every fault answered numerically: %s" name
-           (if crashed = 0 && unbounded = 0 then "YES" else "NO")))
-    !hostile_circuits
+           (if crashed = 0 && unbounded = 0 then "YES" else "NO"));
+      if rescued > 0 then
+        note
+          (Printf.sprintf
+             "%s: sifted-order retry rescued %d fault(s) the whole retry \
+              ladder had given up on (arena %d -> %d nodes)"
+             name rescued stats.Engine.sift_nodes_before
+             stats.Engine.sift_nodes_after);
+      if gate then begin
+        (* Cross-run gate, and only then a history row: ungated runs are
+           non-deterministic stress displays and must not become
+           baselines.  Matching is by circuit and fault count; the CI
+           lane pins the budget so baselines compare like for like. *)
+        let degraded_count = n - exact2 in
+        let baseline =
+          List.fold_left
+            (fun acc (cells : string array) ->
+              if
+                cells.(1) = name
+                && cells.(3) = "hostile"
+                && int_of_string cells.(2) = n
+              then Some (int_of_string cells.(8))
+              else acc)
+            None prior
+        in
+        (match baseline with
+        | Some b when degraded_count > b ->
+          failures :=
+            Printf.sprintf
+              "%s: degraded-count regression — %d of %d faults degraded, \
+               last recorded baseline %d"
+              name degraded_count n b
+            :: !failures
+        | Some b ->
+          note
+            (Printf.sprintf
+               "%s: degraded gate: %d degraded <= baseline %d — PASS" name
+               degraded_count b)
+        | None ->
+          note
+            (Printf.sprintf
+               "%s: no hostile baseline for %d faults in %s; recording \
+                this run as one"
+               name n !perf_history));
+        let run =
+          {
+            scheduler = Engine.Stealing;
+            domains;
+            seconds = dt;
+            faults_per_sec = float_of_int n /. dt;
+            matches_sequential = true;
+            degraded = degraded_count;
+            stats;
+          }
+        in
+        append_history ~scheduler_name:"hostile" !perf_history ts name n
+          [ run ]
+      end)
+    !hostile_circuits;
+  if gate then
+    match List.rev !failures with
+    | [] -> note "hostile gate: PASS"
+    | fails ->
+      List.iter (fun m -> Format.fprintf fmt "  GATE FAILURE: %s@." m) fails;
+      Format.fprintf fmt "@.";
+      exit 1
 
 let artifacts =
   [
@@ -1197,7 +1296,8 @@ let usage () =
      [-perf-domains 1,2,..] [-perf-schedulers snapshot,stealing,..] \
      [-perf-out FILE] [-perf-history FILE] [-perf-trend-out FILE] \
      [-perf-gate] [-hostile-budget N] [-hostile-deadline-ms F] \
-     [-hostile-circuits A,B,..] \
+     [-hostile-circuits A,B,..] [-hostile-reorder auto|off] \
+     [-hostile-gate] \
      [all | perf | trend | hostile | lint | %s]...@."
     (String.concat " | " (List.map fst artifacts))
 
@@ -1242,6 +1342,17 @@ let () =
       parse acc rest
     | "-hostile-circuits" :: names :: rest ->
       hostile_circuits := String.split_on_char ',' names;
+      parse acc rest
+    | "-hostile-reorder" :: mode :: rest ->
+      (match mode with
+      | "auto" | "on" -> hostile_reorder := true
+      | "off" -> hostile_reorder := false
+      | s ->
+        Format.eprintf "hostile: unknown reorder mode %S (auto|off)@." s;
+        exit 2);
+      parse acc rest
+    | "-hostile-gate" :: rest ->
+      hostile_gate := true;
       parse acc rest
     | "all" :: rest -> parse (acc @ List.map fst artifacts) rest
     | name :: rest -> parse (acc @ [ name ]) rest

@@ -147,13 +147,46 @@ let scheduler_arg ?(default = Engine.Static) () =
         default
     & info [ "scheduler" ] ~docv:"MODE" ~doc)
 
+let reorder_arg =
+  let doc =
+    "Reorder-rescue rung of the degradation ladder: $(b,auto) (the \
+     default) rebuilds the good functions under a sifted variable order \
+     and retries a fault that exhausted its escalated retries, before \
+     it falls back to a bounded estimate.  $(b,off) disables the rung \
+     (the pre-rescue three-stage ladder).  Only consulted when \
+     $(b,--fault-budget) or $(b,--deadline-ms) caps the analysis — an \
+     uncapped sweep cannot degrade, so there is nothing to rescue."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("auto", true); ("off", false) ]) true
+    & info [ "reorder" ] ~docv:"MODE" ~doc)
+
+let reorder_growth_arg =
+  let doc =
+    "Growth cap for rescue-order sifting: a sift step that grows the \
+     live arena past this factor of its starting size is undone.  Must \
+     be >= 1.0."
+  in
+  Arg.(
+    value
+    & opt float Engine.default_reorder_growth
+    & info [ "reorder-growth" ] ~docv:"FACTOR" ~doc)
+
+let check_reorder_growth g =
+  if g < 1.0 then begin
+    Printf.eprintf "--reorder-growth must be >= 1.0, got %g\n" g;
+    exit 2
+  end
+
 (* Sweep mode: every collapsed stuck-at fault, an outcome for each,
    optionally journaled for kill-and-resume.  Exit code 0 means every
    fault got a numeric answer (exact or bounded); 1 means some fault
    crashed or was left degraded without bounds; 2 is a usage or input
    error (including a stale journal). *)
-let run_sweep c ~fault_budget ~deadline_ms ~max_retries ~bounds ~samples
-    ~checkpoint ~resume ~escalate ~json ~domains ~scheduler =
+let run_sweep c ~fault_budget ~deadline_ms ~max_retries ~reorder
+    ~reorder_growth ~bounds ~samples ~checkpoint ~resume ~escalate ~json
+    ~domains ~scheduler =
   let faults =
     List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
   in
@@ -181,9 +214,9 @@ let run_sweep c ~fault_budget ~deadline_ms ~max_retries ~bounds ~samples
   in
   let journal = Journal.engine_journal ?sink table in
   let outcomes =
-    Engine.analyze_all ?fault_budget ?deadline_ms ~max_retries ~bounds
-      ~bound_samples:samples ~deterministic ~journal ~domains ~scheduler
-      (Engine.create c) faults
+    Engine.analyze_all ?fault_budget ?deadline_ms ~max_retries ~reorder
+      ~reorder_growth ~bounds ~bound_samples:samples ~deterministic ~journal
+      ~domains ~scheduler (Engine.create c) faults
   in
   let outcomes =
     if not escalate then outcomes
@@ -201,8 +234,9 @@ let run_sweep c ~fault_budget ~deadline_ms ~max_retries ~bounds ~samples
           Engine.analyze_all
             ?fault_budget:(Option.map (fun b -> 2 * b) fault_budget)
             ?deadline_ms:(Option.map (fun d -> 2.0 *. d) deadline_ms)
-            ~max_retries ~bounds ~bound_samples:samples ~deterministic
-            ~domains ~scheduler (Engine.create c)
+            ~max_retries ~reorder ~reorder_growth ~bounds
+            ~bound_samples:samples ~deterministic ~domains ~scheduler
+            (Engine.create c)
             (List.map (fun (i, _) -> faults_arr.(i)) degraded)
         in
         let improved = Hashtbl.create 16 in
@@ -243,10 +277,20 @@ let run_sweep c ~fault_budget ~deadline_ms ~max_retries ~bounds ~samples
       | _ -> false)
   in
   let crashed = count (function Engine.Crashed _ -> true | _ -> false) in
+  let rescued =
+    count (function
+      | Engine.Exact r -> r.Engine.rescued_by_reorder
+      | _ -> false)
+  in
   Format.printf
     "swept %d collapsed stuck-at faults: %d exact, %d bounded, %d degraded \
      without bounds, %d crashed@."
     n exact bounded unbounded crashed;
+  if rescued > 0 then
+    Format.printf
+      "  (%d of the exact answers came from the reorder-rescue rung: exact \
+       only after the sifted-order retry)@."
+      rescued;
   if bounded > 0 then begin
     let widths =
       List.filter_map
@@ -270,14 +314,15 @@ let run_sweep c ~fault_budget ~deadline_ms ~max_retries ~bounds ~samples
     outcomes;
   if crashed > 0 || unbounded > 0 then exit 1 else exit 0
 
-let run_single c fault ~cubes ~fault_budget ~deadline_ms ~max_retries ~bounds
-    ~samples ~scheduler =
+let run_single c fault ~cubes ~fault_budget ~deadline_ms ~max_retries
+    ~reorder ~reorder_growth ~bounds ~samples ~scheduler =
   Format.printf "fault: %s@." (Fault.to_string c fault);
   let engine = Engine.create c in
   let r =
     match
-      Engine.analyze_all ?fault_budget ?deadline_ms ~max_retries ~bounds
-        ~bound_samples:samples ~scheduler engine [ fault ]
+      Engine.analyze_all ?fault_budget ?deadline_ms ~max_retries ~reorder
+        ~reorder_growth ~bounds ~bound_samples:samples ~scheduler engine
+        [ fault ]
     with
     | [ Engine.Exact r ] -> r
     | [ Engine.Bounded { lower; upper; syndrome_bound; samples; reason; _ } ]
@@ -304,6 +349,10 @@ let run_single c fault ~cubes ~fault_budget ~deadline_ms ~max_retries ~bounds
   in
   Format.printf "detectability: %.6f (%g test vectors of 2^%d)@."
     r.Engine.detectability r.Engine.test_count (Circuit.num_inputs c);
+  if r.Engine.rescued_by_reorder then
+    Format.printf
+      "rescued by reordering: the heuristic-order attempts all degraded; \
+       this exact answer needed the sifted variable order@.";
   Format.printf "upper bound: %.6f  adherence: %s@." r.Engine.upper_bound
     (match r.Engine.adherence with
     | Some a -> Printf.sprintf "%.6f" a
@@ -438,8 +487,10 @@ let analyze_cmd =
     Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
   in
   let run spec stuck bridge all cubes fault_budget deadline_ms max_retries
-      no_bounds samples checkpoint resume escalate json domains scheduler =
+      reorder reorder_growth no_bounds samples checkpoint resume escalate
+      json domains scheduler =
     let c = load_circuit spec in
+    check_reorder_growth reorder_growth;
     let bounds = not no_bounds in
     let sweep_mode =
       all || checkpoint <> None || resume || json <> None
@@ -454,8 +505,9 @@ let analyze_cmd =
           "--all sweeps the collapsed stuck-at faults; drop --fault/--bridge\n";
         exit 2
       end;
-      run_sweep c ~fault_budget ~deadline_ms ~max_retries ~bounds ~samples
-        ~checkpoint ~resume ~escalate ~json ~domains ~scheduler
+      run_sweep c ~fault_budget ~deadline_ms ~max_retries ~reorder
+        ~reorder_growth ~bounds ~samples ~checkpoint ~resume ~escalate ~json
+        ~domains ~scheduler
     end
     else
       let fault =
@@ -467,7 +519,7 @@ let analyze_cmd =
           exit 2
       in
       run_single c fault ~cubes ~fault_budget ~deadline_ms ~max_retries
-        ~bounds ~samples ~scheduler
+        ~reorder ~reorder_growth ~bounds ~samples ~scheduler
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -476,13 +528,34 @@ let analyze_cmd =
           of every collapsed fault with checkpoint/resume")
     Term.(
       const run $ circuit_arg $ stuck $ bridge $ all $ cubes $ fault_budget
-      $ deadline_ms $ max_retries $ no_bounds $ samples $ checkpoint $ resume
-      $ escalate $ json $ domains $ scheduler_arg ())
+      $ deadline_ms $ max_retries $ reorder_arg $ reorder_growth_arg
+      $ no_bounds $ samples $ checkpoint $ resume $ escalate $ json $ domains
+      $ scheduler_arg ())
 
 let profile_cmd =
   let bins =
     let doc = "Histogram bins." in
     Arg.(value & opt int 10 & info [ "bins" ] ~docv:"N" ~doc)
+  in
+  let fault_budget =
+    let doc =
+      "Cap each fault's analysis at $(docv) freshly allocated BDD nodes \
+       per attempt; degraded faults are excluded from the profile."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-budget" ] ~docv:"NODES" ~doc)
+  in
+  let deadline_ms =
+    let doc =
+      "Cap each fault's analysis attempt at $(docv) wall-clock \
+       milliseconds; degraded faults are excluded from the profile."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc)
   in
   let domains =
     let doc =
@@ -494,11 +567,14 @@ let profile_cmd =
       & opt int (Parallel.available_domains ())
       & info [ "domains"; "j" ] ~docv:"N" ~doc)
   in
-  let run spec bins domains scheduler =
+  let run spec bins fault_budget deadline_ms reorder reorder_growth domains
+      scheduler =
     let c = load_circuit spec in
+    check_reorder_growth reorder_growth;
     let engine = Engine.create c in
     let outcomes, stats =
-      Engine.analyze_all_stats ~domains ~scheduler engine
+      Engine.analyze_all_stats ?fault_budget ?deadline_ms ~reorder
+        ~reorder_growth ~domains ~scheduler engine
         (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
     in
     Format.printf
@@ -513,6 +589,12 @@ let profile_cmd =
       stats.Engine.snapshot_seconds stats.Engine.build_seconds
       stats.Engine.scratch_peak_nodes stats.Engine.analysis_wall_seconds
       stats.Engine.analysis_cpu_seconds;
+    if stats.Engine.rescued_faults > 0 then
+      Format.printf
+        "reorder rescues: %d fault(s) exact only under the sifted order \
+         (sift %.3fs, arena %d -> %d nodes)@."
+        stats.Engine.rescued_faults stats.Engine.sift_seconds
+        stats.Engine.sift_nodes_before stats.Engine.sift_nodes_after;
     let results = Engine.exact_results outcomes in
     (match Engine.degraded outcomes with
     | [] -> ()
@@ -535,7 +617,8 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile" ~doc:"Stuck-at detectability profile of a circuit")
     Term.(
-      const run $ circuit_arg $ bins $ domains
+      const run $ circuit_arg $ bins $ fault_budget $ deadline_ms
+      $ reorder_arg $ reorder_growth_arg $ domains
       $ scheduler_arg ~default:Engine.Snapshot ())
 
 let atpg_cmd =

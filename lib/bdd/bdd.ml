@@ -122,6 +122,27 @@ let ite_cache_size = 1 lsl ite_cache_bits
 
 let scratch_cap = 1024
 
+(* Scratch-tier starting capacity over a frozen snapshot.  Apply
+   scratch scales with the good functions it operates on, so a fixed
+   1024-slot start made every fork replay the same ladder of
+   grow-and-rehash doublings on its first hot fault — a per-domain
+   cold-start cost that surfaced as [apply_steps]/allocation noise in
+   the sweep statistics.  A quarter of the frozen occupancy (floored at
+   [scratch_cap]) absorbs a typical fault's intermediates without a
+   single doubling while keeping per-domain memory a fraction of the
+   shared snapshot's. *)
+let scratch_size_for frozen = max scratch_cap (frozen / 4)
+
+(* Matching unique-table start: the smallest power of two giving the
+   pre-sized scratch tier a load factor under 1/2, never below the
+   4096 a plain manager starts with. *)
+let scratch_table_size cap =
+  let size = ref 4096 in
+  while !size < 2 * cap do
+    size := !size * 2
+  done;
+  !size
+
 let create ?order n_vars =
   if n_vars < 0 then invalid_arg "Bdd.create: negative variable count";
   let level_var =
@@ -384,8 +405,9 @@ let mk m lvl lo hi =
    reclaims it without invalidating the client's world: every handle
    stored in a registered array (plus any [roots] arrays passed to the
    call) is treated as live, the scratch survivors are compacted to a
-   dense prefix (children keep smaller indices than parents, so one
-   ascending pass suffices), and the registered arrays are rewritten in
+   dense prefix (index order is preserved; remapping is two-phase so it
+   holds even when reordering has appended children after their
+   parents), and the registered arrays are rewritten in
    place with the new indices.  Frozen nodes are immortal and never
    move, so only handles >= [frozen] are remapped.  The scratch unique
    table is rebuilt over the survivors and the lossy op/ite caches are
@@ -439,8 +461,10 @@ let collect ?(roots = []) m =
   in
   drain ();
   (* Compact: survivors slide down to a dense prefix in ascending index
-     order.  A node's children were hash-consed before it, so their
-     (smaller) indices are already remapped when the parent moves. *)
+     order.  Index assignment runs first so that children appended after
+     their parents (as variable reordering does) are remapped correctly
+     too; the in-place move is then safe because a survivor only ever
+     moves downwards onto a slot that has already been copied out. *)
   let remap = Array.make (max scratch_n 1) (-1) in
   let start = if base = 0 then 2 else 0 in
   if base = 0 then begin
@@ -450,9 +474,13 @@ let collect ?(roots = []) m =
   let count = ref start in
   for s = start to scratch_n - 1 do
     if live.(s) then begin
-      let fresh = !count in
-      count := fresh + 1;
-      remap.(s) <- fresh;
+      remap.(s) <- !count;
+      incr count
+    end
+  done;
+  for s = start to scratch_n - 1 do
+    if live.(s) then begin
+      let fresh = remap.(s) in
       let child c = if c < base then c else base + remap.(c - base) in
       m.level.(fresh) <- m.level.(s);
       m.low.(fresh) <- child m.low.(s);
@@ -502,7 +530,7 @@ let seal m =
     let fz_level = Array.make nf 0 in
     let fz_low = Array.make nf 0 in
     let fz_high = Array.make nf 0 in
-    let fz_sat = Array.make nf 0.0 in
+    let fz_sat = Array.make nf Float.nan in
     Array.blit m.fz_level 0 fz_level 0 base;
     Array.blit m.fz_low 0 fz_low 0 base;
     Array.blit m.fz_high 0 fz_high 0 base;
@@ -515,12 +543,27 @@ let seal m =
     done;
     fz_sat.(0) <- 0.0;
     if nf > 1 then fz_sat.(1) <- 1.0;
-    (* One ascending pass computes every frozen SAT fraction: children
-       have smaller handles, and the arithmetic is [sat_fraction]'s own,
-       so the precomputed values are bit-identical to what the lazy memo
-       would have produced. *)
+    (* Precompute every frozen SAT fraction.  An explicit stack stands
+       in for the recursion of [sat_fraction] (index order is not
+       topological once reordering has run), and the per-node
+       arithmetic is [sat_fraction]'s own, so the precomputed values
+       are bit-identical to what the lazy memo would have produced. *)
     for n = max base 2 to nf - 1 do
-      fz_sat.(n) <- 0.5 *. (fz_sat.(fz_low.(n)) +. fz_sat.(fz_high.(n)))
+      if Float.is_nan fz_sat.(n) then begin
+        let stack = ref [ n ] in
+        while !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | t :: rest ->
+            let sl = fz_sat.(fz_low.(t)) and sh = fz_sat.(fz_high.(t)) in
+            if Float.is_nan sl then stack := fz_low.(t) :: !stack
+            else if Float.is_nan sh then stack := fz_high.(t) :: !stack
+            else begin
+              fz_sat.(t) <- 0.5 *. (sl +. sh);
+              stack := rest
+            end
+        done
+      end
     done;
     let size = ref 16 in
     while !size < 3 * nf do
@@ -542,15 +585,16 @@ let seal m =
     m.fz_table <- fz_table;
     m.fz_mask <- fz_mask;
     m.frozen <- nf;
-    let cap = scratch_cap in
+    let cap = scratch_size_for nf in
     m.level <- Array.make cap 0;
     m.low <- Array.make cap 0;
     m.high <- Array.make cap 0;
     m.sat_memo <- Array.make cap Float.nan;
     m.visit_stamp <- Array.make (nf + cap) 0;
     m.next <- nf;
-    m.table <- Array.make 4096 (-1);
-    m.table_mask <- 4095;
+    let tsize = scratch_table_size cap in
+    m.table <- Array.make tsize (-1);
+    m.table_mask <- tsize - 1;
     m.table_count <- 0;
     clear_caches m
   end;
@@ -560,7 +604,10 @@ let unseal m = m.sealed <- false
 
 let fork m =
   if not m.sealed then invalid_arg "Bdd.fork: manager is not sealed";
-  let cap = scratch_cap in
+  (* Pre-sized from the snapshot it forks over, like [seal]'s own
+     scratch tier — see [scratch_size_for]. *)
+  let cap = scratch_size_for m.frozen in
+  let tsize = scratch_table_size cap in
   {
     m with
     sealed = false;
@@ -568,8 +615,8 @@ let fork m =
     low = Array.make cap 0;
     high = Array.make cap 0;
     next = m.frozen;
-    table = Array.make 4096 (-1);
-    table_mask = 4095;
+    table = Array.make tsize (-1);
+    table_mask = tsize - 1;
     table_count = 0;
     op_key1 = Array.make op_cache_size (-1);
     op_key2 = Array.make op_cache_size (-1);
@@ -894,6 +941,250 @@ let rebuild ~src ~dst f =
         r
   in
   go f
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic variable reordering: Rudell-style sifting.
+
+   Reordering only runs on a plain single-tier arena ([frozen = 0], not
+   sealed): the frozen tier is shared read-only across domains, so it
+   can never be restructured in place.  The engine therefore computes a
+   rescue order on a private side manager and rebuilds under it, rather
+   than sifting a snapshot.
+
+   The primitive is an adjacent-level swap.  Writing f = x?h:l for a
+   node at level i (x) with cofactors split against the variable y at
+   level i+1, the swap rewrites f = y?(x?h1:l1):(x?h0:l0) *in place*:
+   the handle keeps denoting the same function, so client handles (and
+   memoised SAT fractions, which depend only on the function) stay
+   valid across a swap.  Level-i nodes with no level-i+1 child are
+   merely relabelled to level i+1; old level-i+1 nodes move to level i.
+   Fresh x-nodes are deduplicated through a local table seeded with the
+   relabelled ones — no two distinct handles can come to share a
+   (level, low, high) triple, because every handle keeps its function
+   and distinct handles denote distinct functions.  The global unique
+   table is left stale during a sift and rebuilt before returning (on
+   every exit path, including a deadline raise), so the apply layer
+   must be quiescent while sifting.
+
+   Budget windows are deliberately not charged: sifting is maintenance
+   that shrinks the arena, not apply work, and raising [Budget_exceeded]
+   mid-swap could strand half-relabelled levels.  Deadlines are honoured
+   at swap boundaries, where the arena is structurally consistent. *)
+
+let build_buckets m buckets =
+  Array.fill buckets 0 (Array.length buckets) [];
+  for n = m.next - 1 downto 2 do
+    let lvl = m.level.(n) in
+    if lvl < m.n_vars then buckets.(lvl) <- n :: buckets.(lvl)
+  done
+
+let rebuild_unique_table m =
+  Array.fill m.table 0 (Array.length m.table) (-1);
+  m.table_count <- 0;
+  for n = 2 to m.next - 1 do
+    insert_node m n
+  done
+
+(* Exact live-node count under the given roots plus every registered
+   array — garbage from earlier swaps does not distort the walk, which
+   is what makes the per-position size signal trustworthy without a
+   full collection per swap. *)
+let live_count m root_arrays =
+  let gen = fresh_stat_gen m in
+  let count = ref 0 in
+  let rec go f =
+    if f >= 2 && m.visit_stamp.(f) <> gen then begin
+      m.visit_stamp.(f) <- gen;
+      incr count;
+      go m.low.(f);
+      go m.high.(f)
+    end
+  in
+  List.iter (Array.iter go) root_arrays;
+  !count
+
+let reorder_deadline_check m =
+  if m.deadline_at < infinity then begin
+    let now = Unix.gettimeofday () in
+    if now >= m.deadline_at then
+      raise
+        (Deadline_exceeded
+           {
+             elapsed_ms = (now -. m.deadline_started) *. 1000.0;
+             deadline_ms = m.deadline_window_ms;
+           })
+  end
+
+(* Swap levels i and i+1.  Phase 1 only reads existing nodes and
+   appends fresh ones (orphans on an abort are plain garbage); phase 2
+   performs the in-place rewrites, so the swap is atomic with respect
+   to node semantics. *)
+let swap_core m buckets i =
+  let xs = buckets.(i) and ys = buckets.(i + 1) in
+  let xtab : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let solitary = ref [] and restructured = ref [] in
+  List.iter
+    (fun x ->
+      let lo = m.low.(x) and hi = m.high.(x) in
+      if m.level.(lo) = i + 1 || m.level.(hi) = i + 1 then
+        restructured := x :: !restructured
+      else begin
+        solitary := x :: !solitary;
+        Hashtbl.replace xtab (lo, hi) x
+      end)
+    xs;
+  let solitary = List.rev !solitary
+  and restructured = List.rev !restructured in
+  let fresh_xs = ref [] in
+  let get_x lo hi =
+    if lo = hi then lo
+    else
+      match Hashtbl.find_opt xtab (lo, hi) with
+      | Some n -> n
+      | None ->
+        if m.next >= Array.length m.level then grow_nodes m;
+        let fresh = m.next in
+        m.next <- fresh + 1;
+        m.allocated_total <- m.allocated_total + 1;
+        m.level.(fresh) <- i + 1;
+        m.low.(fresh) <- lo;
+        m.high.(fresh) <- hi;
+        m.sat_memo.(fresh) <- Float.nan;
+        Hashtbl.replace xtab (lo, hi) fresh;
+        fresh_xs := fresh :: !fresh_xs;
+        fresh
+  in
+  let pending =
+    List.map
+      (fun x ->
+        let lo = m.low.(x) and hi = m.high.(x) in
+        let lo0, lo1 =
+          if m.level.(lo) = i + 1 then (m.low.(lo), m.high.(lo)) else (lo, lo)
+        in
+        let hi0, hi1 =
+          if m.level.(hi) = i + 1 then (m.low.(hi), m.high.(hi)) else (hi, hi)
+        in
+        (x, get_x lo0 hi0, get_x lo1 hi1))
+      restructured
+  in
+  List.iter
+    (fun (x, nl, nh) ->
+      m.low.(x) <- nl;
+      m.high.(x) <- nh)
+    pending;
+  List.iter (fun y -> m.level.(y) <- i) ys;
+  List.iter (fun x -> m.level.(x) <- i + 1) solitary;
+  buckets.(i) <- ys @ restructured;
+  buckets.(i + 1) <- solitary @ List.rev !fresh_xs;
+  let a = m.level_var.(i) and b = m.level_var.(i + 1) in
+  m.level_var.(i) <- b;
+  m.level_var.(i + 1) <- a;
+  m.var_level.(a) <- i + 1;
+  m.var_level.(b) <- i
+
+let reorder_guard name m =
+  if m.sealed then invalid_arg (name ^ ": manager is sealed");
+  if m.frozen <> 0 then
+    invalid_arg (name ^ ": manager has a frozen tier (reordering needs a plain arena)")
+
+let swap_levels m i =
+  reorder_guard "Bdd.swap_levels" m;
+  if i < 0 || i + 1 >= m.n_vars then
+    invalid_arg "Bdd.swap_levels: level out of range";
+  let buckets = Array.make m.n_vars [] in
+  build_buckets m buckets;
+  swap_core m buckets i;
+  rebuild_unique_table m;
+  clear_caches m
+
+(* Move variable [v] through every feasible position, keep the best
+   live size seen, and settle there.  Called right after a collection,
+   so [m.next - 2] is the exact starting size. *)
+let sift_var m buckets root_arrays v ~max_growth =
+  let n = m.n_vars in
+  let size0 = m.next - 2 in
+  let start = m.var_level.(v) in
+  let best = ref size0 and best_pos = ref start in
+  let cap =
+    max size0 (int_of_float (max_growth *. float_of_int size0))
+  in
+  let pos = ref start in
+  let step_down () =
+    swap_core m buckets !pos;
+    incr pos
+  and step_up () =
+    swap_core m buckets (!pos - 1);
+    decr pos
+  in
+  let run step in_range =
+    let stop = ref false in
+    while (not !stop) && in_range () do
+      step ();
+      reorder_deadline_check m;
+      let s = live_count m root_arrays in
+      if s < !best then begin
+        best := s;
+        best_pos := !pos
+      end;
+      if s > cap then stop := true
+    done
+  in
+  let down () = run step_down (fun () -> !pos < n - 1)
+  and up () = run step_up (fun () -> !pos > 0) in
+  if n - 1 - start <= start then begin
+    down ();
+    up ()
+  end
+  else begin
+    up ();
+    down ()
+  end;
+  while !pos < !best_pos do
+    step_down ()
+  done;
+  while !pos > !best_pos do
+    step_up ()
+  done
+
+let sift ?(roots = []) ?(max_growth = 1.2) ?(max_vars = max_int) m =
+  reorder_guard "Bdd.sift" m;
+  if not (max_growth >= 1.0) then
+    invalid_arg "Bdd.sift: growth cap below 1.0";
+  collect ~roots m;
+  let size_before = m.next - 2 in
+  if m.n_vars <= 1 then (size_before, size_before)
+  else begin
+    let buckets = Array.make m.n_vars [] in
+    build_buckets m buckets;
+    let root_arrays = roots @ List.map snd m.registered in
+    (* Widest levels first — the classic schedule, and deterministic
+       because the post-collection arena is canonical. *)
+    let vars =
+      List.init m.n_vars (fun lvl -> (List.length buckets.(lvl), m.level_var.(lvl)))
+      |> List.filter (fun (w, _) -> w > 0)
+      |> List.sort (fun (wa, va) (wb, vb) ->
+             if wa <> wb then compare wb wa else compare va vb)
+      |> List.map snd
+    in
+    let vars =
+      if max_vars >= List.length vars then vars
+      else List.filteri (fun i _ -> i < max_vars) vars
+    in
+    Fun.protect ~finally:(fun () ->
+        rebuild_unique_table m;
+        clear_caches m)
+    @@ fun () ->
+    List.iter
+      (fun v ->
+        reorder_deadline_check m;
+        sift_var m buckets root_arrays v ~max_growth;
+        collect ~roots m;
+        build_buckets m buckets)
+      vars;
+    (size_before, m.next - 2)
+  end
+
+let current_order m = Array.copy m.level_var
 
 let check_invariants m f =
   let seen = Hashtbl.create 64 in

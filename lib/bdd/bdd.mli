@@ -283,6 +283,50 @@ val of_fun : manager -> arity:int -> (bool array -> bool) -> t
 val cube : manager -> (int * bool) list -> t
 (** Conjunction of literals. *)
 
+(** {1 Dynamic variable reordering}
+
+    Rudell-style sifting over the arena.  Reordering rewrites nodes in
+    place so that every handle keeps denoting the same function — client
+    handle arrays (registered or passed as [roots]) stay meaningful, and
+    memoised SAT fractions remain valid because they depend only on the
+    function.  Operation caches are flushed and the unique table is
+    rebuilt before returning.  Only a plain single-tier arena can be
+    reordered: both entry points raise [Invalid_argument] on a sealed
+    manager or one holding a frozen snapshot ({!seal}), whose node
+    arrays are shared read-only across forks. *)
+
+val current_order : manager -> int array
+(** The variable order now in effect: element [l] is the variable at
+    level [l] (a fresh copy, suitable for [create ?order]). *)
+
+val swap_levels : manager -> int -> unit
+(** [swap_levels m i] exchanges the variables at levels [i] and [i+1].
+    All handles keep their functions; dead nodes created by the
+    restructuring linger as garbage until the next {!collect}.
+    @raise Invalid_argument if the manager is sealed, has a frozen
+    tier, or [i+1] is not a valid level. *)
+
+val sift :
+  ?roots:t array list -> ?max_growth:float -> ?max_vars:int -> manager ->
+  int * int
+(** [sift m] runs sifting to a local minimum: each variable in turn
+    (widest levels first) is moved through every position and settled
+    where the live node count — measured against the registered arrays
+    plus [?roots] — is smallest.  A walk direction is abandoned once the
+    live size exceeds [max_growth] (default 1.2) times the size at that
+    variable's start; [?max_vars] bounds how many variables are sifted
+    (default: all with at least one node).  Collections run between
+    variables, so handles in registered/[roots] arrays are remapped as
+    in {!collect}; other outstanding handles are invalidated.  Returns
+    [(live nodes before, live nodes after)].  Deterministic for a given
+    arena content.  Fresh nodes are {e not} charged to an enclosing
+    {!with_budget} window (sifting is maintenance, not apply work); an
+    enclosing {!with_deadline} is honoured at swap boundaries, where
+    the arena is consistent — on expiry the partial reorder is kept and
+    the manager remains fully usable.
+    @raise Invalid_argument if sealed, frozen-tiered, or
+    [max_growth < 1.0]. *)
+
 (** {1 Cross-manager transfer} *)
 
 val rebuild : src:manager -> dst:manager -> t -> t

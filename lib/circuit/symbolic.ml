@@ -44,9 +44,13 @@ let rec force t g =
     t.built.(g) <- true
   end
 
-let make ~lazily ?(heuristic = Ordering.Natural) circuit =
+let make ~lazily ?(heuristic = Ordering.Natural) ?order circuit =
   let n_inputs = Circuit.num_inputs circuit in
-  let order = Ordering.order heuristic circuit in
+  let order =
+    match order with
+    | Some o -> Array.copy o
+    | None -> Ordering.order heuristic circuit
+  in
   let manager = Bdd.create ~order n_inputs in
   let n = Circuit.num_gates circuit in
   let node = Array.make n (Bdd.zero manager) in
@@ -59,8 +63,11 @@ let make ~lazily ?(heuristic = Ordering.Natural) circuit =
     done;
   t
 
-let build ?heuristic circuit = make ~lazily:false ?heuristic circuit
-let build_lazy ?heuristic circuit = make ~lazily:true ?heuristic circuit
+let build ?heuristic ?order circuit =
+  make ~lazily:false ?heuristic ?order circuit
+
+let build_lazy ?heuristic ?order circuit =
+  make ~lazily:true ?heuristic ?order circuit
 
 let seal t =
   for g = 0 to Circuit.num_gates t.circuit - 1 do

@@ -17,6 +17,17 @@ type t = {
   (* GC accounting, read by the sweep statistics. *)
   mutable gc_time : float;
   mutable gc_runs : int;
+  (* Reorder-rescue state.  [rescue_order] is the lazily-discovered
+     sifted variable order: [None] = not yet computed, [Some None] =
+     computed but no distinct order exists (sifting kept the build
+     heuristic's order, or the side build failed), [Some (Some o)] =
+     rescue attempts rebuild under [o].  The remaining fields are
+     accounting read by the sweep statistics. *)
+  mutable rescue_order : int array option option;
+  mutable sift_seconds : float;
+  mutable sift_before : int;
+  mutable sift_after : int;
+  mutable rescued : int;
 }
 
 let create ?(heuristic = Ordering.Natural) ?(lazily = false) base =
@@ -41,6 +52,11 @@ let create ?(heuristic = Ordering.Natural) ?(lazily = false) base =
     rebuild_hooks = [];
     gc_time = 0.0;
     gc_runs = 0;
+    rescue_order = None;
+    sift_seconds = 0.0;
+    sift_before = 0;
+    sift_after = 0;
+    rescued = 0;
   }
 
 let circuit t = t.base
@@ -52,10 +68,10 @@ let on_rebuild t hook = t.rebuild_hooks <- hook :: t.rebuild_hooks
 (* Good function of a net; forces it on lazy instances. *)
 let node t g = Symbolic.node_function t.sym g
 
-let rebuild t =
+let rebuild ?order t =
   let sym =
     (if t.lazily then Symbolic.build_lazy else Symbolic.build)
-      ~heuristic:t.heuristic t.base
+      ~heuristic:t.heuristic ?order t.base
   in
   t.sym <- sym;
   (* Old handles are meaningless in the fresh manager. *)
@@ -113,6 +129,14 @@ let fork t =
     rebuild_hooks = [];
     gc_time = 0.0;
     gc_runs = 0;
+    (* The sifted order is a function of the circuit and heuristic
+       alone, so the parent's cache is valid here and saves the fork a
+       side build. *)
+    rescue_order = t.rescue_order;
+    sift_seconds = 0.0;
+    sift_before = 0;
+    sift_after = 0;
+    rescued = 0;
   }
 
 let cone_of_sites t sites =
@@ -245,6 +269,7 @@ type result = {
   adherence : float option;
   wired_support : int option;
   test_set_nodes : int;
+  rescued_by_reorder : bool;
 }
 
 let upper_bound t fault =
@@ -310,6 +335,7 @@ let analyze t fault =
       (if upper_bound > 0.0 then Some (detectability /. upper_bound) else None);
     wired_support = wired_support t fault;
     test_set_nodes = Bdd.size m union;
+    rescued_by_reorder = false;
   }
 
 let default_node_budget = 3_000_000
@@ -520,10 +546,92 @@ type policy = {
   p_fault_budget : int option;
   p_deadline_ms : float option;
   p_max_retries : int;
+  p_reorder : bool;
+  p_reorder_growth : float;
   p_bounds : bool;
   p_bound_samples : int;
   p_deterministic : bool;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Reorder rescue: the rung between the escalated retries and the
+   bounded fallback.  A fault whose difference BDD explodes under the
+   build heuristic's variable order may be perfectly tame under a
+   sifted one, so before giving up on exactness the engine rebuilds its
+   good functions under the order Rudell sifting discovers and attempts
+   the fault once more at the ladder's top budget. *)
+
+let default_reorder_growth = 1.2
+
+(* The rescue order is discovered once per engine, on a *side* manager,
+   so the engine's own arena is never sifted in place (its handle
+   numbering feeds the canonical-collect determinism argument, and a
+   forked worker's frozen tier is shared read-only).  The side build and
+   sift are deterministic — same circuit, same heuristic, same growth
+   cap — so every worker of a sweep lands on the same order and rescued
+   outcomes stay bit-identical across schedulers, domain counts and
+   resume points. *)
+let rescue_order t ~growth =
+  match t.rescue_order with
+  | Some cached -> cached
+  | None ->
+    let t0 = Unix.gettimeofday () in
+    let cached =
+      match
+        let side = Symbolic.build ~heuristic:t.heuristic t.base in
+        let m = Symbolic.manager side in
+        let base_order = Bdd.current_order m in
+        let before, after = Bdd.sift ~max_growth:growth m in
+        (base_order, Bdd.current_order m, before, after)
+      with
+      | exception _ -> None (* even the side build blew up: no rescue *)
+      | base_order, sifted, before, after ->
+        t.sift_before <- before;
+        t.sift_after <- after;
+        if sifted = base_order then None else Some sifted
+    in
+    t.sift_seconds <- t.sift_seconds +. (Unix.gettimeofday () -. t0);
+    t.rescue_order <- Some cached;
+    cached
+
+(* One rescue attempt: rebuild under the sifted order, analyse at the
+   same top-of-ladder budget scale the final retry used, and — success
+   or failure — rebuild back under the base order, so the faults that
+   follow see an arena independent of whether this rescue ran (the
+   bit-identity and kill-and-resume guarantees survive the new rung).
+   A rescued result is plain scalars, so it survives both rebuilds. *)
+let rescue_outcome ~policy t fault outcome =
+  match outcome with
+  | Exact _ | Bounded _ -> outcome
+  | Budget_exceeded _ | Deadline_exceeded _ | Crashed _ -> (
+    match rescue_order t ~growth:policy.p_reorder_growth with
+    | None -> outcome
+    | Some order ->
+      let attempt =
+        match (try Ok (rebuild ~order t) with exn -> Error exn) with
+        | Error _ -> outcome
+        | Ok () -> (
+          prepare t fault;
+          let scale = 1 lsl policy.p_max_retries in
+          let budget = Option.map (fun b -> b * scale) policy.p_fault_budget in
+          let deadline =
+            Option.map (fun d -> d *. float_of_int scale) policy.p_deadline_ms
+          in
+          match
+            analyze_protected ?fault_budget:budget ?deadline_ms:deadline t
+              fault
+          with
+          | Exact r ->
+            t.rescued <- t.rescued + 1;
+            Exact { r with rescued_by_reorder = true }
+          | Bounded _ | Budget_exceeded _ | Deadline_exceeded _ | Crashed _ ->
+            (* Keep the original failure: its payload names the budget
+               of the heuristic-order ladder, which is what reports and
+               journals describe. *)
+            outcome)
+      in
+      (try rebuild t with _ -> ());
+      attempt)
 
 type journal = {
   skip : int -> outcome option;
@@ -567,6 +675,10 @@ let analyze_one ~policy t fault =
          ~deadline_ms:policy.p_deadline_ms ~attempt:0
          ~max_retries:policy.p_max_retries
   in
+  let outcome =
+    if policy.p_reorder then rescue_outcome ~policy t fault outcome
+    else outcome
+  in
   if policy.p_bounds then
     bounded_fallback ~samples:policy.p_bound_samples t outcome
   else outcome
@@ -607,6 +719,10 @@ type sweep_stats = {
   scratch_peak_nodes : int;
   apply_steps : int;
   nodes_allocated : int;
+  rescued_faults : int;
+  sift_seconds : float;
+  sift_nodes_before : int;
+  sift_nodes_after : int;
 }
 
 (* Cross-domain accumulator for the per-stage timings; workers report
@@ -624,6 +740,12 @@ type stats_acc = {
   mutable acc_scratch_peak : int;
   mutable acc_steps : int;
   mutable acc_allocs : int;
+  mutable acc_rescued : int;
+  mutable acc_sift : float;
+  (* The sifted arena sizes are per-manager facts, identical across
+     workers of one sweep, so max (not sum) keeps them interpretable. *)
+  mutable acc_sift_before : int;
+  mutable acc_sift_after : int;
 }
 
 let fresh_acc () =
@@ -640,6 +762,10 @@ let fresh_acc () =
     acc_scratch_peak = 0;
     acc_steps = 0;
     acc_allocs = 0;
+    acc_rescued = 0;
+    acc_sift = 0.0;
+    acc_sift_before = 0;
+    acc_sift_after = 0;
   }
 
 let with_acc acc f =
@@ -794,6 +920,7 @@ let analyze_stealing ?acc ~policy ~record ~domains t indexed =
   let process worker batch =
     let t0 = now () in
     let gc0 = worker.gc_time and n0 = worker.gc_runs in
+    let r0 = worker.rescued and s0 = worker.sift_seconds in
     let out =
       Array.map
         (fun (i, fault) ->
@@ -806,7 +933,11 @@ let analyze_stealing ?acc ~policy ~record ~domains t indexed =
     with_acc acc (fun a ->
         a.acc_analysis <- a.acc_analysis +. (now () -. t0) -. gc;
         a.acc_gc <- a.acc_gc +. gc;
-        a.acc_collections <- a.acc_collections + (worker.gc_runs - n0));
+        a.acc_collections <- a.acc_collections + (worker.gc_runs - n0);
+        a.acc_rescued <- a.acc_rescued + (worker.rescued - r0);
+        a.acc_sift <- a.acc_sift +. (worker.sift_seconds -. s0);
+        a.acc_sift_before <- max a.acc_sift_before worker.sift_before;
+        a.acc_sift_after <- max a.acc_sift_after worker.sift_after);
     out
   in
   (* Per-batch watchdog, derived from the per-fault deadline: room for
@@ -908,6 +1039,7 @@ let analyze_snapshot ?acc ~policy ~record ~domains t indexed =
       let process worker batch =
         let t2 = now () in
         let gc0 = worker.gc_time and n0 = worker.gc_runs in
+        let r0 = worker.rescued and s0 = worker.sift_seconds in
         let out =
           Array.map
             (fun (i, fault) ->
@@ -920,7 +1052,11 @@ let analyze_snapshot ?acc ~policy ~record ~domains t indexed =
         with_acc acc (fun a ->
             a.acc_analysis <- a.acc_analysis +. (now () -. t2) -. gc;
             a.acc_gc <- a.acc_gc +. gc;
-            a.acc_collections <- a.acc_collections + (worker.gc_runs - n0));
+            a.acc_collections <- a.acc_collections + (worker.gc_runs - n0);
+            a.acc_rescued <- a.acc_rescued + (worker.rescued - r0);
+            a.acc_sift <- a.acc_sift +. (worker.sift_seconds -. s0);
+            a.acc_sift_before <- max a.acc_sift_before worker.sift_before;
+            a.acc_sift_after <- max a.acc_sift_after worker.sift_after);
         out
       in
       let batch_deadline =
@@ -989,6 +1125,7 @@ let analyze_static ?acc ~policy ~record ~domains t indexed =
     let m = Symbolic.manager t.sym in
     let t0 = now () in
     let gc0 = t.gc_time and n0 = t.gc_runs in
+    let r0 = t.rescued and s0 = t.sift_seconds in
     let steps0 = Bdd.apply_steps m and allocs0 = Bdd.nodes_allocated m in
     let outcomes = analyze_indexed_seq ~policy ~record t indexed in
     let gc = t.gc_time -. gc0 in
@@ -1001,7 +1138,11 @@ let analyze_static ?acc ~policy ~record ~domains t indexed =
         a.acc_batches <- a.acc_batches + 1;
         a.acc_scratch_peak <- max a.acc_scratch_peak (Bdd.scratch_peak m);
         a.acc_steps <- a.acc_steps + (Bdd.apply_steps m - steps0);
-        a.acc_allocs <- a.acc_allocs + (Bdd.nodes_allocated m - allocs0));
+        a.acc_allocs <- a.acc_allocs + (Bdd.nodes_allocated m - allocs0);
+        a.acc_rescued <- a.acc_rescued + (t.rescued - r0);
+        a.acc_sift <- a.acc_sift +. (t.sift_seconds -. s0);
+        a.acc_sift_before <- max a.acc_sift_before t.sift_before;
+        a.acc_sift_after <- max a.acc_sift_after t.sift_after);
     outcomes
   end
   else
@@ -1035,7 +1176,11 @@ let analyze_static ?acc ~policy ~record ~domains t indexed =
                  shard's work — that re-elaboration is exactly what the
                  metric should expose. *)
               a.acc_steps <- a.acc_steps + Bdd.apply_steps m;
-              a.acc_allocs <- a.acc_allocs + Bdd.nodes_allocated m);
+              a.acc_allocs <- a.acc_allocs + Bdd.nodes_allocated m;
+              a.acc_rescued <- a.acc_rescued + worker.rescued;
+              a.acc_sift <- a.acc_sift +. worker.sift_seconds;
+              a.acc_sift_before <- max a.acc_sift_before worker.sift_before;
+              a.acc_sift_after <- max a.acc_sift_after worker.sift_after);
           outcomes)
         indexed
     in
@@ -1059,9 +1204,12 @@ let analyze_static ?acc ~policy ~record ~domains t indexed =
                  shard))
 
 let analyze_all_impl ?acc ?(node_budget = default_node_budget) ?fault_budget
-    ?deadline_ms ?(max_retries = default_max_retries) ?(bounds = true)
+    ?deadline_ms ?(max_retries = default_max_retries) ?(reorder = true)
+    ?(reorder_growth = default_reorder_growth) ?(bounds = true)
     ?(bound_samples = default_bound_samples) ?(deterministic = false) ?journal
     ?(domains = 1) ?(scheduler = Static) t faults =
+  if reorder_growth < 1.0 then
+    invalid_arg "Engine.analyze_all: reorder_growth must be >= 1.0";
   let domains = max 1 domains in
   let policy =
     {
@@ -1069,6 +1217,11 @@ let analyze_all_impl ?acc ?(node_budget = default_node_budget) ?fault_budget
       p_fault_budget = fault_budget;
       p_deadline_ms = deadline_ms;
       p_max_retries = max_retries;
+      (* The rescue rung only matters when exactness can fail: with no
+         per-fault budget or deadline nothing ever degrades, and the
+         rung must not cost the common sweep a side build. *)
+      p_reorder = reorder && (fault_budget <> None || deadline_ms <> None);
+      p_reorder_growth = reorder_growth;
       p_bounds = bounds;
       p_bound_samples = bound_samples;
       p_deterministic = deterministic;
@@ -1111,20 +1264,21 @@ let analyze_all_impl ?acc ?(node_budget = default_node_budget) ?fault_budget
          | None -> invalid_arg "Engine.analyze_all: lost outcome")
   end
 
-let analyze_all ?node_budget ?fault_budget ?deadline_ms ?max_retries ?bounds
-    ?bound_samples ?deterministic ?journal ?domains ?scheduler t faults =
+let analyze_all ?node_budget ?fault_budget ?deadline_ms ?max_retries ?reorder
+    ?reorder_growth ?bounds ?bound_samples ?deterministic ?journal ?domains
+    ?scheduler t faults =
   analyze_all_impl ?node_budget ?fault_budget ?deadline_ms ?max_retries
-    ?bounds ?bound_samples ?deterministic ?journal ?domains ?scheduler t
-    faults
+    ?reorder ?reorder_growth ?bounds ?bound_samples ?deterministic ?journal
+    ?domains ?scheduler t faults
 
 let analyze_all_stats ?node_budget ?fault_budget ?deadline_ms ?max_retries
-    ?bounds ?bound_samples ?deterministic ?journal ?(domains = 1)
-    ?(scheduler = Static) t faults =
+    ?reorder ?reorder_growth ?bounds ?bound_samples ?deterministic ?journal
+    ?(domains = 1) ?(scheduler = Static) t faults =
   let acc = fresh_acc () in
   let outcomes =
     analyze_all_impl ~acc ?node_budget ?fault_budget ?deadline_ms ?max_retries
-      ?bounds ?bound_samples ?deterministic ?journal ~domains ~scheduler t
-      faults
+      ?reorder ?reorder_growth ?bounds ?bound_samples ?deterministic ?journal
+      ~domains ~scheduler t faults
   in
   ( outcomes,
     {
@@ -1142,6 +1296,10 @@ let analyze_all_stats ?node_budget ?fault_budget ?deadline_ms ?max_retries
       scratch_peak_nodes = acc.acc_scratch_peak;
       apply_steps = acc.acc_steps;
       nodes_allocated = acc.acc_allocs;
+      rescued_faults = acc.acc_rescued;
+      sift_seconds = acc.acc_sift;
+      sift_nodes_before = acc.acc_sift_before;
+      sift_nodes_after = acc.acc_sift_after;
     } )
 
 let analyze_exact ?node_budget ?domains ?scheduler t faults =

@@ -111,6 +111,13 @@ type result = {
       (** bridges: support size of the wired function at the site — zero
           means the bridge degenerates to (double) stuck-at behaviour *)
   test_set_nodes : int;  (** BDD size of the test set *)
+  rescued_by_reorder : bool;
+      (** the analysis only completed on the reorder-rescue rung of the
+          degradation ladder: the heuristic-order attempts (including
+          every escalated retry) failed, and the fault was re-analysed
+          exactly under a sifted variable order.  The statistics are as
+          exact as any other [Exact] outcome — ROBDD statistics are
+          order-independent. *)
 }
 
 val analyze : t -> Fault.t -> result
@@ -123,10 +130,12 @@ val analyze : t -> Fault.t -> result
     difference BDD explodes (or whose description is malformed): one bad
     fault may not abort the run and discard every finished result.
     Every fault therefore comes back as a structured {!outcome}, and the
-    degradation ladder is {e exact -> retry -> bounded}: a fault that
-    exhausts its budget/deadline and its escalated retries still gets a
-    numeric answer — sound detectability bounds — instead of a bare
-    failure marker. *)
+    degradation ladder is {e exact -> retry -> reorder -> bounded}: a
+    fault that exhausts its budget/deadline and its escalated retries is
+    attempted once more under a sifted variable order (the explosion is
+    often an artefact of the build heuristic's order, not of the fault),
+    and only when that rescue also fails does it degrade to sound
+    detectability bounds instead of a bare failure marker. *)
 
 type degrade_reason =
   | Over_budget of { nodes : int; budget : int }
@@ -199,6 +208,11 @@ val wilson_interval : z:float -> int -> int -> float * float
 val default_bound_samples : int
 (** Random vectors drawn per bounded-degradation estimate (4096) when
     [?bound_samples] is left to default. *)
+
+val default_reorder_growth : float
+(** Growth cap handed to {!Bdd.sift} when discovering a rescue order
+    (1.2: a variable's sift may not grow the live arena past 120% of its
+    starting size) when [?reorder_growth] is left to default. *)
 
 val analyze_protected :
   ?fault_budget:int -> ?deadline_ms:float -> t -> Fault.t -> outcome
@@ -293,6 +307,21 @@ type sweep_stats = {
   nodes_allocated : int;
       (** fresh BDD nodes hash-consed across all managers involved
           ({!Bdd.nodes_allocated}) *)
+  rescued_faults : int;
+      (** faults answered exactly on the reorder-rescue rung — every
+          one of these would have degraded to {!Bounded} (or worse)
+          without dynamic reordering *)
+  sift_seconds : float;
+      (** wall clock spent discovering rescue orders (side build plus
+          sifting, summed over workers) — the price of the rescue rung,
+          kept out of [analysis_cpu_seconds] *)
+  sift_nodes_before : int;
+      (** live BDD nodes of the good-function arena before sifting (0
+          when no rescue order was ever needed); per-manager fact, so
+          the maximum across workers, not a sum *)
+  sift_nodes_after : int;
+      (** live BDD nodes after sifting — compare against
+          [sift_nodes_before] for the order improvement *)
 }
 
 val analyze_all :
@@ -300,6 +329,8 @@ val analyze_all :
   ?fault_budget:int ->
   ?deadline_ms:float ->
   ?max_retries:int ->
+  ?reorder:bool ->
+  ?reorder_growth:float ->
   ?bounds:bool ->
   ?bound_samples:int ->
   ?deterministic:bool ->
@@ -325,8 +356,27 @@ val analyze_all :
     [max_retries] (default 2) re-runs, each on a freshly rebuilt
     manager, with the per-fault budget and deadline doubled every round
     (2x, 4x, ...) — a fault that only blew a tight cap recovers to
-    [Exact]; a deterministic crash stays [Crashed].  When the ladder is
-    exhausted and [bounds] is true (the default), the fault degrades to
+    [Exact]; a deterministic crash stays [Crashed].
+
+    When the retries are also exhausted and [reorder] is true (the
+    default), the fault gets one {e reorder rescue}: the engine's good
+    functions are rebuilt under the variable order Rudell sifting
+    discovers (computed once per engine on a side manager, under the
+    {!Bdd.sift} growth cap [reorder_growth], default
+    {!default_reorder_growth}; @raise Invalid_argument when below 1.0)
+    and the fault is attempted once more at the ladder's top escalated
+    budget.  Success comes back [Exact] with [rescued_by_reorder] set —
+    order-independent ROBDD statistics, so exactly as trustworthy as a
+    first-attempt result.  Either way the engine is rebuilt back under
+    its base order before the next fault, so sweep results stay
+    independent of which faults needed rescuing, and the sift order
+    itself is deterministic — rescue preserves the bit-identity and
+    kill-and-resume guarantees below.  The rung is skipped entirely
+    (costing nothing) when neither [fault_budget] nor [deadline_ms] is
+    set, since nothing can degrade then.
+
+    When the whole ladder is exhausted and [bounds] is true (the
+    default), the fault degrades to
     {!Bounded} instead: the paper's syndrome upper bound is computed on
     the cached good functions (under a probe budget — 1.0 if even that
     blows) and a Wilson interval is estimated from [bound_samples]
@@ -381,6 +431,8 @@ val analyze_all_stats :
   ?fault_budget:int ->
   ?deadline_ms:float ->
   ?max_retries:int ->
+  ?reorder:bool ->
+  ?reorder_growth:float ->
   ?bounds:bool ->
   ?bound_samples:int ->
   ?deterministic:bool ->

@@ -13,7 +13,12 @@
    report is byte-identical to an uninterrupted one. *)
 
 let magic = "dpa-sweep"
-let version = 1
+
+(* v2 added the reorder-rescue stage: exact records carry "resc".  Old
+   journals are rejected up front (see [load]) — silently resuming one
+   would merge outcomes whose ladder never had the rescue rung and break
+   the resumed-equals-uninterrupted guarantee. *)
+let version = 2
 
 (* ------------------------------------------------------------------ *)
 (* Digest                                                              *)
@@ -111,7 +116,8 @@ let outcome_line i outcome =
           (match r.Engine.wired_support with
           | None -> "null"
           | Some n -> string_of_int n);
-        field "tsn" (string_of_int r.Engine.test_set_nodes)
+        field "tsn" (string_of_int r.Engine.test_set_nodes);
+        field "resc" (string_of_bool r.Engine.rescued_by_reorder)
       | Engine.Bounded { lower; upper; syndrome_bound; samples; reason; _ } -> (
         field "o" "\"bounded\"";
         field "lo" (float_field lower);
@@ -289,10 +295,12 @@ let get_float fields name =
   | Some (I i) -> float_of_int i
   | _ -> raise Bad
 
-let outcome_of_line ~faults line =
-  match parse_object line with
-  | None -> None
-  | Some fields -> (
+(* Field extraction over an already-parsed object: [None] means the
+   object is structurally valid JSON but does not match the v2 outcome
+   schema — a different failure from a torn line, and [load] reports it
+   as corruption instead of silently stopping. *)
+let outcome_of_fields ~faults fields =
+  (
     try
       let i = get_int fields "i" in
       if i < 0 || i >= Array.length faults then raise Bad;
@@ -318,6 +326,7 @@ let outcome_of_line ~faults line =
                 | Some Null -> None
                 | _ -> Some (get_int fields "ws"));
               test_set_nodes = get_int fields "tsn";
+              rescued_by_reorder = get_bool fields "resc";
             }
         | "bounded" ->
           let reason =
@@ -361,6 +370,11 @@ let outcome_of_line ~faults line =
       in
       Some (i, outcome)
     with Bad -> None)
+
+let outcome_of_line ~faults line =
+  match parse_object line with
+  | None -> None
+  | Some fields -> outcome_of_fields ~faults fields
 
 (* ------------------------------------------------------------------ *)
 (* Sinks                                                               *)
@@ -439,8 +453,10 @@ let load ~path ~digest ~faults =
         if get_string fields "journal" <> magic then raise Bad;
         if get_int fields "version" <> version then
           Error
-            (Printf.sprintf "journal version %d is not %d"
-               (get_int fields "version") version)
+            (Printf.sprintf
+               "line 1: journal version %d is not %d (written by an \
+                incompatible dpa; re-run the sweep to write a v%d journal)"
+               (get_int fields "version") version version)
         else if get_string fields "digest" <> digest then
           Error
             "stale journal: circuit or fault list changed since it was \
@@ -450,22 +466,35 @@ let load ~path ~digest ~faults =
         else begin
           let table = Hashtbl.create 1024 in
           (* Entries accumulate in file order; a later duplicate (a
-             watchdog re-execution) overrides.  The first unparseable
-             line is the torn tail of a kill — everything after it is
-             unreliable, so loading stops there. *)
-          let rec absorb = function
-            | [] -> ()
+             watchdog re-execution) overrides.  The first line that is
+             not even JSON is the torn tail of a kill — everything after
+             it is unreliable, so loading stops there and keeps what
+             came before.  A line that parses as JSON but does not match
+             the outcome schema is a different animal: the file is not
+             torn but *wrong* (hand-edited, foreign, or written by a dpa
+             whose schema lied about its version), and resuming from it
+             would corrupt the sweep — reject with the line number. *)
+          let rec absorb lineno = function
+            | [] -> Ok table
             | line :: rest -> (
-              if String.trim line = "" then absorb rest
+              if String.trim line = "" then absorb (lineno + 1) rest
               else
-                match outcome_of_line ~faults line with
-                | None -> ()
-                | Some (i, outcome) ->
-                  Hashtbl.replace table i outcome;
-                  absorb rest)
+                match parse_object line with
+                | None -> Ok table (* torn tail *)
+                | Some entry_fields -> (
+                  match outcome_of_fields ~faults entry_fields with
+                  | Some (i, outcome) ->
+                    Hashtbl.replace table i outcome;
+                    absorb (lineno + 1) rest
+                  | None ->
+                    Error
+                      (Printf.sprintf
+                         "line %d: entry does not match the v%d outcome \
+                          schema"
+                         lineno version)))
           in
-          absorb entries;
-          Ok table
+          (* The header is line 1; entries start on line 2. *)
+          absorb 2 entries
         end
       with Bad -> Error "corrupt journal header"))
 

@@ -3,7 +3,7 @@
 
     A journal file is one header line
 
-    {v {"journal":"dpa-sweep","version":1,"digest":"<md5hex>","faults":N} v}
+    {v {"journal":"dpa-sweep","version":2,"digest":"<md5hex>","faults":N} v}
 
     followed by one flat JSON object per completed fault, appended in
     completion order and fsync'd in batches.  Files are append-only, so
@@ -58,12 +58,16 @@ val load :
   ((int, Engine.outcome) Hashtbl.t, string) result
 (** Parse a journal back into an index → outcome table.
     [Error reason] when the file is unreadable, its header is corrupt,
-    its version is unsupported, or its digest / fault count disagree
-    with [digest] / [faults] — a stale journal is never silently
-    reused.  Entry lines after the header are absorbed in order with
-    last-entry-wins; the first unparseable entry line is treated as the
-    torn tail of a kill and loading stops there, keeping every line
-    before it. *)
+    its version is unsupported (old-schema journals are rejected, with
+    the offending line number, rather than resumed into wrong results),
+    or its digest / fault count disagree with [digest] / [faults] — a
+    stale journal is never silently reused.  Entry lines after the
+    header are absorbed in order with last-entry-wins.  Two corruption
+    modes are told apart: a line that is not even JSON is the torn tail
+    of a kill — loading stops there and keeps every line before it —
+    while a line that parses but does not match the outcome schema
+    means the file is wrong rather than torn, and loading fails with a
+    [line N:] diagnostic. *)
 
 val engine_journal :
   ?sink:sink -> (int, Engine.outcome) Hashtbl.t -> Engine.journal

@@ -109,6 +109,23 @@ let steal_batches ?domains ~init ~process batches =
       results
   end
 
+(* Patrol backoff schedule.  An idle patroller that finds nothing to
+   rescue must not burn a core re-scanning the claim table (the old
+   fixed 2 ms sleep was ~500 wakeups/s/domain on a wedged tail): the
+   first rounds are bare [Domain.cpu_relax] spins — a near-finished
+   sweep ends within microseconds and a sleeping patroller would only
+   add latency — after which sleeps double from 0.5 ms up to a 50 ms
+   cap, still far below any per-batch deadline (>= 1 s), so rescue
+   latency stays negligible while a long wedge costs ~20 wakeups/s.
+   Pure function of the idle-round count, exposed for the unit tests. *)
+let patrol_spin_rounds = 3
+
+let patrol_backoff_delay round =
+  if round < patrol_spin_rounds then None
+  else
+    let exp = min 16 (round - patrol_spin_rounds) in
+    Some (Float.min 0.05 (0.0005 *. float_of_int (1 lsl exp)))
+
 (* Work stealing with a watchdog.  OCaml domains cannot be killed, so
    supervision is by *duplication*, not preemption: every batch records
    the wall-clock instant it was claimed, and a worker that finds the
@@ -150,8 +167,8 @@ let steal_batches_supervised ?domains ?batch_deadline ~init ~process batches =
             attempt state i;
             drain ()
           end
-          else patrol ()
-        and patrol () =
+          else patrol 0
+        and patrol idle =
           if Atomic.get completed < n then begin
             let now = Unix.gettimeofday () in
             let rescued = ref false in
@@ -171,8 +188,15 @@ let steal_batches_supervised ?domains ?batch_deadline ~init ~process batches =
                 end
               end
             done;
-            if not !rescued then Unix.sleepf 0.002;
-            patrol ()
+            if !rescued then patrol 0
+            else begin
+              (match patrol_backoff_delay idle with
+              | None -> Domain.cpu_relax ()
+              | Some s -> Unix.sleepf s);
+              (* Saturating: the schedule is capped anyway, and the
+                 counter must not wrap on a very long wedge. *)
+              patrol (if idle < max_int - 1 then idle + 1 else idle)
+            end
           end
         in
         drain ()

@@ -37,6 +37,21 @@ val steal_batches :
     [domains] defaults to {!available_domains} and is capped by the
     batch count; [1] steals on the calling domain with no spawn. *)
 
+val patrol_spin_rounds : int
+(** Idle patrol rounds served as bare [Domain.cpu_relax] spins before
+    the watchdog starts sleeping (see {!patrol_backoff_delay}). *)
+
+val patrol_backoff_delay : int -> float option
+(** The watchdog's idle backoff schedule: what a patroller that found
+    nothing to rescue on idle round [n] (counted from 0, reset whenever
+    a rescue happens) does next — [None] = spin ([Domain.cpu_relax]),
+    [Some s] = sleep [s] seconds.  The first {!patrol_spin_rounds}
+    rounds spin; after that sleeps double from 0.5 ms to a 50 ms cap,
+    so an idle patroller's wakeup rate decays exponentially instead of
+    busy-polling at a fixed 2 ms as it once did.  Total time to reach
+    the cap is ~100 ms, far below any per-batch deadline, so rescue
+    latency is unaffected. *)
+
 val steal_batches_supervised :
   ?domains:int ->
   ?batch_deadline:('a -> float) ->

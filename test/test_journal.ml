@@ -29,6 +29,7 @@ let sample_result fault =
     adherence = Some (awkward /. 7.0);
     wired_support = None;
     test_set_nodes = 41;
+    rescued_by_reorder = false;
   }
 
 let test_roundtrip_all_variants () =
@@ -70,6 +71,8 @@ let test_roundtrip_all_variants () =
         { fault = faults.(5); elapsed_ms = 3.25; deadline_ms = 3.0 };
       Engine.Crashed
         { fault = faults.(6); message = "quotes \" and\nnewlines\tand \\" };
+      Engine.Exact
+        { (sample_result faults.(7)) with Engine.rescued_by_reorder = true };
     ]
   in
   List.iteri
@@ -129,6 +132,54 @@ let test_corrupt_header_rejected () =
       match Journal.load ~path ~digest:"d" ~faults:[||] with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "corrupt header accepted")
+
+(* A v1 journal (no rescue stage) must be rejected up front with a
+   diagnostic naming the header line, not crash the parser or — worse —
+   resume into outcomes whose degradation ladder never had the rescue
+   rung. *)
+let test_old_version_rejected () =
+  let c = Bench_suite.find "c17" in
+  let faults = stuck_faults c in
+  let digest = Journal.digest c faults in
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\"journal\":\"dpa-sweep\",\"version\":1,\"digest\":%S,\"faults\":%d}\n"
+        digest (List.length faults);
+      close_out oc;
+      match Journal.load ~path ~digest ~faults:(Array.of_list faults) with
+      | Error msg ->
+        check bool_t "diagnostic names line 1" true
+          (String.length msg >= 7 && String.sub msg 0 7 = "line 1:");
+        check bool_t "diagnostic mentions the version" true
+          (String.exists (fun ch -> ch = '1') msg)
+      | Ok _ -> Alcotest.fail "v1 journal accepted")
+
+(* An entry that parses as JSON but does not carry the v2 fields (here:
+   an old-schema exact record without "resc") is corruption, not a torn
+   tail: the load must fail with the line number instead of silently
+   dropping the rest of the journal. *)
+let test_schema_mismatch_rejected () =
+  let c = Bench_suite.find "c17" in
+  let faults = stuck_faults c in
+  let arr = Array.of_list faults in
+  let digest = Journal.digest c faults in
+  with_temp_file (fun path ->
+      let sink =
+        Journal.create ~path ~digest ~faults:(List.length faults) ()
+      in
+      Journal.append sink 0 (Engine.Exact (sample_result arr.(0)));
+      Journal.close sink;
+      let oc = open_out_gen [ Open_append; Open_wronly ] 0o644 path in
+      (* Well-formed JSON, wrong shape: a v1-style exact record. *)
+      output_string oc
+        "{\"i\":1,\"o\":\"exact\",\"d\":\"0x1p-1\",\"tc\":\"0x1p4\",\"det\":true,\"pf\":1,\"po\":1,\"ub\":\"0x1p-1\",\"adh\":null,\"ws\":null,\"tsn\":3}\n";
+      close_out oc;
+      match Journal.load ~path ~digest ~faults:arr with
+      | Error msg ->
+        check bool_t "diagnostic names the entry line" true
+          (String.length msg >= 7 && String.sub msg 0 7 = "line 3:")
+      | Ok _ -> Alcotest.fail "schema-mismatched entry accepted")
 
 let test_torn_tail_and_duplicates () =
   let c = Bench_suite.find "c17" in
@@ -203,8 +254,10 @@ let kill_resume_prop seed =
   let digest = Journal.digest c faults in
   let fault_budget = 40 + Prng.int rng 150 in
   let sweep ?journal () =
-    Engine.analyze_all ~fault_budget ~max_retries:1 ~deterministic:true
-      ?journal
+    (* [~reorder:true] spelled out: the rescue rung must preserve the
+       kill-and-resume bit-identity this property is about. *)
+    Engine.analyze_all ~fault_budget ~max_retries:1 ~reorder:true
+      ~deterministic:true ?journal
       ~scheduler:(scheduler_of rng)
       ~domains:(1 + Prng.int rng 3)
       (Engine.create c) faults
@@ -302,6 +355,10 @@ let () =
             test_stale_journal_rejected;
           Alcotest.test_case "corrupt header rejected" `Quick
             test_corrupt_header_rejected;
+          Alcotest.test_case "old-version journal rejected with line number"
+            `Quick test_old_version_rejected;
+          Alcotest.test_case "schema-mismatched entry rejected with line number"
+            `Quick test_schema_mismatch_rejected;
           Alcotest.test_case "torn tail tolerated, duplicates last-wins"
             `Quick test_torn_tail_and_duplicates;
         ] );

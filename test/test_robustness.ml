@@ -344,9 +344,13 @@ let test_hostile_sweep_completes () =
   let budget = max_cost - 1 in
   let pos = List.length faults / 2 in
   let hostile = insert pos (crash_fault c) faults in
+  (* ~reorder:false: this scenario asserts the blown fault *stays*
+     degraded — with the rescue rung on, the sifted-order retry would
+     (correctly) recover it to Exact and there would be nothing left to
+     observe.  The rescue rung has its own suite in test_reorder.ml. *)
   let sweep domains =
-    Engine.analyze_all ~fault_budget:budget ~max_retries:0 ~bounds:false
-      ~domains (Engine.create c) hostile
+    Engine.analyze_all ~fault_budget:budget ~max_retries:0 ~reorder:false
+      ~bounds:false ~domains (Engine.create c) hostile
   in
   let baseline = sweep 1 in
   check int_t "an outcome for every fault" (List.length hostile)
