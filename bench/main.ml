@@ -836,28 +836,36 @@ let trend () =
     Printf.bprintf buf
       "<h1>Fault-sweep throughput over %d recorded runs</h1>\n\
        <p>Source: <code>%s</code>.  Sparklines read left (oldest) to \
-       right (newest).  <code>apply_steps</code> is the deterministic \
-       work metric — machine-independent, the signal the cross-run \
-       regression gate watches; <code>faults/s</code> is wall-clock \
-       throughput on whatever hardware each run happened to use.</p>\n"
+       right (newest).  <code>apply_steps</code> and \
+       <code>scratch_peak_nodes</code> are the deterministic work and \
+       memory metrics — machine-independent, the signals the cross-run \
+       regression gate watches; <code>faults/s</code> and \
+       <code>gc_seconds</code> are wall-clock numbers on whatever \
+       hardware each run happened to use.</p>\n"
       (List.length rows) !perf_history;
     Buffer.add_string buf
       "<table><tr><th class=\"l\">circuit</th>\
        <th class=\"l\">scheduler</th><th>domains</th><th>runs</th>\
        <th>latest faults/s</th><th>faults/s trend</th>\
-       <th>latest apply_steps</th><th>apply_steps trend</th></tr>\n";
+       <th>latest apply_steps</th><th>apply_steps trend</th>\
+       <th>latest peak nodes</th><th>peak nodes trend</th>\
+       <th>latest gc(s)</th><th>gc(s) trend</th></tr>\n";
     List.iter
       (fun ((circuit, sched, domains) as key) ->
         let series = List.rev !(Hashtbl.find tbl key) in
         let fps = List.map (fun c -> float_of_string c.(6)) series in
         let steps = List.map (fun c -> float_of_string c.(18)) series in
+        let peaks = List.map (fun c -> float_of_string c.(17)) series in
+        let gcs = List.map (fun c -> float_of_string c.(13)) series in
         let last l = List.nth l (List.length l - 1) in
         Printf.bprintf buf
           "<tr><td class=\"l\">%s</td><td class=\"l\">%s</td><td>%s</td>\
            <td>%d</td><td>%.1f</td><td>%s</td><td>%.0f</td><td>%s</td>\
+           <td>%.0f</td><td>%s</td><td>%.3f</td><td>%s</td>\
            </tr>\n"
           circuit sched domains (List.length series) (last fps)
-          (sparkline fps) (last steps) (sparkline steps))
+          (sparkline fps) (last steps) (sparkline steps) (last peaks)
+          (sparkline peaks) (last gcs) (sparkline gcs))
       keys;
     Buffer.add_string buf "</table></body></html>\n";
     let oc = open_out !perf_trend_out in
@@ -1023,6 +1031,30 @@ let perf () =
             "%s: apply_steps regression — static@1 now %d, last recorded \
              %d (>10%% more work per sweep)"
             name reference.stats.Engine.apply_steps p
+        | _ -> ());
+        (* Same cross-run gate on the deterministic memory metric: the
+           peak scratch arena of the static@1 reference sweep. *)
+        let prior_peak =
+          List.fold_left
+            (fun acc (cells : string array) ->
+              if
+                cells.(1) = name
+                && cells.(3) = "static"
+                && cells.(4) = "1"
+                && int_of_string cells.(2) = n
+              then Some (int_of_string cells.(17))
+              else acc)
+            None prior
+        in
+        (match prior_peak with
+        | Some p
+          when p > 0
+               && float_of_int reference.stats.Engine.scratch_peak_nodes
+                  > 1.10 *. float_of_int p ->
+          fail
+            "%s: scratch-peak regression — static@1 now %d nodes, last \
+             recorded %d (>10%% higher peak arena)"
+            name reference.stats.Engine.scratch_peak_nodes p
         | _ -> ());
         let best_speedup =
           List.fold_left
@@ -1224,6 +1256,103 @@ let hostile () =
       Format.fprintf fmt "@.";
       exit 1
 
+(* ------------------------------------------------------------------ *)
+
+(* Memory report: the same deterministic sweep twice — collect-only GC
+   vs epoch-bracketed scratch reclamation — on one domain so peak arena
+   occupancy and apply_steps are exact, machine-independent numbers.
+   Epoch mode must reproduce the collect-only outcomes bit for bit and
+   must not raise the peak; [-mem-gate] turns both into hard failures. *)
+let mem_circuits = ref [ "c499" ]
+let mem_budget = ref 20_000
+let mem_gate = ref false
+
+let mem () =
+  section "mem"
+    "epoch scratch reclamation vs collect-only GC (deterministic static@1 \
+     sweep under a per-fault node budget)";
+  note
+    (Printf.sprintf
+       "per-attempt budget %d nodes; epoch regions close at the %d-node \
+        default"
+       !mem_budget Engine.default_epoch_nodes);
+  let failures = ref [] in
+  Format.fprintf fmt "  %-10s %7s %-6s %12s %8s %5s %8s %9s %12s %8s@."
+    "circuit" "faults" "epochs" "peak-nodes" "gc(s)" "gc#" "resets"
+    "tenured" "steps" "secs";
+  List.iter
+    (fun name ->
+      let c = Bench_suite.find name in
+      let faults =
+        List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
+      in
+      let n = List.length faults in
+      let sweep epochs =
+        let engine = Engine.create ~mem_profile:true c in
+        let r, dt =
+          elapsed (fun () ->
+              Engine.analyze_all_stats ~fault_budget:!mem_budget
+                ~deterministic:true ~epochs ~domains:1
+                ~scheduler:Engine.Static engine faults)
+        in
+        (engine, r, dt)
+      in
+      let _, (off_outcomes, off), off_t = sweep false in
+      let on_engine, (on_outcomes, on), on_t = sweep true in
+      let line label (stats : Engine.sweep_stats) dt =
+        Format.fprintf fmt
+          "  %-10s %7d %-6s %12d %8.2f %5d %8d %9d %12d %8.2f@." name n
+          label stats.Engine.scratch_peak_nodes stats.Engine.gc_seconds
+          stats.Engine.gc_collections stats.Engine.epoch_resets
+          stats.Engine.tenured_nodes stats.Engine.apply_steps dt
+      in
+      line "off" off off_t;
+      line "on" on on_t;
+      if on_outcomes <> off_outcomes then
+        failures :=
+          Printf.sprintf
+            "%s: epoch outcomes differ from the collect-only reference" name
+          :: !failures;
+      if on.Engine.scratch_peak_nodes > off.Engine.scratch_peak_nodes then
+        failures :=
+          Printf.sprintf
+            "%s: epoch mode raised the peak scratch arena (%d > %d nodes)"
+            name on.Engine.scratch_peak_nodes off.Engine.scratch_peak_nodes
+          :: !failures;
+      note
+        (Printf.sprintf
+           "%s: outcomes bit-identical: %s; gc wall %.2fs -> %.2fs (%d -> \
+            %d collections)"
+           name
+           (if on_outcomes = off_outcomes then "YES" else "NO")
+           off.Engine.gc_seconds on.Engine.gc_seconds
+           off.Engine.gc_collections on.Engine.gc_collections);
+      (* The lifetime histogram of the epoch run, on the logical
+         apply-step clock.  A budget retry rebuilds the manager, so the
+         histogram covers the arena since its last rebuild. *)
+      let p = Bdd.lifetime_profile (Engine.manager on_engine) in
+      Format.fprintf fmt
+        "  %s lifetimes (apply-step clock %d, %d deaths, %d live):@." name
+        p.Bdd.lp_clock p.Bdd.lp_deaths p.Bdd.lp_live;
+      let peak = Array.fold_left max 1 p.Bdd.lp_buckets in
+      Array.iteri
+        (fun b count ->
+          if count > 0 then
+            Format.fprintf fmt "    %-14s %9d %s@."
+              (if b = 0 then "sub-step"
+               else Printf.sprintf "[2^%02d, 2^%02d)" (b - 1) b)
+              count
+              (String.make (max 1 (count * 40 / peak)) '#'))
+        p.Bdd.lp_buckets)
+    !mem_circuits;
+  if !mem_gate then
+    match List.rev !failures with
+    | [] -> note "mem gate: PASS"
+    | fails ->
+      List.iter (fun m -> Format.fprintf fmt "  GATE FAILURE: %s@." m) fails;
+      Format.fprintf fmt "@.";
+      exit 1
+
 let artifacts =
   [
     ("table1", table1);
@@ -1280,14 +1409,14 @@ let lint_bench () =
      verified column adds the exact engine countersigning every \
      redundancy claim"
 
-(* [perf], [trend], [hostile] and [lint] are dispatchable by name but
-   deliberately not part of [all]: timing measurements and a stress
-   experiment, not paper artifacts. *)
+(* [perf], [trend], [hostile], [mem] and [lint] are dispatchable by
+   name but deliberately not part of [all]: timing measurements and
+   stress experiments, not paper artifacts. *)
 let commands =
   artifacts
   @ [
       ("perf", perf); ("trend", trend); ("hostile", hostile);
-      ("lint", lint_bench);
+      ("mem", mem); ("lint", lint_bench);
     ]
 
 let usage () =
@@ -1297,8 +1426,8 @@ let usage () =
      [-perf-out FILE] [-perf-history FILE] [-perf-trend-out FILE] \
      [-perf-gate] [-hostile-budget N] [-hostile-deadline-ms F] \
      [-hostile-circuits A,B,..] [-hostile-reorder auto|off] \
-     [-hostile-gate] \
-     [all | perf | trend | hostile | lint | %s]...@."
+     [-hostile-gate] [-mem-circuits A,B,..] [-mem-budget N] [-mem-gate] \
+     [all | perf | trend | hostile | mem | lint | %s]...@."
     (String.concat " | " (List.map fst artifacts))
 
 let () =
@@ -1353,6 +1482,15 @@ let () =
       parse acc rest
     | "-hostile-gate" :: rest ->
       hostile_gate := true;
+      parse acc rest
+    | "-mem-circuits" :: names :: rest ->
+      mem_circuits := String.split_on_char ',' names;
+      parse acc rest
+    | "-mem-budget" :: n :: rest ->
+      mem_budget := int_of_string n;
+      parse acc rest
+    | "-mem-gate" :: rest ->
+      mem_gate := true;
       parse acc rest
     | "all" :: rest -> parse (acc @ List.map fst artifacts) rest
     | name :: rest -> parse (acc @ [ name ]) rest

@@ -179,6 +179,29 @@ let check_reorder_growth g =
     exit 2
   end
 
+let epochs_arg =
+  let doc =
+    "Epoch-based scratch reclamation: $(b,on) (the default) brackets each \
+     fault's scratch allocations in a region that is reclaimed wholesale \
+     when the fault completes, replacing most mark-and-compact collections \
+     with O(region) resets.  $(b,off) restores the collect-only GC policy.  \
+     Exact results are identical either way."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) true
+    & info [ "epochs" ] ~docv:"MODE" ~doc)
+
+let epoch_nodes_arg =
+  let doc =
+    "Close (and reclaim) an open epoch early once its region holds $(docv) \
+     scratch nodes, so per-fault regions cannot grow without bound."
+  in
+  Arg.(
+    value
+    & opt int Engine.default_epoch_nodes
+    & info [ "epoch-nodes" ] ~docv:"NODES" ~doc)
+
 (* Sweep mode: every collapsed stuck-at fault, an outcome for each,
    optionally journaled for kill-and-resume.  Exit code 0 means every
    fault got a numeric answer (exact or bounded); 1 means some fault
@@ -186,7 +209,7 @@ let check_reorder_growth g =
    error (including a stale journal). *)
 let run_sweep c ~fault_budget ~deadline_ms ~max_retries ~reorder
     ~reorder_growth ~bounds ~samples ~checkpoint ~resume ~escalate ~json
-    ~domains ~scheduler =
+    ~domains ~scheduler ~epochs ~epoch_nodes =
   let faults =
     List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c)
   in
@@ -216,7 +239,7 @@ let run_sweep c ~fault_budget ~deadline_ms ~max_retries ~reorder
   let outcomes =
     Engine.analyze_all ?fault_budget ?deadline_ms ~max_retries ~reorder
       ~reorder_growth ~bounds ~bound_samples:samples ~deterministic ~journal
-      ~domains ~scheduler (Engine.create c) faults
+      ~domains ~scheduler ~epochs ~epoch_nodes (Engine.create c) faults
   in
   let outcomes =
     if not escalate then outcomes
@@ -235,8 +258,8 @@ let run_sweep c ~fault_budget ~deadline_ms ~max_retries ~reorder
             ?fault_budget:(Option.map (fun b -> 2 * b) fault_budget)
             ?deadline_ms:(Option.map (fun d -> 2.0 *. d) deadline_ms)
             ~max_retries ~reorder ~reorder_growth ~bounds
-            ~bound_samples:samples ~deterministic ~domains ~scheduler
-            (Engine.create c)
+            ~bound_samples:samples ~deterministic ~domains ~scheduler ~epochs
+            ~epoch_nodes (Engine.create c)
             (List.map (fun (i, _) -> faults_arr.(i)) degraded)
         in
         let improved = Hashtbl.create 16 in
@@ -315,14 +338,15 @@ let run_sweep c ~fault_budget ~deadline_ms ~max_retries ~reorder
   if crashed > 0 || unbounded > 0 then exit 1 else exit 0
 
 let run_single c fault ~cubes ~fault_budget ~deadline_ms ~max_retries
-    ~reorder ~reorder_growth ~bounds ~samples ~scheduler =
+    ~reorder ~reorder_growth ~bounds ~samples ~scheduler ~epochs ~epoch_nodes
+    =
   Format.printf "fault: %s@." (Fault.to_string c fault);
   let engine = Engine.create c in
   let r =
     match
       Engine.analyze_all ?fault_budget ?deadline_ms ~max_retries ~reorder
-        ~reorder_growth ~bounds ~bound_samples:samples ~scheduler engine
-        [ fault ]
+        ~reorder_growth ~bounds ~bound_samples:samples ~scheduler ~epochs
+        ~epoch_nodes engine [ fault ]
     with
     | [ Engine.Exact r ] -> r
     | [ Engine.Bounded { lower; upper; syndrome_bound; samples; reason; _ } ]
@@ -488,7 +512,7 @@ let analyze_cmd =
   in
   let run spec stuck bridge all cubes fault_budget deadline_ms max_retries
       reorder reorder_growth no_bounds samples checkpoint resume escalate
-      json domains scheduler =
+      json domains scheduler epochs epoch_nodes =
     let c = load_circuit spec in
     check_reorder_growth reorder_growth;
     let bounds = not no_bounds in
@@ -507,7 +531,7 @@ let analyze_cmd =
       end;
       run_sweep c ~fault_budget ~deadline_ms ~max_retries ~reorder
         ~reorder_growth ~bounds ~samples ~checkpoint ~resume ~escalate ~json
-        ~domains ~scheduler
+        ~domains ~scheduler ~epochs ~epoch_nodes
     end
     else
       let fault =
@@ -519,7 +543,8 @@ let analyze_cmd =
           exit 2
       in
       run_single c fault ~cubes ~fault_budget ~deadline_ms ~max_retries
-        ~reorder ~reorder_growth ~bounds ~samples ~scheduler
+        ~reorder ~reorder_growth ~bounds ~samples ~scheduler ~epochs
+        ~epoch_nodes
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -530,7 +555,7 @@ let analyze_cmd =
       const run $ circuit_arg $ stuck $ bridge $ all $ cubes $ fault_budget
       $ deadline_ms $ max_retries $ reorder_arg $ reorder_growth_arg
       $ no_bounds $ samples $ checkpoint $ resume $ escalate $ json $ domains
-      $ scheduler_arg ())
+      $ scheduler_arg () $ epochs_arg $ epoch_nodes_arg)
 
 let profile_cmd =
   let bins =
@@ -567,14 +592,27 @@ let profile_cmd =
       & opt int (Parallel.available_domains ())
       & info [ "domains"; "j" ] ~docv:"N" ~doc)
   in
+  let mem_profile =
+    let doc =
+      "Record birth and death of every scratch BDD node on the logical \
+       apply-step clock and print the lifetime histogram after the sweep.  \
+       Forces a single-domain $(b,static) sweep so the histogram covers \
+       the whole fault set on one arena; the output is deterministic \
+       (no wall-clock data)."
+    in
+    Arg.(value & flag & info [ "mem-profile" ] ~doc)
+  in
   let run spec bins fault_budget deadline_ms reorder reorder_growth domains
-      scheduler =
+      scheduler epochs epoch_nodes mem_profile =
     let c = load_circuit spec in
     check_reorder_growth reorder_growth;
-    let engine = Engine.create c in
+    let domains, scheduler =
+      if mem_profile then (1, Engine.Static) else (domains, scheduler)
+    in
+    let engine = Engine.create ~mem_profile c in
     let outcomes, stats =
       Engine.analyze_all_stats ?fault_budget ?deadline_ms ~reorder
-        ~reorder_growth ~domains ~scheduler engine
+        ~reorder_growth ~domains ~scheduler ~epochs ~epoch_nodes engine
         (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
     in
     Format.printf
@@ -595,6 +633,15 @@ let profile_cmd =
          (sift %.3fs, arena %d -> %d nodes)@."
         stats.Engine.rescued_faults stats.Engine.sift_seconds
         stats.Engine.sift_nodes_before stats.Engine.sift_nodes_after;
+    if stats.Engine.epoch_resets > 0 then
+      Format.printf
+        "epochs: %d region reset(s), %d node(s) tenured, gc %.3fs across \
+         %d collection(s)@."
+        stats.Engine.epoch_resets stats.Engine.tenured_nodes
+        stats.Engine.gc_seconds stats.Engine.gc_collections;
+    if stats.Engine.warm_cache_hits > 0 then
+      Format.printf "warm op-cache hits across forks: %d@."
+        stats.Engine.warm_cache_hits;
     let results = Engine.exact_results outcomes in
     (match Engine.degraded outcomes with
     | [] -> ()
@@ -612,14 +659,37 @@ let profile_cmd =
     in
     Histogram.pp Format.std_formatter (Histogram.make ~bins detectabilities);
     Format.printf "mean detectability: %.4f@." (Histogram.mean detectabilities);
-    Po_stats.pp Format.std_formatter (Po_stats.summarize results)
+    Po_stats.pp Format.std_formatter (Po_stats.summarize results);
+    if mem_profile then begin
+      let p = Bdd.lifetime_profile (Engine.manager engine) in
+      Format.printf
+        "@.scratch-node lifetime profile (logical clock = apply steps):@.\
+         clock %d steps; %d death(s) observed; %d scratch live, %d frozen@."
+        p.Bdd.lp_clock p.Bdd.lp_deaths p.Bdd.lp_live p.Bdd.lp_frozen;
+      let width = 44 in
+      let peak =
+        Array.fold_left max 1 p.Bdd.lp_buckets
+      in
+      Array.iteri
+        (fun b n ->
+          if n > 0 then begin
+            let label =
+              if b = 0 then "       sub-step"
+              else Printf.sprintf "[2^%02d, 2^%02d)" (b - 1) b
+            in
+            Format.printf "  %-15s %9d %s@." label n
+              (String.make (max 1 (n * width / peak)) '#')
+          end)
+        p.Bdd.lp_buckets
+    end
   in
   Cmd.v
     (Cmd.info "profile" ~doc:"Stuck-at detectability profile of a circuit")
     Term.(
       const run $ circuit_arg $ bins $ fault_budget $ deadline_ms
       $ reorder_arg $ reorder_growth_arg $ domains
-      $ scheduler_arg ~default:Engine.Snapshot ())
+      $ scheduler_arg ~default:Engine.Snapshot ()
+      $ epochs_arg $ epoch_nodes_arg $ mem_profile)
 
 let atpg_cmd =
   let run spec =

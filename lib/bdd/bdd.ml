@@ -22,9 +22,35 @@
    are frozen — frozen nodes have frozen children, so the probe is
    exact).  The binary-operation and negation caches are direct-mapped
    and lossy (collisions overwrite), which bounds memory and keeps
-   lookups branch-cheap; a lost entry only costs recomputation. *)
+   lookups branch-cheap; a lost entry only costs recomputation.
+
+   Epochs add a third, short-lived region on top of the scratch tier: a
+   watermark recorded by [open_epoch] under which every later allocation
+   falls.  [close_epoch] reclaims the whole region wholesale — survivors
+   reachable from the registered (and explicitly passed) root arrays are
+   tenured by copy down to the watermark, everything else is dropped by
+   resetting [next] — so a per-fault caller pays O(region) per close
+   instead of a periodic O(live arena) mark-sweep-compact.
+
+   The op/ite caches are invalidated by bumping a generation counter
+   rather than refilling the key arrays: a flush is O(1), which is what
+   makes per-epoch invalidation affordable on tiny faults. *)
 
 type t = int
+
+(* Read-only remnant of the apply/ite memo tables captured at [seal]
+   time: every entry references only frozen handles, so forked managers
+   share it by reference and consult it before their private (cold)
+   caches. *)
+type warm_cache = {
+  w_op_key1 : int array;
+  w_op_key2 : int array;
+  w_op_result : int array;
+  w_ite_key1 : int array;
+  w_ite_key2 : int array;
+  w_ite_key3 : int array;
+  w_ite_result : int array;
+}
 
 type manager = {
   n_vars : int;
@@ -51,14 +77,39 @@ type manager = {
   mutable table : int array;
   mutable table_mask : int;
   mutable table_count : int;
-  (* direct-mapped operation caches *)
+  (* direct-mapped operation caches.  An entry is valid only when its
+     generation stamp equals [cache_gen]; [clear_caches] bumps the
+     counter instead of refilling the arrays, so flushes are O(1). *)
   op_key1 : int array; (* packed (op, a) for unary / (op, a, b) spread *)
   op_key2 : int array;
   op_result : int array;
+  op_gen : int array;
   ite_key1 : int array;
   ite_key2 : int array;
   ite_key3 : int array;
   ite_result : int array;
+  ite_gen : int array;
+  mutable cache_gen : int;
+  (* warm cache: shared by reference across forks, never written after
+     [seal] builds it.  [warm_hits] is fork-private accounting. *)
+  mutable warm : warm_cache option;
+  mutable warm_hits : int;
+  (* epoch region: absolute watermark of the open epoch, -1 when none.
+     [epoch_resets] counts closes, [tenured_total] survivors copied
+     down across all closes. *)
+  mutable epoch_mark : int;
+  mutable epoch_resets : int;
+  mutable tenured_total : int;
+  (* lifetime profiler: when [profile] is set, every scratch allocation
+     is stamped with the logical clock ([steps], i.e. apply entries) in
+     [birth]; reclamation ([collect] / [close_epoch]) observes the death
+     and banks the lifetime into log2 [lifetime_hist] buckets.  All
+     stamps are logical, so the histogram is deterministic for a fixed
+     operation sequence. *)
+  mutable profile : bool;
+  mutable birth : int array; (* scratch-relative, like [sat_memo] *)
+  lifetime_hist : int array;
+  mutable death_count : int;
   (* manager-resident statistics memos.  A node's function never
      changes, so its SAT fraction is memoised permanently (NaN = unset;
      scratch-relative index, the frozen tier has [fz_sat]); size/support
@@ -108,6 +159,8 @@ exception Budget_exceeded of { nodes : int; budget : int }
 exception Deadline_exceeded of { elapsed_ms : float; deadline_ms : float }
 
 exception Sealed_manager
+
+let lifetime_buckets = 48
 
 let terminal_level = max_int
 let op_and = 2
@@ -188,10 +241,22 @@ let create ?order n_vars =
     op_key1 = Array.make op_cache_size (-1);
     op_key2 = Array.make op_cache_size (-1);
     op_result = Array.make op_cache_size (-1);
+    op_gen = Array.make op_cache_size 0;
     ite_key1 = Array.make ite_cache_size (-1);
     ite_key2 = Array.make ite_cache_size (-1);
     ite_key3 = Array.make ite_cache_size (-1);
     ite_result = Array.make ite_cache_size (-1);
+    ite_gen = Array.make ite_cache_size 0;
+    cache_gen = 0;
+    warm = None;
+    warm_hits = 0;
+    epoch_mark = -1;
+    epoch_resets = 0;
+    tenured_total = 0;
+    profile = false;
+    birth = [||];
+    lifetime_hist = Array.make lifetime_buckets 0;
+    death_count = 0;
     sat_memo = Array.make cap Float.nan;
     visit_stamp = Array.make cap 0;
     level_stamp = Array.make (max n_vars 1) 0;
@@ -226,6 +291,10 @@ let scratch_peak m = max m.scratch_peak (m.next - m.frozen)
 let apply_steps m = m.steps
 let nodes_allocated m = m.allocated_total
 let is_sealed m = m.sealed
+let warm_cache_hits m = m.warm_hits
+let epoch_resets m = m.epoch_resets
+let tenured_nodes m = m.tenured_total
+let epoch_open m = m.epoch_mark >= 0
 
 (* Tier-dispatching node accessors — the only way node fields are read. *)
 let[@inline] node_level m n =
@@ -237,9 +306,10 @@ let[@inline] node_low m n =
 let[@inline] node_high m n =
   if n < m.frozen then m.fz_high.(n) else m.high.(n - m.frozen)
 
-let clear_caches m =
-  Array.fill m.op_key1 0 op_cache_size (-1);
-  Array.fill m.ite_key1 0 ite_cache_size (-1)
+(* O(1): entries stamped with an older generation simply stop matching.
+   The counter never wraps in practice (63-bit, bumped at most once per
+   collection / epoch close). *)
+let clear_caches m = m.cache_gen <- m.cache_gen + 1
 
 let with_budget m ~budget f =
   if budget < 0 then invalid_arg "Bdd.with_budget: negative budget";
@@ -319,6 +389,7 @@ let grow_nodes m =
   m.low <- copy m.low;
   m.high <- copy m.high;
   m.sat_memo <- Array.append m.sat_memo (Array.make cap Float.nan);
+  if m.profile then m.birth <- copy m.birth;
   (* visit stamps are absolute-indexed; keep length = frozen + capacity *)
   m.visit_stamp <- copy m.visit_stamp
 
@@ -362,6 +433,7 @@ let scratch_mk m lvl lo hi =
       m.level.(s) <- lvl;
       m.low.(s) <- lo;
       m.high.(s) <- hi;
+      if m.profile then m.birth.(s) <- m.steps;
       m.table.(i) <- fresh;
       m.table_count <- m.table_count + 1;
       if m.table_count * 3 > (mask + 1) * 2 then rehash m;
@@ -417,6 +489,30 @@ let mk m lvl lo hi =
 
 type registration = int
 
+(* Lifetime bookkeeping: a reclaimed node's lifetime is the distance on
+   the logical clock between its allocation and the reclamation that
+   observed its death (collect or epoch close) — the same oracle an
+   offline Merlin-style trace analysis would compute, except the trace
+   is folded into log2 buckets on the fly.  Bucket b counts lifetimes
+   in [2^(b-1), 2^b) apply steps; bucket 0 is sub-step (allocated and
+   dead within one construction burst). *)
+let lifetime_bucket lt =
+  if lt <= 0 then 0
+  else begin
+    let b = ref 0 and v = ref lt in
+    while !v > 0 do
+      incr b;
+      v := !v lsr 1
+    done;
+    min !b (lifetime_buckets - 1)
+  end
+
+let record_death m s =
+  let lt = m.steps - m.birth.(s) in
+  let b = lifetime_bucket lt in
+  m.lifetime_hist.(b) <- m.lifetime_hist.(b) + 1;
+  m.death_count <- m.death_count + 1
+
 let register m handles =
   let id = m.next_registration in
   m.next_registration <- id + 1;
@@ -426,7 +522,11 @@ let register m handles =
 let unregister m id =
   m.registered <- List.filter (fun (i, _) -> i <> id) m.registered
 
-let collect ?(roots = []) m =
+(* Internal body of [collect]: returns the remap table so [seal] can
+   translate pre-collection cache entries into the warm cache. *)
+let collect_impl ?(roots = []) m =
+  if m.epoch_mark >= 0 then
+    invalid_arg "Bdd.collect: an epoch is open (close it first)";
   let base = m.frozen in
   let root_arrays = roots @ List.map snd m.registered in
   let scratch_n = m.next - base in
@@ -485,8 +585,10 @@ let collect ?(roots = []) m =
       m.level.(fresh) <- m.level.(s);
       m.low.(fresh) <- child m.low.(s);
       m.high.(fresh) <- child m.high.(s);
-      m.sat_memo.(fresh) <- m.sat_memo.(s)
+      m.sat_memo.(fresh) <- m.sat_memo.(s);
+      if m.profile then m.birth.(fresh) <- m.birth.(s)
     end
+    else if m.profile then record_death m s
   done;
   m.next <- base + !count;
   (* Slots above the live prefix must read as unset for their next
@@ -504,7 +606,183 @@ let collect ?(roots = []) m =
       Array.iteri
         (fun i h -> if h >= floor then a.(i) <- base + remap.(h - base))
         a)
-    root_arrays
+    root_arrays;
+  (base, floor, remap)
+
+let collect ?roots m = ignore (collect_impl ?roots m : int * int * int array)
+
+(* ------------------------------------------------------------------ *)
+(* Epochs: region-scoped scratch reclamation.
+
+   [open_epoch] records the current allocation watermark; [close_epoch]
+   reclaims every node allocated since wholesale, tenuring the survivors
+   (nodes reachable from the registered arrays plus any [?survivors]
+   arrays) by copying them down to the watermark.  Nodes below the
+   watermark — good functions, earlier tenured survivors — are never
+   touched, walked or remapped, so the cost of a close is O(nodes the
+   epoch allocated), not O(live arena).
+
+   The unique table is maintained incrementally: every region node is
+   deleted (backward-shift deletion keeps linear-probe chains intact)
+   and the tenured copies are re-inserted under their new handles.  When
+   the region rivals the table occupancy a full rebuild is cheaper and
+   is used instead.  Op/ite caches may hold region handles, so a close
+   that reclaimed anything bumps the cache generation (O(1)).
+
+   Epochs do not compose with whole-arena restructuring: [collect],
+   [sift] and [seal] raise while an epoch is open — closing first is the
+   caller's explicit, loud decision. *)
+
+type epoch = { mutable e_mark : int (* -1 once closed *) }
+
+let open_epoch m =
+  if m.sealed then invalid_arg "Bdd.open_epoch: manager is sealed";
+  if m.epoch_mark >= 0 then
+    invalid_arg "Bdd.open_epoch: an epoch is already open";
+  m.epoch_mark <- m.next;
+  { e_mark = m.next }
+
+let epoch_nodes m =
+  if m.epoch_mark < 0 then 0 else m.next - m.epoch_mark
+
+(* Remove one node from the scratch unique table: find its slot by
+   probing from its triple's home, then backward-shift (Knuth 6.4R) so
+   that every remaining entry stays reachable from its own home slot. *)
+let table_delete m n =
+  let mask = m.table_mask in
+  let s = n - m.frozen in
+  let home = triple_hash m.level.(s) m.low.(s) m.high.(s) land mask in
+  let i = ref home in
+  while m.table.(!i) <> n do
+    i := (!i + 1) land mask
+  done;
+  let j = ref !i in
+  let moving = ref true in
+  while !moving do
+    m.table.(!i) <- -1;
+    let settled = ref false in
+    while not !settled do
+      j := (!j + 1) land mask;
+      let e = m.table.(!j) in
+      if e < 0 then begin
+        settled := true;
+        moving := false
+      end
+      else begin
+        let es = e - m.frozen in
+        let k = triple_hash m.level.(es) m.low.(es) m.high.(es) land mask in
+        (* The entry may stay iff its home lies cyclically in (i, j]. *)
+        let stays =
+          if !i < !j then !i < k && k <= !j else k <= !j || k > !i
+        in
+        if not stays then settled := true
+      end
+    done;
+    if !moving then begin
+      m.table.(!i) <- m.table.(!j);
+      i := !j
+    end
+  done;
+  m.table_count <- m.table_count - 1
+
+let close_epoch ?(survivors = []) m e =
+  if e.e_mark < 0 then invalid_arg "Bdd.close_epoch: epoch already closed";
+  if m.epoch_mark <> e.e_mark then
+    invalid_arg "Bdd.close_epoch: not this manager's open epoch";
+  let mark = e.e_mark in
+  e.e_mark <- -1;
+  m.epoch_mark <- -1;
+  let region = m.next - mark in
+  if region > 0 then begin
+    m.scratch_peak <- max m.scratch_peak (m.next - m.frozen);
+    let base = m.frozen in
+    let mstart = mark - base in
+    let root_arrays = survivors @ List.map snd m.registered in
+    (* Mark survivors: the walk never descends below the watermark —
+       a region node's sub-watermark children are immortal here. *)
+    let live = Array.make region false in
+    let stack = ref [] in
+    let visit n =
+      if n >= mark && not live.(n - mark) then begin
+        live.(n - mark) <- true;
+        stack := n :: !stack
+      end
+    in
+    List.iter (Array.iter visit) root_arrays;
+    let rec drain () =
+      match !stack with
+      | [] -> ()
+      | n :: rest ->
+        stack := rest;
+        let s = n - base in
+        visit m.low.(s);
+        visit m.high.(s);
+        drain ()
+    in
+    drain ();
+    (* Every region node leaves the unique table: dead ones for good,
+       survivors to re-enter under their tenured handles.  Deleting
+       one-by-one costs O(region); once the region rivals the table's
+       occupancy, wiping and re-inserting the sub-watermark residents
+       is cheaper. *)
+    let rebuild_whole = 2 * region >= m.table_count in
+    if not rebuild_whole then
+      for n = mark to m.next - 1 do
+        table_delete m n
+      done;
+    (* Tenure by copy, two-phase exactly like [collect]: handles are
+       assigned first (ascending, so children appended after parents
+       still remap), then moved — a survivor only ever slides down onto
+       a slot already copied out. *)
+    let remap = Array.make region (-1) in
+    let count = ref 0 in
+    for r = 0 to region - 1 do
+      if live.(r) then begin
+        remap.(r) <- !count;
+        incr count
+      end
+    done;
+    for r = 0 to region - 1 do
+      if live.(r) then begin
+        let fresh = mstart + remap.(r) in
+        let s = mstart + r in
+        let child c = if c < mark then c else mark + remap.(c - mark) in
+        m.level.(fresh) <- m.level.(s);
+        m.low.(fresh) <- child m.low.(s);
+        m.high.(fresh) <- child m.high.(s);
+        m.sat_memo.(fresh) <- m.sat_memo.(s);
+        if m.profile then m.birth.(fresh) <- m.birth.(s)
+      end
+      else if m.profile then record_death m (mstart + r)
+    done;
+    let old_top = m.next - base in
+    m.next <- mark + !count;
+    Array.fill m.sat_memo (mstart + !count) (old_top - (mstart + !count))
+      Float.nan;
+    if rebuild_whole then begin
+      Array.fill m.table 0 (Array.length m.table) (-1);
+      m.table_count <- 0;
+      let floor = if base = 0 then 2 else base in
+      for n = floor to m.next - 1 do
+        insert_node m n
+      done
+    end
+    else
+      for n = mark to m.next - 1 do
+        insert_node m n
+      done;
+    clear_caches m;
+    (* Root arrays now name tenured handles; sub-watermark entries are
+       untouched by construction. *)
+    List.iter
+      (fun a ->
+        Array.iteri
+          (fun i h -> if h >= mark then a.(i) <- mark + remap.(h - mark))
+          a)
+      root_arrays;
+    m.tenured_total <- m.tenured_total + !count
+  end;
+  m.epoch_resets <- m.epoch_resets + 1
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots: seal / fork / unseal.
@@ -521,9 +799,65 @@ let collect ?(roots = []) m =
 
 let seal m =
   if m.sealed then invalid_arg "Bdd.seal: manager is already sealed";
+  if m.epoch_mark >= 0 then
+    invalid_arg "Bdd.seal: an epoch is open (close it first)";
+  (* The op/ite caches hold the final apply-memo entries of the build
+     phase under pre-collection handles.  Cache flushes are generation
+     bumps, so the entries themselves survive the collect below — after
+     it, every entry whose operands and result all survived is remapped
+     and kept as the read-only warm cache that forks share: a fork's
+     first fault starts with the build's memo instead of a cold cache. *)
+  let gen0 = m.cache_gen in
   (* Compaction first: registered arrays end up holding the final
      absolute handles, which the migration below preserves. *)
-  collect m;
+  let cbase, cfloor, remap = collect_impl m in
+  let alive h =
+    if h < cfloor then h
+    else
+      let r = remap.(h - cbase) in
+      if r < 0 then -1 else cbase + r
+  in
+  let warm =
+    {
+      w_op_key1 = Array.make op_cache_size (-1);
+      w_op_key2 = Array.make op_cache_size 0;
+      w_op_result = Array.make op_cache_size 0;
+      w_ite_key1 = Array.make ite_cache_size (-1);
+      w_ite_key2 = Array.make ite_cache_size 0;
+      w_ite_key3 = Array.make ite_cache_size 0;
+      w_ite_result = Array.make ite_cache_size 0;
+    }
+  in
+  for slot = 0 to op_cache_size - 1 do
+    if m.op_gen.(slot) = gen0 && m.op_key1.(slot) >= 0 then begin
+      let op = m.op_key1.(slot) land 7 in
+      let a = alive (m.op_key1.(slot) lsr 3) in
+      let b = alive m.op_key2.(slot) in
+      let r = alive m.op_result.(slot) in
+      if a >= 0 && b >= 0 && r >= 0 then begin
+        let slot' = triple_hash op a b land (op_cache_size - 1) in
+        warm.w_op_key1.(slot') <- (a lsl 3) lor op;
+        warm.w_op_key2.(slot') <- b;
+        warm.w_op_result.(slot') <- r
+      end
+    end
+  done;
+  for slot = 0 to ite_cache_size - 1 do
+    if m.ite_gen.(slot) = gen0 && m.ite_key1.(slot) >= 0 then begin
+      let f = alive m.ite_key1.(slot) in
+      let g = alive m.ite_key2.(slot) in
+      let h = alive m.ite_key3.(slot) in
+      let r = alive m.ite_result.(slot) in
+      if f >= 0 && g >= 0 && h >= 0 && r >= 0 then begin
+        let slot' = triple_hash f g h land (ite_cache_size - 1) in
+        warm.w_ite_key1.(slot') <- f;
+        warm.w_ite_key2.(slot') <- g;
+        warm.w_ite_key3.(slot') <- h;
+        warm.w_ite_result.(slot') <- r
+      end
+    end
+  done;
+  m.warm <- Some warm;
   let base = m.frozen in
   let nf = m.next in
   if nf > base || base = 0 then begin
@@ -590,6 +924,9 @@ let seal m =
     m.low <- Array.make cap 0;
     m.high <- Array.make cap 0;
     m.sat_memo <- Array.make cap Float.nan;
+    (* Frozen nodes are immortal: their births leave the profile (they
+       show up as the [lp_frozen] live count, not as deaths). *)
+    if m.profile then m.birth <- Array.make cap 0;
     m.visit_stamp <- Array.make (nf + cap) 0;
     m.next <- nf;
     let tsize = scratch_table_size cap in
@@ -621,10 +958,22 @@ let fork m =
     op_key1 = Array.make op_cache_size (-1);
     op_key2 = Array.make op_cache_size (-1);
     op_result = Array.make op_cache_size (-1);
+    op_gen = Array.make op_cache_size 0;
     ite_key1 = Array.make ite_cache_size (-1);
     ite_key2 = Array.make ite_cache_size (-1);
     ite_key3 = Array.make ite_cache_size (-1);
     ite_result = Array.make ite_cache_size (-1);
+    ite_gen = Array.make ite_cache_size 0;
+    cache_gen = 0;
+    (* [warm] rides along by reference from the record copy: read-only
+       after [seal], so sharing it across domains is free. *)
+    warm_hits = 0;
+    epoch_mark = -1;
+    epoch_resets = 0;
+    tenured_total = 0;
+    birth = (if m.profile then Array.make cap 0 else [||]);
+    lifetime_hist = Array.make lifetime_buckets 0;
+    death_count = 0;
     sat_memo = Array.make cap Float.nan;
     visit_stamp = Array.make (m.frozen + cap) 0;
     level_stamp = Array.make (max m.n_vars 1) 0;
@@ -657,15 +1006,27 @@ let rec bnot m f =
   if f < 2 then 1 - f
   else begin
     let slot = op_slot op_not f 0 in
-    if m.op_key1.(slot) = (f lsl 3) lor op_not && m.op_key2.(slot) = 0 then
-      m.op_result.(slot)
+    let key = (f lsl 3) lor op_not in
+    if
+      m.op_key1.(slot) = key
+      && m.op_key2.(slot) = 0
+      && m.op_gen.(slot) = m.cache_gen
+    then m.op_result.(slot)
     else begin
       let r =
-        mk m (node_level m f) (bnot m (node_low m f)) (bnot m (node_high m f))
+        match m.warm with
+        | Some w when w.w_op_key1.(slot) = key && w.w_op_key2.(slot) = 0 ->
+          (* Warm entries reference only frozen handles, so a hit is the
+             same canonical node the recursion would have produced. *)
+          m.warm_hits <- m.warm_hits + 1;
+          w.w_op_result.(slot)
+        | _ ->
+          mk m (node_level m f) (bnot m (node_low m f)) (bnot m (node_high m f))
       in
-      m.op_key1.(slot) <- (f lsl 3) lor op_not;
+      m.op_key1.(slot) <- key;
       m.op_key2.(slot) <- 0;
       m.op_result.(slot) <- r;
+      m.op_gen.(slot) <- m.cache_gen;
       r
     end
   end
@@ -698,21 +1059,33 @@ let rec apply m op a b =
   else begin
     let a, b = if a <= b then (a, b) else (b, a) in
     let slot = op_slot op a b in
-    if m.op_key1.(slot) = (a lsl 3) lor op && m.op_key2.(slot) = b then
-      m.op_result.(slot)
+    let key = (a lsl 3) lor op in
+    if
+      m.op_key1.(slot) = key
+      && m.op_key2.(slot) = b
+      && m.op_gen.(slot) = m.cache_gen
+    then m.op_result.(slot)
     else begin
-      let la = node_level m a and lb = node_level m b in
-      let lvl = if la < lb then la else lb in
-      let a0, a1 =
-        if la = lvl then (node_low m a, node_high m a) else (a, a)
+      let r =
+        match m.warm with
+        | Some w when w.w_op_key1.(slot) = key && w.w_op_key2.(slot) = b ->
+          m.warm_hits <- m.warm_hits + 1;
+          w.w_op_result.(slot)
+        | _ ->
+          let la = node_level m a and lb = node_level m b in
+          let lvl = if la < lb then la else lb in
+          let a0, a1 =
+            if la = lvl then (node_low m a, node_high m a) else (a, a)
+          in
+          let b0, b1 =
+            if lb = lvl then (node_low m b, node_high m b) else (b, b)
+          in
+          mk m lvl (apply m op a0 b0) (apply m op a1 b1)
       in
-      let b0, b1 =
-        if lb = lvl then (node_low m b, node_high m b) else (b, b)
-      in
-      let r = mk m lvl (apply m op a0 b0) (apply m op a1 b1) in
-      m.op_key1.(slot) <- (a lsl 3) lor op;
+      m.op_key1.(slot) <- key;
       m.op_key2.(slot) <- b;
       m.op_result.(slot) <- r;
+      m.op_gen.(slot) <- m.cache_gen;
       r
     end
   end
@@ -734,24 +1107,38 @@ let rec ite m f g h =
   else begin
     let slot = triple_hash f g h land (ite_cache_size - 1) in
     if
-      m.ite_key1.(slot) = f && m.ite_key2.(slot) = g && m.ite_key3.(slot) = h
+      m.ite_key1.(slot) = f
+      && m.ite_key2.(slot) = g
+      && m.ite_key3.(slot) = h
+      && m.ite_gen.(slot) = m.cache_gen
     then m.ite_result.(slot)
     else begin
-      let lf = node_level m f
-      and lg = node_level m g
-      and lh = node_level m h in
-      let lvl = min lf (min lg lh) in
-      let split x lx =
-        if lx = lvl then (node_low m x, node_high m x) else (x, x)
+      let r =
+        match m.warm with
+        | Some w
+          when w.w_ite_key1.(slot) = f
+               && w.w_ite_key2.(slot) = g
+               && w.w_ite_key3.(slot) = h ->
+          m.warm_hits <- m.warm_hits + 1;
+          w.w_ite_result.(slot)
+        | _ ->
+          let lf = node_level m f
+          and lg = node_level m g
+          and lh = node_level m h in
+          let lvl = min lf (min lg lh) in
+          let split x lx =
+            if lx = lvl then (node_low m x, node_high m x) else (x, x)
+          in
+          let f0, f1 = split f lf in
+          let g0, g1 = split g lg in
+          let h0, h1 = split h lh in
+          mk m lvl (ite m f0 g0 h0) (ite m f1 g1 h1)
       in
-      let f0, f1 = split f lf in
-      let g0, g1 = split g lg in
-      let h0, h1 = split h lh in
-      let r = mk m lvl (ite m f0 g0 h0) (ite m f1 g1 h1) in
       m.ite_key1.(slot) <- f;
       m.ite_key2.(slot) <- g;
       m.ite_key3.(slot) <- h;
       m.ite_result.(slot) <- r;
+      m.ite_gen.(slot) <- m.cache_gen;
       r
     end
   end
@@ -1050,6 +1437,7 @@ let swap_core m buckets i =
         m.low.(fresh) <- lo;
         m.high.(fresh) <- hi;
         m.sat_memo.(fresh) <- Float.nan;
+        if m.profile then m.birth.(fresh) <- m.steps;
         Hashtbl.replace xtab (lo, hi) fresh;
         fresh_xs := fresh :: !fresh_xs;
         fresh
@@ -1085,7 +1473,9 @@ let swap_core m buckets i =
 let reorder_guard name m =
   if m.sealed then invalid_arg (name ^ ": manager is sealed");
   if m.frozen <> 0 then
-    invalid_arg (name ^ ": manager has a frozen tier (reordering needs a plain arena)")
+    invalid_arg (name ^ ": manager has a frozen tier (reordering needs a plain arena)");
+  if m.epoch_mark >= 0 then
+    invalid_arg (name ^ ": an epoch is open (close it first)")
 
 let swap_levels m i =
   reorder_guard "Bdd.swap_levels" m;
@@ -1185,6 +1575,41 @@ let sift ?(roots = []) ?(max_growth = 1.2) ?(max_vars = max_int) m =
   end
 
 let current_order m = Array.copy m.level_var
+
+(* ------------------------------------------------------------------ *)
+(* Lifetime profiling                                                  *)
+
+type lifetime_profile = {
+  lp_clock : int;
+  lp_deaths : int;
+  lp_live : int;
+  lp_frozen : int;
+  lp_buckets : int array;
+}
+
+let set_lifetime_profiling m on =
+  if on && not m.profile then begin
+    m.profile <- true;
+    (* Pre-existing scratch nodes are stamped at the current clock, so
+       their eventual lifetimes measure from enablement — enable before
+       building for full coverage. *)
+    m.birth <- Array.make (Array.length m.level) m.steps
+  end
+  else if not on then begin
+    m.profile <- false;
+    m.birth <- [||]
+  end
+
+let lifetime_profiling m = m.profile
+
+let lifetime_profile m =
+  {
+    lp_clock = m.steps;
+    lp_deaths = m.death_count;
+    lp_live = m.next - m.frozen - (if m.frozen = 0 then 2 else 0);
+    lp_frozen = m.frozen;
+    lp_buckets = Array.copy m.lifetime_hist;
+  }
 
 let check_invariants m f =
   let seen = Hashtbl.create 64 in

@@ -113,7 +113,59 @@ val collect : ?roots:t array list -> manager -> unit
     collection.  Allocation-free, so safe inside a {!with_budget}
     window.  With a frozen snapshot in place ({!seal}), only scratch
     nodes are examined and remapped — frozen nodes are immortal and
-    their handles never change. *)
+    their handles never change.
+    @raise Invalid_argument while an epoch is open ({!open_epoch}) —
+    whole-arena restructuring and region reclamation do not compose;
+    close the epoch first. *)
+
+(** {1 Epochs}
+
+    Region-scoped scratch reclamation for workloads with bimodal node
+    lifetimes (per-fault apply scratch dies within the fault; good
+    functions and memoised statistics live for the whole sweep).
+    {!open_epoch} records the current allocation watermark;
+    {!close_epoch} reclaims everything allocated since in one stroke,
+    {e tenuring} the survivors — nodes still reachable from the
+    registered root arrays or the [?survivors] arrays — by copying them
+    down to the watermark.  Nodes below the watermark are never walked,
+    moved or remapped, so a close costs O(nodes the epoch allocated)
+    rather than {!collect}'s O(live arena).  Op caches are invalidated
+    (O(1) generation bump); memoised SAT fractions of tenured nodes move
+    with them. *)
+
+type epoch
+(** Token for one open epoch; single-use. *)
+
+val open_epoch : manager -> epoch
+(** Record the allocation watermark and open an epoch.  At most one
+    epoch may be open per manager, and {!collect} / {!sift} /
+    {!swap_levels} / {!seal} raise [Invalid_argument] while it is —
+    loudly, rather than silently invalidating the region accounting.
+    @raise Invalid_argument if an epoch is already open or the manager
+    is sealed. *)
+
+val close_epoch : ?survivors:t array list -> manager -> epoch -> unit
+(** Reclaim every node allocated since the matching {!open_epoch}.
+    Nodes reachable from the registered arrays or [?survivors] arrays
+    are tenured: copied below the watermark, with those arrays rewritten
+    in place to the tenured handles (exactly {!collect}'s root
+    contract).  Every other handle issued during the epoch is
+    invalidated.  Handles older than the epoch are untouched.
+    @raise Invalid_argument if the epoch was already closed or belongs
+    to a different manager. *)
+
+val epoch_open : manager -> bool
+(** Whether an epoch is currently open. *)
+
+val epoch_nodes : manager -> int
+(** Nodes allocated by the open epoch so far (0 when none is open) —
+    the quantity to watch when deciding to close and reclaim. *)
+
+val epoch_resets : manager -> int
+(** Number of {!close_epoch} calls over the manager's life. *)
+
+val tenured_nodes : manager -> int
+(** Total survivors copied down by all {!close_epoch} calls. *)
 
 (** {1 Frozen snapshots}
 
@@ -138,7 +190,12 @@ val seal : manager -> unit
     already-sealed manager raises [Invalid_argument].  Re-sealing after
     an {!unseal} extends the snapshot with whatever live scratch nodes
     accumulated in between; earlier forks remain valid because the old
-    frozen arrays are replaced wholesale, never mutated. *)
+    frozen arrays are replaced wholesale, never mutated.  The build
+    phase's final apply/ite memo entries whose operands and results all
+    survive are retained as a read-only {e warm cache} that every
+    {!fork} shares by reference and probes after a private cache miss
+    ({!warm_cache_hits} counts the saves).
+    @raise Invalid_argument while an epoch is open. *)
 
 val unseal : manager -> unit
 (** Re-enable allocation on a sealed manager (the frozen tier stays in
@@ -156,6 +213,12 @@ val fork : manager -> manager
     sealed. *)
 
 val is_sealed : manager -> bool
+
+val warm_cache_hits : manager -> int
+(** Apply/ite lookups answered by the read-only warm cache {!seal}
+    captured from the build phase's memo tables (forks share it by
+    reference and consult it after their private cache misses).  Always
+    0 on a manager that never sealed. *)
 
 val frozen_nodes : manager -> int
 (** Size of the frozen snapshot (0 before the first {!seal}). *)
@@ -183,6 +246,39 @@ val apply_steps : manager -> int
 val nodes_allocated : manager -> int
 (** Fresh nodes ever hash-consed into existence in this manager
     (monotone: collections do not subtract; forks start at 0). *)
+
+(** {1 Lifetime profiling}
+
+    Allocation/death instrumentation on the {e logical} clock of
+    {!apply_steps}: every scratch allocation is stamped with the clock,
+    and the reclamation that observes a node's death ({!collect} or
+    {!close_epoch}) banks the elapsed clock distance into a log2
+    histogram — the same lifetime oracle an offline Merlin-style trace
+    analysis would compute, folded on the fly.  No wall time enters the
+    data, so the histogram is bit-identical run to run for a fixed
+    operation sequence. *)
+
+type lifetime_profile = {
+  lp_clock : int;  (** {!apply_steps} when the profile was read *)
+  lp_deaths : int;  (** nodes whose death a reclamation has observed *)
+  lp_live : int;  (** scratch nodes still alive at read time *)
+  lp_frozen : int;  (** immortal frozen nodes (never profiled as deaths) *)
+  lp_buckets : int array;
+      (** bucket [b] counts lifetimes in [[2^(b-1), 2^b)] apply steps;
+          bucket 0 is sub-step *)
+}
+
+val set_lifetime_profiling : manager -> bool -> unit
+(** Enable (or disable) the profiler.  Enable before building: nodes
+    already alive are stamped at the current clock, so their reported
+    lifetimes measure from enablement.  Forks inherit the flag with a
+    fresh, empty histogram.  Costs one array write per allocation when
+    on; nothing when off. *)
+
+val lifetime_profiling : manager -> bool
+
+val lifetime_profile : manager -> lifetime_profile
+(** Snapshot of the histogram (buckets are copied). *)
 
 (** {1 Constants, variables and tests} *)
 

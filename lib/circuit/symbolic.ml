@@ -44,7 +44,8 @@ let rec force t g =
     t.built.(g) <- true
   end
 
-let make ~lazily ?(heuristic = Ordering.Natural) ?order circuit =
+let make ~lazily ?(profile = false) ?(heuristic = Ordering.Natural) ?order
+    circuit =
   let n_inputs = Circuit.num_inputs circuit in
   let order =
     match order with
@@ -52,6 +53,7 @@ let make ~lazily ?(heuristic = Ordering.Natural) ?order circuit =
     | None -> Ordering.order heuristic circuit
   in
   let manager = Bdd.create ~order n_inputs in
+  if profile then Bdd.set_lifetime_profiling manager true;
   let n = Circuit.num_gates circuit in
   let node = Array.make n (Bdd.zero manager) in
   let built = Array.make n (not lazily) in
@@ -63,11 +65,11 @@ let make ~lazily ?(heuristic = Ordering.Natural) ?order circuit =
     done;
   t
 
-let build ?heuristic ?order circuit =
-  make ~lazily:false ?heuristic ?order circuit
+let build ?profile ?heuristic ?order circuit =
+  make ~lazily:false ?profile ?heuristic ?order circuit
 
-let build_lazy ?heuristic ?order circuit =
-  make ~lazily:true ?heuristic ?order circuit
+let build_lazy ?profile ?heuristic ?order circuit =
+  make ~lazily:true ?profile ?heuristic ?order circuit
 
 let seal t =
   for g = 0 to Circuit.num_gates t.circuit - 1 do

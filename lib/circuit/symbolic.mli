@@ -5,14 +5,25 @@
 
 type t
 
-val build : ?heuristic:Ordering.heuristic -> ?order:int array -> Circuit.t -> t
+val build :
+  ?profile:bool ->
+  ?heuristic:Ordering.heuristic ->
+  ?order:int array ->
+  Circuit.t ->
+  t
 (** Evaluate the whole circuit symbolically (default heuristic:
     {!Ordering.Natural}).  [?order] is an explicit level-to-input-position
     permutation that overrides the heuristic entirely — the engine's
-    reorder-rescue stage rebuilds under the order sifting discovered. *)
+    reorder-rescue stage rebuilds under the order sifting discovered.
+    [?profile] turns on {!Bdd.set_lifetime_profiling} from the first
+    allocation, so build-phase nodes are stamped too. *)
 
 val build_lazy :
-  ?heuristic:Ordering.heuristic -> ?order:int array -> Circuit.t -> t
+  ?profile:bool ->
+  ?heuristic:Ordering.heuristic ->
+  ?order:int array ->
+  Circuit.t ->
+  t
 (** Like {!build}, but constructs no good functions up front: each net's
     BDD is elaborated on first demand ({!force} / {!node_function}),
     building exactly the net's input cone.  A worker that only analyzes

@@ -28,11 +28,20 @@ type t = {
   mutable sift_before : int;
   mutable sift_after : int;
   mutable rescued : int;
+  (* The currently-open scratch epoch, if any: opened by [analyze_one]
+     once a fault's good functions are in place, closed when the region
+     budget fills, before any [collect]/[seal], and at sweep end.
+     Closing reclaims the whole region at O(survivors) cost — the cheap
+     replacement for most budget-triggered collections. *)
+  mutable epoch : Bdd.epoch option;
+  mem_profile : bool; (* lifetime profiling follows rebuilds/workers *)
 }
 
-let create ?(heuristic = Ordering.Natural) ?(lazily = false) base =
+let create ?(heuristic = Ordering.Natural) ?(lazily = false)
+    ?(mem_profile = false) base =
   let sym =
-    (if lazily then Symbolic.build_lazy else Symbolic.build) ~heuristic base
+    (if lazily then Symbolic.build_lazy else Symbolic.build)
+      ~profile:mem_profile ~heuristic base
   in
   let n = Circuit.num_gates base in
   let fanouts = Circuit.fanouts base in
@@ -57,6 +66,8 @@ let create ?(heuristic = Ordering.Natural) ?(lazily = false) base =
     sift_before = 0;
     sift_after = 0;
     rescued = 0;
+    epoch = None;
+    mem_profile;
   }
 
 let circuit t = t.base
@@ -68,10 +79,28 @@ let on_rebuild t hook = t.rebuild_hooks <- hook :: t.rebuild_hooks
 (* Good function of a net; forces it on lazy instances. *)
 let node t g = Symbolic.node_function t.sym g
 
+(* Close the open epoch, if any.  Survivors above the watermark (good
+   functions a lazy engine forced mid-epoch, via the registered node
+   array) are tenured — renumbered — so this is a handle-invalidating
+   event exactly like [collect], and the reclamation cost lands in the
+   same GC account. *)
+let flush_epoch t =
+  match t.epoch with
+  | None -> ()
+  | Some e ->
+    let t0 = Unix.gettimeofday () in
+    Bdd.close_epoch (manager t) e;
+    t.gc_time <- t.gc_time +. (Unix.gettimeofday () -. t0);
+    t.epoch <- None;
+    t.generation <- t.generation + 1;
+    List.iter (fun hook -> hook ()) t.rebuild_hooks
+
 let rebuild ?order t =
+  (* The old manager is dropped wholesale; any open epoch dies with it. *)
+  t.epoch <- None;
   let sym =
     (if t.lazily then Symbolic.build_lazy else Symbolic.build)
-      ~heuristic:t.heuristic ?order t.base
+      ~profile:t.mem_profile ~heuristic:t.heuristic ?order t.base
   in
   t.sym <- sym;
   (* Old handles are meaningless in the fresh manager. *)
@@ -82,6 +111,7 @@ let rebuild ?order t =
   List.iter (fun hook -> hook ()) t.rebuild_hooks
 
 let collect t =
+  flush_epoch t;
   let t0 = Unix.gettimeofday () in
   (* The good-function array is registered with the manager by
      [Symbolic]; the delta scratch rides along as extra roots (all zero
@@ -101,6 +131,7 @@ let collect t =
    closes over mutable visit stamps and must never cross domains). *)
 
 let seal t =
+  flush_epoch t;
   Symbolic.seal t.sym;
   (* [Bdd.seal] ran a collect, so scratch handles were renumbered before
      freezing — externally this is a generation change exactly like
@@ -137,6 +168,8 @@ let fork t =
     sift_before = 0;
     sift_after = 0;
     rescued = 0;
+    epoch = None;
+    mem_profile = t.mem_profile;
   }
 
 let cone_of_sites t sites =
@@ -340,6 +373,16 @@ let analyze t fault =
 
 let default_node_budget = 3_000_000
 let default_max_retries = 2
+
+(* Region budget: an epoch is closed (and its scratch reclaimed
+   wholesale) once it accumulates this many nodes.  Closing flushes the
+   fork-local op caches, so the budget amortizes that flush across
+   however many small faults fit in one region; a fault bigger than the
+   budget simply gets its own epoch.  256k balances the two costs on the
+   ISCAS suite: small enough to keep the peak scratch arena ~6x below
+   the collect-only policy, large enough that the memo reuse lost per
+   close stays in the noise. *)
+let default_epoch_nodes = 262_144
 
 type degrade_reason =
   | Over_budget of { nodes : int; budget : int }
@@ -551,6 +594,8 @@ type policy = {
   p_bounds : bool;
   p_bound_samples : int;
   p_deterministic : bool;
+  p_epochs : bool;
+  p_epoch_nodes : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -645,29 +690,51 @@ let force_all t =
     done
 
 let analyze_one ~policy t fault =
-  if policy.p_deterministic then begin
-    (* Canonical arena: with every good function built (in gate order —
-       eagerly and via [force_all] the construction sequence is the
-       same) and everything else collected away, the ascending-order
-       compaction yields one arena — node numbering, unique-table
-       layout, empty op caches — whatever faults ran before on whichever
-       engine.  Budget classification, and hence the whole outcome, is
-       then reproducible across schedulers, domain counts and resume
-       points.  (Deadline classification is wall-clock and stays
-       nondeterministic by nature.) *)
-    force_all t;
-    collect t
-  end
-  else if
-    (* Reclaim garbage in place instead of throwing the arena away: the
-       good functions (and their memoised statistics) survive, only the
-       dead intermediate results of earlier faults go.  Scratch nodes
-       are what a collection can reclaim — a frozen snapshot is immortal
-       and must not count against the trigger, or every fault on a
-       forked worker would collect. *)
-    Bdd.scratch_nodes (manager t) > policy.p_node_budget
-  then collect t;
+  (if policy.p_deterministic then begin
+     match t.epoch with
+     | Some _ ->
+       (* The canonical arena was established when this epoch opened
+          (see below), nothing below the watermark has moved since, and
+          the registered roots reach nothing above it (good functions
+          are all built, the delta scratch is zeroed between faults) —
+          so closing the epoch restores that canonical arena exactly,
+          at O(region) cost instead of an O(live + dead) collection. *)
+       flush_epoch t
+     | None ->
+       (* Canonical arena: with every good function built (in gate order
+          — eagerly and via [force_all] the construction sequence is the
+          same) and everything else collected away, the ascending-order
+          compaction yields one arena — node numbering, unique-table
+          layout, empty op caches — whatever faults ran before on
+          whichever engine.  Budget classification, and hence the whole
+          outcome, is then reproducible across schedulers, domain counts
+          and resume points.  (Deadline classification is wall-clock and
+          stays nondeterministic by nature.) *)
+       force_all t;
+       collect t
+   end
+   else if
+     (* Reclaim garbage in place instead of throwing the arena away: the
+        good functions (and their memoised statistics) survive, only the
+        dead intermediate results of earlier faults go.  Scratch nodes
+        are what a collection can reclaim — a frozen snapshot is
+        immortal and must not count against the trigger, or every fault
+        on a forked worker would collect.  ([collect] closes the open
+        epoch first.) *)
+     Bdd.scratch_nodes (manager t) > policy.p_node_budget
+   then collect t
+   else if
+     match t.epoch with
+     | Some _ -> Bdd.epoch_nodes (manager t) > policy.p_epoch_nodes
+     | None -> false
+   then flush_epoch t);
   prepare t fault;
+  (* Open the region *after* [prepare], so lazily-forced good functions
+     sit below the watermark (a cone forced later, mid-epoch, is still
+     safe: the registered node array tenures it at close).  Sealed
+     managers cannot allocate, so there is nothing to reclaim on them. *)
+  if policy.p_epochs && t.epoch = None && not (Bdd.is_sealed (manager t))
+  then t.epoch <- Some (Bdd.open_epoch (manager t));
   let outcome =
     analyze_protected ?fault_budget:policy.p_fault_budget
       ?deadline_ms:policy.p_deadline_ms t fault
@@ -723,6 +790,9 @@ type sweep_stats = {
   sift_seconds : float;
   sift_nodes_before : int;
   sift_nodes_after : int;
+  epoch_resets : int;
+  tenured_nodes : int;
+  warm_cache_hits : int;
 }
 
 (* Cross-domain accumulator for the per-stage timings; workers report
@@ -746,6 +816,9 @@ type stats_acc = {
      workers of one sweep, so max (not sum) keeps them interpretable. *)
   mutable acc_sift_before : int;
   mutable acc_sift_after : int;
+  mutable acc_epochs : int;
+  mutable acc_tenured : int;
+  mutable acc_warm : int;
 }
 
 let fresh_acc () =
@@ -766,6 +839,9 @@ let fresh_acc () =
     acc_sift = 0.0;
     acc_sift_before = 0;
     acc_sift_after = 0;
+    acc_epochs = 0;
+    acc_tenured = 0;
+    acc_warm = 0;
   }
 
 let with_acc acc f =
@@ -853,6 +929,13 @@ let cone_batches ~domains t indexed =
   in
   let target = max 8 (total / (domains * 4)) in
   let member_cap = max 1 ((n + domains - 1) / domains) in
+  (* Tiny circuits: the adaptive cost target would shred the fault list
+     into dozens of near-empty batches whose scheduling overhead dwarfs
+     the analysis (c17: 25 batches for 76 faults at 8 domains).  When
+     the whole sweep is cheap, only the member cap may flush — the list
+     collapses to ~1 batch per domain. *)
+  let tiny_cost = 512 in
+  let member_floor = if total < domains * tiny_cost then member_cap else 1 in
   let batches = ref []
   and cur = ref []
   and cur_cost = ref 0
@@ -881,7 +964,10 @@ let cone_batches ~domains t indexed =
       let k = List.length members in
       cur_cost := !cur_cost + !fresh + k;
       cur_members := !cur_members + k;
-      if !cur_cost >= target || !cur_members >= member_cap then flush ())
+      if
+        (!cur_cost >= target && !cur_members >= member_floor)
+        || !cur_members >= member_cap
+      then flush ())
     with_cones;
   flush ();
   Array.of_list (List.rev !batches)
@@ -893,28 +979,33 @@ let analyze_stealing ?acc ~policy ~record ~domains t indexed =
   let domains = min domains (max 1 (Array.length batches)) in
   let workers = ref [] in
   let init () =
-    let worker, steps0, allocs0 =
-      if domains = 1 then
+    let worker, base_counts =
+      if domains = 1 then begin
         (* Steal on the calling engine, exactly like the static
            sequential path: no worker build, no spawn — only the batch
            order differs (and the merge restores it).  The engine may
            have a history, so its work counters are read as deltas. *)
+        let m = Symbolic.manager t.sym in
         ( t,
-          Bdd.apply_steps (Symbolic.manager t.sym),
-          Bdd.nodes_allocated (Symbolic.manager t.sym) )
+          ( Bdd.apply_steps m,
+            Bdd.nodes_allocated m,
+            Bdd.epoch_resets m,
+            Bdd.tenured_nodes m,
+            Bdd.warm_cache_hits m ) )
+      end
       else begin
         let t0 = now () in
         (* Deterministic sweeps build every good function anyway (the
            canonical collect), so laziness would only add noise. *)
         let w =
           create ~heuristic:t.heuristic ~lazily:(not policy.p_deterministic)
-            t.base
+            ~mem_profile:t.mem_profile t.base
         in
         with_acc acc (fun a -> a.acc_build <- a.acc_build +. (now () -. t0));
-        (w, 0, 0)
+        (w, (0, 0, 0, 0, 0))
       end
     in
-    with_acc acc (fun _acc -> workers := (worker, steps0, allocs0) :: !workers);
+    with_acc acc (fun _acc -> workers := (worker, base_counts) :: !workers);
     worker
   in
   let process worker batch =
@@ -962,16 +1053,30 @@ let analyze_stealing ?acc ~policy ~record ~domains t indexed =
     Parallel.steal_batches_supervised ~domains ?batch_deadline ~init ~process
       batches
   in
+  (* Workers have joined; close any epoch left open at sweep end.  The
+     domains = 1 worker is the calling engine itself, which outlives the
+     sweep — its epoch must not leak into a later [seal]/[collect]. *)
+  with_acc acc (fun a ->
+      List.iter
+        (fun (w, _) ->
+          let gc0 = w.gc_time in
+          flush_epoch w;
+          a.acc_gc <- a.acc_gc +. (w.gc_time -. gc0))
+        !workers);
+  flush_epoch t;
   with_acc acc (fun a ->
       a.acc_wall <- a.acc_wall +. (now () -. wall0);
       a.acc_batches <- a.acc_batches + Array.length batches;
       List.iter
-        (fun (w, steps0, allocs0) ->
+        (fun (w, (steps0, allocs0, epochs0, tenured0, warm0)) ->
           let m = Symbolic.manager w.sym in
           a.acc_built <- a.acc_built + Symbolic.built_count w.sym;
           a.acc_scratch_peak <- max a.acc_scratch_peak (Bdd.scratch_peak m);
           a.acc_steps <- a.acc_steps + (Bdd.apply_steps m - steps0);
-          a.acc_allocs <- a.acc_allocs + (Bdd.nodes_allocated m - allocs0))
+          a.acc_allocs <- a.acc_allocs + (Bdd.nodes_allocated m - allocs0);
+          a.acc_epochs <- a.acc_epochs + (Bdd.epoch_resets m - epochs0);
+          a.acc_tenured <- a.acc_tenured + (Bdd.tenured_nodes m - tenured0);
+          a.acc_warm <- a.acc_warm + (Bdd.warm_cache_hits m - warm0))
         !workers);
   (* A batch contained as [Error] (its worker died outside the per-fault
      isolation) is requeued on a fresh engine, mirroring the static
@@ -1084,11 +1189,21 @@ let analyze_snapshot ?acc ~policy ~record ~domains t indexed =
           a.acc_allocs <- a.acc_allocs + (Bdd.nodes_allocated m - allocs0);
           List.iter
             (fun w ->
+              (* Forks die with the sweep, but the final region close
+                 belongs in the reset/GC accounts.  Per-batch GC was
+                 already accumulated in [process]; only the flush's own
+                 delta is new. *)
+              let gc0 = w.gc_time in
+              flush_epoch w;
               let wm = Symbolic.manager w.sym in
               a.acc_scratch_peak <-
                 max a.acc_scratch_peak (Bdd.scratch_peak wm);
               a.acc_steps <- a.acc_steps + Bdd.apply_steps wm;
-              a.acc_allocs <- a.acc_allocs + Bdd.nodes_allocated wm)
+              a.acc_allocs <- a.acc_allocs + Bdd.nodes_allocated wm;
+              a.acc_gc <- a.acc_gc +. (w.gc_time -. gc0);
+              a.acc_epochs <- a.acc_epochs + Bdd.epoch_resets wm;
+              a.acc_tenured <- a.acc_tenured + Bdd.tenured_nodes wm;
+              a.acc_warm <- a.acc_warm + Bdd.warm_cache_hits wm)
             !workers);
       (* A batch contained as [Error] is requeued on a fresh fork — the
          snapshot is still sealed here, so forking stays valid. *)
@@ -1127,7 +1242,13 @@ let analyze_static ?acc ~policy ~record ~domains t indexed =
     let gc0 = t.gc_time and n0 = t.gc_runs in
     let r0 = t.rescued and s0 = t.sift_seconds in
     let steps0 = Bdd.apply_steps m and allocs0 = Bdd.nodes_allocated m in
+    let epochs0 = Bdd.epoch_resets m
+    and tenured0 = Bdd.tenured_nodes m
+    and warm0 = Bdd.warm_cache_hits m in
     let outcomes = analyze_indexed_seq ~policy ~record t indexed in
+    (* The engine outlives the sweep: close the trailing epoch (counted
+       with the sweep's GC) before reading the deltas. *)
+    flush_epoch t;
     let gc = t.gc_time -. gc0 in
     with_acc acc (fun a ->
         a.acc_analysis <- a.acc_analysis +. (now () -. t0) -. gc;
@@ -1142,7 +1263,10 @@ let analyze_static ?acc ~policy ~record ~domains t indexed =
         a.acc_rescued <- a.acc_rescued + (t.rescued - r0);
         a.acc_sift <- a.acc_sift +. (t.sift_seconds -. s0);
         a.acc_sift_before <- max a.acc_sift_before t.sift_before;
-        a.acc_sift_after <- max a.acc_sift_after t.sift_after);
+        a.acc_sift_after <- max a.acc_sift_after t.sift_after;
+        a.acc_epochs <- a.acc_epochs + (Bdd.epoch_resets m - epochs0);
+        a.acc_tenured <- a.acc_tenured + (Bdd.tenured_nodes m - tenured0);
+        a.acc_warm <- a.acc_warm + (Bdd.warm_cache_hits m - warm0));
     outcomes
   end
   else
@@ -1160,9 +1284,12 @@ let analyze_static ?acc ~policy ~record ~domains t indexed =
       Parallel.map_chunked_outcomes ~domains
         (fun shard ->
           let t0 = now () in
-          let worker = create ~heuristic:t.heuristic t.base in
+          let worker =
+            create ~heuristic:t.heuristic ~mem_profile:t.mem_profile t.base
+          in
           let t1 = now () in
           let outcomes = analyze_indexed_seq ~policy ~record worker shard in
+          flush_epoch worker;
           let m = Symbolic.manager worker.sym in
           with_acc acc (fun a ->
               a.acc_build <- a.acc_build +. (t1 -. t0);
@@ -1180,7 +1307,10 @@ let analyze_static ?acc ~policy ~record ~domains t indexed =
               a.acc_rescued <- a.acc_rescued + worker.rescued;
               a.acc_sift <- a.acc_sift +. worker.sift_seconds;
               a.acc_sift_before <- max a.acc_sift_before worker.sift_before;
-              a.acc_sift_after <- max a.acc_sift_after worker.sift_after);
+              a.acc_sift_after <- max a.acc_sift_after worker.sift_after;
+              a.acc_epochs <- a.acc_epochs + Bdd.epoch_resets m;
+              a.acc_tenured <- a.acc_tenured + Bdd.tenured_nodes m;
+              a.acc_warm <- a.acc_warm + Bdd.warm_cache_hits m);
           outcomes)
         indexed
     in
@@ -1206,7 +1336,8 @@ let analyze_static ?acc ~policy ~record ~domains t indexed =
 let analyze_all_impl ?acc ?(node_budget = default_node_budget) ?fault_budget
     ?deadline_ms ?(max_retries = default_max_retries) ?(reorder = true)
     ?(reorder_growth = default_reorder_growth) ?(bounds = true)
-    ?(bound_samples = default_bound_samples) ?(deterministic = false) ?journal
+    ?(bound_samples = default_bound_samples) ?(deterministic = false)
+    ?(epochs = true) ?(epoch_nodes = default_epoch_nodes) ?journal
     ?(domains = 1) ?(scheduler = Static) t faults =
   if reorder_growth < 1.0 then
     invalid_arg "Engine.analyze_all: reorder_growth must be >= 1.0";
@@ -1225,6 +1356,8 @@ let analyze_all_impl ?acc ?(node_budget = default_node_budget) ?fault_budget
       p_bounds = bounds;
       p_bound_samples = bound_samples;
       p_deterministic = deterministic;
+      p_epochs = epochs;
+      p_epoch_nodes = epoch_nodes;
     }
   in
   let n = List.length faults in
@@ -1265,20 +1398,20 @@ let analyze_all_impl ?acc ?(node_budget = default_node_budget) ?fault_budget
   end
 
 let analyze_all ?node_budget ?fault_budget ?deadline_ms ?max_retries ?reorder
-    ?reorder_growth ?bounds ?bound_samples ?deterministic ?journal ?domains
-    ?scheduler t faults =
+    ?reorder_growth ?bounds ?bound_samples ?deterministic ?epochs ?epoch_nodes
+    ?journal ?domains ?scheduler t faults =
   analyze_all_impl ?node_budget ?fault_budget ?deadline_ms ?max_retries
-    ?reorder ?reorder_growth ?bounds ?bound_samples ?deterministic ?journal
-    ?domains ?scheduler t faults
+    ?reorder ?reorder_growth ?bounds ?bound_samples ?deterministic ?epochs
+    ?epoch_nodes ?journal ?domains ?scheduler t faults
 
 let analyze_all_stats ?node_budget ?fault_budget ?deadline_ms ?max_retries
-    ?reorder ?reorder_growth ?bounds ?bound_samples ?deterministic ?journal
-    ?(domains = 1) ?(scheduler = Static) t faults =
+    ?reorder ?reorder_growth ?bounds ?bound_samples ?deterministic ?epochs
+    ?epoch_nodes ?journal ?(domains = 1) ?(scheduler = Static) t faults =
   let acc = fresh_acc () in
   let outcomes =
     analyze_all_impl ~acc ?node_budget ?fault_budget ?deadline_ms ?max_retries
-      ?reorder ?reorder_growth ?bounds ?bound_samples ?deterministic ?journal
-      ~domains ~scheduler t faults
+      ?reorder ?reorder_growth ?bounds ?bound_samples ?deterministic ?epochs
+      ?epoch_nodes ?journal ~domains ~scheduler t faults
   in
   ( outcomes,
     {
@@ -1300,6 +1433,9 @@ let analyze_all_stats ?node_budget ?fault_budget ?deadline_ms ?max_retries
       sift_seconds = acc.acc_sift;
       sift_nodes_before = acc.acc_sift_before;
       sift_nodes_after = acc.acc_sift_after;
+      epoch_resets = acc.acc_epochs;
+      tenured_nodes = acc.acc_tenured;
+      warm_cache_hits = acc.acc_warm;
     } )
 
 let analyze_exact ?node_budget ?domains ?scheduler t faults =

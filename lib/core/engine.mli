@@ -10,11 +10,22 @@
 
 type t
 
-val create : ?heuristic:Ordering.heuristic -> ?lazily:bool -> Circuit.t -> t
+val create :
+  ?heuristic:Ordering.heuristic ->
+  ?lazily:bool ->
+  ?mem_profile:bool ->
+  Circuit.t ->
+  t
 (** [lazily] (default false) defers good-function construction: each
     net's BDD is elaborated on first use, so an engine that only ever
     analyses faults in one region of the circuit never builds the rest.
-    Sweep workers of the {!Stealing} scheduler are created this way. *)
+    Sweep workers of the {!Stealing} scheduler are created this way.
+
+    [mem_profile] (default false) turns on {!Bdd.set_lifetime_profiling}
+    for the engine's manager — and for every worker manager its sweeps
+    spawn — so a sweep can be followed by
+    [Bdd.lifetime_profile (Engine.manager t)] to read the allocation
+    lifetime histogram on a logical clock of apply steps. *)
 
 val circuit : t -> Circuit.t
 val manager : t -> Bdd.manager
@@ -214,6 +225,12 @@ val default_reorder_growth : float
     (1.2: a variable's sift may not grow the live arena past 120% of its
     starting size) when [?reorder_growth] is left to default. *)
 
+val default_epoch_nodes : int
+(** Region budget (262144 nodes) when [?epoch_nodes] is left to default:
+    an open epoch is closed — its scratch reclaimed wholesale — once it
+    accumulates this many nodes, so the op-cache flush a close implies
+    is amortised over many small faults. *)
+
 val analyze_protected :
   ?fault_budget:int -> ?deadline_ms:float -> t -> Fault.t -> outcome
 (** {!analyze} with per-fault isolation: an exception becomes [Crashed]
@@ -322,6 +339,19 @@ type sweep_stats = {
   sift_nodes_after : int;
       (** live BDD nodes after sifting — compare against
           [sift_nodes_before] for the order improvement *)
+  epoch_resets : int;
+      (** scratch regions reclaimed wholesale ({!Bdd.close_epoch})
+          across all managers involved — each one replaced a
+          mark-sweep-compact walk of the whole arena *)
+  tenured_nodes : int;
+      (** nodes copied into the long-lived tier at epoch close because
+          a registered root still reached them (lazily-forced good
+          functions, in-flight scratch) — persistently high tenure
+          means the region budget closes epochs too early *)
+  warm_cache_hits : int;
+      (** apply/ite recursions answered by the sealed snapshot's warm
+          op-cache ({!Bdd.warm_cache_hits}, {!Snapshot} scheduler) —
+          work the fork-local cold caches would have redone *)
 }
 
 val analyze_all :
@@ -334,6 +364,8 @@ val analyze_all :
   ?bounds:bool ->
   ?bound_samples:int ->
   ?deterministic:bool ->
+  ?epochs:bool ->
+  ?epoch_nodes:int ->
   ?journal:journal ->
   ?domains:int ->
   ?scheduler:scheduler ->
@@ -394,6 +426,21 @@ val analyze_all :
     relies on).  Costs one collection per fault; deadline expiry remains
     wall-clock-dependent.
 
+    [epochs] (default true) brackets faults in scratch {e epochs}
+    ({!Bdd.open_epoch}): an epoch opens once the fault's good functions
+    are in place and closes — reclaiming every non-surviving scratch
+    node of the region wholesale, at O(survivors) cost — when the
+    region passes [epoch_nodes] (default {!default_epoch_nodes}),
+    before any budget-triggered collection, and at sweep end.  Exact
+    statistics are unaffected (they are scalars of canonical ROBDDs);
+    in [deterministic] mode a close restores the canonical arena
+    bit-for-bit, so outcomes are identical with epochs on or off while
+    most per-fault collections are skipped.  In non-deterministic
+    sweeps with per-fault budgets, whether a {e borderline} fault
+    degrades may shift (reclaimed intermediates get re-charged on
+    re-derivation) — the same caveat arena history always carried.
+    [~epochs:false] restores the pure collect-based policy.
+
     [journal] (default: none) is the checkpoint hook: journaled faults
     are skipped and merged verbatim, fresh completions are reported as
     they happen (see {!journal}).
@@ -436,6 +483,8 @@ val analyze_all_stats :
   ?bounds:bool ->
   ?bound_samples:int ->
   ?deterministic:bool ->
+  ?epochs:bool ->
+  ?epoch_nodes:int ->
   ?journal:journal ->
   ?domains:int ->
   ?scheduler:scheduler ->
