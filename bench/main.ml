@@ -1409,14 +1409,145 @@ let lint_bench () =
      verified column adds the exact engine countersigning every \
      redundancy claim"
 
-(* [perf], [trend], [hostile], [mem] and [lint] are dispatchable by
-   name but deliberately not part of [all]: timing measurements and
-   stress experiments, not paper artifacts. *)
+(* ------------------------------------------------------------------ *)
+
+(* Serve load generator: an in-process dpa-serve daemon hammered by
+   concurrent client threads over a Unix socket with a mixed
+   lint/analyze workload.  Reports requests/s and latency percentiles,
+   and records one bench-history row under the pseudo-scheduler
+   "serve" so the service trajectory accumulates beside the sweep
+   series without ever being confused with one.  Cell reuse in that
+   row (the schema is fixed at 21 columns): faults = total requests,
+   domains = client threads, faults_per_sec = requests/s, degraded =
+   busy rejections, build_seconds = p50 latency, snapshot_seconds =
+   p99 latency, batches = lint requests, good_functions_built =
+   analyze requests. *)
+let serve_clients = ref 8
+let serve_requests = ref 240
+let serve_circuits = ref [ "c432"; "c499"; "c880" ]
+let serve_workers = ref 2
+let serve_gate = ref false
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (p * n / 100))
+
+let append_history_line path row =
+  let fresh = not (Sys.file_exists path) in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  if fresh then output_string oc (String.concat "," history_columns ^ "\n");
+  output_string oc (row ^ "\n");
+  close_out oc
+
+let serve_bench () =
+  section "serve" "resident daemon under concurrent mixed load";
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dpa-bench-%d.sock" (Unix.getpid ()))
+  in
+  let clients = max 1 !serve_clients in
+  let total = max clients !serve_requests in
+  note
+    (Printf.sprintf
+       "%d requests (1 lint : 2 analyze) from %d client threads, %d \
+        worker(s), circuits %s"
+       total clients !serve_workers
+       (String.concat "," !serve_circuits));
+  let server =
+    Server.start
+      {
+        (Server.default_config ~socket:(Server.Unix_socket sock)) with
+        Server.workers = !serve_workers;
+      }
+  in
+  (* Expected per-circuit fault counts, for dropped/duplicate checks. *)
+  let expected = Hashtbl.create 8 in
+  List.iter
+    (fun name ->
+      let c = Bench_suite.find name in
+      Hashtbl.replace expected name
+        (List.length (Sa_fault.collapsed_faults c)))
+    !serve_circuits;
+  let circuits = Array.of_list !serve_circuits in
+  let latencies = Array.make total 0.0 in
+  let busy = Atomic.make 0 and errors = Atomic.make 0 in
+  let stream_ok = Atomic.make true in
+  let run_client k =
+    let cl = Client.connect_unix_retry sock in
+    let i = ref k in
+    while !i < total do
+      let r = !i in
+      let name = circuits.(r mod Array.length circuits) in
+      let id = Printf.sprintf "q%d" r in
+      let t0 = Unix.gettimeofday () in
+      (if r mod 3 = 0 then begin
+         Client.send cl (Protocol.lint_request ~id (Protocol.Named name));
+         let rec drain () =
+           match Client.recv_response cl with
+           | Ok (Protocol.Done _) -> ()
+           | Ok (Protocol.Busy _) -> Atomic.incr busy
+           | Ok (Protocol.Error_response _) | Error _ -> Atomic.incr errors
+           | Ok _ -> drain ()
+         in
+         drain ()
+       end
+       else
+         match Client.analyze cl ~id (Protocol.Named name) with
+         | Ok { Client.final = Protocol.Done _; outcomes; _ } ->
+           (* Every fault index exactly once: nothing dropped, nothing
+              duplicated, even under coalescing and cache churn. *)
+           let n = Hashtbl.find expected name in
+           let seen = Array.make n 0 in
+           List.iter
+             (fun (j, _) ->
+               if j >= 0 && j < n then seen.(j) <- seen.(j) + 1)
+             outcomes;
+           if not (Array.for_all (fun c -> c = 1) seen) then
+             Atomic.set stream_ok false
+         | Ok { Client.final = Protocol.Busy _; _ } -> Atomic.incr busy
+         | Ok _ | Error _ -> Atomic.incr errors);
+      latencies.(r) <- Unix.gettimeofday () -. t0;
+      i := !i + clients
+    done;
+    Client.close cl
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun k -> Thread.create run_client k) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  Server.stop server;
+  let sorted = Array.copy latencies in
+  Array.sort compare sorted;
+  let p50 = percentile sorted 50 and p99 = percentile sorted 99 in
+  let busy = Atomic.get busy and errors = Atomic.get errors in
+  let ok = Atomic.get stream_ok && errors = 0 in
+  let rps = float_of_int total /. wall in
+  Format.fprintf fmt
+    "  %d requests in %.2fs: %.1f req/s, latency p50 %.1f ms / p99 %.1f \
+     ms, %d busy, %d error(s), streams %s@."
+    total wall rps (1000.0 *. p50) (1000.0 *. p99) busy errors
+    (if ok then "intact" else "CORRUPTED");
+  let lints = (total + 2) / 3 in
+  append_history_line !perf_history
+    (Printf.sprintf
+       "%.0f,mixed,%d,serve,%d,%.6f,%.3f,%b,%d,%.6f,%.6f,%.6f,0.000000,0.000000,0,%d,%d,0,0,0,%d"
+       (Unix.time ()) total clients wall rps ok busy p50 p99 wall lints
+       (total - lints)
+       (Parallel.available_domains ()));
+  if !serve_gate && not ok then begin
+    note "serve gate: FAIL (dropped, duplicated or errored results)";
+    exit 1
+  end;
+  if !serve_gate then note "serve gate: PASS"
+
+(* [perf], [trend], [hostile], [mem], [lint] and [serve] are
+   dispatchable by name but deliberately not part of [all]: timing
+   measurements and stress experiments, not paper artifacts. *)
 let commands =
   artifacts
   @ [
       ("perf", perf); ("trend", trend); ("hostile", hostile);
-      ("mem", mem); ("lint", lint_bench);
+      ("mem", mem); ("lint", lint_bench); ("serve", serve_bench);
     ]
 
 let usage () =
@@ -1427,7 +1558,9 @@ let usage () =
      [-perf-gate] [-hostile-budget N] [-hostile-deadline-ms F] \
      [-hostile-circuits A,B,..] [-hostile-reorder auto|off] \
      [-hostile-gate] [-mem-circuits A,B,..] [-mem-budget N] [-mem-gate] \
-     [all | perf | trend | hostile | mem | lint | %s]...@."
+     [-serve-clients N] [-serve-requests N] [-serve-circuits A,B,..] \
+     [-serve-workers N] [-serve-gate] \
+     [all | perf | trend | hostile | mem | lint | serve | %s]...@."
     (String.concat " | " (List.map fst artifacts))
 
 let () =
@@ -1491,6 +1624,21 @@ let () =
       parse acc rest
     | "-mem-gate" :: rest ->
       mem_gate := true;
+      parse acc rest
+    | "-serve-clients" :: n :: rest ->
+      serve_clients := int_of_string n;
+      parse acc rest
+    | "-serve-requests" :: n :: rest ->
+      serve_requests := int_of_string n;
+      parse acc rest
+    | "-serve-circuits" :: names :: rest ->
+      serve_circuits := String.split_on_char ',' names;
+      parse acc rest
+    | "-serve-workers" :: n :: rest ->
+      serve_workers := int_of_string n;
+      parse acc rest
+    | "-serve-gate" :: rest ->
+      serve_gate := true;
       parse acc rest
     | "all" :: rest -> parse (acc @ List.map fst artifacts) rest
     | name :: rest -> parse (acc @ [ name ]) rest

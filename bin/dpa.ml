@@ -223,6 +223,15 @@ let run_sweep c ~fault_budget ~deadline_ms ~max_retries ~reorder
     match checkpoint with
     | None -> (Hashtbl.create 1, None)
     | Some path ->
+      (* Two writers interleaving appends would corrupt the journal in
+         ways load cannot distinguish from a torn tail, so the file is
+         guarded by an exclusive lock.  A dead holder's lock is stale
+         and broken transparently — only a live second writer refuses. *)
+      (match Journal.acquire_writer_lock ~path () with
+      | Error reason ->
+        Printf.eprintf "%s: %s\n" path reason;
+        exit 2
+      | Ok lock -> at_exit (fun () -> Journal.release_writer_lock lock));
       if resume && Sys.file_exists path then begin
         match Journal.load ~path ~digest ~faults:faults_arr with
         | Ok table ->
@@ -235,6 +244,23 @@ let run_sweep c ~fault_budget ~deadline_ms ~max_retries ~reorder
       end
       else (Hashtbl.create 1, Some (Journal.create ~path ~digest ~faults:n ()))
   in
+  (* A polite kill (SIGINT/SIGTERM) flushes the pending fsync batch
+     before dying, so up to sync_every freshly computed outcomes are
+     not lost to an unlucky ^C.  [sync_now] is lock-free, hence safe
+     from a handler that may have interrupted a mid-append worker; the
+     process then re-kills itself under the default disposition so the
+     exit status still reports the signal.  (The writer lock is left
+     for the next run to break as stale — its holder pid is dead.) *)
+  Option.iter
+    (fun s ->
+      let flush_and_die signal =
+        Journal.sync_now s;
+        Sys.set_signal signal Sys.Signal_default;
+        Unix.kill (Unix.getpid ()) signal
+      in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle flush_and_die);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle flush_and_die))
+    sink;
   let journal = Journal.engine_journal ?sink table in
   let outcomes =
     Engine.analyze_all ?fault_budget ?deadline_ms ~max_retries ~reorder
@@ -962,6 +988,156 @@ let lint_cmd =
       const run $ lint_circuit_arg $ format_arg $ rules_arg $ fail_on
       $ baseline_arg $ write_baseline $ no_verify $ bdd_budget $ list_rules)
 
+(* ------------------------------------------------------------------ *)
+
+(* dpa serve — the resident analysis daemon.  Exit-code contract: 0 =
+   clean drain (signal or shutdown request), 2 = usage error or a
+   socket/state-dir conflict.  Request-level failures are the client's
+   business (busy / error response lines), never the daemon's exit
+   code. *)
+let serve_cmd =
+  let socket_arg =
+    let doc =
+      "Unix socket path to listen on (default: $(b,dpa.sock) inside \
+       $(b,--state-dir), or the working directory without one).  A \
+       leftover socket file with no live listener behind it is \
+       reclaimed; a live one is refused."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let tcp_arg =
+    let doc =
+      "Listen on HOST:PORT instead of a Unix socket.  Port 0 binds an \
+       ephemeral port, printed on startup."
+    in
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let state_dir_arg =
+    let doc =
+      "Journal directory for crash-durable sweeps: every analyze \
+       request checkpoints to $(docv)/<digest>-<opts>.jsonl, and a \
+       killed server restarted on the same directory re-serves the \
+       completed prefix byte-identically before resuming.  Without it \
+       the daemon is fast but forgetful."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker threads draining the request queue." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Admission-queue bound: requests beyond $(docv) queued jobs are \
+       refused with a $(b,busy) response and a retry-after hint instead \
+       of buffering without limit."
+    in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc =
+      "Resident-circuit LRU capacity: elaborated circuits and their \
+       sealed good-function arenas kept warm between requests."
+    in
+    Arg.(value & opt int 8 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let domains_arg =
+    let doc = "Worker domains per sweep." in
+    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
+  in
+  let sync_every_arg =
+    let doc = "Journal fsync batch size (smaller = more crash-durable)." in
+    Arg.(value & opt int 8 & info [ "sync-every" ] ~docv:"N" ~doc)
+  in
+  let verbose_arg =
+    let doc = "Log admissions, resumes and drains to stderr." in
+    Arg.(value & flag & info [ "verbose" ] ~doc)
+  in
+  let run socket tcp state_dir workers queue cache domains scheduler
+      sync_every verbose =
+    let addr =
+      match (tcp, socket) with
+      | Some _, Some _ ->
+        Printf.eprintf "give --socket or --tcp, not both\n";
+        exit 2
+      | Some hp, None -> (
+        match String.rindex_opt hp ':' with
+        | Some i -> (
+          let host = String.sub hp 0 i in
+          let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p >= 0 -> Server.Tcp (host, p)
+          | _ ->
+            Printf.eprintf "--tcp wants HOST:PORT, got %S\n" hp;
+            exit 2)
+        | None ->
+          Printf.eprintf "--tcp wants HOST:PORT, got %S\n" hp;
+          exit 2)
+      | None, Some path -> Server.Unix_socket path
+      | None, None ->
+        Server.Unix_socket
+          (Filename.concat (Option.value state_dir ~default:".") "dpa.sock")
+    in
+    let config =
+      {
+        Server.socket = addr;
+        state_dir;
+        workers = max 1 workers;
+        queue_capacity = max 1 queue;
+        cache_capacity = max 1 cache;
+        domains = max 1 domains;
+        scheduler;
+        sync_every = max 1 sync_every;
+        verbose;
+      }
+    in
+    let server =
+      try Server.start config with
+      | Failure msg ->
+        Printf.eprintf "dpa serve: %s\n" msg;
+        exit 2
+      | Unix.Unix_error (err, fn, arg) ->
+        Printf.eprintf "dpa serve: %s: %s (%s)\n" fn
+          (Unix.error_message err) arg;
+        exit 2
+      | Invalid_argument msg ->
+        Printf.eprintf "dpa serve: %s\n" msg;
+        exit 2
+    in
+    (match addr with
+    | Server.Unix_socket path ->
+      Format.printf "dpa serve: listening on %s@." path
+    | Server.Tcp (host, _) ->
+      Format.printf "dpa serve: listening on %s:%d@." host
+        (Option.value (Server.port server) ~default:0));
+    (* Dead clients must not kill the daemon: writes to a closed socket
+       become Sys_error (handled per connection), not SIGPIPE. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    (* Graceful drain on a polite kill: one atomic store from the
+       handler; the accept loop notices within 250 ms, stops admitting,
+       and the workers finish every queued and in-flight sweep (and
+       their journal fsyncs) before the process exits. *)
+    let drain _ = Server.request_stop server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+    Server.wait server;
+    Format.printf "dpa serve: drained@.";
+    exit 0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Resident analysis daemon: JSON-lines requests over a socket, \
+          coalesced streaming sweeps, bounded admission, and \
+          journal-backed crash resume")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ state_dir_arg $ workers_arg
+      $ queue_arg $ cache_arg $ domains_arg
+      $ scheduler_arg ~default:Engine.Snapshot ()
+      $ sync_every_arg $ verbose_arg)
+
 let main =
   let doc = "exact fault analysis by Difference Propagation (DAC 1990)" in
   let info = Cmd.info "dpa" ~version:"1.0.0" ~doc in
@@ -977,6 +1153,7 @@ let main =
       equiv_cmd;
       scoap_cmd;
       dot_cmd;
+      serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1338,7 +1338,7 @@ let analyze_all_impl ?acc ?(node_budget = default_node_budget) ?fault_budget
     ?(reorder_growth = default_reorder_growth) ?(bounds = true)
     ?(bound_samples = default_bound_samples) ?(deterministic = false)
     ?(epochs = true) ?(epoch_nodes = default_epoch_nodes) ?journal
-    ?(domains = 1) ?(scheduler = Static) t faults =
+    ?on_outcome ?(domains = 1) ?(scheduler = Static) t faults =
   if reorder_growth < 1.0 then
     invalid_arg "Engine.analyze_all: reorder_growth must be >= 1.0";
   let domains = max 1 domains in
@@ -1378,8 +1378,21 @@ let analyze_all_impl ?acc ?(node_budget = default_node_budget) ?fault_budget
             | None -> Either.Right (i, f))
           indexed
     in
+    (* Completion subscribers: the journal's [record] (durability) and
+       [on_outcome] (live streaming — the [dpa serve] fan-out) both see
+       every computed outcome the moment it exists, from whichever
+       domain produced it.  Journal first: an outcome must be durable
+       before any subscriber can observe it, or a crash between the two
+       could re-serve a streamed result the journal never saw. *)
     let record =
-      match journal with None -> fun _ _ -> () | Some j -> j.record
+      match (journal, on_outcome) with
+      | None, None -> fun _ _ -> ()
+      | Some j, None -> j.record
+      | None, Some f -> f
+      | Some j, Some f ->
+        fun i o ->
+          j.record i o;
+          f i o
     in
     let computed =
       match (scheduler, todo) with
@@ -1399,19 +1412,20 @@ let analyze_all_impl ?acc ?(node_budget = default_node_budget) ?fault_budget
 
 let analyze_all ?node_budget ?fault_budget ?deadline_ms ?max_retries ?reorder
     ?reorder_growth ?bounds ?bound_samples ?deterministic ?epochs ?epoch_nodes
-    ?journal ?domains ?scheduler t faults =
+    ?journal ?on_outcome ?domains ?scheduler t faults =
   analyze_all_impl ?node_budget ?fault_budget ?deadline_ms ?max_retries
     ?reorder ?reorder_growth ?bounds ?bound_samples ?deterministic ?epochs
-    ?epoch_nodes ?journal ?domains ?scheduler t faults
+    ?epoch_nodes ?journal ?on_outcome ?domains ?scheduler t faults
 
 let analyze_all_stats ?node_budget ?fault_budget ?deadline_ms ?max_retries
     ?reorder ?reorder_growth ?bounds ?bound_samples ?deterministic ?epochs
-    ?epoch_nodes ?journal ?(domains = 1) ?(scheduler = Static) t faults =
+    ?epoch_nodes ?journal ?on_outcome ?(domains = 1) ?(scheduler = Static) t
+    faults =
   let acc = fresh_acc () in
   let outcomes =
     analyze_all_impl ~acc ?node_budget ?fault_budget ?deadline_ms ?max_retries
       ?reorder ?reorder_growth ?bounds ?bound_samples ?deterministic ?epochs
-      ?epoch_nodes ?journal ~domains ~scheduler t faults
+      ?epoch_nodes ?journal ?on_outcome ~domains ~scheduler t faults
   in
   ( outcomes,
     {

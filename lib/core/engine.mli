@@ -367,6 +367,7 @@ val analyze_all :
   ?epochs:bool ->
   ?epoch_nodes:int ->
   ?journal:journal ->
+  ?on_outcome:(int -> outcome -> unit) ->
   ?domains:int ->
   ?scheduler:scheduler ->
   t ->
@@ -445,6 +446,14 @@ val analyze_all :
     are skipped and merged verbatim, fresh completions are reported as
     they happen (see {!journal}).
 
+    [on_outcome] (default: none) is the streaming subscription hook:
+    called once per {e computed} fault the moment its outcome exists —
+    possibly from a worker domain, so implementations must synchronize —
+    after the journal's [record] has seen it (durable before visible).
+    Journal-skipped faults are never re-announced through it; a resuming
+    caller already holds those.  This is how [dpa serve] streams
+    per-fault results to subscribers while the sweep runs.
+
     [domains] (default 1) fans the sweep out over that many OCaml
     domains under the chosen [scheduler] (default {!Static}).  Each
     worker builds its own Symbolic/Bdd manager (the arena is
@@ -486,6 +495,7 @@ val analyze_all_stats :
   ?epochs:bool ->
   ?epoch_nodes:int ->
   ?journal:journal ->
+  ?on_outcome:(int -> outcome -> unit) ->
   ?domains:int ->
   ?scheduler:scheduler ->
   t ->

@@ -71,6 +71,8 @@ let escape_string s =
     s;
   Buffer.contents buf
 
+let json_escape = escape_string
+
 (* "%h" prints the exact binary value (e.g. 0x1.8p-2), so
    [float_of_string] restores the identical bit pattern. *)
 let float_field f = Printf.sprintf "\"%h\"" f
@@ -274,6 +276,11 @@ let parse_object line =
     end
   with Bad -> None
 
+(* The same tokenizer, exported: the [dpa serve] protocol speaks exactly
+   this flat-object dialect (requests and responses alike), so the
+   server's parser and the journal's are one piece of code. *)
+let parse_flat_object = parse_object
+
 let find fields name = List.assoc_opt name fields
 
 let get_int fields name =
@@ -294,6 +301,24 @@ let get_float fields name =
   | Some (F f) -> f
   | Some (I i) -> float_of_int i
   | _ -> raise Bad
+
+(* Option-returning accessors over a parsed flat object, for protocol
+   code that wants to distinguish "absent" from "present but wrong". *)
+let field_string fields name =
+  match find fields name with Some (S s) -> Some s | _ -> None
+
+let field_int fields name =
+  match find fields name with Some (I i) -> Some i | _ -> None
+
+let field_bool fields name =
+  match find fields name with Some (B b) -> Some b | _ -> None
+
+let field_float fields name =
+  match find fields name with
+  | Some (F f) -> Some f
+  | Some (I i) -> Some (float_of_int i)
+  | Some (S s) -> float_of_string_opt s
+  | _ -> None
 
 (* Field extraction over an already-parsed object: [None] means the
    object is structurally valid JSON but does not match the v2 outcome
@@ -429,6 +454,111 @@ let close sink =
     (fun () ->
       sync sink;
       close_out sink.oc)
+
+(* Deliberately lock-free: this is what a SIGINT/SIGTERM handler calls
+   to make the pending fsync batch durable before exiting, and the
+   interrupted thread may be holding [sink.lock] mid-append — taking it
+   here would deadlock the handler.  The worst a concurrent append can
+   cost is a torn final line, which [load] already tolerates; without
+   this call a polite kill loses the whole unsynced batch instead. *)
+let sync_now sink = try sync sink with _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Writer lock.  Two processes appending to one journal interleave torn
+   records that [load] cannot tell from corruption, so the file gets an
+   exclusive advisory lock: an O_EXCL-created sidecar naming the holder
+   pid.  O_EXCL makes creation atomic even over NFS-ish filesystems; the
+   pid makes a lock left behind by a SIGKILLed holder breakable (the
+   restart-and-resume path depends on that — a crash must never wedge
+   the state dir).  A pid that no longer exists, or an unreadable lock
+   file, is stale and silently replaced. *)
+
+type lock = { lock_file : string }
+
+let writer_lock_path path = path ^ ".lock"
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  (* EPERM: alive but owned by someone else. *)
+  | exception Unix.Unix_error (Unix.EPERM, _, _) -> true
+  | exception _ -> false
+
+let read_lock_pid lock_file =
+  match open_in lock_file with
+  | exception _ -> None
+  | ic ->
+    let pid =
+      match input_line ic with
+      | exception _ -> None
+      | line -> int_of_string_opt (String.trim line)
+    in
+    close_in_noerr ic;
+    pid
+
+let rec acquire_writer_lock ?(retried = false) ~path () =
+  let lock_file = writer_lock_path path in
+  match
+    Unix.openfile lock_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
+  with
+  | fd ->
+    let line = Printf.sprintf "%d\n" (Unix.getpid ()) in
+    ignore (Unix.write_substring fd line 0 (String.length line));
+    (try Unix.close fd with _ -> ());
+    Ok { lock_file }
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> (
+    match read_lock_pid lock_file with
+    | Some pid when pid_alive pid ->
+      Error
+        (Printf.sprintf
+           "journal writer lock held by running process %d (remove %s only \
+            if that process is not a dpa writer)"
+           pid lock_file)
+    | Some _ | None ->
+      (* Stale: the holder is gone (SIGKILL) or never finished writing
+         its pid.  Break the lock and try once more; a second EEXIST
+         loss means another process is racing us for the same journal,
+         and it won. *)
+      if retried then
+        Error "journal writer lock is contended (another writer is racing)"
+      else begin
+        (try Sys.remove lock_file with _ -> ());
+        acquire_writer_lock ~retried:true ~path ()
+      end)
+  | exception Unix.Unix_error (err, _, _) ->
+    Error
+      (Printf.sprintf "cannot create writer lock %s: %s" lock_file
+         (Unix.error_message err))
+
+let acquire_writer_lock ~path () = acquire_writer_lock ~path ()
+
+let release_writer_lock { lock_file } =
+  try Sys.remove lock_file with _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* State directories.  A resident server checkpoints many sweeps at
+   once, so journals live in a directory keyed by sweep digest plus a
+   caller tag (the options fingerprint): same digest + same tag = same
+   resumable sweep, different options never share a file. *)
+
+let ensure_state_dir dir =
+  if not (Sys.file_exists dir) then (
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Journal.ensure_state_dir: %s is a file" dir)
+
+let state_file ~dir ~digest ~tag =
+  let safe =
+    String.map
+      (fun ch ->
+        match ch with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> ch
+        | _ -> '_')
+      tag
+  in
+  Filename.concat dir (Printf.sprintf "%s-%s.jsonl" digest safe)
 
 (* ------------------------------------------------------------------ *)
 (* Loading                                                             *)

@@ -49,6 +49,53 @@ val append : sink -> int -> Engine.outcome -> unit
 val close : sink -> unit
 (** Flush, fsync, and close. *)
 
+val sync_now : sink -> unit
+(** Flush and fsync the pending append batch {e without} taking the
+    sink's mutex — the one journal operation safe to call from a
+    SIGINT/SIGTERM handler while worker threads may be mid-append
+    (taking the lock there could deadlock against the interrupted
+    thread).  The cost of the missing lock is bounded: at worst the
+    final line is torn, which {!load} already tolerates; the win is
+    that a politely-killed sweep keeps every outcome computed before
+    the signal instead of losing the whole unsynced batch.  Never
+    raises. *)
+
+(** {1 Writer lock}
+
+    Two processes appending to one journal interleave torn records that
+    {!load} cannot distinguish from corruption, so checkpoint writers
+    take an exclusive advisory lock first: an [O_EXCL]-created sidecar
+    file ([path ^ ".lock"]) naming the holder pid.  A lock whose pid is
+    dead (a SIGKILLed writer) is stale and silently broken — a crash
+    must never wedge the state directory. *)
+
+type lock
+
+val writer_lock_path : string -> string
+(** The sidecar lock-file path guarding a journal path. *)
+
+val acquire_writer_lock : path:string -> unit -> (lock, string) result
+(** Take the exclusive writer lock for the journal at [path].
+    [Error reason] when another {e live} process holds it (the reason
+    names that pid) or the lock file cannot be created; a stale lock
+    (dead holder) is broken and re-acquired transparently. *)
+
+val release_writer_lock : lock -> unit
+(** Remove the lock file.  Never raises. *)
+
+(** {1 State directories} *)
+
+val ensure_state_dir : string -> unit
+(** Create [dir] if missing (existing directories are fine).
+    @raise Invalid_argument when [dir] exists but is a regular file. *)
+
+val state_file : dir:string -> digest:string -> tag:string -> string
+(** The journal path for one sweep inside a multi-sweep state
+    directory: [dir/<digest>-<tag>.jsonl], with [tag] sanitised to
+    filename-safe characters.  Same digest and tag always map to the
+    same file, so a restarted server finds its predecessor's journal;
+    different option fingerprints (the tag) never share one. *)
+
 (** {1 Reading} *)
 
 val load :
@@ -88,3 +135,29 @@ val outcome_of_line :
   faults:Fault.t array -> string -> (int * Engine.outcome) option
 (** Parse one entry line; [None] on a torn or foreign line.  The fault
     payload of the outcome is reconstructed from [faults.(i)]. *)
+
+(** {1 Flat JSON}
+
+    The journal's hand-rolled single-line flat-object JSON dialect —
+    string/int/float/bool/null values, no nesting — exported so the
+    [dpa serve] wire protocol (which speaks exactly this dialect in
+    both directions) parses with the same code that reads journals. *)
+
+type jv = S of string | I of int | F of float | B of bool | Null
+
+val parse_flat_object : string -> (string * jv) list option
+(** Parse one [{"k":v,...}] line into its fields, in declaration order;
+    [None] on anything outside the dialect (nesting, arrays, trailing
+    bytes).  Exactly the parser {!load} reads entry lines with. *)
+
+val field_string : (string * jv) list -> string -> string option
+val field_int : (string * jv) list -> string -> int option
+val field_bool : (string * jv) list -> string -> bool option
+
+val field_float : (string * jv) list -> string -> float option
+(** Accepts plain JSON numbers, integers, and the journal's ["%h"]
+    hex-float strings. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding between double quotes in the flat
+    dialect (quotes, backslashes, control characters). *)

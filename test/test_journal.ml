@@ -340,6 +340,153 @@ let test_file_truncation_resume () =
           (resumed = reference))
 
 (* ------------------------------------------------------------------ *)
+(* Daemon kill-and-resume byte identity                                *)
+
+(* The same guarantee end to end through the dpa serve daemon: a sweep
+   started over the socket, the server SIGKILLed after the client has
+   observed an arbitrary prefix of the outcome stream, a fresh server
+   started on the same state directory — the restarted request's full
+   stream must be byte-identical to an uninterrupted run's, and at
+   least the observed prefix must come back from the journal rather
+   than recomputation (the daemon fsyncs before it streams). *)
+
+let dpa_exe = Filename.concat (Sys.getcwd ()) "../bin/dpa.exe"
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "dpa-serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+          Unix.rmdir p
+        end
+        else Sys.remove p
+      in
+      try rm dir with _ -> ())
+    (fun () -> f dir)
+
+let start_daemon ~sock ~state_dir ~sync_every =
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process dpa_exe
+      [|
+        dpa_exe; "serve"; "--socket"; sock; "--state-dir"; state_dir;
+        "--workers"; "1"; "--sync-every"; string_of_int sync_every;
+      |]
+      null null null
+  in
+  Unix.close null;
+  pid
+
+let stop_daemon pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+(* Collect one analyze stream: outcome journal-lines in order plus the
+   resumed count from the done line. *)
+let collect_stream cl ~id ?opts spec =
+  match Client.analyze cl ~id ?opts spec with
+  | Ok
+      {
+        Client.outcomes;
+        final = Protocol.Done { resumed; _ };
+        _;
+      } ->
+    (List.map snd outcomes, resumed)
+  | Ok _ -> Alcotest.fail "analyze stream ended without done"
+  | Error msg -> Alcotest.fail msg
+
+let daemon_kill_resume_prop seed =
+  let rng = Prng.create ~seed:(seed + 4000) in
+  let c =
+    Generate.random ~seed:(seed + 7) ~inputs:(5 + Prng.int rng 3)
+      ~gates:(12 + Prng.int rng 18)
+      ~outputs:(1 + Prng.int rng 3)
+  in
+  let spec =
+    Protocol.Inline { title = "gen"; source = Bench_format.print c }
+  in
+  let opts =
+    {
+      Protocol.default_opts with
+      Protocol.fault_budget = Some (60 + Prng.int rng 200);
+      max_retries = 1;
+    }
+  in
+  let n = List.length (Sa_fault.collapsed_faults c) in
+  (* Uninterrupted reference stream, via its own daemon + state dir. *)
+  let reference =
+    with_temp_dir (fun dir ->
+        let sock = Filename.concat dir "s.sock" in
+        let pid = start_daemon ~sock ~state_dir:dir ~sync_every:32 in
+        Fun.protect
+          ~finally:(fun () -> stop_daemon pid)
+          (fun () ->
+            let cl = Client.connect_unix_retry sock in
+            let lines, _ = collect_stream cl ~id:"ref" ~opts spec in
+            Client.close cl;
+            lines))
+  in
+  if List.length reference <> n then
+    Alcotest.fail "reference stream incomplete";
+  with_temp_dir (fun dir ->
+      let sock = Filename.concat dir "s.sock" in
+      let cut = Prng.int rng (n + 1) in
+      (* Round one: observe [cut] outcomes, then SIGKILL the server.
+         sync_every = 1 makes every streamed outcome already fsync'd,
+         so the journal must hold at least the observed prefix. *)
+      let pid = start_daemon ~sock ~state_dir:dir ~sync_every:1 in
+      (try
+         let cl = Client.connect_unix_retry sock in
+         Client.send cl (Protocol.analyze_request ~id:"kill" ~opts spec);
+         let rec observe k =
+           if k < cut then
+             match Client.recv_response cl with
+             | Ok (Protocol.Outcome _) -> observe (k + 1)
+             | Ok (Protocol.Done _) -> ()
+             | Ok _ -> observe k
+             | Error _ -> ()
+         in
+         observe 0;
+         Client.close cl
+       with e ->
+         stop_daemon pid;
+         raise e);
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      (* Round two: a fresh server on the same state dir re-serves the
+         journaled prefix and computes the rest. *)
+      let pid = start_daemon ~sock ~state_dir:dir ~sync_every:1 in
+      Fun.protect
+        ~finally:(fun () -> stop_daemon pid)
+        (fun () ->
+          let cl = Client.connect_unix_retry sock in
+          let lines, resumed = collect_stream cl ~id:"resume" ~opts spec in
+          Client.close cl;
+          if resumed < cut then
+            QCheck.Test.fail_reportf
+              "journal lost observed outcomes: saw %d before SIGKILL, \
+               resumed only %d"
+              cut resumed;
+          if lines <> reference then
+            QCheck.Test.fail_reportf
+              "restarted stream differs from uninterrupted run (%d vs %d \
+               lines)"
+              (List.length lines) (List.length reference);
+          true))
+
+let prop_daemon_kill_resume =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:6
+       ~name:
+         "daemon SIGKILL at random cut + restart = uninterrupted stream \
+          (byte-identical, observed prefix journal-served)"
+       QCheck.small_nat daemon_kill_resume_prop)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "journal"
@@ -368,4 +515,5 @@ let () =
           Alcotest.test_case "file truncation resume (c17, journaled)"
             `Quick test_file_truncation_resume;
         ] );
+      ("daemon kill and resume", [ prop_daemon_kill_resume ]);
     ]
