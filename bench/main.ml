@@ -246,7 +246,22 @@ let ablation_order () =
         "  %-12s %d -> %d nodes (%d passes, %.1fs)@." name
         r.Order_search.start_nodes r.Order_search.nodes
         r.Order_search.passes dt)
-    [ "alu74181"; "c432" ]
+    [ "alu74181"; "c432" ];
+  (* Seeding the climb from the topology oracle's synthesized order: a
+     structurally better start should converge in fewer passes. *)
+  Format.fprintf fmt "  hill climbing seeded by the topology oracle:@.";
+  List.iter
+    (fun name ->
+      let c = Bench_suite.find name in
+      let from h =
+        let r, dt = elapsed (fun () -> Order_search.hill_climb ~start:h c) in
+        Printf.sprintf "%s %d -> %d nodes, %d pass(es), %.1fs"
+          (Ordering.name h) r.Order_search.start_nodes r.Order_search.nodes
+          r.Order_search.passes dt
+      in
+      Format.fprintf fmt "  %-12s %s;  %s@." name (from Ordering.Natural)
+        (from Ordering.Oracle))
+    [ "c432"; "c499" ]
 
 let ablation_decomp () =
   section "ablation-decomp"
@@ -736,6 +751,15 @@ let history_row ?scheduler_name ts name faults r =
     r.stats.Engine.batch_count r.stats.Engine.good_functions_built
     r.stats.Engine.scratch_peak_nodes r.stats.Engine.apply_steps
     r.stats.Engine.nodes_allocated r.stats.Engine.hardware_domains
+
+(* Append one raw pre-formatted row — for the pseudo-scheduler lanes
+   (serve, topo) whose cells don't come from a sweep run record. *)
+let append_history_line path row =
+  let fresh = not (Sys.file_exists path) in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  if fresh then output_string oc (String.concat "," history_columns ^ "\n");
+  output_string oc (row ^ "\n");
+  close_out oc
 
 let append_history ?scheduler_name path ts name faults runs =
   let fresh = not (Sys.file_exists path) in
@@ -1378,6 +1402,166 @@ let artifacts =
     ("micro", micro);
   ]
 
+(* Topology-oracle calibration: the static per-cone blowup prediction
+   ([Topology.predicted_peak], computed before any BDD exists) against
+   the measured scratch peak of an exact sequential sweep, across the
+   whole suite; then the pre-flag check on the hostile circuit —
+   flagged faults jump the retry ladder's intermediate rungs without
+   changing a single outcome.  Gate mode appends one history row under
+   the pseudo-scheduler "topo" (cell reuse in the fixed 21-column
+   schema: faults_per_sec = scratch-peak rank correlation,
+   build_seconds = apply-step rank correlation, matches_sequential =
+   pre-flagged outcomes bit-identical, degraded = retry attempts saved
+   by pre-flagging, snapshot/analysis_wall seconds = baseline/pre-flag
+   retry counts, batches = faults pre-flagged, good_functions_built =
+   faults flagged, scratch_peak_nodes/apply_steps = suite maxima). *)
+let topo_gate = ref false
+let topo_sample = ref 3
+let topo_budget = ref 20_000
+
+let topo_bench () =
+  section "topo" "topology oracle: static blowup prediction calibration";
+  let ts = Unix.time () in
+  let prior = if !topo_gate then read_history !perf_history else [] in
+  let sample l =
+    List.filteri (fun i _ -> i mod max 1 !topo_sample = 0) l
+  in
+  note
+    (Printf.sprintf "every %dth collapsed fault, exact sequential sweeps"
+       (max 1 !topo_sample));
+  Format.fprintf fmt "  %-10s %-20s %-10s %5s %5s %12s %12s %14s@."
+    "circuit" "class" "winner" "cutw" "conf" "predicted" "scratch"
+    "apply-steps";
+  let t0 = Unix.gettimeofday () in
+  let total_faults = ref 0 in
+  let rows =
+    List.map
+      (fun name ->
+        let c = Bench_suite.find name in
+        let topo = Topology.analyze c in
+        let faults =
+          sample
+            (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
+        in
+        total_faults := !total_faults + List.length faults;
+        let _, stats =
+          Engine.analyze_all_stats ~domains:1 (Engine.create c) faults
+        in
+        let predicted = Topology.predicted_peak topo in
+        Format.fprintf fmt "  %-10s %-20s %-10s %5d %5b %12.0f %12d %14d@."
+          name
+          (Topology.class_name topo.Topology.klass)
+          (Ordering.name topo.Topology.winner)
+          topo.Topology.est_cutwidth topo.Topology.confident predicted
+          stats.Engine.scratch_peak_nodes stats.Engine.apply_steps;
+        (predicted, stats))
+      Bench_suite.names
+  in
+  let rho_of measure =
+    Correlation.spearman
+      (List.map (fun (p, s) -> (p, float_of_int (measure s))) rows)
+  in
+  let rho_scratch = rho_of (fun s -> s.Engine.scratch_peak_nodes) in
+  let rho_apply = rho_of (fun s -> s.Engine.apply_steps) in
+  note
+    (Printf.sprintf
+       "rank correlation, predicted peak vs measured: scratch %.3f, \
+        apply steps %.3f (%d circuits)"
+       rho_scratch rho_apply (List.length rows));
+  (* Pre-flag check: the hostile sweep with and without the oracle's
+     hostile-fault predicate.  Flagged faults whose first attempt fails
+     jump straight to the ladder's top rung, so total retry attempts
+     drop; outcomes are bit-identical by construction. *)
+  let c = Bench_suite.find "c1908" in
+  let faults =
+    sample (List.map (fun f -> Fault.Stuck f) (Sa_fault.collapsed_faults c))
+  in
+  let topo = Topology.analyze c in
+  let hostile_pred = Topology.hostile_fault topo ~budget:!topo_budget in
+  let flagged = List.length (List.filter hostile_pred faults) in
+  let domains = Parallel.available_domains () in
+  let sweep ?hostile () =
+    Engine.analyze_all_stats ~fault_budget:!topo_budget ?hostile
+      ~deterministic:!topo_gate ~domains ~scheduler:Engine.Stealing
+      (Engine.create c) faults
+  in
+  let base, base_stats = sweep () in
+  let pre, pre_stats = sweep ~hostile:hostile_pred () in
+  let identical = base = pre in
+  let saved =
+    base_stats.Engine.retry_attempts - pre_stats.Engine.retry_attempts
+  in
+  note
+    (Printf.sprintf
+       "c1908 pre-flag (budget %d): %d of %d faults flagged, %d \
+        pre-flagged at failure; retry attempts %d -> %d (%d saved), \
+        outcomes %s"
+       !topo_budget flagged (List.length faults)
+       pre_stats.Engine.preflagged_faults base_stats.Engine.retry_attempts
+       pre_stats.Engine.retry_attempts saved
+       (if identical then "bit-identical" else "DIVERGED"));
+  let wall = Unix.gettimeofday () -. t0 in
+  if !topo_gate then begin
+    let baseline =
+      List.fold_left
+        (fun acc (cells : string array) ->
+          if cells.(3) = "topo" then Some (float_of_string cells.(6))
+          else acc)
+        None prior
+    in
+    let failures = ref [] in
+    if rho_scratch < 0.6 then
+      failures :=
+        Printf.sprintf "scratch rank correlation %.3f below the 0.6 floor"
+          rho_scratch
+        :: !failures;
+    (match baseline with
+    | Some b when rho_scratch < b -. 0.05 ->
+      failures :=
+        Printf.sprintf
+          "scratch rank correlation regression: %.3f vs recorded \
+           baseline %.3f"
+          rho_scratch b
+        :: !failures
+    | Some b ->
+      note
+        (Printf.sprintf
+           "correlation gate: %.3f >= baseline %.3f - 0.05 — PASS"
+           rho_scratch b)
+    | None ->
+      note
+        (Printf.sprintf "no topo baseline in %s; recording this run as one"
+           !perf_history));
+    if not identical then
+      failures := "pre-flagged sweep outcomes diverged" :: !failures;
+    if saved <= 0 then
+      failures :=
+        Printf.sprintf "pre-flagging saved no retry attempts (%d -> %d)"
+          base_stats.Engine.retry_attempts pre_stats.Engine.retry_attempts
+        :: !failures;
+    let max_scratch =
+      List.fold_left
+        (fun a (_, s) -> max a s.Engine.scratch_peak_nodes)
+        0 rows
+    and total_applies =
+      List.fold_left (fun a (_, s) -> a + s.Engine.apply_steps) 0 rows
+    in
+    append_history_line !perf_history
+      (Printf.sprintf
+         "%.0f,suite,%d,topo,1,%.6f,%.3f,%b,%d,%.6f,%.6f,%.6f,0.000000,0.000000,0,%d,%d,%d,%d,0,%d"
+         ts !total_faults wall rho_scratch identical saved rho_apply
+         (float_of_int base_stats.Engine.retry_attempts)
+         (float_of_int pre_stats.Engine.retry_attempts)
+         pre_stats.Engine.preflagged_faults flagged max_scratch total_applies
+         (Parallel.available_domains ()));
+    match List.rev !failures with
+    | [] -> note "topo gate: PASS"
+    | fails ->
+      List.iter (fun m -> Format.fprintf fmt "  GATE FAILURE: %s@." m) fails;
+      Format.fprintf fmt "@.";
+      exit 1
+  end
+
 (* The linter's pitch is that topology is nearly free: time the static
    pass (all rules, no exact cross-check) against the same pass with
    every redundancy claim countersigned by the engine, per circuit. *)
@@ -1405,7 +1589,7 @@ let lint_bench () =
         c.Circuit.title (List.length diags) claims static_t verified_t)
     (Bench_suite.all ());
   note
-    "static column: all ten rules including the budgeted BDD tier; \
+    "static column: all thirteen rules including the budgeted BDD tier; \
      verified column adds the exact engine countersigning every \
      redundancy claim"
 
@@ -1431,13 +1615,6 @@ let serve_gate = ref false
 let percentile sorted p =
   let n = Array.length sorted in
   if n = 0 then 0.0 else sorted.(min (n - 1) (p * n / 100))
-
-let append_history_line path row =
-  let fresh = not (Sys.file_exists path) in
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  if fresh then output_string oc (String.concat "," history_columns ^ "\n");
-  output_string oc (row ^ "\n");
-  close_out oc
 
 let serve_bench () =
   section "serve" "resident daemon under concurrent mixed load";
@@ -1548,6 +1725,7 @@ let commands =
   @ [
       ("perf", perf); ("trend", trend); ("hostile", hostile);
       ("mem", mem); ("lint", lint_bench); ("serve", serve_bench);
+      ("topo", topo_bench);
     ]
 
 let usage () =
@@ -1559,8 +1737,9 @@ let usage () =
      [-hostile-circuits A,B,..] [-hostile-reorder auto|off] \
      [-hostile-gate] [-mem-circuits A,B,..] [-mem-budget N] [-mem-gate] \
      [-serve-clients N] [-serve-requests N] [-serve-circuits A,B,..] \
-     [-serve-workers N] [-serve-gate] \
-     [all | perf | trend | hostile | mem | lint | serve | %s]...@."
+     [-serve-workers N] [-serve-gate] [-topo-gate] [-topo-sample N] \
+     [-topo-budget N] \
+     [all | perf | trend | hostile | mem | lint | serve | topo | %s]...@."
     (String.concat " | " (List.map fst artifacts))
 
 let () =
@@ -1639,6 +1818,15 @@ let () =
       parse acc rest
     | "-serve-gate" :: rest ->
       serve_gate := true;
+      parse acc rest
+    | "-topo-gate" :: rest ->
+      topo_gate := true;
+      parse acc rest
+    | "-topo-sample" :: n :: rest ->
+      topo_sample := int_of_string n;
+      parse acc rest
+    | "-topo-budget" :: n :: rest ->
+      topo_budget := int_of_string n;
       parse acc rest
     | "all" :: rest -> parse (acc @ List.map fst artifacts) rest
     | name :: rest -> parse (acc @ [ name ]) rest

@@ -67,6 +67,37 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Netlist statistics")
     Term.(const run $ circuit_arg)
 
+let topo_cmd =
+  let json_arg =
+    let doc = "Emit the analysis as a single JSON object." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let emit_order_arg =
+    let doc =
+      "Print only the synthesized variable order (level to input \
+       position, one integer per line) — pipe into tooling or feed \
+       back as an explicit order."
+    in
+    Arg.(value & flag & info [ "emit-order" ] ~doc)
+  in
+  let run spec json emit_order =
+    let c = load_circuit spec in
+    let t = Topology.analyze c in
+    if emit_order then
+      Array.iter
+        (fun p -> print_endline (string_of_int p))
+        t.Topology.order
+    else if json then print_endline (Topology.to_json t)
+    else Format.printf "%a@." Topology.pp t
+  in
+  Cmd.v
+    (Cmd.info "topo"
+       ~doc:
+         "Static topology oracle: circuit class, per-cone BDD blowup \
+          prediction, and the synthesized variable order — all before \
+          any BDD exists")
+    Term.(const run $ circuit_arg $ json_arg $ emit_order_arg)
+
 let faults_cmd =
   let run spec =
     let c = load_circuit spec in
@@ -1145,6 +1176,7 @@ let main =
     [
       circuits_cmd;
       stats_cmd;
+      topo_cmd;
       faults_cmd;
       analyze_cmd;
       lint_cmd;

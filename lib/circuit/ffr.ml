@@ -1,0 +1,117 @@
+type t = { head : int array; size : int array; heads : int list }
+
+let decompose c =
+  let n = Circuit.num_gates c in
+  let fanouts = Circuit.fanouts c in
+  let head = Array.make n (-1) in
+  for g = n - 1 downto 0 do
+    if Circuit.is_output c g || Array.length fanouts.(g) <> 1 then
+      head.(g) <- g
+    else head.(g) <- head.(fanouts.(g).(0))
+  done;
+  let size = Array.make n 0 in
+  Array.iter (fun h -> size.(h) <- size.(h) + 1) head;
+  let heads = ref [] in
+  for g = n - 1 downto 0 do
+    if head.(g) = g then heads := g :: !heads
+  done;
+  { head; size; heads = !heads }
+
+(* A stem reconverges when two of its fanout branches reach a common
+   gate.  Labels flow forward: each branch carries its own id, and any
+   gate that merges two distinct ids (or reads the stem on two pins)
+   witnesses reconvergence. *)
+let stem_reconverges c fanouts stem =
+  let n = Circuit.num_gates c in
+  let label = Array.make (n - stem) (-1) in
+  let idx g = g - stem in
+  let reconv = ref false in
+  let merge a b =
+    if a = -1 then b
+    else if b = -1 then a
+    else if a = b then a
+    else begin
+      reconv := true;
+      -2
+    end
+  in
+  Array.iteri
+    (fun branch sink -> label.(idx sink) <- merge label.(idx sink) branch)
+    fanouts.(stem);
+  let g = ref (stem + 1) in
+  while (not !reconv) && !g < n do
+    let acc = ref label.(idx !g) in
+    Array.iter
+      (fun f -> if f > stem then acc := merge !acc label.(idx f))
+      (Circuit.gate c !g).Circuit.fanins;
+    label.(idx !g) <- !acc;
+    incr g
+  done;
+  !reconv
+
+let reconvergent_stems c =
+  let fanouts = Circuit.fanouts c in
+  let acc = ref [] in
+  for g = Circuit.num_gates c - 1 downto 0 do
+    if Array.length fanouts.(g) >= 2 && stem_reconverges c fanouts g then
+      acc := g :: !acc
+  done;
+  !acc
+
+let support_spans c ~order =
+  let n = Circuit.num_gates c in
+  let inputs = Circuit.num_inputs c in
+  if Array.length order <> inputs then
+    invalid_arg "Ffr.support_spans: order length mismatch";
+  (* rank.(input position) = BDD level *)
+  let rank = Array.make inputs (-1) in
+  Array.iteri (fun level pos -> rank.(pos) <- level) order;
+  let spans = Array.make n (max_int, -1) in
+  for g = 0 to n - 1 do
+    let gate = Circuit.gate c g in
+    if gate.Circuit.kind = Gate.Input then (
+      match Circuit.input_position c g with
+      | Some pos -> spans.(g) <- (rank.(pos), rank.(pos))
+      | None -> ())
+    else
+      Array.iter
+        (fun f ->
+          let flo, fhi = spans.(f) in
+          let lo, hi = spans.(g) in
+          spans.(g) <- (min lo flo, max hi fhi))
+        gate.Circuit.fanins
+  done;
+  spans
+
+let profile_of_spans ~inputs spans =
+  if inputs < 2 then [||]
+  else begin
+    let delta = Array.make (inputs + 1) 0 in
+    Array.iter
+      (fun (lo, hi) ->
+        if hi > lo then begin
+          delta.(lo) <- delta.(lo) + 1;
+          delta.(hi) <- delta.(hi) - 1
+        end)
+      spans;
+    let profile = Array.make (inputs - 1) 0 in
+    let running = ref 0 in
+    for b = 0 to inputs - 2 do
+      running := !running + delta.(b);
+      profile.(b) <- !running
+    done;
+    profile
+  end
+
+let cut_profile c ~order =
+  profile_of_spans ~inputs:(Circuit.num_inputs c) (support_spans c ~order)
+
+let cutwidth c ~order =
+  Array.fold_left max 0 (cut_profile c ~order)
+
+let cone_cutwidth c ~order root =
+  let spans = support_spans c ~order in
+  let cone = Circuit.fanin_cone c root in
+  let cone_spans = Array.of_list (List.map (fun g -> spans.(g)) cone) in
+  Array.fold_left max 0
+    (profile_of_spans ~inputs:(Circuit.num_inputs c) cone_spans)

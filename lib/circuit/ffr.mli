@@ -1,0 +1,57 @@
+(** Fanout-free-region decomposition and linear-arrangement cut profiles.
+
+    These are the structural primitives behind the topology oracle: FFR
+    heads partition the netlist into tree-shaped cones, reconvergent
+    stems witness the sharing that makes cones non-tree, and the
+    support-interval cut profile estimates — before any BDD exists — how
+    wide a symbolic build will get under a candidate variable order. *)
+
+type t = private {
+  head : int array;
+      (** [head.(g)] is the FFR head net [g] belongs to.  Heads are nets
+          with fanout other than one, plus primary outputs. *)
+  size : int array;
+      (** At heads, the number of nets in the region (head included);
+          [0] elsewhere. *)
+  heads : int list;  (** All FFR heads, ascending (hence topological). *)
+}
+
+val decompose : Circuit.t -> t
+(** Single reverse-topological sweep; O(nets). *)
+
+val reconvergent_stems : Circuit.t -> int list
+(** Stems (fanout of at least two) whose branches meet again at some
+    downstream gate — the structural signature that defeats tree
+    ordering.  Ascending. *)
+
+(** {1 Linear-arrangement cut profile}
+
+    Under an order [p] ([p.(level) = input position], as produced by
+    {!Ordering.order}), every net's input support occupies an interval
+    of BDD levels.  The number of support intervals crossing the
+    boundary between adjacent levels bounds the number of distinct
+    subfunctions a symbolic build must keep live there, so the maximum
+    crossing count — the cutwidth of the interval family — predicts
+    peak BDD width.  All functions below are O(nets + inputs). *)
+
+val support_spans : Circuit.t -> order:int array -> (int * int) array
+(** Per net, the [(lo, hi)] BDD-level interval of its input support;
+    [(max_int, -1)] for support-free nets. *)
+
+val profile_of_spans : inputs:int -> (int * int) array -> int array
+(** Crossing counts of an arbitrary interval family over [inputs]
+    levels — the building block behind {!cut_profile} and the
+    per-cone profiles of the topology oracle. *)
+
+val cut_profile : Circuit.t -> order:int array -> int array
+(** [cut_profile c ~order].(b) counts the support intervals crossing
+    the boundary between levels [b] and [b + 1]; length
+    [num_inputs - 1] (empty for single-input circuits). *)
+
+val cutwidth : Circuit.t -> order:int array -> int
+(** Maximum of {!cut_profile}; [0] for circuits with fewer than two
+    inputs. *)
+
+val cone_cutwidth : Circuit.t -> order:int array -> int -> int
+(** {!cutwidth} restricted to the transitive fanin cone of one net —
+    the per-output hostility measure used by the topology oracle. *)

@@ -1,42 +1,159 @@
-type heuristic = Natural | Dfs_fanin | Reverse | Shuffled of int
+type heuristic =
+  | Natural
+  | Dfs_fanin
+  | Reverse
+  | Shuffled of int
+  | Force
+  | Oracle
 
-let all = [ Natural; Dfs_fanin; Reverse; Shuffled 1 ]
+let all = [ Natural; Dfs_fanin; Reverse; Shuffled 1; Force; Oracle ]
 
 let name = function
   | Natural -> "natural"
   | Dfs_fanin -> "dfs-fanin"
   | Reverse -> "reverse"
   | Shuffled seed -> Printf.sprintf "shuffled-%d" seed
+  | Force -> "force"
+  | Oracle -> "oracle"
 
-let order heuristic c =
+let natural_order n = Array.init n (fun i -> i)
+
+let dfs_fanin_order c =
+  let n = Circuit.num_inputs c in
+  let seen = Array.make (Circuit.num_gates c) false in
+  let acc = ref [] in
+  let rec visit g =
+    if not seen.(g) then begin
+      seen.(g) <- true;
+      let gate = Circuit.gate c g in
+      if gate.Circuit.kind = Gate.Input then begin
+        match Circuit.input_position c g with
+        | Some pos -> acc := pos :: !acc
+        | None -> ()
+      end
+      else Array.iter visit gate.Circuit.fanins
+    end
+  in
+  Array.iter visit c.Circuit.outputs;
+  (* Inputs never reached from an output go last, in natural order. *)
+  let reached = List.rev !acc in
+  let missing =
+    List.init n Fun.id |> List.filter (fun pos -> not (List.mem pos reached))
+  in
+  Array.of_list (reached @ missing)
+
+(* FORCE (Aloul et al.): every gate together with its fanins forms a
+   hyperedge; vertices repeatedly move to the mean center of gravity of
+   their incident hyperedges, then are re-ranked.  Converges to a
+   placement that keeps connected nets close, which the cut estimator
+   rewards.  Purely arithmetic and deterministic. *)
+let force_order c =
+  let n = Circuit.num_gates c in
+  let inputs = Circuit.num_inputs c in
+  let fanouts = Circuit.fanouts c in
+  let is_gate g = (Circuit.gate c g).Circuit.kind <> Gate.Input in
+  let pos = Array.make n 0.0 in
+  (* Seed: inputs at their declared position, gates at the mean of their
+     fanins — one topological pass. *)
+  for g = 0 to n - 1 do
+    let gate = Circuit.gate c g in
+    if gate.Circuit.kind = Gate.Input then
+      pos.(g) <-
+        (match Circuit.input_position c g with
+        | Some p -> float_of_int p
+        | None -> 0.0)
+    else begin
+      let sum = Array.fold_left (fun s f -> s +. pos.(f)) 0.0 gate.fanins in
+      pos.(g) <- sum /. float_of_int (max 1 (Array.length gate.fanins))
+    end
+  done;
+  let cog = Array.make n 0.0 in
+  let order = Array.init n (fun i -> i) in
+  let iterations = 10 in
+  for _ = 1 to iterations do
+    for g = 0 to n - 1 do
+      if is_gate g then begin
+        let gate = Circuit.gate c g in
+        let sum = Array.fold_left (fun s f -> s +. pos.(f)) pos.(g) gate.fanins in
+        cog.(g) <- sum /. float_of_int (1 + Array.length gate.fanins)
+      end
+    done;
+    for v = 0 to n - 1 do
+      let sum = ref 0.0 and k = ref 0 in
+      if is_gate v then begin
+        sum := !sum +. cog.(v);
+        incr k
+      end;
+      Array.iter
+        (fun sink ->
+          sum := !sum +. cog.(sink);
+          incr k)
+        fanouts.(v);
+      if !k > 0 then pos.(v) <- !sum /. float_of_int !k
+    done;
+    (* Re-rank to integer slots so forces stay comparable across rounds. *)
+    Array.sort
+      (fun a b ->
+        let d = compare pos.(a) pos.(b) in
+        if d <> 0 then d else compare a b)
+      order;
+    Array.iteri (fun slot v -> pos.(v) <- float_of_int slot) order
+  done;
+  let ranked =
+    Array.to_list c.Circuit.inputs
+    |> List.filter_map (fun g ->
+           match Circuit.input_position c g with
+           | Some p -> Some (pos.(g), p)
+           | None -> None)
+    |> List.sort compare
+  in
+  let found = List.map snd ranked in
+  let missing =
+    List.init inputs Fun.id |> List.filter (fun p -> not (List.mem p found))
+  in
+  Array.of_list (found @ missing)
+
+(* The oracle scores each candidate order by its estimated cutwidth and
+   keeps the cheapest, preferring earlier candidates on ties so the
+   paper's natural order stays the default when nothing beats it. *)
+let oracle_candidates = [ Natural; Dfs_fanin; Force ]
+
+let rec order heuristic c =
   let n = Circuit.num_inputs c in
   match heuristic with
-  | Natural -> Array.init n (fun i -> i)
+  | Natural -> natural_order n
   | Reverse -> Array.init n (fun i -> n - 1 - i)
   | Shuffled seed ->
-    let a = Array.init n (fun i -> i) in
+    let a = natural_order n in
     Prng.shuffle (Prng.create ~seed) a;
     a
-  | Dfs_fanin ->
-    let seen = Array.make (Circuit.num_gates c) false in
-    let acc = ref [] in
-    let rec visit g =
-      if not seen.(g) then begin
-        seen.(g) <- true;
-        let gate = Circuit.gate c g in
-        if gate.Circuit.kind = Gate.Input then begin
-          match Circuit.input_position c g with
-          | Some pos -> acc := pos :: !acc
-          | None -> ()
-        end
-        else Array.iter visit gate.Circuit.fanins
-      end
-    in
-    Array.iter visit c.Circuit.outputs;
-    (* Inputs never reached from an output go last, in natural order. *)
-    let reached = List.rev !acc in
-    let missing =
-      List.init n Fun.id
-      |> List.filter (fun pos -> not (List.mem pos reached))
-    in
-    Array.of_list (reached @ missing)
+  | Dfs_fanin -> dfs_fanin_order c
+  | Force -> force_order c
+  | Oracle ->
+    let o, _, _, _ = oracle c in
+    o
+
+and oracle c =
+  let scored =
+    List.map
+      (fun h ->
+        let o = order h c in
+        (h, o, Ffr.cutwidth c ~order:o))
+      oracle_candidates
+  in
+  let best_h, best_o, best_cut =
+    List.fold_left
+      (fun (bh, bo, bc) (h, o, cut) ->
+        if cut < bc then (h, o, cut) else (bh, bo, bc))
+      (match scored with
+      | first :: _ -> first
+      | [] -> assert false)
+      scored
+  in
+  let natural_cut =
+    match scored with (_, _, cut) :: _ -> cut | [] -> assert false
+  in
+  let confident =
+    best_h <> Natural && float_of_int best_cut <= 0.75 *. float_of_int natural_cut
+  in
+  (best_o, best_h, best_cut, confident)

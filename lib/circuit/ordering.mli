@@ -9,6 +9,12 @@ type heuristic =
           visit (Malik-style topological ordering) *)
   | Reverse  (** declaration order reversed — a deliberately poor control *)
   | Shuffled of int  (** deterministic pseudo-random order from a seed *)
+  | Force
+      (** force-directed linear arrangement (Aloul-style FORCE): inputs
+          settle at the center of gravity of their hyperedges *)
+  | Oracle
+      (** topology oracle: scores {!Natural}, {!Dfs_fanin} and {!Force}
+          by estimated cutwidth ({!Ffr.cutwidth}) and keeps the best *)
 
 val all : heuristic list
 (** One representative of each constructor (seed 1 for [Shuffled]). *)
@@ -18,3 +24,10 @@ val name : heuristic -> string
 val order : heuristic -> Circuit.t -> int array
 (** Permutation [p] with [p.(level) = input position]; length equals the
     circuit's input count. *)
+
+val oracle : Circuit.t -> int array * heuristic * int * bool
+(** [oracle c] is [(order, winner, cutwidth, confident)]: the synthesized
+    order, the base heuristic it came from, its estimated cutwidth, and
+    whether the oracle is confident enough to override {!Natural} as an
+    engine default (the winner beats natural's estimated cutwidth by at
+    least 25%).  Ties prefer {!Natural}. *)

@@ -28,6 +28,8 @@ type t = {
   mutable sift_before : int;
   mutable sift_after : int;
   mutable rescued : int;
+  mutable retries : int; (* escalated retry attempts entered *)
+  mutable preflagged : int; (* faults sent to the rescue rung first *)
   (* The currently-open scratch epoch, if any: opened by [analyze_one]
      once a fault's good functions are in place, closed when the region
      budget fills, before any [collect]/[seal], and at sweep end.
@@ -37,8 +39,19 @@ type t = {
   mem_profile : bool; (* lifetime profiling follows rebuilds/workers *)
 }
 
-let create ?(heuristic = Ordering.Natural) ?(lazily = false)
-    ?(mem_profile = false) base =
+let create ?heuristic ?(lazily = false) ?(mem_profile = false) base =
+  (* No explicit heuristic: consult the topology oracle.  When it is
+     confident a structural order beats declaration order, adopt it —
+     the static half of the reorder story; dynamic sifting stays the
+     fallback.  The resolution is deterministic per circuit, so every
+     worker and fork of a sweep lands on the same order. *)
+  let heuristic =
+    match heuristic with
+    | Some h -> h
+    | None ->
+      let _, _, _, confident = Ordering.oracle base in
+      if confident then Ordering.Oracle else Ordering.Natural
+  in
   let sym =
     (if lazily then Symbolic.build_lazy else Symbolic.build)
       ~profile:mem_profile ~heuristic base
@@ -66,6 +79,8 @@ let create ?(heuristic = Ordering.Natural) ?(lazily = false)
     sift_before = 0;
     sift_after = 0;
     rescued = 0;
+    retries = 0;
+    preflagged = 0;
     epoch = None;
     mem_profile;
   }
@@ -168,6 +183,8 @@ let fork t =
     sift_before = 0;
     sift_after = 0;
     rescued = 0;
+    retries = 0;
+    preflagged = 0;
     epoch = None;
     mem_profile = t.mem_profile;
   }
@@ -570,6 +587,7 @@ let rec retry_outcome t fault ~fault_budget ~deadline_ms ~attempt ~max_retries
       (* No fresh state to retry on; keep the more informative original. *)
       outcome
     | Ok () ->
+      t.retries <- t.retries + 1;
       prepare t fault;
       let scale = 1 lsl (attempt + 1) in
       let budget = Option.map (fun b -> b * scale) fault_budget in
@@ -596,6 +614,9 @@ type policy = {
   p_deterministic : bool;
   p_epochs : bool;
   p_epoch_nodes : int;
+  p_hostile : Fault.t -> bool;
+      (* statically predicted hostile: first failure goes straight to
+         the reorder-rescue rung instead of the escalated retries *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -735,12 +756,35 @@ let analyze_one ~policy t fault =
      managers cannot allocate, so there is nothing to reclaim on them. *)
   if policy.p_epochs && t.epoch = None && not (Bdd.is_sealed (manager t))
   then t.epoch <- Some (Bdd.open_epoch (manager t));
-  let outcome =
+  let first =
     analyze_protected ?fault_budget:policy.p_fault_budget
       ?deadline_ms:policy.p_deadline_ms t fault
-    |> retry_outcome t fault ~fault_budget:policy.p_fault_budget
-         ~deadline_ms:policy.p_deadline_ms ~attempt:0
-         ~max_retries:policy.p_max_retries
+  in
+  (* Pre-flagged faults skip the intermediate escalations: topology
+     predicted even the doubled budgets cannot hold their scratch, so
+     their first failure jumps straight to the ladder's top rung — one
+     retry at the 2^max_retries scale, the reorder rescue's doorstep —
+     instead of burning every rung on the way up.  Outcomes are
+     bit-identical to the full ladder's even when the prediction is
+     wrong: each retry runs on a fresh deterministic rebuild under the
+     same order, so a success yields the same [Exact] payload at any
+     scale, budget classification is monotone in the scale, and a
+     top-rung failure carries the same payload the full ladder's final
+     rung would have recorded. *)
+  let outcome =
+    match first with
+    | Exact _ | Bounded _ -> first
+    | Budget_exceeded _ | Deadline_exceeded _ | Crashed _ ->
+      let attempt =
+        if policy.p_max_retries > 0 && policy.p_hostile fault then begin
+          t.preflagged <- t.preflagged + 1;
+          policy.p_max_retries - 1
+        end
+        else 0
+      in
+      retry_outcome t fault ~fault_budget:policy.p_fault_budget
+        ~deadline_ms:policy.p_deadline_ms ~attempt
+        ~max_retries:policy.p_max_retries first
   in
   let outcome =
     if policy.p_reorder then rescue_outcome ~policy t fault outcome
@@ -787,6 +831,8 @@ type sweep_stats = {
   apply_steps : int;
   nodes_allocated : int;
   rescued_faults : int;
+  retry_attempts : int;
+  preflagged_faults : int;
   sift_seconds : float;
   sift_nodes_before : int;
   sift_nodes_after : int;
@@ -811,6 +857,8 @@ type stats_acc = {
   mutable acc_steps : int;
   mutable acc_allocs : int;
   mutable acc_rescued : int;
+  mutable acc_retries : int;
+  mutable acc_preflagged : int;
   mutable acc_sift : float;
   (* The sifted arena sizes are per-manager facts, identical across
      workers of one sweep, so max (not sum) keeps them interpretable. *)
@@ -836,6 +884,8 @@ let fresh_acc () =
     acc_steps = 0;
     acc_allocs = 0;
     acc_rescued = 0;
+    acc_retries = 0;
+    acc_preflagged = 0;
     acc_sift = 0.0;
     acc_sift_before = 0;
     acc_sift_after = 0;
@@ -1012,6 +1062,7 @@ let analyze_stealing ?acc ~policy ~record ~domains t indexed =
     let t0 = now () in
     let gc0 = worker.gc_time and n0 = worker.gc_runs in
     let r0 = worker.rescued and s0 = worker.sift_seconds in
+    let y0 = worker.retries and h0 = worker.preflagged in
     let out =
       Array.map
         (fun (i, fault) ->
@@ -1026,6 +1077,8 @@ let analyze_stealing ?acc ~policy ~record ~domains t indexed =
         a.acc_gc <- a.acc_gc +. gc;
         a.acc_collections <- a.acc_collections + (worker.gc_runs - n0);
         a.acc_rescued <- a.acc_rescued + (worker.rescued - r0);
+        a.acc_retries <- a.acc_retries + (worker.retries - y0);
+        a.acc_preflagged <- a.acc_preflagged + (worker.preflagged - h0);
         a.acc_sift <- a.acc_sift +. (worker.sift_seconds -. s0);
         a.acc_sift_before <- max a.acc_sift_before worker.sift_before;
         a.acc_sift_after <- max a.acc_sift_after worker.sift_after);
@@ -1145,6 +1198,7 @@ let analyze_snapshot ?acc ~policy ~record ~domains t indexed =
         let t2 = now () in
         let gc0 = worker.gc_time and n0 = worker.gc_runs in
         let r0 = worker.rescued and s0 = worker.sift_seconds in
+        let y0 = worker.retries and h0 = worker.preflagged in
         let out =
           Array.map
             (fun (i, fault) ->
@@ -1159,6 +1213,8 @@ let analyze_snapshot ?acc ~policy ~record ~domains t indexed =
             a.acc_gc <- a.acc_gc +. gc;
             a.acc_collections <- a.acc_collections + (worker.gc_runs - n0);
             a.acc_rescued <- a.acc_rescued + (worker.rescued - r0);
+            a.acc_retries <- a.acc_retries + (worker.retries - y0);
+            a.acc_preflagged <- a.acc_preflagged + (worker.preflagged - h0);
             a.acc_sift <- a.acc_sift +. (worker.sift_seconds -. s0);
             a.acc_sift_before <- max a.acc_sift_before worker.sift_before;
             a.acc_sift_after <- max a.acc_sift_after worker.sift_after);
@@ -1241,6 +1297,7 @@ let analyze_static ?acc ~policy ~record ~domains t indexed =
     let t0 = now () in
     let gc0 = t.gc_time and n0 = t.gc_runs in
     let r0 = t.rescued and s0 = t.sift_seconds in
+    let y0 = t.retries and h0 = t.preflagged in
     let steps0 = Bdd.apply_steps m and allocs0 = Bdd.nodes_allocated m in
     let epochs0 = Bdd.epoch_resets m
     and tenured0 = Bdd.tenured_nodes m
@@ -1261,6 +1318,8 @@ let analyze_static ?acc ~policy ~record ~domains t indexed =
         a.acc_steps <- a.acc_steps + (Bdd.apply_steps m - steps0);
         a.acc_allocs <- a.acc_allocs + (Bdd.nodes_allocated m - allocs0);
         a.acc_rescued <- a.acc_rescued + (t.rescued - r0);
+        a.acc_retries <- a.acc_retries + (t.retries - y0);
+        a.acc_preflagged <- a.acc_preflagged + (t.preflagged - h0);
         a.acc_sift <- a.acc_sift +. (t.sift_seconds -. s0);
         a.acc_sift_before <- max a.acc_sift_before t.sift_before;
         a.acc_sift_after <- max a.acc_sift_after t.sift_after;
@@ -1305,6 +1364,8 @@ let analyze_static ?acc ~policy ~record ~domains t indexed =
               a.acc_steps <- a.acc_steps + Bdd.apply_steps m;
               a.acc_allocs <- a.acc_allocs + Bdd.nodes_allocated m;
               a.acc_rescued <- a.acc_rescued + worker.rescued;
+              a.acc_retries <- a.acc_retries + worker.retries;
+              a.acc_preflagged <- a.acc_preflagged + worker.preflagged;
               a.acc_sift <- a.acc_sift +. worker.sift_seconds;
               a.acc_sift_before <- max a.acc_sift_before worker.sift_before;
               a.acc_sift_after <- max a.acc_sift_after worker.sift_after;
@@ -1335,7 +1396,7 @@ let analyze_static ?acc ~policy ~record ~domains t indexed =
 
 let analyze_all_impl ?acc ?(node_budget = default_node_budget) ?fault_budget
     ?deadline_ms ?(max_retries = default_max_retries) ?(reorder = true)
-    ?(reorder_growth = default_reorder_growth) ?(bounds = true)
+    ?(reorder_growth = default_reorder_growth) ?hostile ?(bounds = true)
     ?(bound_samples = default_bound_samples) ?(deterministic = false)
     ?(epochs = true) ?(epoch_nodes = default_epoch_nodes) ?journal
     ?on_outcome ?(domains = 1) ?(scheduler = Static) t faults =
@@ -1358,6 +1419,7 @@ let analyze_all_impl ?acc ?(node_budget = default_node_budget) ?fault_budget
       p_deterministic = deterministic;
       p_epochs = epochs;
       p_epoch_nodes = epoch_nodes;
+      p_hostile = (match hostile with Some p -> p | None -> fun _ -> false);
     }
   in
   let n = List.length faults in
@@ -1411,21 +1473,21 @@ let analyze_all_impl ?acc ?(node_budget = default_node_budget) ?fault_budget
   end
 
 let analyze_all ?node_budget ?fault_budget ?deadline_ms ?max_retries ?reorder
-    ?reorder_growth ?bounds ?bound_samples ?deterministic ?epochs ?epoch_nodes
-    ?journal ?on_outcome ?domains ?scheduler t faults =
+    ?reorder_growth ?hostile ?bounds ?bound_samples ?deterministic ?epochs
+    ?epoch_nodes ?journal ?on_outcome ?domains ?scheduler t faults =
   analyze_all_impl ?node_budget ?fault_budget ?deadline_ms ?max_retries
-    ?reorder ?reorder_growth ?bounds ?bound_samples ?deterministic ?epochs
-    ?epoch_nodes ?journal ?on_outcome ?domains ?scheduler t faults
+    ?reorder ?reorder_growth ?hostile ?bounds ?bound_samples ?deterministic
+    ?epochs ?epoch_nodes ?journal ?on_outcome ?domains ?scheduler t faults
 
 let analyze_all_stats ?node_budget ?fault_budget ?deadline_ms ?max_retries
-    ?reorder ?reorder_growth ?bounds ?bound_samples ?deterministic ?epochs
-    ?epoch_nodes ?journal ?on_outcome ?(domains = 1) ?(scheduler = Static) t
-    faults =
+    ?reorder ?reorder_growth ?hostile ?bounds ?bound_samples ?deterministic
+    ?epochs ?epoch_nodes ?journal ?on_outcome ?(domains = 1)
+    ?(scheduler = Static) t faults =
   let acc = fresh_acc () in
   let outcomes =
     analyze_all_impl ~acc ?node_budget ?fault_budget ?deadline_ms ?max_retries
-      ?reorder ?reorder_growth ?bounds ?bound_samples ?deterministic ?epochs
-      ?epoch_nodes ?journal ?on_outcome ~domains ~scheduler t faults
+      ?reorder ?reorder_growth ?hostile ?bounds ?bound_samples ?deterministic
+      ?epochs ?epoch_nodes ?journal ?on_outcome ~domains ~scheduler t faults
   in
   ( outcomes,
     {
@@ -1444,6 +1506,8 @@ let analyze_all_stats ?node_budget ?fault_budget ?deadline_ms ?max_retries
       apply_steps = acc.acc_steps;
       nodes_allocated = acc.acc_allocs;
       rescued_faults = acc.acc_rescued;
+      retry_attempts = acc.acc_retries;
+      preflagged_faults = acc.acc_preflagged;
       sift_seconds = acc.acc_sift;
       sift_nodes_before = acc.acc_sift_before;
       sift_nodes_after = acc.acc_sift_after;

@@ -16,7 +16,13 @@ val create :
   ?mem_profile:bool ->
   Circuit.t ->
   t
-(** [lazily] (default false) defers good-function construction: each
+(** [heuristic] defaults to the topology oracle's verdict: when
+    {!Ordering.oracle} is confident a structural order beats the
+    paper's declaration order, the engine builds under
+    {!Ordering.Oracle}, otherwise under {!Ordering.Natural}.  Pass an
+    explicit heuristic to bypass the oracle.
+
+    [lazily] (default false) defers good-function construction: each
     net's BDD is elaborated on first use, so an engine that only ever
     analyses faults in one region of the circuit never builds the rest.
     Sweep workers of the {!Stealing} scheduler are created this way.
@@ -328,6 +334,13 @@ type sweep_stats = {
       (** faults answered exactly on the reorder-rescue rung — every
           one of these would have degraded to {!Bounded} (or worse)
           without dynamic reordering *)
+  retry_attempts : int;
+      (** escalated retry re-runs entered across the sweep (each failed
+          fault contributes up to [max_retries]) — the ladder cost the
+          topology pre-flag exists to avoid *)
+  preflagged_faults : int;
+      (** faults the [?hostile] predicate sent to the rescue rung ahead
+          of the retry ladder *)
   sift_seconds : float;
       (** wall clock spent discovering rescue orders (side build plus
           sifting, summed over workers) — the price of the rescue rung,
@@ -361,6 +374,7 @@ val analyze_all :
   ?max_retries:int ->
   ?reorder:bool ->
   ?reorder_growth:float ->
+  ?hostile:(Fault.t -> bool) ->
   ?bounds:bool ->
   ?bound_samples:int ->
   ?deterministic:bool ->
@@ -407,6 +421,23 @@ val analyze_all :
     kill-and-resume guarantees below.  The rung is skipped entirely
     (costing nothing) when neither [fault_budget] nor [deadline_ms] is
     set, since nothing can degrade then.
+
+    [hostile] (default: flag nothing) is the topology oracle's
+    pre-flag: a fault it marks skips the intermediate escalations — its
+    first failure jumps straight to the ladder's top rung (one retry at
+    the [2^max_retries] scale, the reorder rescue's doorstep) instead
+    of climbing through every doubling.  Outcomes are bit-identical to
+    the full ladder's {e by construction}, even when the prediction is
+    wrong: every retry runs on a fresh deterministic rebuild under the
+    same order, so a successful attempt yields the same [Exact] payload
+    at any budget scale, budget classification is monotone in the
+    scale, and a failed top rung records the same payload the full
+    ladder's final rung would have.  What the flag buys is the skipped
+    rungs: a genuinely hostile fault reaches the rescue after one retry
+    instead of [max_retries].  See
+    [retry_attempts]/[preflagged_faults] in {!sweep_stats} for the
+    measured effect.  (Deadline-classified outcomes stay wall-clock
+    nondeterministic, flagged or not.)
 
     When the whole ladder is exhausted and [bounds] is true (the
     default), the fault degrades to
@@ -489,6 +520,7 @@ val analyze_all_stats :
   ?max_retries:int ->
   ?reorder:bool ->
   ?reorder_growth:float ->
+  ?hostile:(Fault.t -> bool) ->
   ?bounds:bool ->
   ?bound_samples:int ->
   ?deterministic:bool ->

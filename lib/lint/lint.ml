@@ -98,6 +98,33 @@ let rules =
         "bridge-universe topology: feedback pairs excluded by the \
          non-feedback fault model";
     };
+    {
+      id = "DP011";
+      name = "predicted-blowup";
+      tier = Testability;
+      default_severity = Diagnostic.Warning;
+      summary =
+        "an output cone's predicted BDD width signals exponential \
+         blowup even under the synthesized order";
+    };
+    {
+      id = "DP012";
+      name = "inadmissible-function";
+      tier = Testability;
+      default_severity = Diagnostic.Warning;
+      summary =
+        "an input is in a cone structurally but absent from its \
+         functional support: both stuck-at polarities untestable";
+    };
+    {
+      id = "DP013";
+      name = "order-oracle-audit";
+      tier = Testability;
+      default_severity = Diagnostic.Info;
+      summary =
+        "the static order oracle's preference is refuted by exact BDD \
+         measurement";
+    };
   ]
 
 let find_rule id = List.find_opt (fun r -> String.equal r.id id) rules
@@ -112,6 +139,7 @@ type config = {
   scoap_report : int;
   bridge_max_nets : int;
   max_per_rule : int;
+  blowup_floor : int;
 }
 
 let default_config =
@@ -125,6 +153,7 @@ let default_config =
     scoap_report = 3;
     bridge_max_nets = 2500;
     max_per_rule = 25;
+    blowup_floor = 100_000;
   }
 
 exception Unknown_rule of string
@@ -433,6 +462,132 @@ let rule_reconvergence ~file ~spans cfg c =
   cap cfg (List.rev !diags)
 
 (* ------------------------------------------------------------------ *)
+(* Topology-oracle rules (DP011–DP013)                                 *)
+
+let rule_blowup ~file ~spans cfg c (topo : Topology.t) =
+  let floor = float_of_int cfg.blowup_floor in
+  Array.to_list topo.Topology.cones
+  |> List.filter (fun k -> k.Topology.predicted_nodes >= floor)
+  |> List.map (fun (k : Topology.cone) ->
+         Diagnostic.make ~rule:"DP011" ~severity:Diagnostic.Warning
+           ~location:(net_location ~file ~spans c k.Topology.output)
+           (Printf.sprintf
+              "output cone of %S predicts BDD blowup: ~%.0f peak nodes \
+               (log2 width %d, cutwidth %d, hostility %.2f) even under \
+               the synthesized %s order — consider a decomposed or \
+               simulation-based flow for this cone (dpa topo \
+               --emit-order prints the suggested order)"
+              k.Topology.output_name k.Topology.predicted_nodes
+              k.Topology.predicted_log2_width k.Topology.cutwidth
+              k.Topology.hostility
+              (Ordering.name topo.Topology.winner)))
+  |> cap cfg
+
+let rule_inadmissible ~file ~spans cfg c (topo : Topology.t) =
+  if cfg.bdd_budget <= 0 then []
+  else begin
+    (* Functional support of every PO, under the oracle order and a
+       node budget.  Claims are only made from a complete build: a
+       budget stop yields a note, never a verdict. *)
+    let sym = Symbolic.build_lazy ~order:topo.Topology.order c in
+    let m = Symbolic.manager sym in
+    let fsupp = Hashtbl.create 16 in
+    let complete =
+      try
+        Bdd.with_budget m ~budget:cfg.bdd_budget (fun () ->
+            Array.iter
+              (fun po ->
+                Symbolic.force sym po;
+                let h = Hashtbl.create 8 in
+                List.iter
+                  (fun v -> Hashtbl.replace h v ())
+                  (Bdd.support m (Symbolic.node_function sym po));
+                Hashtbl.replace fsupp po h)
+              c.Circuit.outputs);
+        true
+      with Bdd.Budget_exceeded _ -> false
+    in
+    if not complete then
+      [
+        Diagnostic.make ~rule:"DP012" ~severity:Diagnostic.Info
+          ~location:(location ?file ())
+          (Printf.sprintf
+             "inadmissible-function audit stopped at its node budget \
+              (%d): no functional-support verdicts for this circuit"
+             cfg.bdd_budget);
+      ]
+    else begin
+      let diags = ref [] in
+      for g = Circuit.num_gates c - 1 downto 0 do
+        if Circuit.is_input c g then begin
+          match (Circuit.input_position c g, Circuit.output_cone c g) with
+          | Some pos, (_ :: _ as reached)
+            when List.for_all
+                   (fun po -> not (Hashtbl.mem (Hashtbl.find fsupp po) pos))
+                   reached ->
+            let name = (Circuit.gate c g).Circuit.name in
+            diags :=
+              Diagnostic.make ~rule:"DP012" ~severity:Diagnostic.Warning
+                ~location:(net_location ~file ~spans c g)
+                ~claims:[ (name, false); (name, true) ]
+                (Printf.sprintf
+                   "input %S reaches %d output cone(s) structurally but \
+                    none functionally (inadmissible function): stuck-at-0 \
+                    and stuck-at-1 on it can never be observed — \
+                    redundant logic"
+                   name (List.length reached))
+              :: !diags
+          | _ -> ()
+        end
+      done;
+      cap cfg !diags
+    end
+  end
+
+let rule_order_audit ~file cfg c (topo : Topology.t) =
+  if cfg.bdd_budget <= 0 || topo.Topology.winner = Ordering.Natural then []
+  else begin
+    (* The oracle preferred a non-natural order on cutwidth evidence;
+       measure both orders exactly (budgeted) and report when the
+       measurement refutes the static preference. *)
+    let measure order =
+      let sym = Symbolic.build_lazy ?order c in
+      let m = Symbolic.manager sym in
+      try
+        Bdd.with_budget m ~budget:cfg.bdd_budget (fun () ->
+            Array.iter (Symbolic.force sym) c.Circuit.outputs);
+        Some (Symbolic.total_nodes sym)
+      with Bdd.Budget_exceeded _ -> None
+    in
+    let natural = measure None in
+    let oracle = measure (Some topo.Topology.order) in
+    let disagree detail =
+      [
+        Diagnostic.make ~rule:"DP013" ~severity:Diagnostic.Info
+          ~location:(location ?file ())
+          (Printf.sprintf
+             "order oracle audit: the synthesized %s order (est cutwidth \
+              %d vs natural %d%s) %s — static preference refuted by \
+              exact measurement"
+             (Ordering.name topo.Topology.winner)
+             topo.Topology.est_cutwidth topo.Topology.natural_cutwidth
+             (if topo.Topology.confident then ", confident" else "")
+             detail);
+      ]
+    in
+    match (natural, oracle) with
+    | Some n, Some o when n <= o ->
+      disagree
+        (Printf.sprintf "builds %d nodes vs %d under the natural order" o n)
+    | Some _, None ->
+      disagree
+        (Printf.sprintf
+           "exceeds the %d-node budget where the natural order fits"
+           cfg.bdd_budget)
+    | _ -> []
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bridge-topology tier                                                *)
 
 let rule_bridges ~file cfg c =
@@ -517,6 +672,9 @@ let verify_claims c diags =
 let circuit_rules ?(config = default_config) ?file ?spans c =
   validate_rule_selection config;
   let run_if id f = if enabled config id then f () else [] in
+  (* One topology analysis shared by DP011–DP013, paid only if one of
+     them is enabled. *)
+  let topo = lazy (Topology.analyze c) in
   let diags =
     run_if "DP005" (fun () -> rule_floating ~file ~spans config c)
     @ run_if "DP006" (fun () -> rule_ffr_audit ~file ~spans config c)
@@ -524,6 +682,12 @@ let circuit_rules ?(config = default_config) ?file ?spans c =
     @ run_if "DP008" (fun () -> rule_constants ~file ~spans config c)
     @ run_if "DP009" (fun () -> rule_reconvergence ~file ~spans config c)
     @ run_if "DP010" (fun () -> rule_bridges ~file config c)
+    @ run_if "DP011" (fun () ->
+          rule_blowup ~file ~spans config c (Lazy.force topo))
+    @ run_if "DP012" (fun () ->
+          rule_inadmissible ~file ~spans config c (Lazy.force topo))
+    @ run_if "DP013" (fun () ->
+          rule_order_audit ~file config c (Lazy.force topo))
   in
   let diags = if config.verify then verify_claims c diags else diags in
   List.sort Diagnostic.compare diags

@@ -18,7 +18,7 @@ type tier = Structural | Testability | Bridge_topology
 val tier_to_string : tier -> string
 
 type rule = {
-  id : string;  (** ["DP001"] .. ["DP010"] *)
+  id : string;  (** ["DP001"] .. ["DP013"] *)
   name : string;  (** kebab-case, e.g. ["combinational-cycle"] *)
   tier : tier;
   default_severity : Diagnostic.severity;
@@ -40,7 +40,17 @@ val rules : rule list
       constant nets, one untestable stuck-at polarity each
     - [DP009] reconvergent-fanout (info) — deep first reconvergence
     - [DP010] feedback-bridge (info) — feedback share of the
-      two-line bridge universe *)
+      two-line bridge universe
+    - [DP011] predicted-blowup (warning) — output cones whose
+      {!Topology} width prediction exceeds {!config.blowup_floor},
+      with the synthesized-order suggestion
+    - [DP012] inadmissible-function (warning) — inputs structurally in
+      a cone but absent from every reached output's budgeted
+      functional support: both stuck-at polarities untestable (claims
+      countersigned like DP008)
+    - [DP013] order-oracle-audit (info) — the static order oracle's
+      non-natural preference measured against exact budgeted builds;
+      silent when measurement agrees *)
 
 val find_rule : string -> rule option
 
@@ -59,6 +69,8 @@ type config = {
   scoap_report : int;  (** DP007 hardest-net count *)
   bridge_max_nets : int;  (** DP010 quadratic-audit cutoff *)
   max_per_rule : int;  (** per-rule diagnostic cap (overflow noted) *)
+  blowup_floor : int;
+      (** DP011 threshold: minimum predicted peak nodes of a cone *)
 }
 
 val default_config : config

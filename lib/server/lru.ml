@@ -96,6 +96,15 @@ let checkout t ~digest ~circuit ~faults =
   | Some e -> `Cached e
   | None -> `Fresh (build ~digest ~circuit ~faults)
 
+(* An entry is worth preferring at admission time when it is resident
+   and idle: dequeuing its request next turns a would-be miss (fresh
+   engine under a pinned or evicted slot) into a warm-arena hit. *)
+let resident t digest =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table digest with
+      | Some e -> not e.busy
+      | None -> false)
+
 let checkin t entry =
   locked t (fun () ->
       entry.busy <- false;

@@ -33,6 +33,11 @@ val checkout :
     must be returned with {!checkin}; [`Fresh] ones are the caller's to
     drop — though {!checkin} will adopt them into the cache. *)
 
+val resident : t -> string -> bool
+(** True when [digest] has an idle (unpinned) resident entry — a sweep
+    admitted now would check out a warm engine rather than build a
+    fresh one.  Used by the server's cache-aware admission. *)
+
 val checkin : t -> entry -> unit
 (** Unpin; adopt fresh entries into the cache, evicting the
     least-recently-used idle entry if over capacity. *)

@@ -137,6 +137,8 @@ type t = {
   mutable served_sweeps : int;
   mutable served_lints : int;
   mutable rejected : int;
+  mutable queue_reorders : int;
+      (* sweeps promoted past the FIFO order by cache-aware admission *)
   mutable ewma_ms : float;  (* smoothed sweep wall time, for busy hints *)
   started_at : float;
 }
@@ -364,6 +366,31 @@ let run_lint_job t ~conn ~id circuit =
   t.served_lints <- t.served_lints + 1;
   Mutex.unlock t.mu
 
+(* Cache-aware admission: prefer the earliest queued sweep whose digest
+   is resident and idle in the LRU — serving it next checks out the
+   warm arena instead of building a fresh engine (and before the entry
+   can be evicted by interleaved other-digest sweeps).  Strict FIFO
+   otherwise, so nothing starves: a promoted job only ever jumps ahead
+   of jobs that would have missed the cache anyway.  Called with
+   [t.mu] held and the queue non-empty. *)
+let pop_preferred t =
+  let jobs = List.of_seq (Queue.to_seq t.queue) in
+  let preferred =
+    let rec go i = function
+      | [] -> None
+      | Sweep_job s :: _ when Lru.resident t.cache s.digest -> Some i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 jobs
+  in
+  match preferred with
+  | Some i when i > 0 ->
+    Queue.clear t.queue;
+    List.iteri (fun j job -> if j <> i then Queue.push job t.queue) jobs;
+    t.queue_reorders <- t.queue_reorders + 1;
+    List.nth jobs i
+  | _ -> Queue.pop t.queue
+
 let rec worker_loop t =
   Mutex.lock t.mu;
   while Queue.is_empty t.queue && not (Atomic.get t.stop) do
@@ -372,7 +399,7 @@ let rec worker_loop t =
   if Queue.is_empty t.queue then Mutex.unlock t.mu
     (* stopping and fully drained: in-flight work all completed *)
   else begin
-    let job = Queue.pop t.queue in
+    let job = pop_preferred t in
     Mutex.unlock t.mu;
     (match job with
     | Sweep_job sweep -> (
@@ -515,7 +542,7 @@ let admit_lint t conn id circuit =
 
 let stats_line t id =
   let lru = Lru.stats t.cache in
-  let active, queued, sweeps, lints, rejected =
+  let active, queued, sweeps, lints, rejected, reorders =
     Mutex.lock t.mu;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.mu)
@@ -524,7 +551,8 @@ let stats_line t id =
           Queue.length t.queue,
           t.served_sweeps,
           t.served_lints,
-          t.rejected ))
+          t.rejected,
+          t.queue_reorders ))
   in
   Protocol.stats ~id
     [
@@ -536,6 +564,7 @@ let stats_line t id =
       ("active", string_of_int active);
       ("queued", string_of_int queued);
       ("queue_capacity", string_of_int t.config.queue_capacity);
+      ("queue_reorders", string_of_int reorders);
       ("workers", string_of_int t.config.workers);
       ("cache_resident", string_of_int lru.Lru.resident);
       ("cache_hits", string_of_int lru.Lru.hits);
@@ -685,6 +714,7 @@ let start config =
       served_sweeps = 0;
       served_lints = 0;
       rejected = 0;
+      queue_reorders = 0;
       ewma_ms = 500.0;
       started_at = Unix.gettimeofday ();
     }
